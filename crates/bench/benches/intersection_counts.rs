@@ -1,0 +1,35 @@
+//! Table 1 companion bench: wall-clock cost of the intersection-search
+//! phase under each scheme, at a criterion-tractable mesh size. The
+//! deterministic *counts* themselves are printed by `reproduce table1`;
+//! this bench tracks that the per-element search is also cheaper in time,
+//! not just in test count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ustencil_bench::Workload;
+use ustencil_core::Scheme;
+use ustencil_mesh::MeshClass;
+
+fn bench_intersection_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_search");
+    group.sample_size(10);
+    let w = Workload::build(MeshClass::LowVariance, 1_000, 1, 2013);
+    group.bench_function("per_point_1k_p1", |b| {
+        b.iter(|| black_box(w.run(Scheme::PerPoint, 16)).metrics.intersection_tests)
+    });
+    group.bench_function("per_element_1k_p1", |b| {
+        b.iter(|| black_box(w.run(Scheme::PerElement, 16)).metrics.intersection_tests)
+    });
+    group.finish();
+
+    // Sanity print: the deterministic Table 1 ratio at this size.
+    let pp = w.run(Scheme::PerPoint, 16).metrics.intersection_tests;
+    let pe = w.run(Scheme::PerElement, 16).metrics.intersection_tests;
+    eprintln!(
+        "table1@1k: per-point {pp} vs per-element {pe} tests (ratio {:.2})",
+        pp as f64 / pe as f64
+    );
+}
+
+criterion_group!(benches, bench_intersection_counts);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Micro-benchmarks of the primitives inside the evaluation hot loop:
+//! polygon clipping, kernel evaluation, basis/element evaluation, exact
+//! sub-region integration, plus the setup-phase builders (Delaunay, hash
+//! grids, partitioning).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ustencil_dg::{project_l2, DubinerBasis};
+use ustencil_geometry::{clip_triangle_rect, Point2, Rect, Triangle};
+use ustencil_mesh::{generate_mesh, partition_recursive_bisection, MeshClass};
+use ustencil_quadrature::TriangleRule;
+use ustencil_siac::{BSpline, Kernel1d, Stencil2d};
+use ustencil_spatial::{Boundary, PointGrid, TriangleGrid};
+
+fn bench_clip(c: &mut Criterion) {
+    let tri = Triangle::new(
+        Point2::new(0.1, -0.5),
+        Point2::new(1.5, 0.3),
+        Point2::new(0.2, 1.2),
+    );
+    let rect = Rect::new(0.0, 0.0, 1.0, 1.0);
+    c.bench_function("clip/triangle_vs_square", |b| {
+        b.iter(|| clip_triangle_rect(black_box(&tri), black_box(&rect)))
+    });
+    // A miss is the common case in the halo region.
+    let far = Rect::new(5.0, 5.0, 6.0, 6.0);
+    c.bench_function("clip/miss", |b| {
+        b.iter(|| clip_triangle_rect(black_box(&tri), black_box(&far)))
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    for k in [1usize, 2, 3] {
+        let kernel = Kernel1d::symmetric(k);
+        c.bench_function(&format!("siac/kernel_eval_k{k}"), |b| {
+            b.iter(|| kernel.eval(black_box(0.733)))
+        });
+    }
+    let spline = BSpline::new(4);
+    c.bench_function("siac/bspline_cox_de_boor_order4", |b| {
+        b.iter(|| spline.eval(black_box(0.733)))
+    });
+    let stencil = Stencil2d::symmetric(2, 0.05);
+    let center = Point2::new(0.5, 0.5);
+    c.bench_function("siac/stencil2d_eval", |b| {
+        b.iter(|| stencil.eval(black_box(center), black_box(Point2::new(0.52, 0.47))))
+    });
+}
+
+fn bench_basis(c: &mut Criterion) {
+    for p in [1usize, 2, 3] {
+        let basis = DubinerBasis::new(p);
+        let coeffs: Vec<f64> = (0..basis.n_modes()).map(|m| 0.3 + m as f64).collect();
+        c.bench_function(&format!("dg/eval_expansion_p{p}"), |b| {
+            b.iter(|| basis.eval_expansion(black_box(&coeffs), black_box(0.31), black_box(0.24)))
+        });
+    }
+}
+
+fn bench_integration(c: &mut Criterion) {
+    let rule = TriangleRule::with_strength(6);
+    let tri = Triangle::new(
+        Point2::new(0.0, 0.0),
+        Point2::new(0.01, 0.002),
+        Point2::new(0.003, 0.009),
+    );
+    c.bench_function("quadrature/strength6_subregion", |b| {
+        b.iter(|| {
+            rule.integrate_physical(black_box(&tri), |x, y| {
+                (x * 31.0).sin() * y + x * x
+            })
+        })
+    });
+}
+
+fn bench_builders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("builders");
+    group.sample_size(10);
+    group.bench_function("delaunay_2k", |b| {
+        b.iter(|| generate_mesh(MeshClass::LowVariance, 2_000, black_box(3)))
+    });
+    let mesh = generate_mesh(MeshClass::LowVariance, 2_000, 3);
+    group.bench_function("triangle_grid_2k", |b| {
+        b.iter(|| TriangleGrid::build(black_box(&mesh), Boundary::Periodic))
+    });
+    let field = project_l2(&mesh, 1, |x, y| x + y, 0);
+    let grid = ustencil_core::ComputationGrid::quadrature_points(&mesh, 1);
+    let _ = field;
+    group.bench_function("point_grid_2k", |b| {
+        b.iter(|| {
+            PointGrid::build_half_edge(
+                black_box(grid.points()),
+                mesh.max_edge_length(),
+                Boundary::Clamped,
+            )
+        })
+    });
+    group.bench_function("partition_16_of_2k", |b| {
+        b.iter(|| partition_recursive_bisection(black_box(&mesh), 16))
+    });
+    group.finish();
+}
+
+/// The paper's Section 3 data-structure argument, measured: uniform hash
+/// grid vs k-d tree for the square range queries the stencil search makes.
+fn bench_spatial_ablation(c: &mut Criterion) {
+    let mesh = generate_mesh(MeshClass::LowVariance, 2_000, 3);
+    let grid = ustencil_core::ComputationGrid::quadrature_points(&mesh, 1);
+    let s = mesh.max_edge_length();
+    let hash = PointGrid::build_half_edge(grid.points(), s, Boundary::Clamped);
+    let tree = ustencil_spatial::KdTree::build(grid.points());
+    let bbox = ustencil_geometry::Aabb::new(Point2::new(0.4, 0.4), Point2::new(0.45, 0.44));
+    let hw = 2.0 * s;
+    let query = ustencil_geometry::Aabb::new(
+        Point2::new(bbox.min.x - hw, bbox.min.y - hw),
+        Point2::new(bbox.max.x + hw, bbox.max.y + hw),
+    );
+    let mut group = c.benchmark_group("spatial_ablation");
+    group.bench_function("hash_grid_range_query", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            hash.for_each_candidate(black_box(&bbox), hw, |id| acc = acc.wrapping_add(id));
+            acc
+        })
+    });
+    group.bench_function("kd_tree_range_query", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            tree.query_rect(black_box(&query), |id| acc = acc.wrapping_add(id));
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_clip,
+    bench_kernels,
+    bench_basis,
+    bench_integration,
+    bench_builders,
+    bench_spatial_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 14 companion bench: tiling-granularity ablation. The paper
+//! scales by giving each device `N_SM` patches; here we measure how the
+//! patch count affects end-to-end wall time on the host (more patches =
+//! more scheduling freedom but more overlap work), plus the pure simulated
+//! multi-device scaling which `reproduce fig14` prints.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ustencil_bench::Workload;
+use ustencil_core::{DeviceConfig, Scheme};
+use ustencil_mesh::MeshClass;
+
+fn bench_patch_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_patch_granularity");
+    group.sample_size(10);
+    let w = Workload::build(MeshClass::LowVariance, 1_000, 1, 2013);
+    for blocks in [1usize, 4, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("per_element_1k_p1", blocks),
+            &blocks,
+            |b, &blocks| b.iter(|| black_box(w.run(Scheme::PerElement, blocks))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_device_simulation(c: &mut Criterion) {
+    // The cost-model evaluation itself (pure function of metrics) — this is
+    // what fig14 sweeps, so its cost should be negligible.
+    let w = Workload::build(MeshClass::LowVariance, 1_000, 1, 2013);
+    let sol = w.run(Scheme::PerElement, 128);
+    let mut group = c.benchmark_group("fig14_simulate");
+    for n_devices in [1usize, 8] {
+        let cfg = DeviceConfig {
+            n_devices,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("devices", n_devices),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(sol.simulate(cfg)).total_ms),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_patch_granularity, bench_device_simulation);
+criterion_main!(benches);

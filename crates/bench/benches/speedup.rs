@@ -1,0 +1,32 @@
+//! Figure 13 companion bench: per-point vs per-element wall time on the
+//! low- and high-variance mesh classes, whose ratio is the "relative
+//! speedup" the paper plots (the simulated-device ratios are printed by
+//! `reproduce fig13`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ustencil_bench::Workload;
+use ustencil_core::Scheme;
+use ustencil_mesh::MeshClass;
+
+fn bench_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_speedup");
+    group.sample_size(10);
+    for (class, label) in [
+        (MeshClass::LowVariance, "lv"),
+        (MeshClass::HighVariance, "hv"),
+    ] {
+        let w = Workload::build(class, 1_000, 1, 2013);
+        for scheme in [Scheme::PerPoint, Scheme::PerElement] {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.label(), format!("{label}_1k_p1")),
+                &w,
+                |b, w| b.iter(|| black_box(w.run(scheme, 16))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

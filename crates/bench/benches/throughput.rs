@@ -1,0 +1,31 @@
+//! Figures 11/12 companion bench: end-to-end post-processing wall time for
+//! both schemes at degrees 1 and 2 on a criterion-tractable low-variance
+//! mesh. The simulated-GFLOP/s series of the figures are printed by
+//! `reproduce fig11` / `fig12`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ustencil_bench::Workload;
+use ustencil_core::Scheme;
+use ustencil_mesh::MeshClass;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_throughput");
+    group.sample_size(10);
+    // The quadratic configuration is ~8x the work per element; use a
+    // smaller mesh to keep criterion's sampling tractable on one core.
+    for (p, n) in [(1usize, 1_000usize), (2, 500)] {
+        let w = Workload::build(MeshClass::LowVariance, n, p, 2013);
+        for scheme in [Scheme::PerPoint, Scheme::PerElement] {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.label(), format!("{}_p{p}", ustencil_bench::size_label(n))),
+                &w,
+                |b, w| b.iter(|| black_box(w.run(scheme, 16))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

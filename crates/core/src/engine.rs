@@ -1,0 +1,375 @@
+//! The [`PostProcessor`] front door: one configuration surface for every
+//! scheme / tiling / parallelism combination the paper evaluates.
+
+use crate::device::{simulate, DeviceConfig, SimReport};
+use crate::grid_points::ComputationGrid;
+use crate::integrate::IntegrationCtx;
+use crate::metrics::Metrics;
+use crate::per_element::PerElementRun;
+use crate::per_point::PerPointRun;
+use std::time::{Duration, Instant};
+use ustencil_dg::DgField;
+use ustencil_mesh::{partition_recursive_bisection, TriMesh};
+use ustencil_quadrature::TriangleRule;
+use ustencil_siac::Stencil2d;
+use ustencil_spatial::{Boundary, PointGrid, TriangleGrid};
+
+/// Which evaluation strategy to run (Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Gather: iterate grid points, search elements (Algorithm 2).
+    PerPoint,
+    /// Scatter: iterate elements, search grid points, tile into patches
+    /// with private partial solutions (Algorithm 3 + Section 4).
+    PerElement,
+}
+
+impl Scheme {
+    /// Display label used by the benchmark harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::PerPoint => "per-point",
+            Scheme::PerElement => "per-element",
+        }
+    }
+}
+
+/// Configured SIAC post-processor.
+///
+/// ```
+/// use ustencil_core::prelude::*;
+/// use ustencil_dg::project_l2;
+/// use ustencil_mesh::{generate_mesh, MeshClass};
+///
+/// let mesh = generate_mesh(MeshClass::LowVariance, 150, 42);
+/// let field = project_l2(&mesh, 1, |x, y| 1.0 + x - y, 0);
+/// let grid = ComputationGrid::quadrature_points(&mesh, 1);
+/// let solution = PostProcessor::new(Scheme::PerElement)
+///     .blocks(4)
+///     .h_factor(0.25) // small demo mesh: keep the stencil inside the domain
+///     .run(&mesh, &field, &grid);
+/// assert_eq!(solution.values.len(), grid.len());
+/// // The kernel reproduces linears: interior values equal the input field.
+/// let hw = solution.stencil_width / 2.0;
+/// for (i, p) in grid.points().iter().enumerate() {
+///     if p.x > hw && p.x < 1.0 - hw && p.y > hw && p.y < 1.0 - hw {
+///         assert!((solution.values[i] - (1.0 + p.x - p.y)).abs() < 1e-8);
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PostProcessor {
+    scheme: Scheme,
+    smoothness: Option<usize>,
+    h_factor: f64,
+    n_blocks: usize,
+    parallel: bool,
+}
+
+impl PostProcessor {
+    /// A post-processor with the paper's defaults: kernel smoothness equal
+    /// to the field degree, `h` equal to the longest mesh edge, 16 blocks
+    /// (one per M2090 SM), parallel execution on.
+    pub fn new(scheme: Scheme) -> Self {
+        Self {
+            scheme,
+            smoothness: None,
+            h_factor: 1.0,
+            n_blocks: 16,
+            parallel: true,
+        }
+    }
+
+    /// Overrides the kernel smoothness `k` (default: the field degree `p`).
+    pub fn smoothness(mut self, k: usize) -> Self {
+        self.smoothness = Some(k);
+        self
+    }
+
+    /// Scales the kernel width: `h = h_factor * s` (default 1.0).
+    ///
+    /// # Panics
+    /// Panics for non-positive factors.
+    pub fn h_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "h factor must be positive");
+        self.h_factor = factor;
+        self
+    }
+
+    /// Sets the number of concurrent blocks: point blocks for per-point,
+    /// mesh patches for per-element (`N_GPU x N_SM` in the paper's
+    /// multi-device runs).
+    ///
+    /// # Panics
+    /// Panics for zero blocks.
+    pub fn blocks(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one block");
+        self.n_blocks = n;
+        self
+    }
+
+    /// Enables or disables thread parallelism (rayon).
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
+    /// The configured scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Runs the post-processor over `grid`'s evaluation points.
+    ///
+    /// # Panics
+    /// Panics when the stencil is wider than the periodic domain (the
+    /// `(3k+1) h <= 1` requirement) or the field does not match the mesh.
+    pub fn run(&self, mesh: &TriMesh, field: &DgField, grid: &ComputationGrid) -> Solution {
+        assert_eq!(
+            field.n_elements(),
+            mesh.n_triangles(),
+            "field does not match mesh"
+        );
+        let p = field.degree();
+        let k = self.smoothness.unwrap_or(p);
+        let s = mesh.max_edge_length();
+        let h = self.h_factor * s;
+        let stencil = Stencil2d::symmetric(k, h);
+        assert!(
+            stencil.width() <= 1.0 + 1e-12,
+            "stencil width {} exceeds the periodic unit domain; \
+             use a larger mesh or a smaller h_factor",
+            stencil.width()
+        );
+        let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(k, p));
+
+        let start = Instant::now();
+        let (values, block_metrics) = match self.scheme {
+            Scheme::PerPoint => {
+                let tri_grid = TriangleGrid::build(mesh, Boundary::Periodic);
+                let run = PerPointRun {
+                    mesh,
+                    field,
+                    grid,
+                    stencil: &stencil,
+                    tri_grid: &tri_grid,
+                    rule: &rule,
+                };
+                run.run(self.n_blocks, self.parallel)
+            }
+            Scheme::PerElement => {
+                let point_grid = PointGrid::build_half_edge(grid.points(), s, Boundary::Clamped);
+                let partition = partition_recursive_bisection(mesh, self.n_blocks);
+                let run = PerElementRun {
+                    mesh,
+                    field,
+                    grid,
+                    stencil: &stencil,
+                    point_grid: &point_grid,
+                    rule: &rule,
+                };
+                run.run(&partition, self.parallel)
+            }
+        };
+        let wall = start.elapsed();
+
+        Solution {
+            values,
+            metrics: Metrics::sum(&block_metrics),
+            block_metrics,
+            wall,
+            stencil_width: stencil.width(),
+            scheme: self.scheme,
+        }
+    }
+}
+
+/// Result of a post-processing run.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Post-processed value at each grid point.
+    pub values: Vec<f64>,
+    /// Aggregated work counters.
+    pub metrics: Metrics,
+    /// Per-block (per-patch) work counters, the unit of device scheduling.
+    pub block_metrics: Vec<Metrics>,
+    /// Wall-clock time of the run on the host.
+    pub wall: Duration,
+    /// The stencil width `(3k+1) h` used.
+    pub stencil_width: f64,
+    /// The scheme that produced this solution.
+    pub scheme: Scheme,
+}
+
+impl Solution {
+    /// Simulated execution time of this run's blocks on the configured
+    /// streaming devices.
+    pub fn simulate(&self, config: &DeviceConfig) -> SimReport {
+        simulate(self.scheme, &self.block_metrics, config)
+    }
+
+    /// Maximum absolute difference against another solution (for scheme
+    /// equivalence checks).
+    pub fn max_abs_diff(&self, other: &Solution) -> f64 {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Root-mean-square error of the post-processed values against an
+    /// analytic reference sampled at the grid points.
+    ///
+    /// # Panics
+    /// Panics when `grid` does not match this solution's length.
+    pub fn rms_error<F: Fn(f64, f64) -> f64>(&self, grid: &ComputationGrid, exact: F) -> f64 {
+        assert_eq!(grid.len(), self.values.len(), "grid/solution mismatch");
+        let sum: f64 = grid
+            .points()
+            .iter()
+            .zip(&self.values)
+            .map(|(p, v)| (v - exact(p.x, p.y)).powi(2))
+            .sum();
+        (sum / self.values.len().max(1) as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustencil_dg::project_l2;
+    use ustencil_mesh::{generate_mesh, MeshClass};
+
+    const TAU: f64 = std::f64::consts::TAU;
+
+    #[test]
+    fn schemes_agree_on_low_variance_mesh() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 200, 11);
+        let field = project_l2(&mesh, 1, |x, y| (TAU * x).sin() * (TAU * y).cos(), 4);
+        let grid = ComputationGrid::quadrature_points(&mesh, 1);
+        let a = PostProcessor::new(Scheme::PerPoint)
+            .parallel(false)
+            .run(&mesh, &field, &grid);
+        let b = PostProcessor::new(Scheme::PerElement)
+            .parallel(false)
+            .run(&mesh, &field, &grid);
+        let diff = a.max_abs_diff(&b);
+        assert!(diff < 1e-9, "schemes disagree by {diff}");
+    }
+
+    #[test]
+    fn schemes_agree_on_high_variance_mesh_quadratic() {
+        let mesh = generate_mesh(MeshClass::HighVariance, 150, 19);
+        let field = project_l2(&mesh, 2, |x, y| x * x - y + 0.3 * x * y, 2);
+        let grid = ComputationGrid::quadrature_points(&mesh, 2);
+        // The coarse high-variance test mesh has a long max edge; shrink h
+        // to keep the stencil inside the periodic domain.
+        let a = PostProcessor::new(Scheme::PerPoint)
+            .h_factor(0.25)
+            .parallel(false)
+            .run(&mesh, &field, &grid);
+        let b = PostProcessor::new(Scheme::PerElement)
+            .h_factor(0.25)
+            .blocks(8)
+            .parallel(false)
+            .run(&mesh, &field, &grid);
+        assert!(a.max_abs_diff(&b) < 1e-9);
+    }
+
+    #[test]
+    fn polynomial_reproduction_at_interior_points() {
+        // dG projection of a degree-p polynomial is exact, and the kernel
+        // reproduces degree 2p >= p, so interior post-processed values must
+        // equal the polynomial to rounding.
+        let mesh = generate_mesh(MeshClass::LowVariance, 250, 5);
+        let f = |x: f64, y: f64| 0.4 + 1.3 * x - 0.7 * y + 0.2 * x * y;
+        let field = project_l2(&mesh, 2, f, 0);
+        let grid = ComputationGrid::quadrature_points(&mesh, 2);
+        let sol = PostProcessor::new(Scheme::PerElement)
+            .h_factor(0.5)
+            .run(&mesh, &field, &grid);
+        let hw = sol.stencil_width / 2.0;
+        let mut checked = 0;
+        for (i, pt) in grid.points().iter().enumerate() {
+            let interior = pt.x - hw > 0.0
+                && pt.x + hw < 1.0
+                && pt.y - hw > 0.0
+                && pt.y + hw < 1.0;
+            if interior {
+                let want = f(pt.x, pt.y);
+                assert!(
+                    (sol.values[i] - want).abs() < 1e-8,
+                    "point {pt:?}: {} vs {want}",
+                    sol.values[i]
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 50, "too few interior points checked: {checked}");
+    }
+
+    #[test]
+    fn per_element_does_fewer_intersection_tests() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 400, 13);
+        let field = project_l2(&mesh, 1, |x, _| x, 0);
+        let grid = ComputationGrid::quadrature_points(&mesh, 1);
+        let pp = PostProcessor::new(Scheme::PerPoint).run(&mesh, &field, &grid);
+        let pe = PostProcessor::new(Scheme::PerElement).run(&mesh, &field, &grid);
+        assert!(
+            pe.metrics.intersection_tests < pp.metrics.intersection_tests,
+            "per-element {} !< per-point {}",
+            pe.metrics.intersection_tests,
+            pp.metrics.intersection_tests
+        );
+    }
+
+    #[test]
+    fn simulated_per_element_is_faster() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 300, 3);
+        let field = project_l2(&mesh, 1, |x, y| x + y, 0);
+        let grid = ComputationGrid::quadrature_points(&mesh, 1);
+        let cfg = DeviceConfig::default();
+        let pp = PostProcessor::new(Scheme::PerPoint).run(&mesh, &field, &grid);
+        let pe = PostProcessor::new(Scheme::PerElement).run(&mesh, &field, &grid);
+        let t_pp = pp.simulate(&cfg).total_ms;
+        let t_pe = pe.simulate(&cfg).total_ms;
+        assert!(
+            t_pe < t_pp,
+            "simulated per-element {t_pe} ms !< per-point {t_pp} ms"
+        );
+    }
+
+    #[test]
+    fn rms_error_of_constant_filter() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 120, 1);
+        let field = project_l2(&mesh, 1, |_, _| 2.0, 0);
+        let grid = ComputationGrid::quadrature_points(&mesh, 1);
+        // The 120-triangle mesh is coarse; shrink h so the stencil fits the
+        // periodic domain.
+        let sol = PostProcessor::new(Scheme::PerElement)
+            .h_factor(0.2)
+            .run(&mesh, &field, &grid);
+        assert!(sol.rms_error(&grid, |_, _| 2.0) < 1e-9);
+        assert!((sol.rms_error(&grid, |_, _| 3.0) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "stencil width")]
+    fn oversized_stencil_is_rejected() {
+        let mesh = generate_mesh(MeshClass::StructuredPattern, 8, 0);
+        let field = project_l2(&mesh, 3, |x, _| x, 0);
+        let grid = ComputationGrid::quadrature_points(&mesh, 3);
+        // 10 * s with s = 0.5 is far wider than the domain.
+        let _ = PostProcessor::new(Scheme::PerPoint).run(&mesh, &field, &grid);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_field_is_rejected() {
+        let mesh = generate_mesh(MeshClass::StructuredPattern, 32, 0);
+        let field = ustencil_dg::DgField::zeros(1, 3);
+        let grid = ComputationGrid::quadrature_points(&mesh, 1);
+        let _ = PostProcessor::new(Scheme::PerPoint).run(&mesh, &field, &grid);
+    }
+}

@@ -1,0 +1,49 @@
+//! The stencil evaluation engine: per-point and per-element SIAC
+//! post-processing over unstructured meshes, overlapped patch tiling, and a
+//! streaming-device cost model.
+//!
+//! This crate implements the paper's two evaluation strategies
+//! (Section 3) and its scalability machinery (Section 4):
+//!
+//! * [`per_point`] — Algorithm 2: center a stencil on every grid point and
+//!   gather intersecting elements through a triangle hash grid (halo ring
+//!   included);
+//! * [`per_element`] — Algorithm 3: iterate elements, reuse each element's
+//!   data across every integration, and scatter partial solutions to the
+//!   grid points found through a point hash grid;
+//! * [`tiling`] — spatially overlapped tiling: disjoint element patches
+//!   accumulate partial solutions in private scratch space, then a reduction
+//!   sums overlapping contributions (Figure 7);
+//! * [`device`] — a deterministic streaming-multiprocessor cost model that
+//!   converts counted work ([`Metrics`]) into simulated execution time,
+//!   standing in for the paper's GPUs (see DESIGN.md, substitutions);
+//! * [`engine`] — the [`PostProcessor`] front door tying it all together.
+//!
+//! The numerical contract: both schemes compute exactly the same convolution
+//! (Eq. 1–2), so their outputs agree to rounding; the difference is purely
+//! in work distribution, data reuse, and memory behaviour.
+
+#![deny(missing_docs)]
+
+pub mod device;
+pub mod engine;
+pub mod grid_points;
+pub mod integrate;
+pub mod metrics;
+pub mod per_element;
+pub mod per_point;
+pub mod pipelined;
+pub mod tiling;
+
+pub use device::{CostModel, DeviceConfig, SimReport};
+pub use engine::{PostProcessor, Scheme, Solution};
+pub use grid_points::ComputationGrid;
+pub use metrics::Metrics;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::device::{CostModel, DeviceConfig, SimReport};
+    pub use crate::engine::{PostProcessor, Scheme, Solution};
+    pub use crate::grid_points::ComputationGrid;
+    pub use crate::metrics::Metrics;
+}

@@ -1,0 +1,139 @@
+//! Work counters threaded through the evaluation hot loops.
+//!
+//! Metrics are accumulated in plain (non-atomic) per-worker structs and
+//! merged at join points, so the hot loop pays only an integer increment.
+//! They feed three consumers: Table 1 (intersection-test counts), the
+//! streaming-device cost model (simulated time, Figures 11–14), and the
+//! memory-overhead analysis (Figure 8).
+
+/// Counted work of one evaluation run (or one block/patch of it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Stencil/element candidate pairs examined — the paper's
+    /// "intersection tests" (Table 1). Every candidate delivered by the
+    /// hash grid counts, including halo false positives.
+    pub intersection_tests: u64,
+    /// Candidate pairs whose clipped intersection had positive area.
+    pub true_intersections: u64,
+    /// Sutherland–Hodgman clip invocations (one per stencil lattice square
+    /// tested against an element).
+    pub cell_clips: u64,
+    /// Triangular integration sub-regions produced by clipping.
+    pub subregions: u64,
+    /// Quadrature-point integrand evaluations.
+    pub quad_evals: u64,
+    /// Estimated double-precision floating-point operations.
+    pub flops: u64,
+    /// Hash-grid cells visited by queries.
+    pub cells_visited: u64,
+    /// f64 values of *element data* read from global memory (modal
+    /// coefficients + vertex data). Charged per integration in the
+    /// per-point scheme, once per element in the per-element scheme — the
+    /// data-reuse asymmetry at the heart of the paper.
+    pub elem_data_loads: u64,
+    /// f64 values of per-point data read (spatial offsets: 2 per
+    /// integration in the per-element scheme).
+    pub point_data_loads: u64,
+    /// f64 solution values written (including partial-solution writes).
+    pub solution_writes: u64,
+    /// Partial-solution storage slots allocated by overlapped tiling
+    /// (equals the final solution size when untiled).
+    pub partial_slots: u64,
+}
+
+impl Metrics {
+    /// Element-data footprint in f64 values for polynomial degree `p`:
+    /// `(p+1)(p+2)/2` modal coefficients plus 3 values of vertex/bounds
+    /// data, as counted in Sections 3.3–3.4 of the paper.
+    pub const fn element_data_values(p: usize) -> u64 {
+        ((p + 1) * (p + 2) / 2 + 3) as u64
+    }
+
+    /// Merges another metrics block into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.intersection_tests += other.intersection_tests;
+        self.true_intersections += other.true_intersections;
+        self.cell_clips += other.cell_clips;
+        self.subregions += other.subregions;
+        self.quad_evals += other.quad_evals;
+        self.flops += other.flops;
+        self.cells_visited += other.cells_visited;
+        self.elem_data_loads += other.elem_data_loads;
+        self.point_data_loads += other.point_data_loads;
+        self.solution_writes += other.solution_writes;
+        self.partial_slots += other.partial_slots;
+    }
+
+    /// Sum of a sequence of metric blocks.
+    pub fn sum<'a, I: IntoIterator<Item = &'a Metrics>>(blocks: I) -> Metrics {
+        let mut total = Metrics::default();
+        for b in blocks {
+            total.merge(b);
+        }
+        total
+    }
+
+    /// Fraction of candidate tests that produced a true intersection.
+    pub fn hit_rate(&self) -> f64 {
+        if self.intersection_tests == 0 {
+            0.0
+        } else {
+            self.true_intersections as f64 / self.intersection_tests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Metrics {
+            intersection_tests: 10,
+            flops: 100,
+            ..Default::default()
+        };
+        let b = Metrics {
+            intersection_tests: 5,
+            true_intersections: 3,
+            flops: 50,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.intersection_tests, 15);
+        assert_eq!(a.true_intersections, 3);
+        assert_eq!(a.flops, 150);
+    }
+
+    #[test]
+    fn sum_of_blocks() {
+        let blocks = vec![
+            Metrics {
+                quad_evals: 1,
+                ..Default::default()
+            };
+            4
+        ];
+        assert_eq!(Metrics::sum(&blocks).quad_evals, 4);
+    }
+
+    #[test]
+    fn element_data_footprint_matches_paper() {
+        // Paper: (P+1)(P+2)/2 + 3 values; 6 / 9 / 13 for P = 1 / 2 / 3.
+        assert_eq!(Metrics::element_data_values(1), 6);
+        assert_eq!(Metrics::element_data_values(2), 9);
+        assert_eq!(Metrics::element_data_values(3), 13);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let m = Metrics {
+            intersection_tests: 8,
+            true_intersections: 2,
+            ..Default::default()
+        };
+        assert_eq!(m.hit_rate(), 0.25);
+        assert_eq!(Metrics::default().hit_rate(), 0.0);
+    }
+}

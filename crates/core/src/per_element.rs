@@ -1,0 +1,281 @@
+//! The per-element evaluation scheme with overlapped patch tiling
+//! (Algorithm 3, Section 4).
+//!
+//! Iterate over mesh elements grouped into disjoint *patches*; gather each
+//! element's data once, find every grid point whose stencil intersects the
+//! element through the point hash grid, and scatter partial solutions into
+//! the patch's private scratch space. A final reduction sums overlapping
+//! partials — no synchronization between concurrently executing patches.
+
+use crate::grid_points::ComputationGrid;
+use crate::integrate::{integrate_element_stencil, needed_shifts, ElementData, IntegrationCtx};
+use crate::metrics::Metrics;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use ustencil_dg::DgField;
+use ustencil_geometry::Rect;
+use ustencil_mesh::{Partition, TriMesh};
+use ustencil_quadrature::TriangleRule;
+use ustencil_siac::Stencil2d;
+use ustencil_spatial::PointGrid;
+
+/// Partial solutions of one patch: sparse `(point id, value)` pairs sorted
+/// by id, plus the work counters of the patch's block.
+#[derive(Debug, Clone)]
+pub struct PatchResult {
+    /// Sorted partial solutions.
+    pub partials: Vec<(u32, f64)>,
+    /// Work of this patch.
+    pub metrics: Metrics,
+}
+
+/// Inputs shared by every patch of a per-element run.
+pub struct PerElementRun<'a> {
+    /// The mesh being iterated.
+    pub mesh: &'a TriMesh,
+    /// The dG field being filtered.
+    pub field: &'a DgField,
+    /// Evaluation points.
+    pub grid: &'a ComputationGrid,
+    /// The scaled stencil.
+    pub stencil: &'a Stencil2d,
+    /// Point hash grid (clamped boundary; periodic images are handled by
+    /// explicit shift enumeration).
+    pub point_grid: &'a PointGrid,
+    /// Exact triangle rule for the clipped sub-regions.
+    pub rule: &'a TriangleRule,
+}
+
+impl PerElementRun<'_> {
+    /// Processes one patch of elements into its private scratch space.
+    pub fn run_patch(&self, elements: &[u32]) -> PatchResult {
+        let mut metrics = Metrics::default();
+        let basis = self.field.basis();
+        let half_width = self.stencil.width() / 2.0;
+        let ctx = IntegrationCtx::new(self.stencil, self.rule, basis);
+        let elem_values = Metrics::element_data_values(self.field.degree());
+        let points = self.grid.points();
+
+        let mut partials: HashMap<u32, f64> = HashMap::new();
+        let mut candidates: Vec<u32> = Vec::with_capacity(64);
+
+        for &e in elements {
+            // Element data is gathered once and reused for every
+            // integration over this element — the scheme's defining
+            // data-reuse property.
+            metrics.elem_data_loads += elem_values;
+            let ed = ElementData::gather(self.mesh, self.field, basis, e as usize);
+
+            // Periodic images of the search region (Eq. 3, per-element
+            // bounds). A point image p + sigma sees the element image
+            // T - sigma.
+            let inflated = Rect::new(
+                ed.bbox.min.x - half_width,
+                ed.bbox.min.y - half_width,
+                ed.bbox.max.x + half_width,
+                ed.bbox.max.y + half_width,
+            );
+            for sigma in needed_shifts(&inflated) {
+                let query = ustencil_geometry::Aabb::new(
+                    ed.bbox.min - sigma,
+                    ed.bbox.max - sigma,
+                );
+                metrics.cells_visited +=
+                    self.point_grid.candidate_cells(&query, half_width) as u64;
+                candidates.clear();
+                self.point_grid
+                    .for_each_candidate(&query, half_width, |id| candidates.push(id));
+
+                let elem_shift = -sigma;
+                let image_min = ed.bbox.min + elem_shift;
+                let image_max = ed.bbox.max + elem_shift;
+                let image_bb = ustencil_geometry::Aabb::new(image_min, image_max);
+                for &id in &candidates {
+                    metrics.intersection_tests += 1;
+                    // Only the point's spatial offset is read per
+                    // integration (2 values, Section 3.4).
+                    metrics.point_data_loads += 2;
+                    let center = points[id as usize];
+                    let support = self.stencil.support_rect(center);
+                    if !support.intersects_aabb(&image_bb) {
+                        continue;
+                    }
+                    let (v, hit) =
+                        integrate_element_stencil(&ctx, center, &ed, elem_shift, &mut metrics);
+                    metrics.true_intersections += hit as u64;
+                    if hit {
+                        *partials.entry(id).or_insert(0.0) += v;
+                        metrics.solution_writes += 1;
+                    }
+                }
+            }
+        }
+
+        let mut partials: Vec<(u32, f64)> = partials.into_iter().collect();
+        partials.sort_unstable_by_key(|&(id, _)| id);
+        metrics.partial_slots += partials.len() as u64;
+
+        PatchResult { partials, metrics }
+    }
+
+    /// Runs all patches (optionally in parallel) and reduces the partial
+    /// solutions into the final grid-point values.
+    pub fn run(&self, partition: &Partition, parallel: bool) -> (Vec<f64>, Vec<Metrics>) {
+        let patches: Vec<&[u32]> = partition.patches().collect();
+        let results: Vec<PatchResult> = if parallel {
+            patches.par_iter().map(|p| self.run_patch(p)).collect()
+        } else {
+            patches.iter().map(|p| self.run_patch(p)).collect()
+        };
+        let values = reduce_patches(&results, self.grid.len());
+        let metrics = results.into_iter().map(|r| r.metrics).collect();
+        (values, metrics)
+    }
+}
+
+/// The reduction phase: sums every patch's partial solutions into the final
+/// solution vector (Figure 7). Patches are reduced in patch order so the
+/// result is deterministic.
+pub fn reduce_patches(results: &[PatchResult], n_points: usize) -> Vec<f64> {
+    let mut values = vec![0.0; n_points];
+    for r in results {
+        for &(id, v) in &r.partials {
+            values[id as usize] += v;
+        }
+    }
+    values
+}
+
+/// Relative memory overhead of the tiling: total partial-solution slots over
+/// the baseline one-slot-per-point storage (the Figure 8 quantity; 1.0 means
+/// no overhead).
+pub fn memory_overhead(block_metrics: &[Metrics], n_points: usize) -> f64 {
+    let slots: u64 = block_metrics.iter().map(|m| m.partial_slots).sum();
+    slots as f64 / n_points as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrate::IntegrationCtx as Ctx;
+    use ustencil_dg::project_l2;
+    use ustencil_mesh::{generate_mesh, partition_recursive_bisection, MeshClass};
+    use ustencil_spatial::Boundary;
+
+    struct Fixture {
+        mesh: TriMesh,
+        field: DgField,
+        grid: ComputationGrid,
+        stencil: Stencil2d,
+        pgrid: PointGrid,
+        rule: TriangleRule,
+    }
+
+    fn setup(n_tri: usize, p: usize, seed: u64) -> Fixture {
+        let mesh = generate_mesh(MeshClass::LowVariance, n_tri, seed);
+        let field = project_l2(&mesh, p, |x, y| 0.2 + x - 0.5 * y + x * y, 2);
+        let grid = ComputationGrid::quadrature_points(&mesh, p);
+        let stencil = Stencil2d::symmetric(p, mesh.max_edge_length());
+        let pgrid =
+            PointGrid::build_half_edge(grid.points(), mesh.max_edge_length(), Boundary::Clamped);
+        let rule = TriangleRule::with_strength(Ctx::required_strength(p, p));
+        Fixture {
+            mesh,
+            field,
+            grid,
+            stencil,
+            pgrid,
+            rule,
+        }
+    }
+
+    fn run_of(f: &Fixture) -> PerElementRun<'_> {
+        PerElementRun {
+            mesh: &f.mesh,
+            field: &f.field,
+            grid: &f.grid,
+            stencil: &f.stencil,
+            point_grid: &f.pgrid,
+            rule: &f.rule,
+        }
+    }
+
+    #[test]
+    fn single_patch_matches_multi_patch() {
+        let f = setup(120, 1, 4);
+        let run = run_of(&f);
+        let p1 = partition_recursive_bisection(&f.mesh, 1);
+        let p8 = partition_recursive_bisection(&f.mesh, 8);
+        let (v1, _) = run.run(&p1, false);
+        let (v8, m8) = run.run(&p8, false);
+        for (a, b) in v1.iter().zip(&v8) {
+            assert!((a - b).abs() < 1e-11, "{a} vs {b}");
+        }
+        assert_eq!(m8.len(), 8);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let f = setup(100, 2, 9);
+        let run = run_of(&f);
+        let part = partition_recursive_bisection(&f.mesh, 6);
+        let (seq, _) = run.run(&part, false);
+        let (par, _) = run.run(&part, true);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a, b, "parallel patch execution must be bitwise equal");
+        }
+    }
+
+    #[test]
+    fn constant_field_preserved() {
+        let f = setup(150, 1, 7);
+        let field = project_l2(&f.mesh, 1, |_, _| -0.75, 0);
+        let run = PerElementRun {
+            mesh: &f.mesh,
+            field: &field,
+            grid: &f.grid,
+            stencil: &f.stencil,
+            point_grid: &f.pgrid,
+            rule: &f.rule,
+        };
+        let part = partition_recursive_bisection(&f.mesh, 4);
+        let (values, _) = run.run(&part, false);
+        for v in &values {
+            assert!((v + 0.75).abs() < 1e-9, "{v}");
+        }
+    }
+
+    #[test]
+    fn tiling_memory_overhead_exceeds_one_and_shrinks() {
+        let f_small = setup(300, 1, 3);
+        let run = run_of(&f_small);
+        let part = partition_recursive_bisection(&f_small.mesh, 16);
+        let (_, blocks) = run.run(&part, false);
+        let overhead_small = memory_overhead(&blocks, f_small.grid.len());
+        assert!(overhead_small > 1.0, "patches must overlap: {overhead_small}");
+
+        let f_large = setup(1200, 1, 3);
+        let run = run_of(&f_large);
+        let part = partition_recursive_bisection(&f_large.mesh, 16);
+        let (_, blocks) = run.run(&part, false);
+        let overhead_large = memory_overhead(&blocks, f_large.grid.len());
+        assert!(
+            overhead_large < overhead_small,
+            "overhead must shrink with mesh size: {overhead_small} -> {overhead_large}"
+        );
+    }
+
+    #[test]
+    fn element_data_loaded_once_per_element() {
+        let f = setup(90, 2, 5);
+        let run = run_of(&f);
+        let part = partition_recursive_bisection(&f.mesh, 3);
+        let (_, blocks) = run.run(&part, false);
+        let m = Metrics::sum(&blocks);
+        assert_eq!(
+            m.elem_data_loads,
+            f.mesh.n_triangles() as u64 * Metrics::element_data_values(2)
+        );
+        assert_eq!(m.point_data_loads, 2 * m.intersection_tests);
+    }
+}

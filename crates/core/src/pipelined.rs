@@ -1,0 +1,298 @@
+//! Pipelined tiling — the alternative Section 4 considers and discards.
+//!
+//! "We also explored a pipe-lined tiling method, but this introduces
+//! additional synchronizations between pipeline stages. There is no
+//! additional memory overhead introduced by pipe-lining, but there is
+//! reduction in overall performance."
+//!
+//! Instead of giving each patch a private partial-solution buffer, the
+//! patches are greedily colored so that no two patches in the same *stage*
+//! can touch the same grid point; stages execute one after another (a
+//! barrier between stages), and every patch writes directly into the shared
+//! solution vector. Memory overhead is exactly 1.0 — and the stage barriers
+//! serialize part of the execution, which is what the ablation bench
+//! measures against overlapped tiling.
+
+use crate::metrics::Metrics;
+use crate::per_element::PerElementRun;
+use rayon::prelude::*;
+use ustencil_geometry::Aabb;
+use ustencil_mesh::Partition;
+
+/// The stage schedule of a pipelined execution.
+#[derive(Debug, Clone)]
+pub struct PipelineSchedule {
+    /// `stages[s]` holds the patch indices executing concurrently in
+    /// stage `s`.
+    pub stages: Vec<Vec<usize>>,
+}
+
+impl PipelineSchedule {
+    /// Number of stages (synchronization points).
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+/// Builds a stage schedule by greedy interval-graph coloring of the
+/// patches' *influence regions* — each patch's element bounding box
+/// inflated by half the stencil width. Patches whose influence regions
+/// overlap may write to the same grid points and are placed in different
+/// stages.
+pub fn schedule_pipeline(
+    run: &PerElementRun<'_>,
+    partition: &Partition,
+) -> PipelineSchedule {
+    let half_width = run.stencil.width() / 2.0;
+    // Influence region of each patch.
+    let regions: Vec<Aabb> = partition
+        .patches()
+        .map(|patch| {
+            let bb = patch.iter().fold(Aabb::EMPTY, |b, &e| {
+                b.union(&run.mesh.triangle(e as usize).aabb())
+            });
+            bb.inflate(half_width)
+        })
+        .collect();
+
+    // Periodic overlap test: regions live on the unit torus, so compare
+    // against the nine translates.
+    let overlaps = |a: &Aabb, b: &Aabb| -> bool {
+        if a.is_empty() || b.is_empty() {
+            return false;
+        }
+        ustencil_mesh::PERIODIC_SHIFTS
+            .iter()
+            .any(|&s| a.intersects(&b.translate(s)))
+    };
+
+    let n = regions.len();
+    let mut stage_of = vec![usize::MAX; n];
+    let mut stages: Vec<Vec<usize>> = Vec::new();
+    for p in 0..n {
+        // First stage whose members don't overlap patch p.
+        let mut placed = false;
+        for (s, members) in stages.iter_mut().enumerate() {
+            if members
+                .iter()
+                .all(|&q| !overlaps(&regions[p], &regions[q]))
+            {
+                members.push(p);
+                stage_of[p] = s;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            stage_of[p] = stages.len();
+            stages.push(vec![p]);
+        }
+    }
+    PipelineSchedule { stages }
+}
+
+/// Executes the per-element scheme with pipelined tiling: stages run
+/// sequentially; patches within a stage run concurrently and write straight
+/// into the shared solution vector (their influence regions are disjoint,
+/// so no two touch the same point). Returns the solution, per-patch
+/// metrics (indexed by patch), and the schedule used.
+pub fn run_pipelined(
+    run: &PerElementRun<'_>,
+    partition: &Partition,
+    parallel: bool,
+) -> (Vec<f64>, Vec<Metrics>, PipelineSchedule) {
+    let schedule = schedule_pipeline(run, partition);
+    let mut values = vec![0.0; run.grid.len()];
+    let mut metrics = vec![Metrics::default(); partition.n_patches()];
+
+    for stage in &schedule.stages {
+        // Within a stage, influence regions are disjoint, so direct writes
+        // cannot race; each worker still produces its partials locally and
+        // we apply them after the join, which keeps the code safe without
+        // unsafe shared mutation.
+        let results: Vec<(usize, crate::per_element::PatchResult)> = if parallel {
+            stage
+                .par_iter()
+                .map(|&p| (p, run.run_patch(partition.patch(p))))
+                .collect()
+        } else {
+            stage
+                .iter()
+                .map(|&p| (p, run.run_patch(partition.patch(p))))
+                .collect()
+        };
+        for (p, result) in results {
+            for &(id, v) in &result.partials {
+                values[id as usize] += v;
+            }
+            let mut m = result.metrics;
+            // Pipelining stores no partial copies: one slot per touched
+            // point in the single shared buffer; report the no-overhead
+            // accounting the paper describes.
+            m.partial_slots = 0;
+            metrics[p] = m;
+        }
+    }
+    // Baseline storage: the shared solution itself.
+    if let Some(first) = metrics.first_mut() {
+        first.partial_slots = run.grid.len() as u64;
+    }
+    (values, metrics, schedule)
+}
+
+/// Simulated execution time of a pipelined run: stages execute back to
+/// back; within a stage, blocks are LPT-scheduled onto the SMs of all
+/// devices.
+pub fn simulate_pipelined(
+    block_metrics: &[Metrics],
+    schedule: &PipelineSchedule,
+    config: &crate::device::DeviceConfig,
+) -> f64 {
+    let cycles_to_ms = 1.0 / (config.cost.clock_ghz * 1e6);
+    let total_sms = config.n_devices * config.n_sms;
+    let mut total_cycles = 0.0;
+    for stage in &schedule.stages {
+        let mut costs: Vec<f64> = stage
+            .iter()
+            .map(|&p| {
+                config
+                    .cost
+                    .block_cycles(crate::engine::Scheme::PerElement, &block_metrics[p])
+            })
+            .collect();
+        costs.sort_by(|a, b| b.total_cmp(a));
+        let mut sms = vec![0.0f64; total_sms];
+        for c in costs {
+            let (imin, _) = sms
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("at least one SM");
+            sms[imin] += c;
+        }
+        total_cycles += sms.iter().fold(0.0f64, |a, &b| a.max(b));
+    }
+    total_cycles * cycles_to_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid_points::ComputationGrid;
+    use crate::integrate::IntegrationCtx;
+    use ustencil_dg::project_l2;
+    use ustencil_mesh::{generate_mesh, partition_recursive_bisection, MeshClass};
+    use ustencil_quadrature::TriangleRule;
+    use ustencil_siac::Stencil2d;
+    use ustencil_spatial::{Boundary, PointGrid};
+
+    struct Fixture {
+        mesh: ustencil_mesh::TriMesh,
+        field: ustencil_dg::DgField,
+        grid: ComputationGrid,
+        stencil: Stencil2d,
+        pgrid: PointGrid,
+        rule: TriangleRule,
+    }
+
+    fn setup(n_tri: usize, seed: u64) -> Fixture {
+        let mesh = generate_mesh(MeshClass::LowVariance, n_tri, seed);
+        let field = project_l2(&mesh, 1, |x, y| x * y + 0.5 * x, 0);
+        let grid = ComputationGrid::quadrature_points(&mesh, 1);
+        // A narrow stencil so patches can actually be independent.
+        let h = mesh.max_edge_length() * 0.5;
+        let stencil = Stencil2d::symmetric(1, h);
+        let pgrid =
+            PointGrid::build_half_edge(grid.points(), mesh.max_edge_length(), Boundary::Clamped);
+        let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(1, 1));
+        Fixture {
+            mesh,
+            field,
+            grid,
+            stencil,
+            pgrid,
+            rule,
+        }
+    }
+
+    fn run_of(f: &Fixture) -> PerElementRun<'_> {
+        PerElementRun {
+            mesh: &f.mesh,
+            field: &f.field,
+            grid: &f.grid,
+            stencil: &f.stencil,
+            point_grid: &f.pgrid,
+            rule: &f.rule,
+        }
+    }
+
+    #[test]
+    fn pipelined_matches_overlapped() {
+        let f = setup(600, 5);
+        let run = run_of(&f);
+        let partition = partition_recursive_bisection(&f.mesh, 16);
+        let (overlapped, _) = run.run(&partition, false);
+        let (pipelined, _, schedule) = run_pipelined(&run, &partition, false);
+        assert!(schedule.n_stages() >= 1);
+        for (a, b) in overlapped.iter().zip(&pipelined) {
+            assert!((a - b).abs() < 1e-11, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn stages_have_disjoint_influence_regions() {
+        let f = setup(600, 7);
+        let run = run_of(&f);
+        let partition = partition_recursive_bisection(&f.mesh, 16);
+        let schedule = schedule_pipeline(&run, &partition);
+        let half_width = f.stencil.width() / 2.0;
+        for stage in &schedule.stages {
+            for (i, &p) in stage.iter().enumerate() {
+                for &q in &stage[i + 1..] {
+                    let rp = partition.patch(p).iter().fold(Aabb::EMPTY, |b, &e| {
+                        b.union(&f.mesh.triangle(e as usize).aabb())
+                    });
+                    let rq = partition.patch(q).iter().fold(Aabb::EMPTY, |b, &e| {
+                        b.union(&f.mesh.triangle(e as usize).aabb())
+                    });
+                    assert!(
+                        !rp.inflate(half_width).intersects(&rq.inflate(half_width)),
+                        "patches {p} and {q} share a stage but overlap"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelining_needs_multiple_stages_and_is_slower_in_simulation() {
+        let f = setup(600, 3);
+        let run = run_of(&f);
+        let partition = partition_recursive_bisection(&f.mesh, 16);
+        let (_, blocks, schedule) = run_pipelined(&run, &partition, false);
+        // Neighboring patches always conflict, so more than one stage.
+        assert!(schedule.n_stages() > 1, "expected synchronization stages");
+        let cfg = crate::device::DeviceConfig::default();
+        let pipe_ms = simulate_pipelined(&blocks, &schedule, &cfg);
+        let (_, overlapped_blocks) = run.run(&partition, false);
+        let over_ms =
+            crate::device::simulate(crate::engine::Scheme::PerElement, &overlapped_blocks, &cfg)
+                .total_ms;
+        assert!(
+            pipe_ms > over_ms * 0.9,
+            "pipelined {pipe_ms} should not beat overlapped {over_ms} materially"
+        );
+    }
+
+    #[test]
+    fn parallel_pipelined_matches_sequential() {
+        let f = setup(400, 9);
+        let run = run_of(&f);
+        let partition = partition_recursive_bisection(&f.mesh, 8);
+        let (seq, _, _) = run_pipelined(&run, &partition, false);
+        let (par, _, _) = run_pipelined(&run, &partition, true);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Multi-device distribution of tiled work.
+//!
+//! Section 4: "For multi-GPU decomposition we divide the mesh into
+//! `N_GPU x N_SM` patches ... evenly distributing them between the GPUs",
+//! followed by a two-stage reduction — each device reduces the patches it
+//! processed, then the per-device results are reduced once more.
+
+use crate::per_element::PatchResult;
+
+/// Round-robin assignment of `n_patches` patch indices to `n_devices`
+/// devices (the paper's even distribution).
+///
+/// # Panics
+/// Panics when `n_devices == 0`.
+pub fn assign_patches(n_patches: usize, n_devices: usize) -> Vec<Vec<usize>> {
+    assert!(n_devices > 0, "need at least one device");
+    let mut out = vec![Vec::with_capacity(n_patches.div_ceil(n_devices)); n_devices];
+    for p in 0..n_patches {
+        out[p % n_devices].push(p);
+    }
+    out
+}
+
+/// The two-stage reduction: per-device partial sums, then a cross-device
+/// sum. Numerically equivalent to the single-stage reduction because each
+/// point's contributions are still added in ascending patch order within
+/// a device and devices hold disjoint patch sets.
+pub fn two_stage_reduce(
+    results: &[PatchResult],
+    assignment: &[Vec<usize>],
+    n_points: usize,
+) -> Vec<f64> {
+    // Stage 1: each device reduces its own patches.
+    let stage1: Vec<Vec<f64>> = assignment
+        .iter()
+        .map(|patches| {
+            let mut local = vec![0.0; n_points];
+            for &p in patches {
+                for &(id, v) in &results[p].partials {
+                    local[id as usize] += v;
+                }
+            }
+            local
+        })
+        .collect();
+    // Stage 2: reduce the per-device solutions.
+    let mut total = vec![0.0; n_points];
+    for local in stage1 {
+        for (t, v) in total.iter_mut().zip(local) {
+            *t += v;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::per_element::reduce_patches;
+
+    fn fake_results() -> Vec<PatchResult> {
+        vec![
+            PatchResult {
+                partials: vec![(0, 1.0), (2, 0.5)],
+                metrics: Metrics::default(),
+            },
+            PatchResult {
+                partials: vec![(1, 2.0), (2, 0.25)],
+                metrics: Metrics::default(),
+            },
+            PatchResult {
+                partials: vec![(0, -0.5), (3, 4.0)],
+                metrics: Metrics::default(),
+            },
+        ]
+    }
+
+    #[test]
+    fn assignment_is_balanced_and_complete() {
+        let a = assign_patches(10, 4);
+        assert_eq!(a.len(), 4);
+        let sizes: Vec<usize> = a.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        let mut all: Vec<usize> = a.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_stage_equals_single_stage() {
+        let results = fake_results();
+        let single = reduce_patches(&results, 4);
+        for n_dev in 1..=3 {
+            let assignment = assign_patches(results.len(), n_dev);
+            let two = two_stage_reduce(&results, &assignment, 4);
+            assert_eq!(single, two, "n_dev={n_dev}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_panics() {
+        let _ = assign_patches(4, 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Sutherland–Hodgman polygon clipping and fan triangulation.
+//!
+//! This is Algorithm 1 of the paper: the intersection of the convex *subject*
+//! polygon (a mesh triangle) with the convex *clip* polygon (a stencil
+//! lattice square) is computed by successively clipping the subject against
+//! each directed edge of the clip polygon. The resulting convex intersection
+//! polygon is then divided into triangular integration sub-regions by a fan
+//! triangulation from its first vertex (Figure 4).
+
+use crate::point::{orient2d, Point2};
+use crate::polygon::ConvexPolygon;
+use crate::rect::Rect;
+use crate::triangle::Triangle;
+
+/// Clips the convex `subject` polygon against the convex counter-clockwise
+/// `clip` polygon, returning their intersection (possibly empty).
+///
+/// Both polygons must be convex; `clip` must be counter-clockwise so that
+/// "inside" is the left side of each directed edge. The subject's orientation
+/// is irrelevant (output orientation follows the subject's).
+///
+/// The intersection of convex polygons with `n` and `m` vertices has at most
+/// `n + m` vertices, which must fit in [`ConvexPolygon::CAPACITY`]; the
+/// library's own use (triangle vs. stencil square, at most 7) always does.
+pub fn clip_polygon(subject: &ConvexPolygon, clip: &ConvexPolygon) -> ConvexPolygon {
+    let mut output = *subject;
+    let cv = clip.vertices();
+    let n = cv.len();
+    let mut input = ConvexPolygon::empty();
+    for i in 0..n {
+        if output.is_empty() {
+            break;
+        }
+        let e0 = cv[i];
+        let e1 = cv[(i + 1) % n];
+        std::mem::swap(&mut input, &mut output);
+        output.clear();
+        clip_against_edge(&input, &mut output, |p| orient2d(e0, e1, p));
+    }
+    output
+}
+
+/// Clips a triangle against an axis-aligned rectangle.
+///
+/// This is the hot path of the stencil evaluators: each stencil lattice
+/// square is a `Rect`, and the mesh/stencil intersection (Figure 5) reduces
+/// to millions of triangle-vs-square clips. The four half-plane tests use
+/// plain coordinate comparisons instead of cross products, which is both
+/// faster and exactly consistent with the lattice geometry.
+pub fn clip_triangle_rect(tri: &Triangle, rect: &Rect) -> ConvexPolygon {
+    let mut output = tri.to_polygon();
+    let mut input = ConvexPolygon::empty();
+
+    // Left edge: keep x >= x0.
+    std::mem::swap(&mut input, &mut output);
+    output.clear();
+    clip_against_edge(&input, &mut output, |p| p.x - rect.x0);
+    if output.is_empty() {
+        return output;
+    }
+
+    // Right edge: keep x <= x1.
+    std::mem::swap(&mut input, &mut output);
+    output.clear();
+    clip_against_edge(&input, &mut output, |p| rect.x1 - p.x);
+    if output.is_empty() {
+        return output;
+    }
+
+    // Bottom edge: keep y >= y0.
+    std::mem::swap(&mut input, &mut output);
+    output.clear();
+    clip_against_edge(&input, &mut output, |p| p.y - rect.y0);
+    if output.is_empty() {
+        return output;
+    }
+
+    // Top edge: keep y <= y1.
+    std::mem::swap(&mut input, &mut output);
+    output.clear();
+    clip_against_edge(&input, &mut output, |p| rect.y1 - p.y);
+    output
+}
+
+/// One Sutherland–Hodgman pass: keeps the part of `input` where
+/// `signed_dist >= 0`. `signed_dist` must be affine (a half-plane).
+#[inline]
+fn clip_against_edge<F: Fn(Point2) -> f64>(
+    input: &ConvexPolygon,
+    output: &mut ConvexPolygon,
+    signed_dist: F,
+) {
+    let verts = input.vertices();
+    let n = verts.len();
+    if n == 0 {
+        return;
+    }
+    let mut s = verts[n - 1];
+    let mut ds = signed_dist(s);
+    for &e in verts {
+        let de = signed_dist(e);
+        if de >= 0.0 {
+            if ds < 0.0 {
+                output.push(intersect_at(s, e, ds, de));
+            }
+            output.push(e);
+        } else if ds >= 0.0 {
+            output.push(intersect_at(s, e, ds, de));
+        }
+        s = e;
+        ds = de;
+    }
+}
+
+/// Point where segment `s -> e` crosses the zero level of an affine function
+/// with values `ds` at `s` and `de` at `e` (signs must differ).
+#[inline]
+fn intersect_at(s: Point2, e: Point2, ds: f64, de: f64) -> Point2 {
+    let t = ds / (ds - de);
+    s.lerp(e, t)
+}
+
+/// Fan-triangulates a convex polygon from its first vertex.
+///
+/// Returns an iterator of triangles `(v0, v_i, v_{i+1})`; empty for polygons
+/// with fewer than three vertices. The triangulation covers the polygon
+/// exactly (areas sum to the polygon area).
+pub fn fan_triangulate(poly: &ConvexPolygon) -> impl Iterator<Item = Triangle> + '_ {
+    let verts = poly.vertices();
+    let n = verts.len();
+    (1..n.saturating_sub(1)).map(move |i| Triangle::new(verts[0], verts[i], verts[i + 1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri(ax: f64, ay: f64, bx: f64, by: f64, cx: f64, cy: f64) -> Triangle {
+        Triangle::new(Point2::new(ax, ay), Point2::new(bx, by), Point2::new(cx, cy))
+    }
+
+    fn fan_area(poly: &ConvexPolygon) -> f64 {
+        fan_triangulate(poly).map(|t| t.area()).sum()
+    }
+
+    #[test]
+    fn triangle_fully_inside_rect_is_unchanged() {
+        let t = tri(0.2, 0.2, 0.8, 0.2, 0.5, 0.8);
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let clipped = clip_triangle_rect(&t, &r);
+        assert_eq!(clipped.len(), 3);
+        assert!((clipped.area() - t.area()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn triangle_fully_outside_rect_is_empty() {
+        let t = tri(2.0, 2.0, 3.0, 2.0, 2.0, 3.0);
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(clip_triangle_rect(&t, &r).is_empty());
+    }
+
+    #[test]
+    fn rect_inside_triangle_yields_rect() {
+        let t = tri(-10.0, -10.0, 10.0, -10.0, 0.0, 10.0);
+        let r = Rect::new(-0.5, -0.5, 0.5, 0.5);
+        let clipped = clip_triangle_rect(&t, &r);
+        assert_eq!(clipped.len(), 4);
+        assert!((clipped.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_overlap_area() {
+        // Right triangle with legs 2; rect covers x in [0,1]: clipped area is
+        // the trapezoid under the hypotenuse y = 2 - x from x=0..1 => 1.5.
+        let t = tri(0.0, 0.0, 2.0, 0.0, 0.0, 2.0);
+        let r = Rect::new(0.0, 0.0, 1.0, 2.0);
+        let clipped = clip_triangle_rect(&t, &r);
+        assert!((clipped.area() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_produces_at_most_seven_vertices() {
+        // A triangle cutting all four rect corners produces the max vertex
+        // count (7 = 3 + 4).
+        let t = tri(0.5, -0.6, 1.6, 0.5, -0.6, 0.55);
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let clipped = clip_triangle_rect(&t, &r);
+        assert!(clipped.len() <= 7, "got {} vertices", clipped.len());
+        assert!(!clipped.is_empty());
+    }
+
+    #[test]
+    fn general_polygon_clip_matches_rect_clip() {
+        let t = tri(0.1, -0.5, 1.5, 0.3, 0.2, 1.2);
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let a = clip_triangle_rect(&t, &r);
+        let b = clip_polygon(&t.to_polygon(), &r.to_polygon());
+        assert!((a.area() - b.area()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn clip_against_self_is_identity_area() {
+        let t = tri(0.0, 0.0, 1.0, 0.0, 0.3, 0.9);
+        let p = t.to_polygon();
+        let c = clip_polygon(&p, &p);
+        assert!((c.area() - p.area()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn fan_triangulation_covers_polygon() {
+        let t = tri(0.5, -0.6, 1.6, 0.5, -0.6, 0.55);
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let clipped = clip_triangle_rect(&t, &r);
+        assert!((fan_area(&clipped) - clipped.area()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn partition_of_rect_grid_recovers_triangle_area() {
+        // Clip a triangle against every cell of a 4x4 grid covering it; the
+        // clipped areas must sum to the full triangle area (no double count,
+        // nothing missed).
+        let t = tri(0.13, 0.21, 3.7, 0.6, 1.9, 3.4);
+        let mut total = 0.0;
+        for i in 0..4 {
+            for j in 0..4 {
+                let r = Rect::new(i as f64, j as f64, (i + 1) as f64, (j + 1) as f64);
+                total += clip_triangle_rect(&t, &r).area();
+            }
+        }
+        assert!((total - t.area()).abs() < 1e-12, "{} vs {}", total, t.area());
+    }
+
+    #[test]
+    fn clockwise_subject_clips_to_same_area() {
+        let ccw = tri(0.1, -0.5, 1.5, 0.3, 0.2, 1.2);
+        let cw = Triangle::new(ccw.a, ccw.c, ccw.b);
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let a = clip_triangle_rect(&ccw, &r).area();
+        let b = clip_triangle_rect(&cw, &r).area();
+        assert!((a - b).abs() < 1e-13);
+    }
+
+    #[test]
+    fn degenerate_sliver_clips_to_zero_area() {
+        let t = tri(0.0, 0.0, 1.0, 0.0, 2.0, 0.0);
+        let r = Rect::new(0.0, -1.0, 1.0, 1.0);
+        let clipped = clip_triangle_rect(&t, &r);
+        assert!(clipped.area() < 1e-15);
+    }
+
+    #[test]
+    fn touching_edge_yields_zero_area() {
+        // Triangle sits exactly on top of the rect; intersection is a line.
+        let t = tri(0.0, 1.0, 1.0, 1.0, 0.5, 2.0);
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let clipped = clip_triangle_rect(&t, &r);
+        assert!(clipped.area() < 1e-15);
+    }
+}

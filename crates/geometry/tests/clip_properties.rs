@@ -1,0 +1,111 @@
+//! Property-based tests for Sutherland–Hodgman clipping.
+//!
+//! These check the geometric invariants that the stencil evaluators rely on:
+//! the clipped region is contained in both inputs, clipping against a
+//! partition of the plane conserves area, and fan triangulation reproduces
+//! the clipped area exactly.
+
+use proptest::prelude::*;
+use ustencil_geometry::{clip_polygon, clip_triangle_rect, fan_triangulate, Point2, Rect, Triangle};
+
+fn arb_point(range: f64) -> impl Strategy<Value = Point2> {
+    (-range..range, -range..range).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+fn arb_triangle(range: f64) -> impl Strategy<Value = Triangle> {
+    (arb_point(range), arb_point(range), arb_point(range))
+        .prop_map(|(a, b, c)| Triangle::new(a, b, c))
+        .prop_filter("non-degenerate", |t| t.area() > 1e-6)
+}
+
+fn arb_rect(range: f64) -> impl Strategy<Value = Rect> {
+    (
+        -range..range,
+        -range..range,
+        0.05..range,
+        0.05..range,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every vertex of the clipped polygon lies in both the triangle and the
+    /// rectangle (up to tolerance for constructed intersection points).
+    #[test]
+    fn clipped_polygon_contained_in_both(t in arb_triangle(2.0), r in arb_rect(2.0)) {
+        let clipped = clip_triangle_rect(&t, &r);
+        let eps = 1e-9;
+        for &v in clipped.vertices() {
+            prop_assert!(t.contains(v, eps), "vertex {:?} escapes triangle", v);
+            prop_assert!(
+                v.x >= r.x0 - eps && v.x <= r.x1 + eps && v.y >= r.y0 - eps && v.y <= r.y1 + eps,
+                "vertex {:?} escapes rect", v
+            );
+        }
+    }
+
+    /// Clipped area never exceeds either input's area.
+    #[test]
+    fn clipped_area_bounded(t in arb_triangle(2.0), r in arb_rect(2.0)) {
+        let a = clip_triangle_rect(&t, &r).area();
+        prop_assert!(a <= t.area() + 1e-9);
+        prop_assert!(a <= r.area() + 1e-9);
+    }
+
+    /// Clipping against a grid of rects that tiles a region covering the
+    /// triangle conserves the triangle's area exactly.
+    #[test]
+    fn grid_partition_conserves_area(t in arb_triangle(1.5)) {
+        // 4x4 grid over [-2,2]^2 always covers the triangle.
+        let mut total = 0.0;
+        for i in 0..4 {
+            for j in 0..4 {
+                let r = Rect::new(
+                    -2.0 + i as f64, -2.0 + j as f64,
+                    -1.0 + i as f64, -1.0 + j as f64,
+                );
+                total += clip_triangle_rect(&t, &r).area();
+            }
+        }
+        prop_assert!((total - t.area()).abs() < 1e-9 * (1.0 + t.area()),
+            "partition area {} != triangle area {}", total, t.area());
+    }
+
+    /// Fan triangulation of the clipped polygon has the same area as the
+    /// polygon itself.
+    #[test]
+    fn fan_triangulation_area(t in arb_triangle(2.0), r in arb_rect(2.0)) {
+        let clipped = clip_triangle_rect(&t, &r);
+        let fan: f64 = fan_triangulate(&clipped).map(|s| s.area()).sum();
+        prop_assert!((fan - clipped.area()).abs() < 1e-12 + 1e-12 * clipped.area());
+    }
+
+    /// The specialized rect clip agrees with the general polygon clip.
+    #[test]
+    fn rect_clip_matches_general_clip(t in arb_triangle(2.0), r in arb_rect(2.0)) {
+        let fast = clip_triangle_rect(&t, &r).area();
+        let general = clip_polygon(&t.to_polygon(), &r.to_polygon()).area();
+        prop_assert!((fast - general).abs() < 1e-10);
+    }
+
+    /// Clipping is monotone under rect growth: a larger rect never yields a
+    /// smaller intersection.
+    #[test]
+    fn monotone_in_rect(t in arb_triangle(2.0), r in arb_rect(1.5), grow in 0.0..1.0f64) {
+        let big = Rect::new(r.x0 - grow, r.y0 - grow, r.x1 + grow, r.y1 + grow);
+        let a_small = clip_triangle_rect(&t, &r).area();
+        let a_big = clip_triangle_rect(&t, &big).area();
+        prop_assert!(a_big + 1e-12 >= a_small);
+    }
+
+    /// Triangle containment in its own AABB-derived rect is the identity.
+    #[test]
+    fn clip_by_own_bbox_is_identity(t in arb_triangle(2.0)) {
+        let b = t.aabb();
+        let r = Rect::from_corners(b.min, b.max);
+        let clipped = clip_triangle_rect(&t, &r);
+        prop_assert!((clipped.area() - t.area()).abs() < 1e-10 * (1.0 + t.area()));
+    }
+}

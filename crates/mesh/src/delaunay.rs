@@ -1,0 +1,479 @@
+//! Incremental Bowyer–Watson Delaunay triangulation.
+//!
+//! Points are inserted in Morton (Z-curve) order so that the walk-based point
+//! location starts next to its target, giving near-linear construction time
+//! on the million-triangle meshes of the paper's largest experiments.
+
+use crate::trimesh::TriMesh;
+use ustencil_geometry::{point::orient2d, Point2};
+
+const INVALID: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct DTri {
+    /// Vertex indices, counter-clockwise.
+    v: [u32; 3],
+    /// `adj[k]` is the triangle across edge `(v[k], v[(k+1)%3])`.
+    adj: [u32; 3],
+    alive: bool,
+}
+
+/// `> 0` when `p` lies strictly inside the circumcircle of the
+/// counter-clockwise triangle `(a, b, c)`.
+fn in_circle(a: Point2, b: Point2, c: Point2, p: Point2) -> f64 {
+    let adx = a.x - p.x;
+    let ady = a.y - p.y;
+    let bdx = b.x - p.x;
+    let bdy = b.y - p.y;
+    let cdx = c.x - p.x;
+    let cdy = c.y - p.y;
+    let ad = adx * adx + ady * ady;
+    let bd = bdx * bdx + bdy * bdy;
+    let cd = cdx * cdx + cdy * cdy;
+    adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) + ad * (bdx * cdy - bdy * cdx)
+}
+
+/// Interleaves the low 16 bits of `x` and `y` into a Morton code.
+fn morton(x: u32, y: u32) -> u64 {
+    fn spread(mut v: u64) -> u64 {
+        v &= 0xffff;
+        v = (v | (v << 8)) & 0x00ff00ff;
+        v = (v | (v << 4)) & 0x0f0f0f0f;
+        v = (v | (v << 2)) & 0x33333333;
+        v = (v | (v << 1)) & 0x55555555;
+        v
+    }
+    spread(x as u64) | (spread(y as u64) << 1)
+}
+
+struct Triangulator {
+    points: Vec<Point2>,
+    tris: Vec<DTri>,
+    /// Most recently created triangle; the walk starts here.
+    last: u32,
+    /// Scratch buffers reused across insertions.
+    cavity: Vec<u32>,
+    in_cavity: Vec<bool>,
+    boundary: Vec<(u32, u32, u32)>, // (a, b, outside neighbor)
+}
+
+impl Triangulator {
+    fn new(points: Vec<Point2>) -> Self {
+        // Super-triangle comfortably containing the bounding box.
+        let bb = points
+            .iter()
+            .fold(ustencil_geometry::Aabb::EMPTY, |b, &p| b.union_point(p));
+        let c = bb.center();
+        let span = bb.width().max(bb.height()).max(1e-9);
+        let r = 16.0 * span;
+        let s0 = Point2::new(c.x - 2.0 * r, c.y - r);
+        let s1 = Point2::new(c.x + 2.0 * r, c.y - r);
+        let s2 = Point2::new(c.x, c.y + 2.0 * r);
+
+        let mut all = Vec::with_capacity(points.len() + 3);
+        all.push(s0);
+        all.push(s1);
+        all.push(s2);
+        all.extend_from_slice(&points);
+
+        let tris = vec![DTri {
+            v: [0, 1, 2],
+            adj: [INVALID; 3],
+            alive: true,
+        }];
+        Self {
+            points: all,
+            tris,
+            last: 0,
+            cavity: Vec::new(),
+            in_cavity: Vec::new(),
+            boundary: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn pt(&self, i: u32) -> Point2 {
+        self.points[i as usize]
+    }
+
+    /// Walks from `start` to the triangle containing `p`.
+    fn locate(&self, p: Point2, start: u32) -> u32 {
+        let mut t = start;
+        if !self.tris[t as usize].alive {
+            // Fallback entry point: any live triangle.
+            t = self
+                .tris
+                .iter()
+                .position(|tr| tr.alive)
+                .expect("triangulation has live triangles") as u32;
+        }
+        let mut steps = 0usize;
+        let max_steps = 4 * self.tris.len() + 64;
+        'walk: loop {
+            let tri = &self.tris[t as usize];
+            for k in 0..3 {
+                let a = self.pt(tri.v[k]);
+                let b = self.pt(tri.v[(k + 1) % 3]);
+                if orient2d(a, b, p) < 0.0 {
+                    let next = tri.adj[k];
+                    if next == INVALID {
+                        // p outside the hull of live triangles; cannot happen
+                        // inside the super-triangle, but guard anyway.
+                        return t;
+                    }
+                    t = next;
+                    steps += 1;
+                    if steps > max_steps {
+                        break 'walk;
+                    }
+                    continue 'walk;
+                }
+            }
+            return t;
+        }
+        // Degenerate walk cycle (numerically coincident points): fall back to
+        // a linear scan for a containing triangle.
+        for (i, tri) in self.tris.iter().enumerate() {
+            if !tri.alive {
+                continue;
+            }
+            let [a, b, c] = tri.v;
+            if orient2d(self.pt(a), self.pt(b), p) >= 0.0
+                && orient2d(self.pt(b), self.pt(c), p) >= 0.0
+                && orient2d(self.pt(c), self.pt(a), p) >= 0.0
+            {
+                return i as u32;
+            }
+        }
+        panic!("Delaunay location failed: point {p:?} not inside any triangle");
+    }
+
+    /// Inserts the point with index `pi` (into `self.points`).
+    fn insert(&mut self, pi: u32) {
+        let p = self.pt(pi);
+        let seed = self.locate(p, self.last);
+
+        // Grow the cavity: all triangles whose circumcircle contains p,
+        // connected to the seed.
+        self.in_cavity.resize(self.tris.len(), false);
+        self.cavity.clear();
+        self.boundary.clear();
+        let mut stack = vec![seed];
+        self.in_cavity[seed as usize] = true;
+        while let Some(t) = stack.pop() {
+            self.cavity.push(t);
+            let tri = self.tris[t as usize];
+            for k in 0..3 {
+                let n = tri.adj[k];
+                if n == INVALID || self.in_cavity[n as usize] {
+                    continue;
+                }
+                let nt = self.tris[n as usize];
+                if in_circle(self.pt(nt.v[0]), self.pt(nt.v[1]), self.pt(nt.v[2]), p) > 0.0 {
+                    self.in_cavity[n as usize] = true;
+                    stack.push(n);
+                }
+            }
+        }
+
+        // Emit the boundary from the settled cavity set, force-absorbing
+        // neighbors whose boundary edge would make a degenerate (collinear)
+        // new triangle — this happens when p lands exactly on an existing
+        // edge whose far circumcircle test is a numeric tie.
+        loop {
+            self.boundary.clear();
+            let mut grew = false;
+            for ci in 0..self.cavity.len() {
+                let t = self.cavity[ci];
+                let tri = self.tris[t as usize];
+                for k in 0..3 {
+                    let n = tri.adj[k];
+                    let a = tri.v[k];
+                    let b = tri.v[(k + 1) % 3];
+                    if n != INVALID && self.in_cavity[n as usize] {
+                        continue;
+                    }
+                    if orient2d(self.pt(a), self.pt(b), p) <= 0.0 && n != INVALID {
+                        // Degenerate fan triangle; absorb the neighbor.
+                        self.in_cavity[n as usize] = true;
+                        self.cavity.push(n);
+                        grew = true;
+                        break;
+                    }
+                    self.boundary.push((a, b, n));
+                }
+                if grew {
+                    break;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+
+        // Retire cavity triangles.
+        for &t in &self.cavity {
+            self.tris[t as usize].alive = false;
+            self.in_cavity[t as usize] = false;
+        }
+
+        // Re-triangulate: fan from p over the boundary cycle. Map each
+        // boundary edge's start vertex to its new triangle to wire spokes.
+        let first_new = self.tris.len() as u32;
+        let nb = self.boundary.len();
+        // start_of[a] = new triangle whose boundary edge starts at a.
+        let mut start_of: Vec<(u32, u32)> = Vec::with_capacity(nb);
+        for (i, &(a, _b, _n)) in self.boundary.iter().enumerate() {
+            start_of.push((a, first_new + i as u32));
+        }
+        let lookup = |a: u32, start_of: &[(u32, u32)]| -> u32 {
+            start_of
+                .iter()
+                .find(|&&(v, _)| v == a)
+                .map(|&(_, t)| t)
+                .expect("boundary cycle is closed")
+        };
+        let boundary = std::mem::take(&mut self.boundary);
+        for (i, &(a, b, outside)) in boundary.iter().enumerate() {
+            let ti = first_new + i as u32;
+            // New triangle (a, b, p): edge 0 = (a,b) faces `outside`,
+            // edge 1 = (b,p) pairs with the new triangle starting at b,
+            // edge 2 = (p,a) pairs with the new triangle ending at a.
+            let spoke1 = lookup(b, &start_of);
+            let tri = DTri {
+                v: [a, b, pi],
+                adj: [outside, spoke1, INVALID],
+                alive: true,
+            };
+            self.tris.push(tri);
+            // Fix the outside triangle's back-pointer.
+            if outside != INVALID {
+                let out = &mut self.tris[outside as usize];
+                for k in 0..3 {
+                    if out.v[k] == b && out.v[(k + 1) % 3] == a {
+                        out.adj[k] = ti;
+                    }
+                }
+            }
+        }
+        self.boundary = boundary;
+        // Second pass: each triangle's edge 2 = (p, a) pairs with the
+        // triangle whose edge 1 = (b, p) has b == a, i.e. the one whose
+        // boundary edge *ends* at a.
+        for (i, &(a, _b, _)) in self.boundary.iter().enumerate() {
+            let ti = first_new + i as u32;
+            // Find the new triangle (x, a, p): its start vertex x satisfies
+            // start_of edge (x -> a). That triangle's spoke1 already points
+            // at ti; mirror it.
+            let prev = self
+                .boundary
+                .iter()
+                .position(|&(_, b2, _)| b2 == a)
+                .expect("boundary cycle is closed");
+            self.tris[ti as usize].adj[2] = first_new + prev as u32;
+        }
+        self.last = first_new;
+    }
+
+    fn finish(mut self) -> TriMesh {
+        // Drop triangles touching the three super vertices, remap indices.
+        let mut triangles = Vec::new();
+        for tri in self.tris.drain(..) {
+            if !tri.alive {
+                continue;
+            }
+            if tri.v.iter().any(|&v| v < 3) {
+                continue;
+            }
+            triangles.push([tri.v[0] - 3, tri.v[1] - 3, tri.v[2] - 3]);
+        }
+        let vertices = self.points.split_off(3);
+        TriMesh::from_raw(vertices, triangles)
+    }
+}
+
+/// Computes the Delaunay triangulation of a point set.
+///
+/// The result triangulates the convex hull of the input. Input order is
+/// irrelevant (points are re-ordered internally along a Morton curve); vertex
+/// order in the output mesh follows the internal insertion order.
+///
+/// ```
+/// use ustencil_geometry::Point2;
+/// use ustencil_mesh::delaunay_triangulate;
+/// let mesh = delaunay_triangulate(&[
+///     Point2::new(0.0, 0.0),
+///     Point2::new(1.0, 0.0),
+///     Point2::new(1.0, 1.01),
+///     Point2::new(0.0, 1.0),
+/// ]);
+/// assert_eq!(mesh.n_triangles(), 2);
+/// mesh.validate().unwrap();
+/// ```
+///
+/// # Panics
+/// Panics when fewer than 3 points are supplied.
+pub fn delaunay_triangulate(points: &[Point2]) -> TriMesh {
+    assert!(points.len() >= 3, "Delaunay needs at least 3 points");
+
+    // Morton sort for walk locality.
+    let bb = ustencil_geometry::Aabb::from_points(points.iter().copied());
+    let w = bb.width().max(1e-300);
+    let h = bb.height().max(1e-300);
+    let mut order: Vec<Point2> = points.to_vec();
+    order.sort_by_key(|p| {
+        let gx = (((p.x - bb.min.x) / w) * 65535.0) as u32;
+        let gy = (((p.y - bb.min.y) / h) * 65535.0) as u32;
+        morton(gx.min(65535), gy.min(65535))
+    });
+    order.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+
+    let n = order.len();
+    let mut tr = Triangulator::new(order);
+    for i in 0..n {
+        tr.insert((i + 3) as u32);
+    }
+    tr.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize) -> Vec<Point2> {
+        // Slightly jittered deterministic grid to avoid cocircular quads.
+        let mut pts = Vec::new();
+        let mut state = 12345u64;
+        let mut jitter = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.2
+        };
+        for i in 0..n {
+            for j in 0..n {
+                pts.push(Point2::new(
+                    (i as f64 + 0.5 + jitter()) / n as f64,
+                    (j as f64 + 0.5 + jitter()) / n as f64,
+                ));
+            }
+        }
+        pts
+    }
+
+    /// Brute-force Delaunay check: no vertex strictly inside any
+    /// circumcircle.
+    fn assert_delaunay(mesh: &TriMesh) {
+        let verts = mesh.vertices();
+        for t in mesh.triangles() {
+            for &p in verts {
+                let d = in_circle(t.a, t.b, t.c, p);
+                // Scale-relative tolerance.
+                assert!(
+                    d <= 1e-9,
+                    "vertex {p:?} strictly inside circumcircle of {t:?} (d={d:e})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_of_three_points() {
+        let mesh = delaunay_triangulate(&[
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+        ]);
+        assert_eq!(mesh.n_triangles(), 1);
+        assert!((mesh.total_area() - 0.5).abs() < 1e-12);
+        mesh.validate().unwrap();
+    }
+
+    #[test]
+    fn square_of_four_points() {
+        let mesh = delaunay_triangulate(&[
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.01), // avoid exact cocircularity
+            Point2::new(0.0, 1.0),
+        ]);
+        assert_eq!(mesh.n_triangles(), 2);
+        mesh.validate().unwrap();
+        assert_delaunay(&mesh);
+    }
+
+    #[test]
+    fn jittered_grid_is_delaunay_and_valid() {
+        let pts = grid_points(8);
+        let mesh = delaunay_triangulate(&pts);
+        mesh.validate().unwrap();
+        assert_delaunay(&mesh);
+        assert_eq!(mesh.n_vertices(), pts.len());
+    }
+
+    #[test]
+    fn area_equals_hull_area_for_known_hull() {
+        // Points jittered inside the unit square plus exact corners: hull is
+        // the unit square, so total area must be 1.
+        let mut pts = grid_points(6);
+        pts.push(Point2::new(0.0, 0.0));
+        pts.push(Point2::new(1.0, 0.0));
+        pts.push(Point2::new(1.0, 1.0));
+        pts.push(Point2::new(0.0, 1.0));
+        let mesh = delaunay_triangulate(&pts);
+        mesh.validate().unwrap();
+        assert!(
+            (mesh.total_area() - 1.0).abs() < 1e-9,
+            "area {}",
+            mesh.total_area()
+        );
+    }
+
+    #[test]
+    fn euler_formula_for_triangulated_hull() {
+        // For a triangulation of a convex hull: T = 2V - H - 2, where H is
+        // the number of hull vertices.
+        let mut pts = grid_points(5);
+        pts.push(Point2::new(0.0, 0.0));
+        pts.push(Point2::new(1.0, 0.0));
+        pts.push(Point2::new(1.0, 1.0));
+        pts.push(Point2::new(0.0, 1.0));
+        let mesh = delaunay_triangulate(&pts);
+        // Hull is the 4 corners (all other points strictly inside).
+        let expected = 2 * mesh.n_vertices() - 4 - 2;
+        assert_eq!(mesh.n_triangles(), expected);
+    }
+
+    #[test]
+    fn duplicate_points_are_deduplicated() {
+        let mesh = delaunay_triangulate(&[
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(1.0, 0.0), // duplicate
+        ]);
+        assert_eq!(mesh.n_vertices(), 3);
+        assert_eq!(mesh.n_triangles(), 1);
+    }
+
+    #[test]
+    fn collinear_boundary_points_handled() {
+        // Points exactly on the bottom edge of the square, plus apexes.
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(0.25, 0.0),
+            Point2::new(0.5, 0.0),
+            Point2::new(0.75, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.3, 0.7),
+            Point2::new(0.8, 0.9),
+        ];
+        let mesh = delaunay_triangulate(&pts);
+        mesh.validate().unwrap();
+        assert_delaunay(&mesh);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn too_few_points_panics() {
+        let _ = delaunay_triangulate(&[Point2::ORIGIN, Point2::new(1.0, 0.0)]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Seeded mesh generators for the paper's experiment classes.
+
+use crate::delaunay::delaunay_triangulate;
+use crate::trimesh::TriMesh;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use ustencil_geometry::Point2;
+
+/// The statistical classes of test mesh used in Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeshClass {
+    /// Roughly uniform element sizes (Figure 9): Delaunay triangulation of a
+    /// jittered lattice.
+    LowVariance,
+    /// Strongly graded element sizes (Figure 10): Delaunay triangulation of
+    /// a cubically warped lattice, concentrating small elements near one
+    /// corner.
+    HighVariance,
+    /// A translation-invariant structured pattern (each lattice square split
+    /// along its diagonal) used for convergence and superconvergence tests;
+    /// not itself one of the paper's performance meshes.
+    StructuredPattern,
+}
+
+impl MeshClass {
+    /// Short lowercase label used in benchmark output ("lv", "hv", "sp").
+    pub fn label(&self) -> &'static str {
+        match self {
+            MeshClass::LowVariance => "lv",
+            MeshClass::HighVariance => "hv",
+            MeshClass::StructuredPattern => "sp",
+        }
+    }
+}
+
+/// Cubic warp used by the high-variance class: densifies points near 0
+/// while keeping the endpoints fixed.
+#[inline]
+fn warp(x: f64) -> f64 {
+    x * x * x
+}
+
+/// Generates a mesh of approximately `target_triangles` triangles covering
+/// the unit square `[0, 1]^2` exactly, deterministically from `seed`.
+///
+/// The triangle count lands within a few percent of the target (the paper's
+/// sizes — "on the order of 4k, 16k, ..." — have the same looseness).
+///
+/// # Panics
+/// Panics when `target_triangles < 2`.
+pub fn generate_mesh(class: MeshClass, target_triangles: usize, seed: u64) -> TriMesh {
+    assert!(target_triangles >= 2, "need at least 2 triangles");
+    match class {
+        MeshClass::StructuredPattern => structured_pattern(target_triangles),
+        MeshClass::LowVariance => unstructured(target_triangles, seed, false),
+        MeshClass::HighVariance => unstructured(target_triangles, seed, true),
+    }
+}
+
+fn structured_pattern(target_triangles: usize) -> TriMesh {
+    let n = (((target_triangles as f64) / 2.0).sqrt().round() as usize).max(1);
+    let mut vertices = Vec::with_capacity((n + 1) * (n + 1));
+    for j in 0..=n {
+        for i in 0..=n {
+            vertices.push(Point2::new(i as f64 / n as f64, j as f64 / n as f64));
+        }
+    }
+    let idx = |i: usize, j: usize| (j * (n + 1) + i) as u32;
+    let mut triangles = Vec::with_capacity(2 * n * n);
+    for j in 0..n {
+        for i in 0..n {
+            let (v00, v10, v11, v01) = (idx(i, j), idx(i + 1, j), idx(i + 1, j + 1), idx(i, j + 1));
+            triangles.push([v00, v10, v11]);
+            triangles.push([v00, v11, v01]);
+        }
+    }
+    TriMesh::from_raw(vertices, triangles)
+}
+
+fn unstructured(target_triangles: usize, seed: u64, graded: bool) -> TriMesh {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Boundary resolution: one point per expected element width.
+    let m = ((target_triangles as f64 / 2.0).sqrt().round() as usize).max(2);
+    let mut points = Vec::new();
+
+    // Corners pin the hull to the exact unit square.
+    points.push(Point2::new(0.0, 0.0));
+    points.push(Point2::new(1.0, 0.0));
+    points.push(Point2::new(1.0, 1.0));
+    points.push(Point2::new(0.0, 1.0));
+
+    // Boundary points, jittered along each side so no three consecutive
+    // boundary points are evenly spaced (avoids cocircular degeneracies),
+    // warped for the graded class to match the interior density.
+    let side = |f: &mut dyn FnMut(f64), rng: &mut StdRng| {
+        for i in 1..m {
+            let jitter = rng.random_range(-0.35..0.35);
+            let t = (i as f64 + jitter) / m as f64;
+            let t = if graded { warp(t) } else { t };
+            f(t.clamp(1e-6, 1.0 - 1e-6));
+        }
+    };
+    let mut pts = Vec::new();
+    side(&mut |t| pts.push(Point2::new(t, 0.0)), &mut rng);
+    side(&mut |t| pts.push(Point2::new(t, 1.0)), &mut rng);
+    side(&mut |t| pts.push(Point2::new(0.0, t)), &mut rng);
+    side(&mut |t| pts.push(Point2::new(1.0, t)), &mut rng);
+    points.extend(pts.iter().copied());
+
+    // Interior points. Number chosen from Euler's relation for a
+    // triangulated convex region: T = 2 V - H - 2.
+    let hull = points.len();
+    let total_vertices = (target_triangles + hull + 2) / 2;
+    let interior = total_vertices.saturating_sub(hull).max(1);
+    let g = (interior as f64).sqrt().round().max(1.0) as usize;
+    for j in 0..g {
+        for i in 0..g {
+            let jx = rng.random_range(-0.45..0.45);
+            let jy = rng.random_range(-0.45..0.45);
+            let x = (i as f64 + 0.5 + jx) / g as f64;
+            let y = (j as f64 + 0.5 + jy) / g as f64;
+            let (x, y) = if graded { (warp(x), warp(y)) } else { (x, y) };
+            // Keep interior points strictly inside.
+            points.push(Point2::new(x.clamp(1e-4, 1.0 - 1e-4), y.clamp(1e-4, 1.0 - 1e-4)));
+        }
+    }
+
+    delaunay_triangulate(&points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MeshStats;
+
+    #[test]
+    fn structured_pattern_exact_cover() {
+        let mesh = generate_mesh(MeshClass::StructuredPattern, 128, 0);
+        mesh.validate().unwrap();
+        assert!((mesh.total_area() - 1.0).abs() < 1e-12);
+        assert_eq!(mesh.n_triangles(), 128);
+    }
+
+    #[test]
+    fn low_variance_covers_unit_square() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 1000, 7);
+        mesh.validate().unwrap();
+        assert!(
+            (mesh.total_area() - 1.0).abs() < 1e-9,
+            "area {}",
+            mesh.total_area()
+        );
+        let n = mesh.n_triangles() as f64;
+        assert!((n - 1000.0).abs() / 1000.0 < 0.15, "count {n}");
+    }
+
+    #[test]
+    fn high_variance_covers_unit_square() {
+        let mesh = generate_mesh(MeshClass::HighVariance, 1000, 7);
+        mesh.validate().unwrap();
+        assert!(
+            (mesh.total_area() - 1.0).abs() < 1e-9,
+            "area {}",
+            mesh.total_area()
+        );
+    }
+
+    #[test]
+    fn variance_classes_are_ordered() {
+        let lv = MeshStats::compute(&generate_mesh(MeshClass::LowVariance, 2000, 3));
+        let hv = MeshStats::compute(&generate_mesh(MeshClass::HighVariance, 2000, 3));
+        assert!(
+            hv.edge_cv > 1.5 * lv.edge_cv,
+            "hv cv {} should dominate lv cv {}",
+            hv.edge_cv,
+            lv.edge_cv
+        );
+        assert!(hv.max_edge / hv.min_edge > lv.max_edge / lv.min_edge);
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = generate_mesh(MeshClass::LowVariance, 500, 42);
+        let b = generate_mesh(MeshClass::LowVariance, 500, 42);
+        assert_eq!(a.triangle_indices(), b.triangle_indices());
+        assert_eq!(a.vertices().len(), b.vertices().len());
+        let c = generate_mesh(MeshClass::LowVariance, 500, 43);
+        assert_ne!(a.vertices(), c.vertices());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MeshClass::LowVariance.label(), "lv");
+        assert_eq!(MeshClass::HighVariance.label(), "hv");
+        assert_eq!(MeshClass::StructuredPattern.label(), "sp");
+    }
+
+    #[test]
+    fn larger_targets_make_more_triangles() {
+        let small = generate_mesh(MeshClass::LowVariance, 200, 1);
+        let large = generate_mesh(MeshClass::LowVariance, 2000, 1);
+        assert!(large.n_triangles() > 5 * small.n_triangles());
+    }
+}

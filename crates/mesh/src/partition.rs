@@ -1,0 +1,177 @@
+//! Recursive-bisection mesh partitioning for the overlapped tiling scheme.
+//!
+//! "Patch construction follows from simple recursive bisection of the mesh
+//! elements until there are k patches of roughly equal size" (Section 4).
+//! Splits alternate between axes, always cutting the longer extent of the
+//! current element set's centroid bounding box, which keeps patch perimeters
+//! short — the quantity that controls the tiling memory overhead (Figure 8).
+
+use crate::trimesh::TriMesh;
+use ustencil_geometry::{Aabb, Point2};
+
+/// A disjoint partition of mesh elements into patches.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    patches: Vec<Vec<u32>>,
+}
+
+impl Partition {
+    /// Number of patches (matches the `k` requested at construction).
+    #[inline]
+    pub fn n_patches(&self) -> usize {
+        self.patches.len()
+    }
+
+    /// Element indices of patch `p`.
+    #[inline]
+    pub fn patch(&self, p: usize) -> &[u32] {
+        &self.patches[p]
+    }
+
+    /// Iterator over all patches.
+    pub fn patches(&self) -> impl ExactSizeIterator<Item = &[u32]> {
+        self.patches.iter().map(|p| p.as_slice())
+    }
+
+    /// Ratio of the largest patch size to the ideal (`n / k`); 1.0 is
+    /// perfect balance.
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.patches.iter().map(Vec::len).sum();
+        let ideal = total as f64 / self.patches.len() as f64;
+        let max = self.patches.iter().map(Vec::len).max().unwrap_or(0);
+        if ideal == 0.0 {
+            1.0
+        } else {
+            max as f64 / ideal
+        }
+    }
+}
+
+/// Partitions the mesh into `k` patches of roughly equal element count by
+/// recursive coordinate bisection of element centroids.
+///
+/// `k` may be any positive number; non-power-of-two values are handled by
+/// splitting counts proportionally. When `k` exceeds the element count, the
+/// excess patches are empty.
+///
+/// # Panics
+/// Panics when `k == 0`.
+pub fn partition_recursive_bisection(mesh: &TriMesh, k: usize) -> Partition {
+    assert!(k > 0, "cannot partition into zero patches");
+    let mut ids: Vec<u32> = (0..mesh.n_triangles() as u32).collect();
+    let centroids: Vec<Point2> = (0..mesh.n_triangles()).map(|i| mesh.centroid(i)).collect();
+    let mut patches = Vec::with_capacity(k);
+    bisect(&mut ids, &centroids, k, &mut patches);
+    debug_assert_eq!(patches.len(), k);
+    Partition { patches }
+}
+
+fn bisect(ids: &mut [u32], centroids: &[Point2], k: usize, out: &mut Vec<Vec<u32>>) {
+    if k == 1 {
+        out.push(ids.to_vec());
+        return;
+    }
+    if ids.is_empty() {
+        out.extend(std::iter::repeat_with(Vec::new).take(k));
+        return;
+    }
+    // Split k into halves and elements proportionally.
+    let k_lo = k / 2;
+    let k_hi = k - k_lo;
+    let split = (ids.len() * k_lo) / k;
+
+    // Cut across the longer extent of the centroid bounding box.
+    let bb = Aabb::from_points(ids.iter().map(|&i| centroids[i as usize]));
+    let horizontal = bb.width() >= bb.height();
+    if horizontal {
+        ids.select_nth_unstable_by(split.min(ids.len().saturating_sub(1)), |&a, &b| {
+            centroids[a as usize]
+                .x
+                .total_cmp(&centroids[b as usize].x)
+        });
+    } else {
+        ids.select_nth_unstable_by(split.min(ids.len().saturating_sub(1)), |&a, &b| {
+            centroids[a as usize]
+                .y
+                .total_cmp(&centroids[b as usize].y)
+        });
+    }
+    let (lo, hi) = ids.split_at_mut(split);
+    bisect(lo, centroids, k_lo, out);
+    bisect(hi, centroids, k_hi, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_mesh, MeshClass};
+
+    fn check_partition(mesh: &TriMesh, part: &Partition) {
+        let mut seen = vec![false; mesh.n_triangles()];
+        for patch in part.patches() {
+            for &e in patch {
+                assert!(!seen[e as usize], "element {e} in two patches");
+                seen[e as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some element unassigned");
+    }
+
+    #[test]
+    fn covers_disjointly_for_various_k() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 500, 11);
+        for k in [1usize, 2, 3, 4, 7, 16, 33] {
+            let part = partition_recursive_bisection(&mesh, k);
+            assert_eq!(part.n_patches(), k);
+            check_partition(&mesh, &part);
+        }
+    }
+
+    #[test]
+    fn balanced_for_power_of_two() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 2000, 5);
+        let part = partition_recursive_bisection(&mesh, 16);
+        assert!(part.imbalance() < 1.05, "imbalance {}", part.imbalance());
+    }
+
+    #[test]
+    fn balanced_for_odd_k() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 2000, 5);
+        let part = partition_recursive_bisection(&mesh, 7);
+        assert!(part.imbalance() < 1.1, "imbalance {}", part.imbalance());
+    }
+
+    #[test]
+    fn patches_are_spatially_compact() {
+        // Each patch's centroid bounding box should be much smaller than the
+        // domain for a 16-way split of a uniform mesh.
+        let mesh = generate_mesh(MeshClass::LowVariance, 4000, 2);
+        let part = partition_recursive_bisection(&mesh, 16);
+        for patch in part.patches() {
+            let bb = Aabb::from_points(patch.iter().map(|&e| mesh.centroid(e as usize)));
+            assert!(bb.area() < 0.15, "patch box area {}", bb.area());
+        }
+    }
+
+    #[test]
+    fn k_exceeding_elements_yields_empty_patches() {
+        let mesh = generate_mesh(MeshClass::StructuredPattern, 8, 0);
+        let part = partition_recursive_bisection(&mesh, 64);
+        assert_eq!(part.n_patches(), 64);
+        check_partition(&mesh, &part);
+    }
+
+    #[test]
+    fn single_patch_is_identity() {
+        let mesh = generate_mesh(MeshClass::StructuredPattern, 32, 0);
+        let part = partition_recursive_bisection(&mesh, 1);
+        assert_eq!(part.patch(0).len(), mesh.n_triangles());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero patches")]
+    fn zero_patches_panics() {
+        let mesh = generate_mesh(MeshClass::StructuredPattern, 8, 0);
+        let _ = partition_recursive_bisection(&mesh, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Element-size statistics.
+//!
+//! The paper classifies meshes by the *variance* of their element sizes
+//! (Figures 9 and 10). [`MeshStats`] quantifies that classification so tests
+//! can assert the generators actually produce the intended mesh class.
+
+use crate::trimesh::TriMesh;
+
+/// Summary statistics of a mesh's edge lengths and areas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshStats {
+    /// Number of triangles.
+    pub n_triangles: usize,
+    /// Shortest edge over all triangles.
+    pub min_edge: f64,
+    /// Longest edge over all triangles (the `s` of Section 3.2).
+    pub max_edge: f64,
+    /// Mean edge length.
+    pub mean_edge: f64,
+    /// Coefficient of variation (stddev / mean) of edge lengths — the
+    /// low/high "variance" classification measure.
+    pub edge_cv: f64,
+    /// Smallest triangle area.
+    pub min_area: f64,
+    /// Largest triangle area.
+    pub max_area: f64,
+    /// Sum of triangle areas.
+    pub total_area: f64,
+}
+
+impl MeshStats {
+    /// Computes statistics over every triangle of the mesh.
+    ///
+    /// # Panics
+    /// Panics for empty meshes.
+    pub fn compute(mesh: &TriMesh) -> Self {
+        assert!(mesh.n_triangles() > 0, "stats of an empty mesh");
+        let mut min_edge = f64::INFINITY;
+        let mut max_edge: f64 = 0.0;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut count = 0usize;
+        let mut min_area = f64::INFINITY;
+        let mut max_area: f64 = 0.0;
+        let mut total_area = 0.0;
+        for t in mesh.triangles() {
+            let edges = [
+                t.a.distance(t.b),
+                t.b.distance(t.c),
+                t.c.distance(t.a),
+            ];
+            for e in edges {
+                min_edge = min_edge.min(e);
+                max_edge = max_edge.max(e);
+                sum += e;
+                sum_sq += e * e;
+                count += 1;
+            }
+            let a = t.area();
+            min_area = min_area.min(a);
+            max_area = max_area.max(a);
+            total_area += a;
+        }
+        let mean = sum / count as f64;
+        let var = (sum_sq / count as f64 - mean * mean).max(0.0);
+        Self {
+            n_triangles: mesh.n_triangles(),
+            min_edge,
+            max_edge,
+            mean_edge: mean,
+            edge_cv: var.sqrt() / mean,
+            min_area,
+            max_area,
+            total_area,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustencil_geometry::Point2;
+
+    #[test]
+    fn stats_of_uniform_square_pair() {
+        let mesh = TriMesh::from_raw(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(1.0, 1.0),
+                Point2::new(0.0, 1.0),
+            ],
+            vec![[0, 1, 2], [0, 2, 3]],
+        );
+        let s = MeshStats::compute(&mesh);
+        assert_eq!(s.n_triangles, 2);
+        assert_eq!(s.min_edge, 1.0);
+        assert!((s.max_edge - 2f64.sqrt()).abs() < 1e-15);
+        assert!((s.total_area - 1.0).abs() < 1e-15);
+        assert!((s.min_area - 0.5).abs() < 1e-15);
+        assert!(s.edge_cv > 0.0 && s.edge_cv < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mesh")]
+    fn empty_mesh_panics() {
+        let _ = MeshStats::compute(&TriMesh::default());
+    }
+}

@@ -1,0 +1,232 @@
+//! Gauss–Legendre quadrature on `[-1, 1]`.
+
+/// An `n`-point Gauss–Legendre rule, exact for polynomials of degree
+/// `2n - 1` on `[-1, 1]`.
+///
+/// Nodes are the roots of the Legendre polynomial `P_n`, found by Newton
+/// iteration from the Chebyshev-based initial guess; weights follow from
+/// `w_i = 2 / ((1 - x_i^2) P_n'(x_i)^2)`. Rules up to several hundred points
+/// converge in a handful of iterations.
+#[derive(Debug, Clone)]
+pub struct GaussLegendre {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+/// Evaluates the Legendre polynomial `P_n` and its derivative at `x` via the
+/// three-term recurrence. Returns `(P_n(x), P_n'(x))`.
+pub fn legendre(n: usize, x: f64) -> (f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    let mut p_prev = 1.0; // P_0
+    let mut p = x; // P_1
+    for k in 2..=n {
+        let kf = k as f64;
+        let p_next = ((2.0 * kf - 1.0) * x * p - (kf - 1.0) * p_prev) / kf;
+        p_prev = p;
+        p = p_next;
+    }
+    // P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1); use the recurrence-safe form
+    // at the endpoints (never hit by interior Gauss nodes).
+    let dp = if (x * x - 1.0).abs() < 1e-300 {
+        let nf = n as f64;
+        x.signum().powi(n as i32 + 1) * nf * (nf + 1.0) / 2.0
+    } else {
+        (n as f64) * (x * p - p_prev) / (x * x - 1.0)
+    };
+    (p, dp)
+}
+
+impl GaussLegendre {
+    /// Builds the `n`-point rule. `n` must be at least 1.
+    ///
+    /// ```
+    /// use ustencil_quadrature::GaussLegendre;
+    /// let rule = GaussLegendre::new(3);
+    /// // Exact for degree 5: integral of x^4 over [-1, 1] is 2/5.
+    /// let got = rule.integrate(|x| x.powi(4));
+    /// assert!((got - 0.4).abs() < 1e-14);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "Gauss-Legendre rule needs at least one point");
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        // Roots are symmetric; solve for the non-negative half.
+        let m = n.div_ceil(2);
+        for i in 0..m {
+            // Chebyshev initial guess for the i-th root (descending order).
+            let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            for _ in 0..100 {
+                let (p, d) = legendre(n, x);
+                let dx = p / d;
+                x -= dx;
+                if dx.abs() < 1e-15 {
+                    break;
+                }
+            }
+            // Refresh the derivative at the converged node for the weight.
+            let (_, dp) = legendre(n, x);
+            let w = 2.0 / ((1.0 - x * x) * dp * dp);
+            nodes[i] = -x;
+            nodes[n - 1 - i] = x;
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        if n % 2 == 1 {
+            // The middle node of odd rules is exactly zero.
+            nodes[n / 2] = 0.0;
+            let (_, d) = legendre(n, 0.0);
+            weights[n / 2] = 2.0 / (d * d);
+        }
+        Self { nodes, weights }
+    }
+
+    /// Smallest rule exact for polynomials of the given degree.
+    pub fn with_strength(degree: usize) -> Self {
+        Self::new(degree / 2 + 1)
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the rule has no points (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nodes on `[-1, 1]`, ascending.
+    #[inline]
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Weights (positive, summing to 2).
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Integrates `f` over `[-1, 1]`.
+    pub fn integrate<F: FnMut(f64) -> f64>(&self, mut f: F) -> f64 {
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+
+    /// Integrates `f` over `[a, b]` by affine change of variables.
+    pub fn integrate_on<F: FnMut(f64) -> f64>(&self, a: f64, b: f64, mut f: F) -> f64 {
+        let mid = 0.5 * (a + b);
+        let half = 0.5 * (b - a);
+        half * self.integrate(|x| f(mid + half * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monomial_integral(k: u32) -> f64 {
+        // Integral of x^k over [-1, 1].
+        if k % 2 == 1 {
+            0.0
+        } else {
+            2.0 / (k as f64 + 1.0)
+        }
+    }
+
+    #[test]
+    fn exactness_up_to_2n_minus_1() {
+        for n in 1..=12usize {
+            let rule = GaussLegendre::new(n);
+            for k in 0..=(2 * n - 1) as u32 {
+                let got = rule.integrate(|x| x.powi(k as i32));
+                let want = monomial_integral(k);
+                assert!(
+                    (got - want).abs() < 1e-13,
+                    "n={n} k={k}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_2n_is_not_exact() {
+        // Sanity check that the exactness bound is tight.
+        let rule = GaussLegendre::new(3);
+        let got = rule.integrate(|x| x.powi(6));
+        assert!((got - monomial_integral(6)).abs() > 1e-6);
+    }
+
+    #[test]
+    fn weights_positive_and_sum_to_two() {
+        for n in [1, 2, 5, 17, 50, 101] {
+            let rule = GaussLegendre::new(n);
+            assert!(rule.weights().iter().all(|&w| w > 0.0));
+            let s: f64 = rule.weights().iter().sum();
+            assert!((s - 2.0).abs() < 1e-12, "n={n}: {s}");
+        }
+    }
+
+    #[test]
+    fn nodes_sorted_symmetric_in_open_interval() {
+        for n in [2usize, 7, 20, 51] {
+            let rule = GaussLegendre::new(n);
+            let x = rule.nodes();
+            assert!(x.windows(2).all(|w| w[0] < w[1]));
+            assert!(x.iter().all(|&v| v > -1.0 && v < 1.0));
+            for i in 0..n {
+                assert!((x[i] + x[n - 1 - i]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn interval_mapping() {
+        let rule = GaussLegendre::new(6);
+        // Integral of x^3 over [0, 2] = 4.
+        let got = rule.integrate_on(0.0, 2.0, |x| x * x * x);
+        assert!((got - 4.0).abs() < 1e-12);
+        // Integral of sin over [0, pi] = 2 (approximate, smooth integrand).
+        let got = rule.integrate_on(0.0, std::f64::consts::PI, f64::sin);
+        assert!((got - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_strength_covers_degree() {
+        for d in 0..20usize {
+            let rule = GaussLegendre::with_strength(d);
+            assert!(2 * rule.len() - 1 >= d);
+            let got = rule.integrate(|x| x.powi(d as i32));
+            assert!((got - monomial_integral(d as u32)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn legendre_known_values() {
+        // P_2(x) = (3x^2 - 1) / 2.
+        let (p, dp) = legendre(2, 0.5);
+        assert!((p - (-0.125)).abs() < 1e-15);
+        assert!((dp - 1.5).abs() < 1e-15);
+        // P_n(1) = 1 for all n.
+        for n in 0..10 {
+            let (p, _) = legendre(n, 1.0);
+            assert!((p - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn zero_points_panics() {
+        let _ = GaussLegendre::new(0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Quadrature rules for exact integration of polynomial integrands.
+//!
+//! The SIAC post-processor integrates products of B-spline kernel pieces and
+//! dG element polynomials over triangular sub-regions (Eq. 2 of the paper).
+//! On each sub-region the integrand is a polynomial of known total degree, so
+//! the integral is *exact* when evaluated with a rule of sufficient strength.
+//! This crate provides:
+//!
+//! * [`GaussLegendre`] — `n`-point Gauss–Legendre rules on `[-1, 1]`, exact
+//!   for polynomials of degree `2n - 1`, computed by Newton iteration on the
+//!   Legendre polynomials,
+//! * [`GaussJacobi`] — Gauss–Jacobi rules with weight `(1 - x)^alpha`, used to
+//!   absorb the collapsed-coordinate Jacobian on triangles,
+//! * [`TriangleRule`] — rules over the reference unit triangle built from
+//!   collapsed (Duffy) coordinates, exact for a requested total degree, with
+//!   mapping to arbitrary physical triangles.
+
+#![deny(missing_docs)]
+
+pub mod gauss;
+pub mod jacobi;
+pub mod linalg;
+pub mod triangle;
+
+pub use gauss::GaussLegendre;
+pub use jacobi::GaussJacobi;
+pub use triangle::TriangleRule;

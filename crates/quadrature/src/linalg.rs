@@ -1,0 +1,131 @@
+//! Minimal dense linear algebra: Gaussian elimination with partial pivoting.
+//!
+//! Used for the small, well-conditioned systems that arise when constructing
+//! quadrature weights and SIAC kernel coefficients (dimension at most a few
+//! dozen), so a dependency on a full linear-algebra crate is not warranted.
+
+/// Solves the `n x n` system `A x = b` in place by Gaussian elimination with
+/// partial pivoting.
+///
+/// `matrix` is row-major with `n * n` entries and is destroyed; `rhs` holds
+/// `b` on entry and is destroyed. Returns the solution, or `None` when the
+/// matrix is numerically singular.
+pub fn solve_dense(matrix: &mut [f64], rhs: &mut [f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(matrix.len(), n * n, "matrix must be n x n");
+    assert_eq!(rhs.len(), n, "rhs must have length n");
+
+    for col in 0..n {
+        // Partial pivot: largest magnitude in this column at or below the
+        // diagonal.
+        let mut pivot_row = col;
+        let mut pivot_val = matrix[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = matrix[row * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return None;
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                matrix.swap(col * n + k, pivot_row * n + k);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        let inv = 1.0 / matrix[col * n + col];
+        for row in (col + 1)..n {
+            let factor = matrix[row * n + col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            matrix[row * n + col] = 0.0;
+            for k in (col + 1)..n {
+                matrix[row * n + k] -= factor * matrix[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in (row + 1)..n {
+            acc -= matrix[row * n + k] * x[k];
+        }
+        x[row] = acc / matrix[row * n + row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, -2.0];
+        let x = solve_dense(&mut a, &mut b, 2).unwrap();
+        assert_eq!(x, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3] x = [5; 10] => x = [1; 3].
+        let mut a = vec![2.0, 1.0, 1.0, 3.0];
+        let mut b = vec![5.0, 10.0];
+        let x = solve_dense(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero diagonal head: fails without partial pivoting.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![2.0, 7.0];
+        let x = solve_dense(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_dense(&mut a, &mut b, 2).is_none());
+    }
+
+    #[test]
+    fn residual_small_on_random_like_system() {
+        // Deterministic pseudo-random fill; checks A x = b residual.
+        let n = 12;
+        let mut a = vec![0.0; n * n];
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for v in a.iter_mut() {
+            *v = next();
+        }
+        for i in 0..n {
+            a[i * n + i] += 4.0; // diagonally dominant => well conditioned
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let mut a_copy = a.clone();
+        let mut b_copy = b.clone();
+        let x = solve_dense(&mut a_copy, &mut b_copy, n).unwrap();
+        for i in 0..n {
+            let mut r = -b[i];
+            for j in 0..n {
+                r += a[i * n + j] * x[j];
+            }
+            assert!(r.abs() < 1e-11, "residual row {i}: {r}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Position-dependent one-sided kernels for non-periodic boundaries.
+//!
+//! When the stencil support would overhang a non-periodic domain boundary,
+//! the paper (citing Ryan–Shu) replaces the symmetric kernel with a shifted,
+//! one-sided kernel whose support stays inside the domain. This module
+//! implements the node-lattice-shift construction: the B-spline nodes are
+//! translated just enough to pull the support inside `[0, 1]`, and the
+//! moment conditions are re-solved for the shifted lattice, preserving
+//! polynomial reproduction of degree `2k`.
+
+use crate::kernel::Kernel1d;
+
+/// Factory for boundary-aware 1D kernels along one axis.
+#[derive(Debug, Clone)]
+pub struct OneSidedKernel {
+    k: usize,
+    symmetric: Kernel1d,
+}
+
+impl OneSidedKernel {
+    /// Builds the factory for smoothness `k`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            symmetric: Kernel1d::symmetric(k),
+        }
+    }
+
+    /// Smoothness parameter.
+    #[inline]
+    pub fn smoothness(&self) -> usize {
+        self.k
+    }
+
+    /// The symmetric interior kernel.
+    #[inline]
+    pub fn symmetric(&self) -> &Kernel1d {
+        &self.symmetric
+    }
+
+    /// Kernel to use at coordinate `x` of the unit interval with mesh scale
+    /// `h`: symmetric when the support fits, otherwise shifted inward by the
+    /// smallest sufficient offset.
+    ///
+    /// Returns `None` when no shift can fit the support inside the domain
+    /// (stencil wider than the domain).
+    pub fn for_position(&self, x: f64, h: f64) -> Option<Kernel1d> {
+        let half_width = (3 * self.k + 1) as f64 / 2.0;
+        if half_width * 2.0 * h > 1.0 {
+            return None;
+        }
+        // Sample interval is [x + h*lo, x + h*hi] with lo = -half + offset.
+        let min_offset = half_width - x / h; // require x + h*lo >= 0
+        let max_offset = (1.0 - x) / h - half_width; // require x + h*hi <= 1
+        let offset = if min_offset > 0.0 {
+            min_offset
+        } else if max_offset < 0.0 {
+            max_offset
+        } else {
+            return Some(self.symmetric.clone());
+        };
+        Some(Kernel1d::with_node_offset(self.k, offset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_points_get_the_symmetric_kernel() {
+        let osk = OneSidedKernel::new(1);
+        let h = 0.05;
+        let kernel = osk.for_position(0.5, h).unwrap();
+        assert_eq!(kernel.node_offset(), 0.0);
+    }
+
+    #[test]
+    fn near_left_boundary_shifts_right() {
+        let osk = OneSidedKernel::new(1);
+        let h = 0.05;
+        let kernel = osk.for_position(0.02, h).unwrap();
+        assert!(kernel.node_offset() > 0.0);
+        // Support must fit inside the domain.
+        let (lo, hi) = kernel.support();
+        assert!(0.02 + h * lo >= -1e-12);
+        assert!(0.02 + h * hi <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn near_right_boundary_shifts_left() {
+        let osk = OneSidedKernel::new(2);
+        let h = 0.04;
+        let kernel = osk.for_position(0.97, h).unwrap();
+        assert!(kernel.node_offset() < 0.0);
+        let (lo, hi) = kernel.support();
+        assert!(0.97 + h * lo >= -1e-12);
+        assert!(0.97 + h * hi <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn too_wide_stencil_is_rejected() {
+        let osk = OneSidedKernel::new(3);
+        // width = 10 h > 1 for h = 0.2.
+        assert!(osk.for_position(0.5, 0.2).is_none());
+    }
+
+    #[test]
+    fn shifted_kernel_keeps_unit_mass() {
+        let osk = OneSidedKernel::new(2);
+        let kernel = osk.for_position(0.01, 0.03).unwrap();
+        assert!((kernel.moment(0) - 1.0).abs() < 1e-10);
+        for j in 1..=4 {
+            assert!(kernel.moment(j).abs() < 1e-9, "moment {j}");
+        }
+    }
+}

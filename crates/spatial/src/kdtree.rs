@@ -1,0 +1,192 @@
+//! A static 2D k-d tree — the ablation alternative to the uniform hash
+//! grid.
+//!
+//! Section 3 of the paper surveys spatial structures (k-d trees, uniform
+//! hash grids, quad/oct trees, BVHs) and argues that, with square stencils
+//! and roughly uniformly distributed points, the uniform hash grid is the
+//! right choice. This module provides the k-d tree so the claim is
+//! *measured* rather than assumed (see the `micro_kernels` bench group).
+
+use ustencil_geometry::{Aabb, Point2};
+
+/// A balanced, implicitly stored 2D k-d tree over a fixed point set.
+///
+/// Built once by recursive median splits (alternating axes); nodes are
+/// stored in a flat array in subtree order, so a range query touches
+/// contiguous memory for each visited subtree.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    /// Point ids in tree order.
+    ids: Vec<u32>,
+    /// Positions in tree order (parallel to `ids`).
+    pts: Vec<Point2>,
+}
+
+impl KdTree {
+    /// Builds the tree over the given points.
+    pub fn build(points: &[Point2]) -> Self {
+        let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+        let mut scratch: Vec<(u32, Point2)> =
+            ids.iter().map(|&i| (i, points[i as usize])).collect();
+        build_rec(&mut scratch, 0);
+        let pts = scratch.iter().map(|&(_, p)| p).collect();
+        ids.clear();
+        ids.extend(scratch.iter().map(|&(i, _)| i));
+        Self { ids, pts }
+    }
+
+    /// Number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Visits the id of every point inside the closed rectangle.
+    pub fn query_rect<F: FnMut(u32)>(&self, rect: &Aabb, mut f: F) {
+        if !self.ids.is_empty() {
+            self.query_rec(0, self.ids.len(), 0, rect, &mut f);
+        }
+    }
+
+    fn query_rec<F: FnMut(u32)>(
+        &self,
+        lo: usize,
+        hi: usize,
+        axis: usize,
+        rect: &Aabb,
+        f: &mut F,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let p = self.pts[mid];
+        if rect.contains(p) {
+            f(self.ids[mid]);
+        }
+        let coord = if axis == 0 { p.x } else { p.y };
+        let (rmin, rmax) = if axis == 0 {
+            (rect.min.x, rect.max.x)
+        } else {
+            (rect.min.y, rect.max.y)
+        };
+        let next = axis ^ 1;
+        if rmin <= coord {
+            self.query_rec(lo, mid, next, rect, f);
+        }
+        if rmax >= coord {
+            self.query_rec(mid + 1, hi, next, rect, f);
+        }
+    }
+}
+
+fn build_rec(slice: &mut [(u32, Point2)], axis: usize) {
+    if slice.len() <= 1 {
+        return;
+    }
+    let mid = slice.len() / 2;
+    if axis == 0 {
+        slice.select_nth_unstable_by(mid, |a, b| a.1.x.total_cmp(&b.1.x));
+    } else {
+        slice.select_nth_unstable_by(mid, |a, b| a.1.y.total_cmp(&b.1.y));
+    }
+    let (left, rest) = slice.split_at_mut(mid);
+    let (_, right) = rest.split_at_mut(1);
+    build_rec(left, axis ^ 1);
+    build_rec(right, axis ^ 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lattice(n: usize) -> Vec<Point2> {
+        let mut pts = Vec::new();
+        for j in 0..n {
+            for i in 0..n {
+                pts.push(Point2::new(
+                    (i as f64 + 0.5) / n as f64,
+                    (j as f64 + 0.5) / n as f64,
+                ));
+            }
+        }
+        pts
+    }
+
+    fn brute(pts: &[Point2], rect: &Aabb) -> Vec<u32> {
+        pts.iter()
+            .enumerate()
+            .filter(|(_, p)| rect.contains(**p))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let pts = lattice(17);
+        let tree = KdTree::build(&pts);
+        assert_eq!(tree.len(), pts.len());
+        for rect in [
+            Aabb::new(Point2::new(0.2, 0.3), Point2::new(0.6, 0.8)),
+            Aabb::new(Point2::new(-1.0, -1.0), Point2::new(2.0, 2.0)),
+            Aabb::new(Point2::new(0.5, 0.5), Point2::new(0.5, 0.5)),
+            Aabb::new(Point2::new(0.9, 0.0), Point2::new(1.0, 0.05)),
+        ] {
+            let mut got = Vec::new();
+            tree.query_rect(&rect, |id| got.push(id));
+            got.sort_unstable();
+            let mut want = brute(&pts, &rect);
+            want.sort_unstable();
+            assert_eq!(got, want, "rect {rect:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let tree = KdTree::build(&[]);
+        assert!(tree.is_empty());
+        let mut hits = 0;
+        tree.query_rect(
+            &Aabb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)),
+            |_| hits += 1,
+        );
+        assert_eq!(hits, 0);
+
+        let tree = KdTree::build(&[Point2::new(0.5, 0.5)]);
+        tree.query_rect(
+            &Aabb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)),
+            |_| hits += 1,
+        );
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn duplicate_coordinates_handled() {
+        let pts = vec![Point2::new(0.5, 0.5); 9];
+        let tree = KdTree::build(&pts);
+        let mut got = Vec::new();
+        tree.query_rect(
+            &Aabb::new(Point2::new(0.4, 0.4), Point2::new(0.6, 0.6)),
+            |id| got.push(id),
+        );
+        assert_eq!(got.len(), 9);
+    }
+
+    #[test]
+    fn disjoint_query_finds_nothing() {
+        let pts = lattice(8);
+        let tree = KdTree::build(&pts);
+        let mut hits = 0;
+        tree.query_rect(
+            &Aabb::new(Point2::new(2.0, 2.0), Point2::new(3.0, 3.0)),
+            |_| hits += 1,
+        );
+        assert_eq!(hits, 0);
+    }
+}

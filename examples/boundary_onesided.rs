@@ -1,0 +1,60 @@
+//! One-sided SIAC kernels near non-periodic boundaries (the paper's cited
+//! alternative to periodic wrap, Ryan–Shu style): shift the B-spline node
+//! lattice so the stencil support stays inside the domain, re-solve the
+//! moment conditions, and verify polynomial reproduction survives.
+//!
+//! ```sh
+//! cargo run --release --example boundary_onesided
+//! ```
+
+use ustencil::quadrature::GaussLegendre;
+use ustencil::siac::{Kernel1d, OneSidedKernel};
+
+/// Convolves `u` against the kernel at evaluation point `x` with scale `h`
+/// by exact per-cell Gauss integration: `u*(x) = ∫ K(s) u(x + h s) ds`.
+fn convolve(kernel: &Kernel1d, u: impl Fn(f64) -> f64, x: f64, h: f64) -> f64 {
+    let rule = GaussLegendre::with_strength(3 * kernel.smoothness() + 4);
+    let (lo, _) = kernel.support();
+    (0..kernel.n_cells())
+        .map(|c| {
+            let a = lo + c as f64;
+            rule.integrate_on(a, a + 1.0, |s| kernel.eval(s) * u(x + h * s))
+        })
+        .sum()
+}
+
+fn main() {
+    let k = 2; // quadratic smoothness: reproduces degree 4
+    let h = 0.04;
+    let factory = OneSidedKernel::new(k);
+    let poly = |y: f64| 1.0 + 2.0 * y - y * y + 0.5 * y * y * y;
+
+    println!("one-sided SIAC filtering, k = {k}, h = {h}");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>12}",
+        "x", "node shift", "u*(x)", "exact", "error"
+    );
+    for &x in &[0.001, 0.01, 0.05, 0.2, 0.5, 0.95, 0.999] {
+        let kernel = factory
+            .for_position(x, h)
+            .expect("stencil fits inside the unit interval");
+        let got = convolve(&kernel, poly, x, h);
+        let want = poly(x);
+        println!(
+            "{:>8.3} {:>12.3} {:>14.8} {:>14.8} {:>12.2e}",
+            x,
+            kernel.node_offset(),
+            got,
+            want,
+            (got - want).abs()
+        );
+        // The support must stay inside [0, 1].
+        let (lo, hi) = kernel.support();
+        assert!(x + h * lo >= -1e-9 && x + h * hi <= 1.0 + 1e-9);
+    }
+    println!();
+    println!("Interior points use the symmetric kernel (shift 0); points within");
+    println!("half a stencil width of the boundary get a shifted node lattice.");
+    println!("Reproduction of polynomials up to degree 2k holds for every shift,");
+    println!("so accuracy is conserved right up to the boundary.");
+}

@@ -1,0 +1,36 @@
+//! The paper's mesh classes (Figures 9 and 10): generate low-variance and
+//! high-variance unstructured meshes plus the structured pattern, and print
+//! the statistics that define the classification.
+//!
+//! ```sh
+//! cargo run --release --example mesh_zoo
+//! ```
+
+use ustencil::mesh::{generate_mesh, MeshClass, MeshStats};
+
+fn main() {
+    println!(
+        "{:<22} {:>9} {:>10} {:>10} {:>9} {:>10}",
+        "class", "triangles", "min edge", "max edge", "edge CV", "area"
+    );
+    for (class, name) in [
+        (MeshClass::LowVariance, "low variance (Fig 9)"),
+        (MeshClass::HighVariance, "high variance (Fig 10)"),
+        (MeshClass::StructuredPattern, "structured pattern"),
+    ] {
+        for target in [4_000usize, 16_000] {
+            let mesh = generate_mesh(class, target, 7);
+            mesh.validate().expect("generated mesh is valid");
+            let s = MeshStats::compute(&mesh);
+            println!(
+                "{:<22} {:>9} {:>10.5} {:>10.5} {:>9.3} {:>10.6}",
+                name, s.n_triangles, s.min_edge, s.max_edge, s.edge_cv, s.total_area
+            );
+        }
+    }
+    println!();
+    println!("The edge coefficient-of-variation (CV) separates the classes: the");
+    println!("high-variance generator grades element sizes by a cubic warp, giving");
+    println!("a much wider edge-length spread at the same element count — the mesh");
+    println!("property that widens the per-element advantage in Figures 12/13.");
+}

@@ -1,0 +1,57 @@
+//! Multi-device scaling of the per-element scheme (the paper's Figure 14
+//! setup): split the mesh into `N_GPU x N_SM` patches, distribute them
+//! evenly across simulated devices, and report the simulated end-to-end
+//! time including the two-stage reduction.
+//!
+//! ```sh
+//! cargo run --release --example multi_device_scaling
+//! ```
+
+use ustencil::dg::project_l2;
+use ustencil::engine::prelude::*;
+use ustencil::mesh::{generate_mesh, MeshClass};
+
+fn main() {
+    let tau = std::f64::consts::TAU;
+    let mesh = generate_mesh(MeshClass::LowVariance, 16_000, 3);
+    let p = 1;
+    let field = project_l2(&mesh, p, move |x, y| (tau * x).sin() * (tau * y).cos(), 4);
+    let grid = ComputationGrid::quadrature_points(&mesh, p);
+    println!(
+        "mesh {} triangles, {} grid points, degree {p}",
+        mesh.n_triangles(),
+        grid.len()
+    );
+    println!(
+        "{:>8} {:>10} {:>14} {:>14} {:>10}",
+        "devices", "patches", "compute (ms)", "reduce (ms)", "speedup"
+    );
+
+    let mut base = None;
+    for n_devices in [1usize, 2, 4, 8] {
+        let sms = 16;
+        let sol = PostProcessor::new(Scheme::PerElement)
+            .blocks(n_devices * sms)
+            .run(&mesh, &field, &grid);
+        let cfg = DeviceConfig {
+            n_devices,
+            n_sms: sms,
+            ..Default::default()
+        };
+        let rep = sol.simulate(&cfg);
+        let compute = rep.total_ms - rep.reduction_ms;
+        let base_ms = *base.get_or_insert(rep.total_ms);
+        println!(
+            "{:>8} {:>10} {:>14.2} {:>14.3} {:>9.2}x",
+            n_devices,
+            n_devices * sms,
+            compute,
+            rep.reduction_ms,
+            base_ms / rep.total_ms
+        );
+    }
+    println!();
+    println!("Patch granularity tracks the device count, so the busiest SM's load");
+    println!("shrinks almost linearly — the overlapped tiling needs no inter-patch");
+    println!("synchronization, only the cheap final reduction (Section 4).");
+}

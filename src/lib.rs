@@ -1,0 +1,28 @@
+//! # ustencil
+//!
+//! A scalable, efficient scheme for evaluating stencil computations over
+//! unstructured meshes — a Rust implementation of King & Kirby (SC '13),
+//! built around SIAC post-processing of discontinuous Galerkin solutions.
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`geometry`] — clipping, triangulation, geometric primitives,
+//! * [`quadrature`] — Gauss and triangle rules,
+//! * [`mesh`] — unstructured triangular meshes and generators,
+//! * [`dg`] — modal discontinuous Galerkin fields,
+//! * [`siac`] — B-spline convolution kernels,
+//! * [`spatial`] — uniform hash grids,
+//! * [`engine`] — the per-point / per-element stencil evaluators, overlapped
+//!   tiling and the streaming-device model.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour.
+
+pub use ustencil_core as engine;
+pub use ustencil_dg as dg;
+pub use ustencil_geometry as geometry;
+pub use ustencil_mesh as mesh;
+pub use ustencil_quadrature as quadrature;
+pub use ustencil_siac as siac;
+pub use ustencil_spatial as spatial;
+
+pub use ustencil_core::prelude::*;

@@ -1,0 +1,96 @@
+//! Property-based tests of the engine's core invariants, randomizing over
+//! mesh seeds, sizes, degrees and tiling granularity. Case counts are kept
+//! small because every case runs a full post-processing pass.
+
+use proptest::prelude::*;
+use ustencil::dg::project_l2;
+use ustencil::engine::prelude::*;
+use ustencil::mesh::{generate_mesh, MeshClass};
+
+fn build(
+    class: MeshClass,
+    n: usize,
+    p: usize,
+    seed: u64,
+) -> (
+    ustencil::mesh::TriMesh,
+    ustencil::dg::DgField,
+    ComputationGrid,
+    f64,
+) {
+    let mesh = generate_mesh(class, n, seed);
+    let field = project_l2(&mesh, p, |x, y| (x * 5.1).sin() + y * y - 0.3 * x * y, 2);
+    let grid = ComputationGrid::quadrature_points(&mesh, p);
+    let h_factor = (0.9 / ((3 * p + 1) as f64 * mesh.max_edge_length())).min(1.0);
+    (mesh, field, grid, h_factor)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Per-point and per-element agree for random meshes and degrees.
+    #[test]
+    fn schemes_equivalent(
+        seed in 0u64..1000,
+        n in 80usize..250,
+        p in 1usize..=2,
+        lv in proptest::bool::ANY,
+    ) {
+        let class = if lv { MeshClass::LowVariance } else { MeshClass::HighVariance };
+        let (mesh, field, grid, h_factor) = build(class, n, p, seed);
+        let a = PostProcessor::new(Scheme::PerPoint)
+            .h_factor(h_factor)
+            .parallel(false)
+            .run(&mesh, &field, &grid);
+        let b = PostProcessor::new(Scheme::PerElement)
+            .h_factor(h_factor)
+            .parallel(false)
+            .run(&mesh, &field, &grid);
+        let diff = a.max_abs_diff(&b);
+        prop_assert!(diff < 1e-9, "diff {diff}");
+    }
+
+    /// Tiling granularity and parallelism are transparent for random
+    /// configurations.
+    #[test]
+    fn tiling_and_parallelism_transparent(
+        seed in 0u64..1000,
+        n in 80usize..200,
+        blocks in 1usize..40,
+    ) {
+        let (mesh, field, grid, h_factor) = build(MeshClass::LowVariance, n, 1, seed);
+        let reference = PostProcessor::new(Scheme::PerElement)
+            .blocks(1)
+            .h_factor(h_factor)
+            .parallel(false)
+            .run(&mesh, &field, &grid);
+        let tiled = PostProcessor::new(Scheme::PerElement)
+            .blocks(blocks)
+            .h_factor(h_factor)
+            .parallel(true)
+            .run(&mesh, &field, &grid);
+        let diff = tiled.max_abs_diff(&reference);
+        prop_assert!(diff < 1e-10, "blocks={blocks}: diff {diff}");
+    }
+
+    /// Kernel mass means a constant field passes through the filter
+    /// unchanged, for any mesh and degree.
+    #[test]
+    fn constants_are_fixed_points(
+        seed in 0u64..1000,
+        n in 80usize..200,
+        p in 1usize..=2,
+        value in -5.0f64..5.0,
+    ) {
+        let mesh = generate_mesh(MeshClass::LowVariance, n, seed);
+        let field = project_l2(&mesh, p, |_, _| value, 0);
+        let grid = ComputationGrid::quadrature_points(&mesh, p);
+        let h_factor = (0.9 / ((3 * p + 1) as f64 * mesh.max_edge_length())).min(1.0);
+        let sol = PostProcessor::new(Scheme::PerElement)
+            .h_factor(h_factor)
+            .run(&mesh, &field, &grid);
+        for v in &sol.values {
+            prop_assert!((v - value).abs() < 1e-8, "{v} vs {value}");
+        }
+    }
+}
