@@ -15,10 +15,18 @@ fn bench_intersection_counts(c: &mut Criterion) {
     group.sample_size(10);
     let w = Workload::build(MeshClass::LowVariance, 1_000, 1, 2013);
     group.bench_function("per_point_1k_p1", |b| {
-        b.iter(|| black_box(w.run(Scheme::PerPoint, 16)).metrics.intersection_tests)
+        b.iter(|| {
+            black_box(w.run(Scheme::PerPoint, 16))
+                .metrics
+                .intersection_tests
+        })
     });
     group.bench_function("per_element_1k_p1", |b| {
-        b.iter(|| black_box(w.run(Scheme::PerElement, 16)).metrics.intersection_tests)
+        b.iter(|| {
+            black_box(w.run(Scheme::PerElement, 16))
+                .metrics
+                .intersection_tests
+        })
     });
     group.finish();
 

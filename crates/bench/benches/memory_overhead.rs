@@ -16,11 +16,8 @@ use ustencil_spatial::{Boundary, PointGrid};
 fn bench_reduction(c: &mut Criterion) {
     let w = Workload::build(MeshClass::LowVariance, 1_000, 1, 2013);
     let stencil = Stencil2d::symmetric(1, w.mesh.max_edge_length() * w.safe_h_factor());
-    let pgrid = PointGrid::build_half_edge(
-        w.grid.points(),
-        w.mesh.max_edge_length(),
-        Boundary::Clamped,
-    );
+    let pgrid =
+        PointGrid::build_half_edge(w.grid.points(), w.mesh.max_edge_length(), Boundary::Clamped);
     let rule = TriangleRule::with_strength(3);
     let run = PerElementRun {
         mesh: &w.mesh,

@@ -65,11 +65,7 @@ fn bench_integration(c: &mut Criterion) {
         Point2::new(0.003, 0.009),
     );
     c.bench_function("quadrature/strength6_subregion", |b| {
-        b.iter(|| {
-            rule.integrate_physical(black_box(&tri), |x, y| {
-                (x * 31.0).sin() * y + x * x
-            })
-        })
+        b.iter(|| rule.integrate_physical(black_box(&tri), |x, y| (x * 31.0).sin() * y + x * x))
     });
 }
 
@@ -133,6 +129,50 @@ fn bench_spatial_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observability cost at the hot-loop call sites: a plain counter bump
+/// (the seed behaviour) vs the same bump plus a disabled `Probe` record
+/// (what every instrumented loop pays when tracing is off — must stay
+/// within noise of the bare counter) vs an enabled probe (the price of
+/// `--json`/`profile` runs).
+fn bench_probe_overhead(c: &mut Criterion) {
+    use ustencil_core::{Metrics, Probe};
+    let mut group = c.benchmark_group("probe_overhead");
+    group.bench_function("counter_only", |b| {
+        let mut m = Metrics::default();
+        b.iter(|| {
+            for i in 0..1024u64 {
+                m.quad_evals += black_box(i) & 0xf;
+            }
+            m.quad_evals
+        })
+    });
+    group.bench_function("counter_plus_disabled_probe", |b| {
+        let mut m = Metrics::default();
+        let mut probe = Probe::new(black_box(false));
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let v = black_box(i) & 0xf;
+                m.quad_evals += v;
+                probe.record_quad_points(v);
+            }
+            m.quad_evals
+        })
+    });
+    group.bench_function("counter_plus_enabled_probe", |b| {
+        let mut m = Metrics::default();
+        let mut probe = Probe::new(black_box(true));
+        b.iter(|| {
+            for i in 0..1024u64 {
+                let v = black_box(i) & 0xf;
+                m.quad_evals += v;
+                probe.record_quad_points(v);
+            }
+            m.quad_evals
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_clip,
@@ -140,6 +180,7 @@ criterion_group!(
     bench_basis,
     bench_integration,
     bench_builders,
-    bench_spatial_ablation
+    bench_spatial_ablation,
+    bench_probe_overhead
 );
 criterion_main!(benches);

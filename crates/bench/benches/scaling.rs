@@ -35,11 +35,9 @@ fn bench_device_simulation(c: &mut Criterion) {
             n_devices,
             ..Default::default()
         };
-        group.bench_with_input(
-            BenchmarkId::new("devices", n_devices),
-            &cfg,
-            |b, cfg| b.iter(|| black_box(sol.simulate(cfg)).total_ms),
-        );
+        group.bench_with_input(BenchmarkId::new("devices", n_devices), &cfg, |b, cfg| {
+            b.iter(|| black_box(sol.simulate(cfg)).total_ms)
+        });
     }
     group.finish();
 }

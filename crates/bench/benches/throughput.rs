@@ -18,7 +18,10 @@ fn bench_throughput(c: &mut Criterion) {
         let w = Workload::build(MeshClass::LowVariance, n, p, 2013);
         for scheme in [Scheme::PerPoint, Scheme::PerElement] {
             group.bench_with_input(
-                BenchmarkId::new(scheme.label(), format!("{}_p{p}", ustencil_bench::size_label(n))),
+                BenchmarkId::new(
+                    scheme.label(),
+                    format!("{}_p{p}", ustencil_bench::size_label(n)),
+                ),
                 &w,
                 |b, w| b.iter(|| black_box(w.run(scheme, 16))),
             );

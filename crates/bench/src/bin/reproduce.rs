@@ -4,72 +4,39 @@
 //! cost model (the hardware substitution documented in DESIGN.md); the
 //! claims to check are ratios and shapes, recorded in EXPERIMENTS.md.
 //!
-//! ```text
-//! reproduce <table1|fig8|fig11|fig12|fig13|fig14|all> [--full] [--sizes N,N,..] [--seed S]
-//! ```
+//! Every run is instrumented, so `--json <path>` can write a structured
+//! [`RunReport`] of whatever command executed, `profile` prints the
+//! phase/imbalance/histogram view directly, and `checkjson <path>`
+//! validates a previously written report (the CI smoke check). See
+//! `reproduce --help` for the flag reference.
 
 use std::collections::HashMap;
+use ustencil_bench::cli::{parse_cli, CliOptions, USAGE};
 use ustencil_bench::{mesh_sizes, size_label, Workload};
-use ustencil_core::prelude::*;
 use ustencil_core::per_element::memory_overhead;
+use ustencil_core::prelude::*;
 use ustencil_mesh::MeshClass;
 
-struct Options {
-    command: String,
-    sizes: Vec<usize>,
-    seed: u64,
-    /// Largest default mesh size per polynomial degree (indexed by `p`).
-    /// Quadratic stops at 4k and cubic is skipped by default so the
-    /// single-core run stays under ~15 minutes (the cubic stencil spans 10
-    /// cells, an order of magnitude more work); `--full` lifts every cap.
-    degree_caps: [usize; 4],
-}
-
-fn parse_args() -> Options {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let command = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
-    let full = args.iter().any(|a| a == "--full");
-    let mut sizes: Vec<usize> = mesh_sizes(full).to_vec();
-    let mut seed = 2013;
-    let degree_caps = if full {
+/// Largest default mesh size per polynomial degree (indexed by `p`).
+/// Quadratic stops at 4k and cubic is skipped by default so the
+/// single-core run stays under ~15 minutes (the cubic stencil spans 10
+/// cells, an order of magnitude more work); `--full` lifts every cap.
+fn degree_caps(full: bool) -> [usize; 4] {
+    if full {
         [usize::MAX; 4]
     } else {
         [usize::MAX, usize::MAX, 4_000, 0]
-    };
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--sizes" => {
-                let list = it.next().expect("--sizes needs a value");
-                sizes = list
-                    .split(',')
-                    .map(|s| s.parse().expect("size must be an integer"))
-                    .collect();
-            }
-            "--seed" => {
-                seed = it.next().expect("--seed needs a value").parse().unwrap();
-            }
-            _ => {}
-        }
-    }
-    Options {
-        command,
-        sizes,
-        seed,
-        degree_caps,
     }
 }
 
 /// Cache of runs keyed by (class, size, p, scheme) so `all` executes each
-/// configuration once.
+/// configuration once. Every executed run is also appended to `records`,
+/// the raw material of the `--json` report.
 struct Runner {
     seed: u64,
     workloads: HashMap<(MeshClass, usize, usize), Workload>,
     runs: HashMap<(MeshClass, usize, usize, &'static str), Solution>,
+    records: Vec<RunRecord>,
 }
 
 impl Runner {
@@ -78,6 +45,7 @@ impl Runner {
             seed,
             workloads: HashMap::new(),
             runs: HashMap::new(),
+            records: Vec::new(),
         }
     }
 
@@ -100,7 +68,17 @@ impl Runner {
                 p,
                 scheme.label()
             );
-            let sol = w.run(scheme, 16);
+            let sol = w.run_instrumented(scheme, 16);
+            let label = format!(
+                "{}/{}/p{}/{}",
+                class.label(),
+                size_label(size),
+                p,
+                scheme.label()
+            );
+            let sim = sol.simulate(&DeviceConfig::default());
+            self.records
+                .push(RunRecord::from_solution(&label, size, &sol, Some(sim)));
             self.runs.insert(key, sol);
         }
         &self.runs[&key]
@@ -114,7 +92,9 @@ fn table1(r: &mut Runner, sizes: &[usize]) {
         "mesh", "per-point tests", "per-element tests", "ratio"
     );
     for &n in sizes {
-        let pp = r.run(MeshClass::LowVariance, n, 1, Scheme::PerPoint).metrics;
+        let pp = r
+            .run(MeshClass::LowVariance, n, 1, Scheme::PerPoint)
+            .metrics;
         let pe = r
             .run(MeshClass::LowVariance, n, 1, Scheme::PerElement)
             .metrics;
@@ -221,12 +201,17 @@ fn fig14(r: &mut Runner, sizes: &[usize]) {
             let sol = PostProcessor::new(Scheme::PerElement)
                 .blocks(16 * n_gpu)
                 .h_factor(w.safe_h_factor())
+                .instrument(true)
                 .run(&w.mesh, &w.field, &w.grid);
             let cfg = DeviceConfig {
                 n_devices: n_gpu,
                 ..Default::default()
             };
-            cols.push(sol.simulate(&cfg).total_ms);
+            let sim = sol.simulate(&cfg);
+            cols.push(sim.total_ms);
+            let label = format!("low-variance/{}/p1/per-element@{}dev", size_label(n), n_gpu);
+            r.records
+                .push(RunRecord::from_solution(&label, n, &sol, Some(sim)));
         }
         println!(
             "{:>8} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
@@ -240,56 +225,185 @@ fn fig14(r: &mut Runner, sizes: &[usize]) {
     println!("(paper: near-perfect linear scaling in both devices and mesh size)");
 }
 
+/// The `profile` subcommand: run both schemes on the smallest configured
+/// size and print the phase, load-imbalance, and histogram view.
+fn profile(r: &mut Runner, sizes: &[usize]) {
+    let n = sizes.iter().copied().min().expect("at least one size");
+    println!("\n== Profile: {} triangles, low-variance, p=1 ==", n);
+    for scheme in [Scheme::PerPoint, Scheme::PerElement] {
+        r.run(MeshClass::LowVariance, n, 1, scheme);
+    }
+    for record in r.records.clone() {
+        print_record_profile(&record);
+    }
+}
+
+fn print_record_profile(record: &RunRecord) {
+    println!(
+        "\n-- {} ({} patches, {:.1} ms wall) --",
+        record.label,
+        record.patches.len(),
+        record.wall_ms
+    );
+    println!("phases:");
+    for s in &record.spans {
+        println!(
+            "  {:indent$}{:<24} {:>10.3} ms",
+            "",
+            s.name,
+            s.duration_ns as f64 / 1e6,
+            indent = 2 * s.depth as usize
+        );
+    }
+    println!("load imbalance across patches:");
+    println!(
+        "  {:<20} {:>6} {:>12} {:>10} {:>8} {:>8}",
+        "proxy", "n", "mean", "max/mean", "cov", "gini"
+    );
+    for (name, s) in record.imbalance() {
+        println!(
+            "  {:<20} {:>6} {:>12.1} {:>10.3} {:>8.3} {:>8.3}",
+            name, s.n, s.mean, s.max_over_mean, s.cov, s.gini
+        );
+    }
+    println!("distributions:");
+    println!(
+        "  {:<28} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "histogram", "count", "mean", "p50<=", "p99<=", "max"
+    );
+    for (name, h) in &record.histograms {
+        println!(
+            "  {:<28} {:>10} {:>10.2} {:>8} {:>8} {:>8}",
+            name,
+            h.count(),
+            h.mean(),
+            h.quantile_upper_bound(0.50),
+            h.quantile_upper_bound(0.99),
+            h.max()
+        );
+    }
+}
+
+/// The `checkjson` subcommand: parse a `--json` artifact and assert it
+/// carries the content the observability layer promises. Exits non-zero
+/// with a reason when the report is malformed or hollow.
+fn checkjson(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let report = RunReport::from_json(&text)?;
+    if report.runs.is_empty() {
+        return Err("report has no runs".to_string());
+    }
+    for run in &report.runs {
+        let ctx = &run.label;
+        if Scheme::from_label(&run.scheme).is_none() {
+            return Err(format!("{ctx}: unknown scheme '{}'", run.scheme));
+        }
+        if run.spans.is_empty() {
+            return Err(format!("{ctx}: no phase spans"));
+        }
+        if !run.spans.iter().any(|s| s.duration_ns > 0) {
+            return Err(format!("{ctx}: all span durations are zero"));
+        }
+        if run.patches.is_empty() {
+            return Err(format!("{ctx}: no per-patch stats"));
+        }
+        match run.histogram("candidates_per_query") {
+            Some(h) if !h.is_empty() => {}
+            _ => return Err(format!("{ctx}: candidates_per_query histogram is empty")),
+        }
+    }
+    println!(
+        "ok: '{path}' carries {} instrumented run(s) for exhibit '{}'",
+        report.runs.len(),
+        report.exhibit
+    );
+    Ok(())
+}
+
+fn write_json(path: &str, opts: &CliOptions, records: Vec<RunRecord>) {
+    let mut report = RunReport::new(&opts.command, opts.seed);
+    report.runs = records;
+    let text = report.to_pretty_string();
+    if let Err(e) = std::fs::write(path, &text) {
+        eprintln!("cannot write '{path}': {e}");
+        std::process::exit(1);
+    }
+    eprintln!("  [wrote {} run record(s) to {path}]", report.runs.len());
+}
+
 fn main() {
-    let opts = parse_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_cli(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return;
+    }
+    if opts.command == "checkjson" {
+        let path = opts.path_arg.as_deref().expect("checked by parse_cli");
+        if let Err(msg) = checkjson(path) {
+            eprintln!("checkjson failed: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let sizes: Vec<usize> = opts
+        .sizes
+        .clone()
+        .unwrap_or_else(|| mesh_sizes(opts.full).to_vec());
+    let caps = degree_caps(opts.full);
     let mut r = Runner::new(opts.seed);
-    let sizes = &opts.sizes;
-    let caps = &opts.degree_caps;
 
     match opts.command.as_str() {
-        "table1" => table1(&mut r, sizes),
-        "fig8" => fig8(&mut r, sizes),
+        "table1" => table1(&mut r, &sizes),
+        "fig8" => fig8(&mut r, &sizes),
         "fig11" => throughput_figure(
             &mut r,
             MeshClass::LowVariance,
-            sizes,
-            caps,
+            &sizes,
+            &caps,
             "Figure 11: simulated GFLOP/s, low-variance meshes",
         ),
         "fig12" => throughput_figure(
             &mut r,
             MeshClass::HighVariance,
-            sizes,
-            caps,
+            &sizes,
+            &caps,
             "Figure 12: simulated GFLOP/s, high-variance meshes",
         ),
-        "fig13" => fig13(&mut r, sizes, caps),
-        "fig14" => fig14(&mut r, sizes),
+        "fig13" => fig13(&mut r, &sizes, &caps),
+        "fig14" => fig14(&mut r, &sizes),
+        "profile" => profile(&mut r, &sizes),
         "all" => {
-            table1(&mut r, sizes);
-            fig8(&mut r, sizes);
+            table1(&mut r, &sizes);
+            fig8(&mut r, &sizes);
             throughput_figure(
                 &mut r,
                 MeshClass::LowVariance,
-                sizes,
-                caps,
+                &sizes,
+                &caps,
                 "Figure 11: simulated GFLOP/s, low-variance meshes",
             );
             throughput_figure(
                 &mut r,
                 MeshClass::HighVariance,
-                sizes,
-                caps,
+                &sizes,
+                &caps,
                 "Figure 12: simulated GFLOP/s, high-variance meshes",
             );
-            fig13(&mut r, sizes, caps);
-            fig14(&mut r, sizes);
+            fig13(&mut r, &sizes, &caps);
+            fig14(&mut r, &sizes);
         }
-        other => {
-            eprintln!(
-                "unknown exhibit '{other}'; expected table1|fig8|fig11|fig12|fig13|fig14|all"
-            );
-            std::process::exit(2);
-        }
+        other => unreachable!("parse_cli validated the command '{other}'"),
+    }
+
+    if let Some(path) = &opts.json {
+        write_json(path, &opts, r.records);
     }
 }

@@ -1,0 +1,232 @@
+//! Strict argument parsing for the `reproduce` harness.
+//!
+//! Every flag is validated: an unknown `--flag` (or a typo like `--seeed`)
+//! is an error with a usage message instead of a silent fallback to
+//! defaults, and flags that need values fail loudly when the value is
+//! missing or malformed.
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage: reproduce <command> [options]
+
+commands:
+  table1 | fig8 | fig11 | fig12 | fig13 | fig14 | all
+                      regenerate one exhibit (or every exhibit)
+  profile             run an instrumented workload and print the phase /
+                      load-imbalance / histogram report
+  checkjson <path>    validate a --json report file (used by CI)
+
+options:
+  --sizes N,N,..      mesh sizes in triangles (default: the paper ladder)
+  --seed S            mesh-generation seed (default 2013)
+  --full              lift the size ladder and degree caps to paper scale
+  --json <path>       also write the structured RunReport as JSON
+  --help, -h          print this message";
+
+/// Commands `reproduce` accepts.
+pub const COMMANDS: [&str; 10] = [
+    "table1",
+    "fig8",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "all",
+    "profile",
+    "checkjson",
+    "help",
+];
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOptions {
+    /// The subcommand (default `"all"`).
+    pub command: String,
+    /// Explicit `--sizes` list, when given.
+    pub sizes: Option<Vec<usize>>,
+    /// Mesh-generation seed.
+    pub seed: u64,
+    /// Whether `--full` was given.
+    pub full: bool,
+    /// `--json` output path, when given.
+    pub json: Option<String>,
+    /// The positional path argument of `checkjson`.
+    pub path_arg: Option<String>,
+    /// Whether `--help`/`-h` was given.
+    pub help: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            command: "all".to_string(),
+            sizes: None,
+            seed: 2013,
+            full: false,
+            json: None,
+            path_arg: None,
+            help: false,
+        }
+    }
+}
+
+/// Parses the argument list (without the program name). Errors carry a
+/// human-readable message ending in the usage text.
+pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut positionals: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => opts.help = true,
+            "--full" => opts.full = true,
+            "--sizes" => {
+                let list = value_of(&mut it, "--sizes")?;
+                let sizes = list
+                    .split(',')
+                    .map(|s| {
+                        s.parse::<usize>()
+                            .map_err(|_| format!("--sizes entry '{s}' is not an integer"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if sizes.is_empty() {
+                    return Err("--sizes needs at least one size".to_string());
+                }
+                opts.sizes = Some(sizes);
+            }
+            "--seed" => {
+                let v = value_of(&mut it, "--seed")?;
+                opts.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed value '{v}' is not an integer"))?;
+            }
+            "--json" => {
+                opts.json = Some(value_of(&mut it, "--json")?.to_string());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag '{flag}'\n\n{USAGE}"));
+            }
+            positional => positionals.push(positional.to_string()),
+        }
+    }
+
+    let mut positionals = positionals.into_iter();
+    if let Some(command) = positionals.next() {
+        if !COMMANDS.contains(&command.as_str()) {
+            return Err(format!("unknown command '{command}'\n\n{USAGE}"));
+        }
+        opts.command = command;
+    }
+    if opts.command == "help" {
+        opts.help = true;
+    }
+    if opts.command == "checkjson" {
+        opts.path_arg = Some(
+            positionals
+                .next()
+                .ok_or_else(|| format!("checkjson needs a report path\n\n{USAGE}"))?,
+        );
+    }
+    if let Some(extra) = positionals.next() {
+        return Err(format!("unexpected argument '{extra}'\n\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+fn value_of<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
+    match it.next() {
+        Some(v) if !v.starts_with("--") => Ok(v),
+        _ => Err(format!("{flag} needs a value\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_cli(&owned)
+    }
+
+    #[test]
+    fn defaults() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts, CliOptions::default());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let opts = parse(&[
+            "table1",
+            "--sizes",
+            "1000,4000",
+            "--seed",
+            "7",
+            "--json",
+            "out.json",
+        ])
+        .unwrap();
+        assert_eq!(opts.command, "table1");
+        assert_eq!(opts.sizes, Some(vec![1000, 4000]));
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn misspelled_flag_is_rejected_with_usage() {
+        // The historical bug: `--seeed 7` silently ran with the default
+        // seed. It must now fail loudly.
+        let err = parse(&["table1", "--seeed", "7"]).unwrap_err();
+        assert!(err.contains("unknown flag '--seeed'"), "{err}");
+        assert!(err.contains("usage:"), "error must include usage: {err}");
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let err = parse(&["tabel1"]).unwrap_err();
+        assert!(err.contains("unknown command 'tabel1'"), "{err}");
+    }
+
+    #[test]
+    fn missing_and_malformed_values_are_rejected() {
+        assert!(parse(&["--sizes"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--sizes", "--full"])
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse(&["--sizes", "12x"])
+            .unwrap_err()
+            .contains("not an integer"));
+        assert!(parse(&["--seed", "abc"])
+            .unwrap_err()
+            .contains("not an integer"));
+    }
+
+    #[test]
+    fn checkjson_takes_exactly_one_path() {
+        let opts = parse(&["checkjson", "out.json"]).unwrap();
+        assert_eq!(opts.path_arg.as_deref(), Some("out.json"));
+        assert!(parse(&["checkjson"]).unwrap_err().contains("report path"));
+        assert!(parse(&["checkjson", "a.json", "b.json"])
+            .unwrap_err()
+            .contains("unexpected argument"));
+        // Other commands take no positionals at all.
+        assert!(parse(&["table1", "extra"])
+            .unwrap_err()
+            .contains("unexpected argument 'extra'"));
+    }
+
+    #[test]
+    fn help_variants() {
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["-h"]).unwrap().help);
+        assert!(parse(&["help"]).unwrap().help);
+    }
+
+    #[test]
+    fn flags_may_precede_the_command() {
+        let opts = parse(&["--seed", "42", "fig8"]).unwrap();
+        assert_eq!(opts.command, "fig8");
+        assert_eq!(opts.seed, 42);
+    }
+}

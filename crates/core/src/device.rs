@@ -81,7 +81,7 @@ impl Default for DeviceConfig {
 }
 
 /// Outcome of a simulated execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Busy time of each device in milliseconds (compute phase).
     pub device_ms: Vec<f64>,

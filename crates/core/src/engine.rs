@@ -5,14 +5,16 @@ use crate::device::{simulate, DeviceConfig, SimReport};
 use crate::grid_points::ComputationGrid;
 use crate::integrate::IntegrationCtx;
 use crate::metrics::Metrics;
-use crate::per_element::PerElementRun;
+use crate::per_element::{reduce_patches, PerElementRun};
 use crate::per_point::PerPointRun;
+use crate::probe::BlockStats;
 use std::time::{Duration, Instant};
 use ustencil_dg::DgField;
 use ustencil_mesh::{partition_recursive_bisection, TriMesh};
 use ustencil_quadrature::TriangleRule;
 use ustencil_siac::Stencil2d;
 use ustencil_spatial::{Boundary, PointGrid, TriangleGrid};
+use ustencil_trace::{SpanRecord, Tracer};
 
 /// Which evaluation strategy to run (Section 3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,11 +27,22 @@ pub enum Scheme {
 }
 
 impl Scheme {
-    /// Display label used by the benchmark harness.
+    /// Canonical label for this scheme — used both for display by the
+    /// benchmark harness and as the `"scheme"` value in `RunReport` JSON,
+    /// so the two never drift apart.
     pub fn label(&self) -> &'static str {
         match self {
             Scheme::PerPoint => "per-point",
             Scheme::PerElement => "per-element",
+        }
+    }
+
+    /// The scheme a [`label`](Self::label) string names.
+    pub fn from_label(label: &str) -> Option<Scheme> {
+        match label {
+            "per-point" => Some(Scheme::PerPoint),
+            "per-element" => Some(Scheme::PerElement),
+            _ => None,
         }
     }
 }
@@ -64,12 +77,13 @@ pub struct PostProcessor {
     h_factor: f64,
     n_blocks: usize,
     parallel: bool,
+    instrument: bool,
 }
 
 impl PostProcessor {
     /// A post-processor with the paper's defaults: kernel smoothness equal
     /// to the field degree, `h` equal to the longest mesh edge, 16 blocks
-    /// (one per M2090 SM), parallel execution on.
+    /// (one per M2090 SM), parallel execution on, instrumentation off.
     pub fn new(scheme: Scheme) -> Self {
         Self {
             scheme,
@@ -77,6 +91,7 @@ impl PostProcessor {
             h_factor: 1.0,
             n_blocks: 16,
             parallel: true,
+            instrument: false,
         }
     }
 
@@ -114,6 +129,14 @@ impl PostProcessor {
         self
     }
 
+    /// Enables observability: phase spans on the coordinating thread and
+    /// per-block distribution probes in the workers (default off). Off,
+    /// the hot loops pay nothing beyond their plain counter increments.
+    pub fn instrument(mut self, on: bool) -> Self {
+        self.instrument = on;
+        self
+    }
+
     /// The configured scheme.
     pub fn scheme(&self) -> Scheme {
         self.scheme
@@ -130,23 +153,31 @@ impl PostProcessor {
             mesh.n_triangles(),
             "field does not match mesh"
         );
+        let tracer = Tracer::new(self.instrument);
         let p = field.degree();
         let k = self.smoothness.unwrap_or(p);
         let s = mesh.max_edge_length();
         let h = self.h_factor * s;
-        let stencil = Stencil2d::symmetric(k, h);
-        assert!(
-            stencil.width() <= 1.0 + 1e-12,
-            "stencil width {} exceeds the periodic unit domain; \
-             use a larger mesh or a smaller h_factor",
-            stencil.width()
-        );
-        let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(k, p));
+        let (stencil, rule) = {
+            let _span = tracer.span("setup.kernel");
+            let stencil = Stencil2d::symmetric(k, h);
+            assert!(
+                stencil.width() <= 1.0 + 1e-12,
+                "stencil width {} exceeds the periodic unit domain; \
+                 use a larger mesh or a smaller h_factor",
+                stencil.width()
+            );
+            let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(k, p));
+            (stencil, rule)
+        };
 
         let start = Instant::now();
-        let (values, block_metrics) = match self.scheme {
+        let (values, block_stats) = match self.scheme {
             Scheme::PerPoint => {
-                let tri_grid = TriangleGrid::build(mesh, Boundary::Periodic);
+                let tri_grid = {
+                    let _span = tracer.span("build.tri_grid");
+                    TriangleGrid::build(mesh, Boundary::Periodic)
+                };
                 let run = PerPointRun {
                     mesh,
                     field,
@@ -155,11 +186,18 @@ impl PostProcessor {
                     tri_grid: &tri_grid,
                     rule: &rule,
                 };
-                run.run(self.n_blocks, self.parallel)
+                let _span = tracer.span("eval.per_point");
+                run.run_instrumented(self.n_blocks, self.parallel, self.instrument)
             }
             Scheme::PerElement => {
-                let point_grid = PointGrid::build_half_edge(grid.points(), s, Boundary::Clamped);
-                let partition = partition_recursive_bisection(mesh, self.n_blocks);
+                let point_grid = {
+                    let _span = tracer.span("build.point_grid");
+                    PointGrid::build_half_edge(grid.points(), s, Boundary::Clamped)
+                };
+                let partition = {
+                    let _span = tracer.span("build.partition");
+                    partition_recursive_bisection(mesh, self.n_blocks)
+                };
                 let run = PerElementRun {
                     mesh,
                     field,
@@ -168,15 +206,26 @@ impl PostProcessor {
                     point_grid: &point_grid,
                     rule: &rule,
                 };
-                run.run(&partition, self.parallel)
+                let (results, stats) = {
+                    let _span = tracer.span("eval.per_element");
+                    run.run_patches(&partition, self.parallel, self.instrument)
+                };
+                let values = {
+                    let _span = tracer.span("reduce.patches");
+                    reduce_patches(&results, grid.len())
+                };
+                (values, stats)
             }
         };
         let wall = start.elapsed();
+        let block_metrics = BlockStats::metrics_of(&block_stats);
 
         Solution {
             values,
             metrics: Metrics::sum(&block_metrics),
             block_metrics,
+            block_stats,
+            spans: tracer.into_records(),
             wall,
             stencil_width: stencil.width(),
             scheme: self.scheme,
@@ -193,6 +242,12 @@ pub struct Solution {
     pub metrics: Metrics,
     /// Per-block (per-patch) work counters, the unit of device scheduling.
     pub block_metrics: Vec<Metrics>,
+    /// Full per-block stats: counters plus wall time, element/point
+    /// ownership, and distribution probes (probes are empty unless the run
+    /// was [instrumented](PostProcessor::instrument)).
+    pub block_stats: Vec<BlockStats>,
+    /// Phase spans of the run (empty unless instrumented).
+    pub spans: Vec<SpanRecord>,
     /// Wall-clock time of the run on the host.
     pub wall: Duration,
     /// The stencil width `(3k+1) h` used.
@@ -292,10 +347,7 @@ mod tests {
         let hw = sol.stencil_width / 2.0;
         let mut checked = 0;
         for (i, pt) in grid.points().iter().enumerate() {
-            let interior = pt.x - hw > 0.0
-                && pt.x + hw < 1.0
-                && pt.y - hw > 0.0
-                && pt.y + hw < 1.0;
+            let interior = pt.x - hw > 0.0 && pt.x + hw < 1.0 && pt.y - hw > 0.0 && pt.y + hw < 1.0;
             if interior {
                 let want = f(pt.x, pt.y);
                 assert!(
@@ -352,6 +404,64 @@ mod tests {
             .run(&mesh, &field, &grid);
         assert!(sol.rms_error(&grid, |_, _| 2.0) < 1e-9);
         assert!((sol.rms_error(&grid, |_, _| 3.0) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn instrumented_run_records_phases_and_probes() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 150, 8);
+        let field = project_l2(&mesh, 1, |x, y| x + y, 0);
+        let grid = ComputationGrid::quadrature_points(&mesh, 1);
+        let sol = PostProcessor::new(Scheme::PerElement)
+            .blocks(4)
+            .h_factor(0.5)
+            .parallel(false)
+            .instrument(true)
+            .run(&mesh, &field, &grid);
+        let names: Vec<&str> = sol.spans.iter().map(|r| r.name.as_str()).collect();
+        for phase in [
+            "setup.kernel",
+            "build.point_grid",
+            "build.partition",
+            "eval.per_element",
+            "reduce.patches",
+        ] {
+            assert!(names.contains(&phase), "missing span {phase}: {names:?}");
+        }
+        let eval = sol
+            .spans
+            .iter()
+            .find(|r| r.name == "eval.per_element")
+            .unwrap();
+        assert!(eval.duration_ns > 0);
+        assert_eq!(sol.block_stats.len(), sol.block_metrics.len());
+        let probe = crate::probe::BlockStats::merged_probe(&sol.block_stats);
+        assert!(probe.candidates_per_query().count() > 0);
+
+        let pp = PostProcessor::new(Scheme::PerPoint)
+            .h_factor(0.5)
+            .instrument(true)
+            .parallel(false)
+            .run(&mesh, &field, &grid);
+        assert!(pp.spans.iter().any(|r| r.name == "build.tri_grid"));
+        assert!(pp.spans.iter().any(|r| r.name == "eval.per_point"));
+
+        // Uninstrumented runs record nothing.
+        let plain = PostProcessor::new(Scheme::PerPoint)
+            .h_factor(0.5)
+            .parallel(false)
+            .run(&mesh, &field, &grid);
+        assert!(plain.spans.is_empty());
+        assert!(crate::probe::BlockStats::merged_probe(&plain.block_stats)
+            .candidates_per_query()
+            .is_empty());
+    }
+
+    #[test]
+    fn scheme_labels_round_trip() {
+        for scheme in [Scheme::PerPoint, Scheme::PerElement] {
+            assert_eq!(Scheme::from_label(scheme.label()), Some(scheme));
+        }
+        assert_eq!(Scheme::from_label("per-face"), None);
     }
 
     #[test]

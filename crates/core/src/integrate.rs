@@ -221,11 +221,9 @@ pub fn needed_shifts(support: &ustencil_geometry::Rect) -> impl Iterator<Item = 
         (support.y0 < 0.0).then_some(-1.0),
         (support.y1 > 1.0).then_some(1.0),
     ];
-    xs.into_iter().flatten().flat_map(move |sx| {
-        ys.into_iter()
-            .flatten()
-            .map(move |sy| Vec2::new(sx, sy))
-    })
+    xs.into_iter()
+        .flatten()
+        .flat_map(move |sx| ys.into_iter().flatten().map(move |sy| Vec2::new(sx, sy)))
 }
 
 #[cfg(test)]

@@ -17,7 +17,10 @@
 //! * [`device`] — a deterministic streaming-multiprocessor cost model that
 //!   converts counted work ([`Metrics`]) into simulated execution time,
 //!   standing in for the paper's GPUs (see DESIGN.md, substitutions);
-//! * [`engine`] — the [`PostProcessor`] front door tying it all together.
+//! * [`engine`] — the [`PostProcessor`] front door tying it all together;
+//! * [`probe`] / [`report`] — the observability layer: per-block stats and
+//!   distribution histograms merged at join points, unified with phase
+//!   spans and the cost model into a JSON-serializable [`RunReport`].
 //!
 //! The numerical contract: both schemes compute exactly the same convolution
 //! (Eq. 1–2), so their outputs agree to rounding; the difference is purely
@@ -33,12 +36,16 @@ pub mod metrics;
 pub mod per_element;
 pub mod per_point;
 pub mod pipelined;
+pub mod probe;
+pub mod report;
 pub mod tiling;
 
 pub use device::{CostModel, DeviceConfig, SimReport};
 pub use engine::{PostProcessor, Scheme, Solution};
 pub use grid_points::ComputationGrid;
 pub use metrics::Metrics;
+pub use probe::{BlockStats, Probe};
+pub use report::{RunRecord, RunReport};
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -46,4 +53,6 @@ pub mod prelude {
     pub use crate::engine::{PostProcessor, Scheme, Solution};
     pub use crate::grid_points::ComputationGrid;
     pub use crate::metrics::Metrics;
+    pub use crate::probe::{BlockStats, Probe};
+    pub use crate::report::{RunRecord, RunReport};
 }

@@ -2,9 +2,12 @@
 //!
 //! Metrics are accumulated in plain (non-atomic) per-worker structs and
 //! merged at join points, so the hot loop pays only an integer increment.
-//! They feed three consumers: Table 1 (intersection-test counts), the
-//! streaming-device cost model (simulated time, Figures 11–14), and the
-//! memory-overhead analysis (Figure 8).
+//! They feed the streaming-device cost model
+//! ([`device`](crate::device)) and surface to users through
+//! [`RunReport`](crate::report::RunReport), whose JSON `"metrics"` object
+//! mirrors this struct's field names one-to-one. The richer per-block view
+//! (wall time, distribution probes) lives in
+//! [`BlockStats`](crate::probe::BlockStats).
 
 /// Counted work of one evaluation run (or one block/patch of it).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -10,6 +10,7 @@
 use crate::grid_points::ComputationGrid;
 use crate::integrate::{integrate_element_stencil, needed_shifts, ElementData, IntegrationCtx};
 use crate::metrics::Metrics;
+use crate::probe::{timed, BlockStats, Probe};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use ustencil_dg::DgField;
@@ -49,6 +50,29 @@ pub struct PerElementRun<'a> {
 impl PerElementRun<'_> {
     /// Processes one patch of elements into its private scratch space.
     pub fn run_patch(&self, elements: &[u32]) -> PatchResult {
+        self.run_patch_instrumented(elements, false).0
+    }
+
+    /// Like [`run_patch`](Self::run_patch), but also times the patch and
+    /// (when `instrument` is set) records distribution probes.
+    pub fn run_patch_instrumented(
+        &self,
+        elements: &[u32],
+        instrument: bool,
+    ) -> (PatchResult, BlockStats) {
+        let mut probe = Probe::new(instrument);
+        let (result, wall_ns) = timed(|| self.patch_body(elements, &mut probe));
+        let stats = BlockStats {
+            metrics: result.metrics,
+            wall_ns,
+            elements: elements.len() as u64,
+            points: result.partials.len() as u64,
+            probe,
+        };
+        (result, stats)
+    }
+
+    fn patch_body(&self, elements: &[u32], probe: &mut Probe) -> PatchResult {
         let mut metrics = Metrics::default();
         let basis = self.field.basis();
         let half_width = self.stencil.width() / 2.0;
@@ -65,6 +89,7 @@ impl PerElementRun<'_> {
             // data-reuse property.
             metrics.elem_data_loads += elem_values;
             let ed = ElementData::gather(self.mesh, self.field, basis, e as usize);
+            let subregions_before = metrics.subregions;
 
             // Periodic images of the search region (Eq. 3, per-element
             // bounds). A point image p + sigma sees the element image
@@ -76,15 +101,12 @@ impl PerElementRun<'_> {
                 ed.bbox.max.y + half_width,
             );
             for sigma in needed_shifts(&inflated) {
-                let query = ustencil_geometry::Aabb::new(
-                    ed.bbox.min - sigma,
-                    ed.bbox.max - sigma,
-                );
-                metrics.cells_visited +=
-                    self.point_grid.candidate_cells(&query, half_width) as u64;
+                let query = ustencil_geometry::Aabb::new(ed.bbox.min - sigma, ed.bbox.max - sigma);
+                metrics.cells_visited += self.point_grid.candidate_cells(&query, half_width) as u64;
                 candidates.clear();
                 self.point_grid
                     .for_each_candidate(&query, half_width, |id| candidates.push(id));
+                probe.record_candidates(candidates.len() as u64);
 
                 let elem_shift = -sigma;
                 let image_min = ed.bbox.min + elem_shift;
@@ -100,8 +122,10 @@ impl PerElementRun<'_> {
                     if !support.intersects_aabb(&image_bb) {
                         continue;
                     }
+                    let quads_before = metrics.quad_evals;
                     let (v, hit) =
                         integrate_element_stencil(&ctx, center, &ed, elem_shift, &mut metrics);
+                    probe.record_quad_points(metrics.quad_evals - quads_before);
                     metrics.true_intersections += hit as u64;
                     if hit {
                         *partials.entry(id).or_insert(0.0) += v;
@@ -109,6 +133,7 @@ impl PerElementRun<'_> {
                     }
                 }
             }
+            probe.record_subregions(metrics.subregions - subregions_before);
         }
 
         let mut partials: Vec<(u32, f64)> = partials.into_iter().collect();
@@ -121,15 +146,45 @@ impl PerElementRun<'_> {
     /// Runs all patches (optionally in parallel) and reduces the partial
     /// solutions into the final grid-point values.
     pub fn run(&self, partition: &Partition, parallel: bool) -> (Vec<f64>, Vec<Metrics>) {
+        let (values, stats) = self.run_instrumented(partition, parallel, false);
+        (values, BlockStats::metrics_of(&stats))
+    }
+
+    /// Evaluates every patch (optionally in parallel) without reducing,
+    /// returning the partial solutions alongside full per-patch stats.
+    /// This is the evaluation phase the engine wraps in its `eval` span;
+    /// the reduction phase is [`reduce_patches`].
+    pub fn run_patches(
+        &self,
+        partition: &Partition,
+        parallel: bool,
+        instrument: bool,
+    ) -> (Vec<PatchResult>, Vec<BlockStats>) {
         let patches: Vec<&[u32]> = partition.patches().collect();
-        let results: Vec<PatchResult> = if parallel {
-            patches.par_iter().map(|p| self.run_patch(p)).collect()
+        let pairs: Vec<(PatchResult, BlockStats)> = if parallel {
+            patches
+                .par_iter()
+                .map(|p| self.run_patch_instrumented(p, instrument))
+                .collect()
         } else {
-            patches.iter().map(|p| self.run_patch(p)).collect()
+            patches
+                .iter()
+                .map(|p| self.run_patch_instrumented(p, instrument))
+                .collect()
         };
+        pairs.into_iter().unzip()
+    }
+
+    /// Like [`run`](Self::run), but returns full per-patch stats.
+    pub fn run_instrumented(
+        &self,
+        partition: &Partition,
+        parallel: bool,
+        instrument: bool,
+    ) -> (Vec<f64>, Vec<BlockStats>) {
+        let (results, stats) = self.run_patches(partition, parallel, instrument);
         let values = reduce_patches(&results, self.grid.len());
-        let metrics = results.into_iter().map(|r| r.metrics).collect();
-        (values, metrics)
+        (values, stats)
     }
 }
 
@@ -252,7 +307,10 @@ mod tests {
         let part = partition_recursive_bisection(&f_small.mesh, 16);
         let (_, blocks) = run.run(&part, false);
         let overhead_small = memory_overhead(&blocks, f_small.grid.len());
-        assert!(overhead_small > 1.0, "patches must overlap: {overhead_small}");
+        assert!(
+            overhead_small > 1.0,
+            "patches must overlap: {overhead_small}"
+        );
 
         let f_large = setup(1200, 1, 3);
         let run = run_of(&f_large);
@@ -277,5 +335,32 @@ mod tests {
             f.mesh.n_triangles() as u64 * Metrics::element_data_values(2)
         );
         assert_eq!(m.point_data_loads, 2 * m.intersection_tests);
+    }
+
+    #[test]
+    fn instrumented_patches_carry_stats() {
+        let f = setup(120, 1, 11);
+        let run = run_of(&f);
+        let part = partition_recursive_bisection(&f.mesh, 6);
+        let (plain, metrics) = run.run(&part, false);
+        let (instr, stats) = run.run_instrumented(&part, false, true);
+        assert_eq!(plain, instr, "instrumentation must not change values");
+        assert_eq!(metrics, BlockStats::metrics_of(&stats));
+        let elements: u64 = stats.iter().map(|s| s.elements).sum();
+        assert_eq!(elements, f.mesh.n_triangles() as u64);
+        for s in &stats {
+            assert!(s.wall_ns > 0);
+            assert_eq!(s.points, s.metrics.partial_slots);
+        }
+        let probe = BlockStats::merged_probe(&stats);
+        let m = Metrics::sum(&metrics);
+        // One sub-region sample per element; quad samples sum to the total.
+        assert_eq!(
+            probe.subregions_per_element().count(),
+            f.mesh.n_triangles() as u64
+        );
+        assert_eq!(probe.subregions_per_element().sum(), m.subregions);
+        assert_eq!(probe.quad_points_per_integration().sum(), m.quad_evals);
+        assert_eq!(probe.candidates_per_query().sum(), m.intersection_tests);
     }
 }

@@ -9,6 +9,7 @@
 use crate::grid_points::ComputationGrid;
 use crate::integrate::{integrate_element_stencil, needed_shifts, ElementData, IntegrationCtx};
 use crate::metrics::Metrics;
+use crate::probe::{timed, BlockStats, Probe};
 use rayon::prelude::*;
 use ustencil_dg::DgField;
 use ustencil_geometry::Aabb;
@@ -36,7 +37,13 @@ pub struct PerPointRun<'a> {
 impl PerPointRun<'_> {
     /// Processes the half-open point range `[start, end)`, writing results
     /// into `values` (length `end - start`).
-    fn run_block(&self, start: usize, end: usize, values: &mut [f64]) -> Metrics {
+    fn run_block(
+        &self,
+        start: usize,
+        end: usize,
+        values: &mut [f64],
+        probe: &mut Probe,
+    ) -> Metrics {
         let mut metrics = Metrics::default();
         let basis = self.field.basis();
         let half_width = self.stencil.width() / 2.0;
@@ -52,6 +59,7 @@ impl PerPointRun<'_> {
             candidates.clear();
             self.tri_grid
                 .for_each_candidate(center, half_width, |id| candidates.push(id));
+            probe.record_candidates(candidates.len() as u64);
 
             let mut value = 0.0;
             for &id in &candidates {
@@ -61,15 +69,19 @@ impl PerPointRun<'_> {
                 metrics.elem_data_loads += elem_values;
                 let ed = ElementData::gather(self.mesh, self.field, basis, id as usize);
                 let mut hit = false;
+                let subregions_before = metrics.subregions;
                 for shift in needed_shifts(&support) {
                     let bb = Aabb::new(ed.bbox.min + shift, ed.bbox.max + shift);
                     if support.intersects_aabb(&bb) {
+                        let quads_before = metrics.quad_evals;
                         let (v, h) =
                             integrate_element_stencil(&ctx, center, &ed, shift, &mut metrics);
+                        probe.record_quad_points(metrics.quad_evals - quads_before);
                         value += v;
                         hit |= h;
                     }
                 }
+                probe.record_subregions(metrics.subregions - subregions_before);
                 metrics.true_intersections += hit as u64;
             }
             values[slot] = value;
@@ -83,14 +95,40 @@ impl PerPointRun<'_> {
     /// Runs the whole grid split into `n_blocks` contiguous blocks,
     /// optionally in parallel, returning the solution and per-block metrics.
     pub fn run(&self, n_blocks: usize, parallel: bool) -> (Vec<f64>, Vec<Metrics>) {
+        let (values, stats) = self.run_instrumented(n_blocks, parallel, false);
+        (values, BlockStats::metrics_of(&stats))
+    }
+
+    /// Like [`run`](Self::run), but returns full per-block stats (wall
+    /// time, owned point counts, distribution probes). With
+    /// `instrument = false` the probes stay disabled and the hot loop pays
+    /// only its counter increments.
+    pub fn run_instrumented(
+        &self,
+        n_blocks: usize,
+        parallel: bool,
+        instrument: bool,
+    ) -> (Vec<f64>, Vec<BlockStats>) {
         let n = self.grid.len();
         let n_blocks = n_blocks.clamp(1, n.max(1));
         let bounds: Vec<(usize, usize)> = (0..n_blocks)
             .map(|b| (b * n / n_blocks, (b + 1) * n / n_blocks))
             .collect();
 
+        let block = |s: usize, e: usize, slice: &mut [f64]| -> BlockStats {
+            let mut probe = Probe::new(instrument);
+            let (metrics, wall_ns) = timed(|| self.run_block(s, e, slice, &mut probe));
+            BlockStats {
+                metrics,
+                wall_ns,
+                elements: 0,
+                points: (e - s) as u64,
+                probe,
+            }
+        };
+
         let mut values = vec![0.0; n];
-        let metrics: Vec<Metrics> = if parallel {
+        let stats: Vec<BlockStats> = if parallel {
             // Split the output buffer along block boundaries so each worker
             // owns its slice — race freedom by construction.
             let mut slices: Vec<&mut [f64]> = Vec::with_capacity(n_blocks);
@@ -103,20 +141,20 @@ impl PerPointRun<'_> {
             bounds
                 .par_iter()
                 .zip(slices)
-                .map(|(&(s, e), slice)| self.run_block(s, e, slice))
+                .map(|(&(s, e), slice)| block(s, e, slice))
                 .collect()
         } else {
             bounds
                 .iter()
                 .map(|&(s, e)| {
                     let mut slice = vec![0.0; e - s];
-                    let m = self.run_block(s, e, &mut slice);
+                    let st = block(s, e, &mut slice);
                     values[s..e].copy_from_slice(&slice);
-                    m
+                    st
                 })
                 .collect()
         };
-        (values, metrics)
+        (values, stats)
     }
 }
 
@@ -132,7 +170,14 @@ mod tests {
         n_tri: usize,
         p: usize,
         seed: u64,
-    ) -> (TriMesh, DgField, ComputationGrid, Stencil2d, TriangleGrid, TriangleRule) {
+    ) -> (
+        TriMesh,
+        DgField,
+        ComputationGrid,
+        Stencil2d,
+        TriangleGrid,
+        TriangleRule,
+    ) {
         let mesh = generate_mesh(MeshClass::LowVariance, n_tri, seed);
         let field = project_l2(&mesh, p, |x, y| 0.2 + x - 0.5 * y + x * y, 2);
         let grid = ComputationGrid::quadrature_points(&mesh, p);
@@ -212,5 +257,43 @@ mod tests {
             m.elem_data_loads,
             m.intersection_tests * Metrics::element_data_values(1)
         );
+    }
+
+    #[test]
+    fn instrumented_run_populates_stats() {
+        let (mesh, field, grid, stencil, tgrid, rule) = setup(100, 1, 6);
+        let run = PerPointRun {
+            mesh: &mesh,
+            field: &field,
+            grid: &grid,
+            stencil: &stencil,
+            tri_grid: &tgrid,
+            rule: &rule,
+        };
+        let (plain, metrics) = run.run(3, false);
+        let (instr, stats) = run.run_instrumented(3, false, true);
+        // Instrumentation must not change the numerics or the counters.
+        assert_eq!(plain, instr);
+        assert_eq!(metrics, BlockStats::metrics_of(&stats));
+        let points: u64 = stats.iter().map(|s| s.points).sum();
+        assert_eq!(points, grid.len() as u64);
+        for s in &stats {
+            assert!(s.wall_ns > 0, "per-block wall time must be measured");
+            assert_eq!(s.elements, 0, "per-point blocks own points, not elements");
+        }
+        let probe = BlockStats::merged_probe(&stats);
+        // One candidates sample per grid point, one sub-region sample per
+        // candidate pair, quadrature samples bounded by the clip volume.
+        assert_eq!(probe.candidates_per_query().count(), grid.len() as u64);
+        let m = Metrics::sum(&BlockStats::metrics_of(&stats));
+        assert_eq!(probe.candidates_per_query().sum(), m.intersection_tests);
+        assert_eq!(probe.subregions_per_element().count(), m.intersection_tests);
+        assert_eq!(probe.subregions_per_element().sum(), m.subregions);
+        assert_eq!(probe.quad_points_per_integration().sum(), m.quad_evals);
+        // Uninstrumented stats leave the probes empty.
+        let (_, bare) = run.run_instrumented(3, false, false);
+        assert!(BlockStats::merged_probe(&bare)
+            .candidates_per_query()
+            .is_empty());
     }
 }

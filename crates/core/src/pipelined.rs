@@ -15,9 +15,11 @@
 
 use crate::metrics::Metrics;
 use crate::per_element::PerElementRun;
+use crate::probe::BlockStats;
 use rayon::prelude::*;
 use ustencil_geometry::Aabb;
 use ustencil_mesh::Partition;
+use ustencil_trace::Tracer;
 
 /// The stage schedule of a pipelined execution.
 #[derive(Debug, Clone)]
@@ -39,10 +41,7 @@ impl PipelineSchedule {
 /// inflated by half the stencil width. Patches whose influence regions
 /// overlap may write to the same grid points and are placed in different
 /// stages.
-pub fn schedule_pipeline(
-    run: &PerElementRun<'_>,
-    partition: &Partition,
-) -> PipelineSchedule {
+pub fn schedule_pipeline(run: &PerElementRun<'_>, partition: &Partition) -> PipelineSchedule {
     let half_width = run.stencil.width() / 2.0;
     // Influence region of each patch.
     let regions: Vec<Aabb> = partition
@@ -73,10 +72,7 @@ pub fn schedule_pipeline(
         // First stage whose members don't overlap patch p.
         let mut placed = false;
         for (s, members) in stages.iter_mut().enumerate() {
-            if members
-                .iter()
-                .all(|&q| !overlaps(&regions[p], &regions[q]))
-            {
+            if members.iter().all(|&q| !overlaps(&regions[p], &regions[q])) {
                 members.push(p);
                 stage_of[p] = s;
                 placed = true;
@@ -101,43 +97,68 @@ pub fn run_pipelined(
     partition: &Partition,
     parallel: bool,
 ) -> (Vec<f64>, Vec<Metrics>, PipelineSchedule) {
-    let schedule = schedule_pipeline(run, partition);
+    let (values, stats, schedule) =
+        run_pipelined_instrumented(run, partition, parallel, false, &Tracer::disabled());
+    (values, BlockStats::metrics_of(&stats), schedule)
+}
+
+/// [`run_pipelined`] with full observability: per-patch stats, optional
+/// distribution probes, and one `pipeline.stage` span per synchronization
+/// stage on `tracer` — making the stage barriers (the scheme's cost) visible
+/// in the phase report.
+pub fn run_pipelined_instrumented(
+    run: &PerElementRun<'_>,
+    partition: &Partition,
+    parallel: bool,
+    instrument: bool,
+    tracer: &Tracer,
+) -> (Vec<f64>, Vec<BlockStats>, PipelineSchedule) {
+    let schedule = {
+        let _span = tracer.span("pipeline.schedule");
+        schedule_pipeline(run, partition)
+    };
     let mut values = vec![0.0; run.grid.len()];
-    let mut metrics = vec![Metrics::default(); partition.n_patches()];
+    let mut stats = vec![BlockStats::bare(Metrics::default()); partition.n_patches()];
 
     for stage in &schedule.stages {
+        let _span = tracer.span("pipeline.stage");
         // Within a stage, influence regions are disjoint, so direct writes
         // cannot race; each worker still produces its partials locally and
         // we apply them after the join, which keeps the code safe without
         // unsafe shared mutation.
-        let results: Vec<(usize, crate::per_element::PatchResult)> = if parallel {
+        let results: Vec<(usize, crate::per_element::PatchResult, BlockStats)> = if parallel {
             stage
                 .par_iter()
-                .map(|&p| (p, run.run_patch(partition.patch(p))))
+                .map(|&p| {
+                    let (r, s) = run.run_patch_instrumented(partition.patch(p), instrument);
+                    (p, r, s)
+                })
                 .collect()
         } else {
             stage
                 .iter()
-                .map(|&p| (p, run.run_patch(partition.patch(p))))
+                .map(|&p| {
+                    let (r, s) = run.run_patch_instrumented(partition.patch(p), instrument);
+                    (p, r, s)
+                })
                 .collect()
         };
-        for (p, result) in results {
+        for (p, result, mut st) in results {
             for &(id, v) in &result.partials {
                 values[id as usize] += v;
             }
-            let mut m = result.metrics;
             // Pipelining stores no partial copies: one slot per touched
             // point in the single shared buffer; report the no-overhead
             // accounting the paper describes.
-            m.partial_slots = 0;
-            metrics[p] = m;
+            st.metrics.partial_slots = 0;
+            stats[p] = st;
         }
     }
     // Baseline storage: the shared solution itself.
-    if let Some(first) = metrics.first_mut() {
-        first.partial_slots = run.grid.len() as u64;
+    if let Some(first) = stats.first_mut() {
+        first.metrics.partial_slots = run.grid.len() as u64;
     }
-    (values, metrics, schedule)
+    (values, stats, schedule)
 }
 
 /// Simulated execution time of a pipelined run: stages execute back to
@@ -282,6 +303,30 @@ mod tests {
             pipe_ms > over_ms * 0.9,
             "pipelined {pipe_ms} should not beat overlapped {over_ms} materially"
         );
+    }
+
+    #[test]
+    fn instrumented_pipelined_records_stage_spans() {
+        let f = setup(400, 2);
+        let run = run_of(&f);
+        let partition = partition_recursive_bisection(&f.mesh, 8);
+        let tracer = Tracer::new(true);
+        let (values, stats, schedule) =
+            run_pipelined_instrumented(&run, &partition, false, true, &tracer);
+        let (plain, metrics, _) = run_pipelined(&run, &partition, false);
+        assert_eq!(values, plain);
+        assert_eq!(BlockStats::metrics_of(&stats), metrics);
+        let records = tracer.into_records();
+        let stage_spans = records
+            .iter()
+            .filter(|r| r.name == "pipeline.stage")
+            .count();
+        assert_eq!(stage_spans, schedule.n_stages());
+        assert!(records.iter().any(|r| r.name == "pipeline.schedule"));
+        assert!(records.iter().all(|r| r.duration_ns > 0));
+        // Per-patch probes made it through the stage joins.
+        let probe = BlockStats::merged_probe(&stats);
+        assert!(probe.candidates_per_query().count() > 0);
     }
 
     #[test]

@@ -1,0 +1,517 @@
+//! The structured run report: one JSON-serializable record unifying phase
+//! spans, per-patch stats, distribution histograms, and the cost-model
+//! simulation of a post-processing run.
+//!
+//! A [`RunReport`] is what the `reproduce` harness writes with `--json` and
+//! what CI parses back to validate artifacts; [`RunReport::from_json`]
+//! reverses [`RunReport::to_json`] exactly (emit → parse → compare is a
+//! unit-tested identity). Derived quantities — the load-imbalance summary
+//! and simulated GFLOP/s — are emitted for readability but recomputed on
+//! parse, so they can never disagree with the underlying data.
+
+use crate::device::SimReport;
+use crate::engine::Solution;
+use crate::metrics::Metrics;
+use crate::probe::BlockStats;
+use ustencil_trace::{Hist64, ImbalanceSummary, Json, SpanRecord};
+
+/// Canonical histogram names, in emission order. These are the keys of the
+/// report's `"histograms"` object.
+pub const HISTOGRAM_NAMES: [&str; 3] = [
+    "candidates_per_query",
+    "subregions_per_element",
+    "quad_points_per_integration",
+];
+
+/// A whole harness invocation: which exhibit ran, with what seed, and every
+/// run it executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The exhibit or subcommand that produced this report.
+    pub exhibit: String,
+    /// Mesh-generation seed of the invocation.
+    pub seed: u64,
+    /// One record per executed configuration.
+    pub runs: Vec<RunRecord>,
+}
+
+/// Compact per-patch record (the per-patch probes are merged into the
+/// run-level histograms rather than serialized individually).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatchRecord {
+    /// Host wall-clock nanoseconds spent evaluating the patch.
+    pub wall_ns: u64,
+    /// Elements assigned to the patch (0 for per-point blocks).
+    pub elements: u64,
+    /// Grid points the patch wrote.
+    pub points: u64,
+    /// The patch's work counters.
+    pub metrics: Metrics,
+}
+
+/// Everything observed about one post-processing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Human-readable configuration label (e.g. `"low-variance/4k/p1"`).
+    pub label: String,
+    /// [`Scheme::label`](crate::Scheme::label) of the scheme that ran.
+    pub scheme: String,
+    /// Mesh size in triangles.
+    pub n_triangles: u64,
+    /// Evaluation points.
+    pub n_points: u64,
+    /// Host wall-clock milliseconds of the evaluation (build + eval).
+    pub wall_ms: f64,
+    /// Aggregated work counters.
+    pub metrics: Metrics,
+    /// Phase spans (empty when the run was not instrumented).
+    pub spans: Vec<SpanRecord>,
+    /// Per-patch stats, the basis of the imbalance summary.
+    pub patches: Vec<PatchRecord>,
+    /// Run-wide distribution histograms, keyed by [`HISTOGRAM_NAMES`].
+    pub histograms: Vec<(String, Hist64)>,
+    /// Cost-model simulation of the run, when one was computed.
+    pub device_sim: Option<SimReport>,
+}
+
+impl RunRecord {
+    /// Builds a record from a finished run. Histograms come from merging
+    /// every block's probe; they are empty unless the run was
+    /// [instrumented](crate::PostProcessor::instrument).
+    pub fn from_solution(
+        label: &str,
+        n_triangles: usize,
+        solution: &Solution,
+        device_sim: Option<SimReport>,
+    ) -> Self {
+        let probe = BlockStats::merged_probe(&solution.block_stats);
+        let histograms = vec![
+            (
+                HISTOGRAM_NAMES[0].to_string(),
+                *probe.candidates_per_query(),
+            ),
+            (
+                HISTOGRAM_NAMES[1].to_string(),
+                *probe.subregions_per_element(),
+            ),
+            (
+                HISTOGRAM_NAMES[2].to_string(),
+                *probe.quad_points_per_integration(),
+            ),
+        ];
+        Self {
+            label: label.to_string(),
+            scheme: solution.scheme.label().to_string(),
+            n_triangles: n_triangles as u64,
+            n_points: solution.values.len() as u64,
+            wall_ms: solution.wall.as_secs_f64() * 1e3,
+            metrics: solution.metrics,
+            spans: solution.spans.clone(),
+            patches: solution
+                .block_stats
+                .iter()
+                .map(|s| PatchRecord {
+                    wall_ns: s.wall_ns,
+                    elements: s.elements,
+                    points: s.points,
+                    metrics: s.metrics,
+                })
+                .collect(),
+            histograms,
+            device_sim,
+        }
+    }
+
+    /// Load-imbalance summaries over the per-patch stats, one per cost
+    /// proxy: measured wall time, candidate tests, and quadrature volume.
+    pub fn imbalance(&self) -> Vec<(&'static str, ImbalanceSummary)> {
+        let of = |f: &dyn Fn(&PatchRecord) -> u64| {
+            let values: Vec<f64> = self.patches.iter().map(|p| f(p) as f64).collect();
+            ImbalanceSummary::from_values(&values)
+        };
+        vec![
+            ("wall_ns", of(&|p| p.wall_ns)),
+            ("intersection_tests", of(&|p| p.metrics.intersection_tests)),
+            ("quad_evals", of(&|p| p.metrics.quad_evals)),
+        ]
+    }
+
+    /// The named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Hist64> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+impl RunReport {
+    /// An empty report for the given exhibit and seed.
+    pub fn new(exhibit: &str, seed: u64) -> Self {
+        Self {
+            exhibit: exhibit.to_string(),
+            seed,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Serializes the report to a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .set("exhibit", self.exhibit.as_str())
+            .set("seed", self.seed)
+            .set(
+                "runs",
+                self.runs.iter().map(record_to_json).collect::<Vec<_>>(),
+            )
+    }
+
+    /// Serializes the report to pretty-printed JSON text.
+    pub fn to_pretty_string(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+
+    /// Parses a report back from JSON text. Exact inverse of
+    /// [`to_json`](Self::to_json): derived fields (`imbalance`, `gflops`)
+    /// are ignored and recomputed on demand.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        let runs = get(&doc, "runs")?
+            .as_array()
+            .ok_or("'runs' is not an array")?
+            .iter()
+            .map(record_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            exhibit: get_str(&doc, "exhibit")?.to_string(),
+            seed: get_u64(&doc, "seed")?,
+            runs,
+        })
+    }
+}
+
+fn record_to_json(r: &RunRecord) -> Json {
+    let spans: Vec<Json> = r
+        .spans
+        .iter()
+        .map(|s| {
+            Json::object()
+                .set("name", s.name.as_str())
+                .set("depth", s.depth)
+                .set("start_ns", s.start_ns)
+                .set("duration_ns", s.duration_ns)
+        })
+        .collect();
+    let patches: Vec<Json> = r
+        .patches
+        .iter()
+        .map(|p| {
+            Json::object()
+                .set("wall_ns", p.wall_ns)
+                .set("elements", p.elements)
+                .set("points", p.points)
+                .set("metrics", metrics_to_json(&p.metrics))
+        })
+        .collect();
+    let mut hists = Json::object();
+    for (name, h) in &r.histograms {
+        hists = hists.set(name, hist_to_json(h));
+    }
+    let mut imbalance = Json::object();
+    for (name, s) in r.imbalance() {
+        imbalance = imbalance.set(name, imbalance_to_json(&s));
+    }
+    let device_sim = match &r.device_sim {
+        None => Json::Null,
+        Some(sim) => Json::object()
+            .set(
+                "device_ms",
+                sim.device_ms
+                    .iter()
+                    .map(|&ms| Json::Num(ms))
+                    .collect::<Vec<_>>(),
+            )
+            .set("reduction_ms", sim.reduction_ms)
+            .set("total_ms", sim.total_ms)
+            .set("flops", sim.flops)
+            .set("gflops", sim.gflops()),
+    };
+    Json::object()
+        .set("label", r.label.as_str())
+        .set("scheme", r.scheme.as_str())
+        .set("n_triangles", r.n_triangles)
+        .set("n_points", r.n_points)
+        .set("wall_ms", r.wall_ms)
+        .set("metrics", metrics_to_json(&r.metrics))
+        .set("spans", spans)
+        .set("patches", patches)
+        .set("imbalance", imbalance)
+        .set("histograms", hists)
+        .set("device_sim", device_sim)
+}
+
+fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
+    let spans = get(doc, "spans")?
+        .as_array()
+        .ok_or("'spans' is not an array")?
+        .iter()
+        .map(|s| {
+            Ok(SpanRecord {
+                name: get_str(s, "name")?.to_string(),
+                depth: get_u64(s, "depth")? as u32,
+                start_ns: get_u64(s, "start_ns")?,
+                duration_ns: get_u64(s, "duration_ns")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let patches = get(doc, "patches")?
+        .as_array()
+        .ok_or("'patches' is not an array")?
+        .iter()
+        .map(|p| {
+            Ok(PatchRecord {
+                wall_ns: get_u64(p, "wall_ns")?,
+                elements: get_u64(p, "elements")?,
+                points: get_u64(p, "points")?,
+                metrics: metrics_from_json(get(p, "metrics")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let histograms = match get(doc, "histograms")? {
+        Json::Obj(pairs) => pairs
+            .iter()
+            .map(|(name, h)| Ok((name.clone(), hist_from_json(h)?)))
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err("'histograms' is not an object".to_string()),
+    };
+    let device_sim = match get(doc, "device_sim")? {
+        Json::Null => None,
+        sim => Some(SimReport {
+            device_ms: sim
+                .get("device_ms")
+                .and_then(Json::as_array)
+                .ok_or("'device_ms' is not an array")?
+                .iter()
+                .map(|v| v.as_f64().ok_or("non-numeric device_ms entry"))
+                .collect::<Result<Vec<_>, _>>()?,
+            reduction_ms: get_f64(sim, "reduction_ms")?,
+            total_ms: get_f64(sim, "total_ms")?,
+            flops: get_u64(sim, "flops")?,
+        }),
+    };
+    Ok(RunRecord {
+        label: get_str(doc, "label")?.to_string(),
+        scheme: get_str(doc, "scheme")?.to_string(),
+        n_triangles: get_u64(doc, "n_triangles")?,
+        n_points: get_u64(doc, "n_points")?,
+        wall_ms: get_f64(doc, "wall_ms")?,
+        metrics: metrics_from_json(get(doc, "metrics")?)?,
+        spans,
+        patches,
+        histograms,
+        device_sim,
+    })
+}
+
+/// Field names mirror the [`Metrics`] struct exactly.
+const METRIC_FIELDS: [&str; 11] = [
+    "intersection_tests",
+    "true_intersections",
+    "cell_clips",
+    "subregions",
+    "quad_evals",
+    "flops",
+    "cells_visited",
+    "elem_data_loads",
+    "point_data_loads",
+    "solution_writes",
+    "partial_slots",
+];
+
+fn metrics_to_json(m: &Metrics) -> Json {
+    Json::object()
+        .set("intersection_tests", m.intersection_tests)
+        .set("true_intersections", m.true_intersections)
+        .set("cell_clips", m.cell_clips)
+        .set("subregions", m.subregions)
+        .set("quad_evals", m.quad_evals)
+        .set("flops", m.flops)
+        .set("cells_visited", m.cells_visited)
+        .set("elem_data_loads", m.elem_data_loads)
+        .set("point_data_loads", m.point_data_loads)
+        .set("solution_writes", m.solution_writes)
+        .set("partial_slots", m.partial_slots)
+}
+
+fn metrics_from_json(doc: &Json) -> Result<Metrics, String> {
+    let mut vals = [0u64; METRIC_FIELDS.len()];
+    for (slot, field) in vals.iter_mut().zip(METRIC_FIELDS) {
+        *slot = get_u64(doc, field)?;
+    }
+    let [intersection_tests, true_intersections, cell_clips, subregions, quad_evals, flops, cells_visited, elem_data_loads, point_data_loads, solution_writes, partial_slots] =
+        vals;
+    Ok(Metrics {
+        intersection_tests,
+        true_intersections,
+        cell_clips,
+        subregions,
+        quad_evals,
+        flops,
+        cells_visited,
+        elem_data_loads,
+        point_data_loads,
+        solution_writes,
+        partial_slots,
+    })
+}
+
+fn hist_to_json(h: &Hist64) -> Json {
+    let buckets: Vec<Json> = h
+        .iter_nonempty()
+        .map(|(b, c)| {
+            let (lo, hi) = Hist64::bucket_bounds(b);
+            Json::object()
+                .set("bucket", b)
+                .set("lo", lo)
+                .set("hi", hi.min(h.max()))
+                .set("count", c)
+        })
+        .collect();
+    Json::object()
+        .set("count", h.count())
+        .set("sum", h.sum())
+        .set("max", h.max())
+        .set("buckets", buckets)
+}
+
+fn hist_from_json(doc: &Json) -> Result<Hist64, String> {
+    let sparse = get(doc, "buckets")?
+        .as_array()
+        .ok_or("'buckets' is not an array")?
+        .iter()
+        .map(|b| Ok((get_u64(b, "bucket")? as usize, get_u64(b, "count")?)))
+        .collect::<Result<Vec<_>, String>>()?;
+    Hist64::from_parts(&sparse, get_u64(doc, "sum")?, get_u64(doc, "max")?)
+}
+
+fn imbalance_to_json(s: &ImbalanceSummary) -> Json {
+    Json::object()
+        .set("n", s.n)
+        .set("min", s.min)
+        .set("max", s.max)
+        .set("mean", s.mean)
+        .set("max_over_mean", s.max_over_mean)
+        .set("cov", s.cov)
+        .set("gini", s.gini)
+}
+
+fn get<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing key '{key}'"))
+}
+
+fn get_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    get(doc, key)?
+        .as_u64()
+        .ok_or_else(|| format!("'{key}' is not a non-negative integer"))
+}
+
+fn get_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    get(doc, key)?
+        .as_f64()
+        .ok_or_else(|| format!("'{key}' is not a number"))
+}
+
+fn get_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+    get(doc, key)?
+        .as_str()
+        .ok_or_else(|| format!("'{key}' is not a string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{PostProcessor, Scheme};
+    use crate::grid_points::ComputationGrid;
+    use ustencil_dg::project_l2;
+    use ustencil_mesh::{generate_mesh, MeshClass};
+
+    fn small_report() -> RunReport {
+        let mesh = generate_mesh(MeshClass::LowVariance, 120, 3);
+        let field = project_l2(&mesh, 1, |x, y| x - y, 0);
+        let grid = ComputationGrid::quadrature_points(&mesh, 1);
+        let mut report = RunReport::new("test", 3);
+        for scheme in [Scheme::PerPoint, Scheme::PerElement] {
+            let sol = PostProcessor::new(scheme)
+                .blocks(4)
+                .h_factor(0.5)
+                .parallel(false)
+                .instrument(true)
+                .run(&mesh, &field, &grid);
+            let sim = sol.simulate(&crate::device::DeviceConfig::default());
+            report.runs.push(RunRecord::from_solution(
+                &format!("test/{}", scheme.label()),
+                mesh.n_triangles(),
+                &sol,
+                Some(sim),
+            ));
+        }
+        report
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let report = small_report();
+        let text = report.to_pretty_string();
+        let parsed = RunReport::from_json(&text).expect("parse emitted report");
+        assert_eq!(parsed, report);
+        // And the re-emission is byte-identical (stable field order).
+        assert_eq!(parsed.to_pretty_string(), text);
+    }
+
+    #[test]
+    fn report_contains_the_advertised_content() {
+        let report = small_report();
+        assert_eq!(report.runs.len(), 2);
+        for run in &report.runs {
+            assert!(crate::Scheme::from_label(&run.scheme).is_some());
+            assert!(!run.spans.is_empty(), "instrumented run must have spans");
+            assert!(run.spans.iter().any(|s| s.duration_ns > 0));
+            assert!(!run.patches.is_empty());
+            let cand = run.histogram("candidates_per_query").unwrap();
+            assert!(cand.count() > 0);
+            assert_eq!(cand.sum(), run.metrics.intersection_tests);
+            let imb = run.imbalance();
+            assert_eq!(imb.len(), 3);
+            for (_, s) in imb {
+                assert!(s.max_over_mean >= 1.0 - 1e-12);
+                assert!((0.0..1.0).contains(&s.gini));
+            }
+            assert!(run.device_sim.as_ref().unwrap().total_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(RunReport::from_json("{}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+        let mut report = RunReport::new("x", 1);
+        report.runs.push(RunRecord {
+            label: "l".into(),
+            scheme: "per-point".into(),
+            n_triangles: 1,
+            n_points: 1,
+            wall_ms: 0.5,
+            metrics: Metrics::default(),
+            spans: vec![],
+            patches: vec![],
+            histograms: vec![],
+            device_sim: None,
+        });
+        // A valid minimal report still round-trips.
+        let text = report.to_pretty_string();
+        assert_eq!(RunReport::from_json(&text).unwrap(), report);
+        // Corrupting a required field breaks the parse.
+        let broken = text.replace("\"seed\"", "\"sead\"");
+        assert!(RunReport::from_json(&broken).is_err());
+    }
+}

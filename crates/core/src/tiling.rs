@@ -6,6 +6,7 @@
 //! processed, then the per-device results are reduced once more.
 
 use crate::per_element::PatchResult;
+use ustencil_trace::Tracer;
 
 /// Round-robin assignment of `n_patches` patch indices to `n_devices`
 /// devices (the paper's even distribution).
@@ -30,20 +31,36 @@ pub fn two_stage_reduce(
     assignment: &[Vec<usize>],
     n_points: usize,
 ) -> Vec<f64> {
+    two_stage_reduce_traced(results, assignment, n_points, &Tracer::disabled())
+}
+
+/// [`two_stage_reduce`] with phase spans: `reduce.per_device` covers the
+/// per-device partial sums, `reduce.cross_device` the final sum across
+/// devices.
+pub fn two_stage_reduce_traced(
+    results: &[PatchResult],
+    assignment: &[Vec<usize>],
+    n_points: usize,
+    tracer: &Tracer,
+) -> Vec<f64> {
     // Stage 1: each device reduces its own patches.
-    let stage1: Vec<Vec<f64>> = assignment
-        .iter()
-        .map(|patches| {
-            let mut local = vec![0.0; n_points];
-            for &p in patches {
-                for &(id, v) in &results[p].partials {
-                    local[id as usize] += v;
+    let stage1: Vec<Vec<f64>> = {
+        let _span = tracer.span("reduce.per_device");
+        assignment
+            .iter()
+            .map(|patches| {
+                let mut local = vec![0.0; n_points];
+                for &p in patches {
+                    for &(id, v) in &results[p].partials {
+                        local[id as usize] += v;
+                    }
                 }
-            }
-            local
-        })
-        .collect();
+                local
+            })
+            .collect()
+    };
     // Stage 2: reduce the per-device solutions.
+    let _span = tracer.span("reduce.cross_device");
     let mut total = vec![0.0; n_points];
     for local in stage1 {
         for (t, v) in total.iter_mut().zip(local) {
@@ -103,5 +120,16 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn zero_devices_panics() {
         let _ = assign_patches(4, 0);
+    }
+
+    #[test]
+    fn traced_reduce_records_both_phases() {
+        let results = fake_results();
+        let assignment = assign_patches(results.len(), 2);
+        let tracer = Tracer::new(true);
+        let traced = two_stage_reduce_traced(&results, &assignment, 4, &tracer);
+        assert_eq!(traced, reduce_patches(&results, 4));
+        let names: Vec<String> = tracer.into_records().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, ["reduce.per_device", "reduce.cross_device"]);
     }
 }

@@ -84,8 +84,8 @@ impl DubinerBasis {
                 }
                 rhs[r] = norms[m] * eval_raw(i, j, u, v);
             }
-            let coeffs = solve_dense(&mut vand, &mut rhs, n)
-                .expect("interpolation lattice is unisolvent");
+            let coeffs =
+                solve_dense(&mut vand, &mut rhs, n).expect("interpolation lattice is unisolvent");
             monomial[m * n..(m + 1) * n].copy_from_slice(&coeffs);
         }
 
@@ -218,10 +218,7 @@ mod tests {
                         basis.eval_mode(m1, u, v) * basis.eval_mode(m2, u, v)
                     });
                     let want = if m1 == m2 { 1.0 } else { 0.0 };
-                    assert!(
-                        (ip - want).abs() < 1e-11,
-                        "p={p} <{m1},{m2}> = {ip}"
-                    );
+                    assert!((ip - want).abs() < 1e-11, "p={p} <{m1},{m2}> = {ip}");
                 }
             }
         }
@@ -266,8 +263,10 @@ mod tests {
         for m in 0..basis.n_modes() {
             for &(u, v) in &[(0.2, 0.3), (0.5, 0.1), (0.1, 0.6)] {
                 let (du, dv) = basis.grad_mode(m, u, v);
-                let fd_u = (basis.eval_mode(m, u + h, v) - basis.eval_mode(m, u - h, v)) / (2.0 * h);
-                let fd_v = (basis.eval_mode(m, u, v + h) - basis.eval_mode(m, u, v - h)) / (2.0 * h);
+                let fd_u =
+                    (basis.eval_mode(m, u + h, v) - basis.eval_mode(m, u - h, v)) / (2.0 * h);
+                let fd_v =
+                    (basis.eval_mode(m, u, v + h) - basis.eval_mode(m, u, v - h)) / (2.0 * h);
                 assert!((du - fd_u).abs() < 1e-5, "m={m} du {du} vs {fd_u}");
                 assert!((dv - fd_v).abs() < 1e-5, "m={m} dv {dv} vs {fd_v}");
             }
@@ -288,7 +287,9 @@ mod tests {
         let basis = DubinerBasis::new(1);
         let coeffs = [1.0, 0.5, -0.25];
         let got = basis.eval_expansion(&coeffs, 0.3, 0.3);
-        let want: f64 = (0..3).map(|m| coeffs[m] * basis.eval_mode(m, 0.3, 0.3)).sum();
+        let want: f64 = (0..3)
+            .map(|m| coeffs[m] * basis.eval_mode(m, 0.3, 0.3))
+            .sum();
         assert_eq!(got, want);
     }
 }

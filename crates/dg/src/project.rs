@@ -76,7 +76,9 @@ mod tests {
     #[test]
     fn projection_error_decreases_with_degree() {
         let mesh = generate_mesh(MeshClass::StructuredPattern, 200, 0);
-        let f = |x: f64, y: f64| (2.0 * std::f64::consts::PI * x).sin() * (2.0 * std::f64::consts::PI * y).cos();
+        let f = |x: f64, y: f64| {
+            (2.0 * std::f64::consts::PI * x).sin() * (2.0 * std::f64::consts::PI * y).cos()
+        };
         let e1 = l2_error(&mesh, &project_l2(&mesh, 1, f, 4), f, 6);
         let e2 = l2_error(&mesh, &project_l2(&mesh, 2, f, 4), f, 6);
         let e3 = l2_error(&mesh, &project_l2(&mesh, 3, f, 4), f, 6);
@@ -86,7 +88,9 @@ mod tests {
 
     #[test]
     fn projection_converges_at_order_p_plus_one() {
-        let f = |x: f64, y: f64| (2.0 * std::f64::consts::PI * x).sin() * (2.0 * std::f64::consts::PI * y).sin();
+        let f = |x: f64, y: f64| {
+            (2.0 * std::f64::consts::PI * x).sin() * (2.0 * std::f64::consts::PI * y).sin()
+        };
         for p in 1..=2usize {
             let coarse = generate_mesh(MeshClass::StructuredPattern, 2 * 8 * 8, 0);
             let fine = generate_mesh(MeshClass::StructuredPattern, 2 * 16 * 16, 0);

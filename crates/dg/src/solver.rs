@@ -192,9 +192,9 @@ impl AdvectionSolver {
                 let row = &self.vol_phi[q * n_modes..(q + 1) * n_modes];
                 let u_val: f64 = coeffs.iter().zip(row).map(|(c, p)| c * p).sum();
                 let scale = w * u_val;
-                for m in 0..n_modes {
+                for (m, o) in out_e.iter_mut().enumerate() {
                     let (du, dv) = self.vol_dphi[q * n_modes + m];
-                    out_e[m] += scale * (geom.cref.0 * du + geom.cref.1 * dv);
+                    *o += scale * (geom.cref.0 * du + geom.cref.1 * dv);
                 }
             }
             // The |J| of the volume integral cancels against the inverse
@@ -221,8 +221,8 @@ impl AdvectionSolver {
                 for (q, (&t, &w)) in self.edge_nodes.iter().zip(&self.edge_wts).enumerate() {
                     let x = a.lerp(b, t);
                     // Interior trace.
-                    let row =
-                        &self.edge_phi[(k * nq_edge + q) * n_modes..(k * nq_edge + q + 1) * n_modes];
+                    let row = &self.edge_phi
+                        [(k * nq_edge + q) * n_modes..(k * nq_edge + q + 1) * n_modes];
                     let u_minus: f64 = coeffs.iter().zip(row).map(|(c, p)| c * p).sum();
                     let flux = if cn >= 0.0 {
                         cn * u_minus
@@ -267,12 +267,11 @@ impl AdvectionSolver {
         // Stage 2.
         let mut k2 = vec![0.0; n];
         self.rhs(&tmp, &mut k2);
-        for (t, (u, (r1, r2))) in tmp.coefficients_mut().iter_mut().zip(
-            field
-                .coefficients()
-                .iter()
-                .zip(k1.iter().zip(&k2)),
-        ) {
+        for (t, (u, (r1, r2))) in tmp
+            .coefficients_mut()
+            .iter_mut()
+            .zip(field.coefficients().iter().zip(k1.iter().zip(&k2)))
+        {
             *t = 0.75 * u + 0.25 * (u + dt * r1 + dt * r2);
         }
         // Stage 3.
@@ -318,9 +317,8 @@ impl AdvectionSolver {
 fn build_periodic_adjacency(mesh: &TriMesh) -> Vec<[FaceNeighbor; 3]> {
     use std::collections::HashMap;
 
-    let quantize = |p: Point2| -> (i64, i64) {
-        ((p.x * 1e9).round() as i64, (p.y * 1e9).round() as i64)
-    };
+    let quantize =
+        |p: Point2| -> (i64, i64) { ((p.x * 1e9).round() as i64, (p.y * 1e9).round() as i64) };
 
     // Midpoint -> (element, local edge). Interior edges appear twice.
     let mut edge_map: HashMap<(i64, i64), Vec<(u32, u8)>> = HashMap::new();
@@ -328,7 +326,10 @@ fn build_periodic_adjacency(mesh: &TriMesh) -> Vec<[FaceNeighbor; 3]> {
         let verts = tri.vertices();
         for k in 0..3 {
             let mid = verts[k].lerp(verts[(k + 1) % 3], 0.5);
-            edge_map.entry(quantize(mid)).or_default().push((e as u32, k as u8));
+            edge_map
+                .entry(quantize(mid))
+                .or_default()
+                .push((e as u32, k as u8));
         }
     }
 
@@ -444,11 +445,7 @@ mod tests {
             solver.advance(&mut field, t);
             errs.push(l2_error(&mesh, &field, exact, 4));
         }
-        assert!(
-            errs[1] < errs[0] / 2.5,
-            "no convergence: {:?}",
-            errs
-        );
+        assert!(errs[1] < errs[0] / 2.5, "no convergence: {:?}", errs);
     }
 
     #[test]

@@ -136,7 +136,11 @@ mod tests {
     use super::*;
 
     fn tri(ax: f64, ay: f64, bx: f64, by: f64, cx: f64, cy: f64) -> Triangle {
-        Triangle::new(Point2::new(ax, ay), Point2::new(bx, by), Point2::new(cx, cy))
+        Triangle::new(
+            Point2::new(ax, ay),
+            Point2::new(bx, by),
+            Point2::new(cx, cy),
+        )
     }
 
     fn fan_area(poly: &ConvexPolygon) -> f64 {
@@ -227,7 +231,12 @@ mod tests {
                 total += clip_triangle_rect(&t, &r).area();
             }
         }
-        assert!((total - t.area()).abs() < 1e-12, "{} vs {}", total, t.area());
+        assert!(
+            (total - t.area()).abs() < 1e-12,
+            "{} vs {}",
+            total,
+            t.area()
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! the clipped area exactly.
 
 use proptest::prelude::*;
-use ustencil_geometry::{clip_polygon, clip_triangle_rect, fan_triangulate, Point2, Rect, Triangle};
+use ustencil_geometry::{
+    clip_polygon, clip_triangle_rect, fan_triangulate, Point2, Rect, Triangle,
+};
 
 fn arb_point(range: f64) -> impl Strategy<Value = Point2> {
     (-range..range, -range..range).prop_map(|(x, y)| Point2::new(x, y))
@@ -19,12 +21,7 @@ fn arb_triangle(range: f64) -> impl Strategy<Value = Triangle> {
 }
 
 fn arb_rect(range: f64) -> impl Strategy<Value = Rect> {
-    (
-        -range..range,
-        -range..range,
-        0.05..range,
-        0.05..range,
-    )
+    (-range..range, -range..range, 0.05..range, 0.05..range)
         .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
 }
 

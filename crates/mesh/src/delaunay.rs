@@ -96,6 +96,27 @@ impl Triangulator {
         self.points[i as usize]
     }
 
+    /// Cavity-membership test: does the circumcircle of triangle `t`
+    /// contain `p`?
+    ///
+    /// A triangle with one super vertex is treated as a ghost whose
+    /// circumcircle is the limit half-plane beyond its real (hull) edge,
+    /// decided by `orient2d` in hull-scale coordinates. Evaluating the
+    /// `in_circle` determinant directly with a super vertex at huge
+    /// coordinates loses the sign exactly when `p` lies a sliver's width
+    /// inside the hull, which stitched such points onto the hull and
+    /// left uncovered slivers behind after super-triangle removal.
+    fn circum_contains(&self, t: u32, p: Point2) -> bool {
+        let tri = &self.tris[t as usize];
+        if let Some(k) = tri.v.iter().position(|&v| v < 3) {
+            let (a, b) = (tri.v[(k + 1) % 3], tri.v[(k + 2) % 3]);
+            if a >= 3 && b >= 3 {
+                return orient2d(self.pt(a), self.pt(b), p) > 0.0;
+            }
+        }
+        in_circle(self.pt(tri.v[0]), self.pt(tri.v[1]), self.pt(tri.v[2]), p) > 0.0
+    }
+
     /// Walks from `start` to the triangle containing `p`.
     fn locate(&self, p: Point2, start: u32) -> u32 {
         let mut t = start;
@@ -168,8 +189,7 @@ impl Triangulator {
                 if n == INVALID || self.in_cavity[n as usize] {
                     continue;
                 }
-                let nt = self.tris[n as usize];
-                if in_circle(self.pt(nt.v[0]), self.pt(nt.v[1]), self.pt(nt.v[2]), p) > 0.0 {
+                if self.circum_contains(n, p) {
                     self.in_cavity[n as usize] = true;
                     stack.push(n);
                 }

@@ -82,13 +82,13 @@ fn unstructured(target_triangles: usize, seed: u64, graded: bool) -> TriMesh {
 
     // Boundary resolution: one point per expected element width.
     let m = ((target_triangles as f64 / 2.0).sqrt().round() as usize).max(2);
-    let mut points = Vec::new();
-
     // Corners pin the hull to the exact unit square.
-    points.push(Point2::new(0.0, 0.0));
-    points.push(Point2::new(1.0, 0.0));
-    points.push(Point2::new(1.0, 1.0));
-    points.push(Point2::new(0.0, 1.0));
+    let mut points = vec![
+        Point2::new(0.0, 0.0),
+        Point2::new(1.0, 0.0),
+        Point2::new(1.0, 1.0),
+        Point2::new(0.0, 1.0),
+    ];
 
     // Boundary points, jittered along each side so no three consecutive
     // boundary points are evenly spaced (avoids cocircular degeneracies),
@@ -122,7 +122,10 @@ fn unstructured(target_triangles: usize, seed: u64, graded: bool) -> TriMesh {
             let y = (j as f64 + 0.5 + jy) / g as f64;
             let (x, y) = if graded { (warp(x), warp(y)) } else { (x, y) };
             // Keep interior points strictly inside.
-            points.push(Point2::new(x.clamp(1e-4, 1.0 - 1e-4), y.clamp(1e-4, 1.0 - 1e-4)));
+            points.push(Point2::new(
+                x.clamp(1e-4, 1.0 - 1e-4),
+                y.clamp(1e-4, 1.0 - 1e-4),
+            ));
         }
     }
 

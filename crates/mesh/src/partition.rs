@@ -85,15 +85,11 @@ fn bisect(ids: &mut [u32], centroids: &[Point2], k: usize, out: &mut Vec<Vec<u32
     let horizontal = bb.width() >= bb.height();
     if horizontal {
         ids.select_nth_unstable_by(split.min(ids.len().saturating_sub(1)), |&a, &b| {
-            centroids[a as usize]
-                .x
-                .total_cmp(&centroids[b as usize].x)
+            centroids[a as usize].x.total_cmp(&centroids[b as usize].x)
         });
     } else {
         ids.select_nth_unstable_by(split.min(ids.len().saturating_sub(1)), |&a, &b| {
-            centroids[a as usize]
-                .y
-                .total_cmp(&centroids[b as usize].y)
+            centroids[a as usize].y.total_cmp(&centroids[b as usize].y)
         });
     }
     let (lo, hi) = ids.split_at_mut(split);

@@ -80,9 +80,9 @@ mod tests {
         assert_eq!(PERIODIC_SHIFTS.len(), 9);
         assert_eq!(PERIODIC_SHIFTS[0], Vec2::ZERO);
         // All distinct.
-        for i in 0..9 {
-            for j in (i + 1)..9 {
-                assert_ne!(PERIODIC_SHIFTS[i], PERIODIC_SHIFTS[j]);
+        for (i, a) in PERIODIC_SHIFTS.iter().enumerate() {
+            for b in PERIODIC_SHIFTS.iter().skip(i + 1) {
+                assert_ne!(a, b);
             }
         }
     }

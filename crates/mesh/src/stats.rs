@@ -44,11 +44,7 @@ impl MeshStats {
         let mut max_area: f64 = 0.0;
         let mut total_area = 0.0;
         for t in mesh.triangles() {
-            let edges = [
-                t.a.distance(t.b),
-                t.b.distance(t.c),
-                t.c.distance(t.a),
-            ];
+            let edges = [t.a.distance(t.b), t.b.distance(t.c), t.c.distance(t.a)];
             for e in edges {
                 min_edge = min_edge.min(e);
                 max_edge = max_edge.max(e);

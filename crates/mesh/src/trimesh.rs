@@ -48,7 +48,11 @@ impl std::fmt::Display for MeshError {
                 write!(f, "triangle {triangle} repeats a vertex")
             }
             MeshError::NonManifoldEdge { edge } => {
-                write!(f, "edge ({}, {}) is shared by more than two triangles", edge.0, edge.1)
+                write!(
+                    f,
+                    "edge ({}, {}) is shared by more than two triangles",
+                    edge.0, edge.1
+                )
             }
         }
     }
@@ -248,7 +252,10 @@ mod tests {
             vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)],
             vec![[0, 1, 1]],
         );
-        assert!(matches!(m.validate(), Err(MeshError::RepeatedVertex { .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(MeshError::RepeatedVertex { .. })
+        ));
     }
 
     #[test]
@@ -264,7 +271,10 @@ mod tests {
             // Edge (0,1) used by three triangles.
             vec![[0, 1, 2], [0, 3, 1], [0, 1, 4]],
         );
-        assert!(matches!(m.validate(), Err(MeshError::NonManifoldEdge { .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(MeshError::NonManifoldEdge { .. })
+        ));
     }
 
     #[test]

@@ -151,10 +151,7 @@ mod tests {
             for k in 0..=(2 * n - 1) as u32 {
                 let got = rule.integrate(|x| x.powi(k as i32));
                 let want = monomial_integral(k);
-                assert!(
-                    (got - want).abs() < 1e-13,
-                    "n={n} k={k}: {got} vs {want}"
-                );
+                assert!((got - want).abs() < 1e-13, "n={n} k={k}: {got} vs {want}");
             }
         }
     }
@@ -205,7 +202,7 @@ mod tests {
     fn with_strength_covers_degree() {
         for d in 0..20usize {
             let rule = GaussLegendre::with_strength(d);
-            assert!(2 * rule.len() - 1 >= d);
+            assert!(2 * rule.len() > d);
             let got = rule.integrate(|x| x.powi(d as i32));
             assert!((got - monomial_integral(d as u32)).abs() < 1e-12);
         }

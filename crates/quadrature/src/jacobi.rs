@@ -93,9 +93,7 @@ impl GaussJacobi {
         let aux = GaussLegendre::with_strength(n - 1 + alpha as usize);
         let mut rhs = vec![0.0; n];
         for (k, r) in rhs.iter_mut().enumerate() {
-            *r = aux.integrate(|x| {
-                (1.0 - x).powi(alpha as i32) * crate::gauss::legendre(k, x).0
-            });
+            *r = aux.integrate(|x| (1.0 - x).powi(alpha as i32) * crate::gauss::legendre(k, x).0);
         }
         let mut matrix = vec![0.0; n * n];
         for k in 0..n {
@@ -189,10 +187,7 @@ mod tests {
             for k in 0..=(2 * n - 1) as u32 {
                 let got = rule.integrate(|x| x.powi(k as i32));
                 let want = reference(1, k);
-                assert!(
-                    (got - want).abs() < 1e-12,
-                    "n={n} k={k}: {got} vs {want}"
-                );
+                assert!((got - want).abs() < 1e-12, "n={n} k={k}: {got} vs {want}");
             }
         }
     }

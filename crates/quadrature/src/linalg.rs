@@ -107,7 +107,9 @@ mod tests {
         let mut a = vec![0.0; n * n];
         let mut state = 0x9e3779b97f4a7c15u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         for v in a.iter_mut() {

@@ -79,10 +79,7 @@ impl LineField {
         let e = ((xw / h) as usize).min(self.n - 1);
         let r = 2.0 * (xw - e as f64 * h) / h - 1.0;
         let c = &self.coeffs[e * (self.p + 1)..(e + 1) * (self.p + 1)];
-        c.iter()
-            .enumerate()
-            .map(|(m, &cm)| cm * phi(m, r))
-            .sum()
+        c.iter().enumerate().map(|(m, &cm)| cm * phi(m, r)).sum()
     }
 
     /// L2 error against `f` over `[0, 1]`.
@@ -133,9 +130,7 @@ pub fn filter_point(field: &LineField, kernel: &Kernel1d, h: f64, x: f64) -> f64
     let rule = GaussLegendre::with_strength(kernel.smoothness() + field.degree());
     breaks
         .windows(2)
-        .map(|w| {
-            rule.integrate_on(w[0], w[1], |s| kernel.eval(s) * field.eval(x + h * s))
-        })
+        .map(|w| rule.integrate_on(w[0], w[1], |s| kernel.eval(s) * field.eval(x + h * s)))
         .sum()
 }
 
@@ -175,9 +170,7 @@ pub fn filter_derivative_point(field: &LineField, kernel: &Kernel1d, h: f64, x: 
     let rule = GaussLegendre::with_strength(kernel.smoothness() + field.degree());
     let sum: f64 = breaks
         .windows(2)
-        .map(|w| {
-            rule.integrate_on(w[0], w[1], |s| kernel.eval_deriv(s) * field.eval(x + h * s))
-        })
+        .map(|w| rule.integrate_on(w[0], w[1], |s| kernel.eval_deriv(s) * field.eval(x + h * s)))
         .sum();
     -sum / h
 }
@@ -230,11 +223,7 @@ mod tests {
             for &x in &[0.4, 0.5, 0.55] {
                 assert!(half_support < 0.35);
                 let got = filter_point(&field, &kernel, h, x);
-                assert!(
-                    (got - f(x)).abs() < 1e-10,
-                    "p={p} x={x}: {got} vs {}",
-                    f(x)
-                );
+                assert!((got - f(x)).abs() < 1e-10, "p={p} x={x}: {got} vs {}", f(x));
             }
         }
     }
@@ -284,11 +273,7 @@ mod tests {
         let h = field.h();
         for &x in &[0.4, 0.5, 0.6] {
             let got = filter_derivative_point(&field, &kernel, h, x);
-            assert!(
-                (got - df(x)).abs() < 1e-9,
-                "x={x}: {got} vs {}",
-                df(x)
-            );
+            assert!((got - df(x)).abs() < 1e-9, "x={x}: {got} vs {}", df(x));
         }
     }
 

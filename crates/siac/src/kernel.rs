@@ -75,8 +75,8 @@ impl Kernel1d {
                 matrix[j * n + g] = m;
             }
         }
-        let coeffs = solve_dense(&mut matrix, &mut rhs, n)
-            .expect("SIAC moment system is nonsingular");
+        let coeffs =
+            solve_dense(&mut matrix, &mut rhs, n).expect("SIAC moment system is nonsingular");
 
         // Compile the piecewise polynomial: interpolate K on k+1 points per
         // unit cell (K restricted to a cell is a degree-k polynomial).
@@ -103,8 +103,8 @@ impl Kernel1d {
                 }
                 vals[row] = direct(x0 + t);
             }
-            let local = solve_dense(&mut vand, &mut vals, deg)
-                .expect("cell interpolation is unisolvent");
+            let local =
+                solve_dense(&mut vand, &mut vals, deg).expect("cell interpolation is unisolvent");
             pp[cell * deg..(cell + 1) * deg].copy_from_slice(&local);
         }
 
@@ -302,10 +302,7 @@ mod tests {
                 let x = lo + (hi - lo) * (i as f64 + 0.37) / n as f64;
                 let fast = kernel.eval(x);
                 let slow = kernel.eval_direct(x);
-                assert!(
-                    (fast - slow).abs() < 1e-10,
-                    "k={k} x={x}: {fast} vs {slow}"
-                );
+                assert!((fast - slow).abs() < 1e-10, "k={k} x={x}: {fast} vs {slow}");
             }
         }
     }
@@ -373,7 +370,7 @@ mod tests {
                 // Interior sample points away from breakpoints.
                 let x = lo + (hi - lo) * (i as f64 + 0.43) / 60.0;
                 let frac = (x - lo).fract();
-                if frac < 1e-3 || frac > 1.0 - 1e-3 {
+                if !(1e-3..=1.0 - 1e-3).contains(&frac) {
                     continue;
                 }
                 let fd = (kernel.eval(x + fd_h) - kernel.eval(x - fd_h)) / (2.0 * fd_h);
@@ -420,11 +417,7 @@ mod tests {
                 let a = kernel.support().0 + c as f64;
                 acc += rule.integrate_on(a, a + 1.0, |s| kernel.eval(s) * u(x + h * s));
             }
-            assert!(
-                (acc - u(x)).abs() < 1e-9,
-                "deg={deg}: {acc} vs {}",
-                u(x)
-            );
+            assert!((acc - u(x)).abs() < 1e-9, "deg={deg}: {acc} vs {}", u(x));
         }
         // Support is shifted.
         let (lo, hi) = kernel.support();

@@ -244,11 +244,9 @@ mod tests {
         let g = UniformGrid::from_positions(&pts, 0.1, Boundary::Periodic);
         // Query wider than the domain must visit every item exactly once.
         let mut count = vec![0u32; pts.len()];
-        g.for_each_in_rect(
-            Point2::new(-2.0, -2.0),
-            Point2::new(3.0, 3.0),
-            |id| count[id as usize] += 1,
-        );
+        g.for_each_in_rect(Point2::new(-2.0, -2.0), Point2::new(3.0, 3.0), |id| {
+            count[id as usize] += 1
+        });
         assert!(count.iter().all(|&c| c == 1), "duplicated visits");
     }
 
@@ -258,11 +256,9 @@ mod tests {
         let g = UniformGrid::from_positions(&pts, 0.1, Boundary::Periodic);
         // Query just left of 0 wraps to the right edge.
         let mut found = Vec::new();
-        g.for_each_in_rect(
-            Point2::new(-0.06, 0.45),
-            Point2::new(0.04, 0.55),
-            |id| found.push(id),
-        );
+        g.for_each_in_rect(Point2::new(-0.06, 0.45), Point2::new(0.04, 0.55), |id| {
+            found.push(id)
+        });
         assert!(found.contains(&0));
         assert!(found.contains(&1), "wrapped item not found: {found:?}");
     }
@@ -272,11 +268,9 @@ mod tests {
         let pts = vec![Point2::new(0.02, 0.5), Point2::new(0.98, 0.5)];
         let g = UniformGrid::from_positions(&pts, 0.1, Boundary::Clamped);
         let mut found = Vec::new();
-        g.for_each_in_rect(
-            Point2::new(-0.06, 0.45),
-            Point2::new(0.04, 0.55),
-            |id| found.push(id),
-        );
+        g.for_each_in_rect(Point2::new(-0.06, 0.45), Point2::new(0.04, 0.55), |id| {
+            found.push(id)
+        });
         assert!(found.contains(&0));
         assert!(!found.contains(&1));
     }

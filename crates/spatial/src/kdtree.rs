@@ -54,14 +54,7 @@ impl KdTree {
         }
     }
 
-    fn query_rec<F: FnMut(u32)>(
-        &self,
-        lo: usize,
-        hi: usize,
-        axis: usize,
-        rect: &Aabb,
-        f: &mut F,
-    ) {
+    fn query_rec<F: FnMut(u32)>(&self, lo: usize, hi: usize, axis: usize, rect: &Aabb, f: &mut F) {
         if lo >= hi {
             return;
         }

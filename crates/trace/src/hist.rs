@@ -1,0 +1,260 @@
+//! Fixed-size streaming histograms with logarithmic (base-2) buckets.
+//!
+//! [`Hist64`] is `Copy`, lives on the stack, and records in a handful of
+//! integer instructions — no allocation, no floating point — so per-patch
+//! workers can own one privately and merge at join points, exactly like the
+//! work counters in `ustencil-core::Metrics`.
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const N_BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds exact zeros; bucket `b >= 1` holds values in
+/// `[2^(b-1), 2^b - 1]` (the last bucket absorbs everything above).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hist64 {
+    buckets: [u64; N_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Hist64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hist64 {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value falls into.
+    #[inline]
+    pub const fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            let b = 64 - v.leading_zeros() as usize;
+            if b > N_BUCKETS - 1 {
+                N_BUCKETS - 1
+            } else {
+                b
+            }
+        }
+    }
+
+    /// Inclusive value range covered by bucket `b`.
+    pub const fn bucket_bounds(b: usize) -> (u64, u64) {
+        if b == 0 {
+            (0, 0)
+        } else if b >= N_BUCKETS - 1 {
+            (1u64 << (N_BUCKETS - 2), u64::MAX)
+        } else {
+            (1u64 << (b - 1), (1u64 << b) - 1)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Hist64) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw count in bucket `b`.
+    pub fn bucket_count(&self, b: usize) -> u64 {
+        self.buckets[b]
+    }
+
+    /// Iterates `(bucket index, count)` over non-empty buckets.
+    pub fn iter_nonempty(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b, c))
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`); 0 when empty. Exact to bucket resolution.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Never report beyond the observed maximum.
+                return Self::bucket_bounds(b).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Restores a histogram from its serialized parts. Bucket indices out
+    /// of range are rejected.
+    pub fn from_parts(sparse_buckets: &[(usize, u64)], sum: u64, max: u64) -> Result<Self, String> {
+        let mut h = Self::new();
+        for &(b, c) in sparse_buckets {
+            if b >= N_BUCKETS {
+                return Err(format!("histogram bucket index {b} out of range"));
+            }
+            h.buckets[b] = c;
+            h.count += c;
+        }
+        h.sum = sum;
+        h.max = max;
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        // Zero gets its own bucket; powers of two open new buckets.
+        assert_eq!(Hist64::bucket_of(0), 0);
+        assert_eq!(Hist64::bucket_of(1), 1);
+        assert_eq!(Hist64::bucket_of(2), 2);
+        assert_eq!(Hist64::bucket_of(3), 2);
+        assert_eq!(Hist64::bucket_of(4), 3);
+        assert_eq!(Hist64::bucket_of(7), 3);
+        assert_eq!(Hist64::bucket_of(8), 4);
+        assert_eq!(Hist64::bucket_of((1 << 20) - 1), 20);
+        assert_eq!(Hist64::bucket_of(1 << 20), 21);
+        assert_eq!(Hist64::bucket_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        assert_eq!(Hist64::bucket_bounds(0), (0, 0));
+        assert_eq!(Hist64::bucket_bounds(1), (1, 1));
+        assert_eq!(Hist64::bucket_bounds(2), (2, 3));
+        assert_eq!(Hist64::bucket_bounds(5), (16, 31));
+        // Consecutive buckets tile the integers with no gaps or overlaps.
+        for b in 0..N_BUCKETS - 1 {
+            let (_, hi) = Hist64::bucket_bounds(b);
+            let (lo_next, _) = Hist64::bucket_bounds(b + 1);
+            assert_eq!(hi + 1, lo_next, "gap between buckets {b} and {}", b + 1);
+        }
+        assert_eq!(Hist64::bucket_bounds(N_BUCKETS - 1).1, u64::MAX);
+        // Every value lands in the bucket whose bounds contain it.
+        for v in [0u64, 1, 2, 3, 4, 5, 63, 64, 65, 1023, 1024, u64::MAX] {
+            let (lo, hi) = Hist64::bucket_bounds(Hist64::bucket_of(v));
+            assert!(lo <= v && v <= hi, "value {v} escapes its bucket");
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Hist64::new();
+        for v in [0u64, 1, 1, 2, 5, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 109);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 109.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.bucket_count(0), 1); // the zero
+        assert_eq!(h.bucket_count(1), 2); // the ones
+        assert_eq!(h.bucket_count(2), 1); // the two
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Hist64::new();
+        let mut b = Hist64::new();
+        let mut combined = Hist64::new();
+        for v in 0..50u64 {
+            a.record(v * 3);
+            combined.record(v * 3);
+        }
+        for v in 0..30u64 {
+            b.record(v * 7 + 1);
+            combined.record(v * 7 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = Hist64::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_upper_bound(1.0), 1000);
+        let p50 = h.quantile_upper_bound(0.5);
+        // Bucket resolution: p50 must be within the bucket containing 500.
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        assert_eq!(Hist64::new().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = Hist64::new();
+        for v in [3u64, 9, 9, 200, 0] {
+            h.record(v);
+        }
+        let sparse: Vec<(usize, u64)> = h.iter_nonempty().collect();
+        let restored = Hist64::from_parts(&sparse, h.sum(), h.max()).unwrap();
+        assert_eq!(restored, h);
+        assert!(Hist64::from_parts(&[(N_BUCKETS, 1)], 0, 0).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Observability primitives for the stencil evaluation pipeline.
+//!
+//! Everything here is dependency-free and designed to stay out of the hot
+//! loop's way:
+//!
+//! * [`span`] — nested, scoped phase timers ([`Tracer`] / [`SpanGuard`])
+//!   that compile down to nothing but a branch when disabled;
+//! * [`hist`] — fixed-size, allocation-free log2-bucketed histograms
+//!   ([`Hist64`]) for streaming distributions (candidates per query,
+//!   sub-regions per element, quadrature points per integration);
+//! * [`imbalance`] — per-patch load-balance summaries
+//!   ([`ImbalanceSummary`]: max/mean, coefficient of variation, Gini);
+//! * [`json`] — a hand-rolled JSON value type ([`Json`]) with writer *and*
+//!   parser, so run reports round-trip without external crates.
+//!
+//! The evaluation engine (`ustencil-core`) threads these through its
+//! per-patch runs and surfaces them as a `RunReport`; the `reproduce`
+//! harness serializes that to the `BENCH_*.json` artifacts CI tracks.
+
+#![deny(missing_docs)]
+
+pub mod hist;
+pub mod imbalance;
+pub mod json;
+pub mod span;
+
+pub use hist::Hist64;
+pub use imbalance::ImbalanceSummary;
+pub use json::Json;
+pub use span::{SpanGuard, SpanRecord, Tracer};

@@ -1,0 +1,163 @@
+//! Nested, scoped phase timers.
+//!
+//! A [`Tracer`] hands out [`SpanGuard`]s; dropping a guard closes its span.
+//! Records keep their opening order (parents precede children) and carry a
+//! nesting depth, so a renderer can print the phase tree without
+//! reconstructing it. A disabled tracer costs one branch per span and
+//! allocates nothing.
+//!
+//! Tracers are single-threaded by design: the engine opens phase spans on
+//! the coordinating thread only, while per-patch timings travel through the
+//! per-patch stats merged at join points (`BlockStats` in `ustencil-core`).
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// One closed (or still-open) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name, dot-separated by convention (e.g. `"build.hash_grid"`).
+    pub name: String,
+    /// Nesting depth: 0 for top-level phases.
+    pub depth: u32,
+    /// Start offset from the tracer's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds (0 while still open).
+    pub duration_ns: u64,
+}
+
+struct TracerState {
+    records: Vec<SpanRecord>,
+    depth: u32,
+}
+
+/// Collects nested spans relative to one epoch.
+pub struct Tracer {
+    enabled: bool,
+    epoch: Instant,
+    state: RefCell<TracerState>,
+}
+
+impl Tracer {
+    /// A tracer that records (`enabled = true`) or ignores everything.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            epoch: Instant::now(),
+            state: RefCell::new(TracerState {
+                records: Vec::new(),
+                depth: 0,
+            }),
+        }
+    }
+
+    /// A tracer that records nothing at (almost) no cost.
+    pub fn disabled() -> Self {
+        Self::new(false)
+    }
+
+    /// Whether spans are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span; it closes when the returned guard drops.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        if !self.enabled {
+            return SpanGuard {
+                tracer: None,
+                index: 0,
+            };
+        }
+        let start_ns = self.epoch.elapsed().as_nanos() as u64;
+        let mut st = self.state.borrow_mut();
+        let index = st.records.len();
+        let depth = st.depth;
+        st.records.push(SpanRecord {
+            name: name.to_string(),
+            depth,
+            start_ns,
+            duration_ns: 0,
+        });
+        st.depth += 1;
+        SpanGuard {
+            tracer: Some(self),
+            index,
+        }
+    }
+
+    /// Snapshot of the recorded spans, in opening order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.state.borrow().records.clone()
+    }
+
+    /// Consumes the tracer, returning the recorded spans.
+    pub fn into_records(self) -> Vec<SpanRecord> {
+        self.state.into_inner().records
+    }
+}
+
+/// Closes its span on drop.
+pub struct SpanGuard<'a> {
+    tracer: Option<&'a Tracer>,
+    index: usize,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(t) = self.tracer {
+            let end_ns = t.epoch.elapsed().as_nanos() as u64;
+            let mut st = t.state.borrow_mut();
+            let rec = &mut st.records[self.index];
+            rec.duration_ns = end_ns.saturating_sub(rec.start_ns);
+            st.depth = st.depth.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_depths_and_order() {
+        let t = Tracer::new(true);
+        {
+            let _outer = t.span("outer");
+            {
+                let _inner = t.span("inner");
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            let _sibling = t.span("sibling");
+        }
+        let records = t.into_records();
+        let view: Vec<(&str, u32)> = records.iter().map(|r| (r.name.as_str(), r.depth)).collect();
+        assert_eq!(view, vec![("outer", 0), ("inner", 1), ("sibling", 1)]);
+        assert!(records.iter().all(|r| r.duration_ns > 0));
+        // The outer span covers the inner one.
+        assert!(records[0].duration_ns >= records[1].duration_ns);
+        assert!(records[0].start_ns <= records[1].start_ns);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        {
+            let _a = t.span("a");
+            let _b = t.span("b");
+        }
+        assert!(!t.enabled());
+        assert!(t.into_records().is_empty());
+    }
+
+    #[test]
+    fn sequential_spans_do_not_nest() {
+        let t = Tracer::new(true);
+        drop(t.span("first"));
+        drop(t.span("second"));
+        let records = t.into_records();
+        assert_eq!(records[0].depth, 0);
+        assert_eq!(records[1].depth, 0);
+    }
+}

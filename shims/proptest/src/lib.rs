@@ -1,0 +1,146 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a small property-testing harness with proptest's surface syntax: the
+//! `proptest!` / `prop_assert!` macros, `ProptestConfig::with_cases`, range
+//! and tuple strategies, `prop_map` / `prop_filter`, and `bool::ANY`.
+//!
+//! Differences from upstream, by design:
+//! * no shrinking — a failing case reports its inputs via the assertion
+//!   message and the deterministic per-test seed reproduces it;
+//! * case streams are seeded from the test name, so runs are reproducible
+//!   without a persistence file.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over `bool`.
+pub mod bool {
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// The `proptest::bool::ANY` strategy.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl crate::strategy::Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with formatted context) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                    format!("assertion failed: {}", stringify!($cond)),
+                ));
+            }
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                    format!($($fmt)+),
+                ));
+            }
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property '{}' failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            x in -2.0f64..3.0,
+            n in 5u64..10,
+            m in 1usize..=2,
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!((-2.0..3.0).contains(&x), "x out of range: {x}");
+            prop_assert!((5..10).contains(&n));
+            prop_assert!(m == 1 || m == 2);
+            let _ = flag;
+        }
+
+        #[test]
+        fn map_and_filter_compose(
+            v in (0.0f64..1.0, 0.0f64..1.0)
+                .prop_map(|(a, b)| a + b)
+                .prop_filter("nonzero", |s| *s > 1e-12),
+        ) {
+            prop_assert!(v > 0.0 && v < 2.0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        #[should_panic(expected = "failed at case")]
+        fn failures_report_case(x in 0.0f64..1.0) {
+            prop_assert!(x < 0.0, "x was {x}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the tiny API surface the mesh generators use: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `RngExt::random_range` over `f64`
+//! ranges. The generator is xoshiro256** seeded through SplitMix64 — the
+//! same construction rand's own `StdRng` documentation recommends for
+//! reproducible simulation use. Streams are deterministic per seed but are
+//! **not** bit-identical to upstream `StdRng` (ChaCha12); every consumer in
+//! this repository only relies on seeded determinism, never on a specific
+//! stream.
+
+/// Seeding behaviour (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Value-producing extension methods (subset of rand 0.10's `Rng`/`RngExt`).
+pub trait RngExt {
+    /// Next raw 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open `f64` range.
+    ///
+    /// # Panics
+    /// Panics when `range` is empty or unbounded.
+    fn random_range(&mut self, range: std::ops::Range<f64>) -> f64 {
+        assert!(
+            range.start < range.end && range.start.is_finite() && range.end.is_finite(),
+            "random_range needs a non-empty finite range"
+        );
+        // 53 explicit mantissa bits -> uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Concrete generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state, per
+            // the xoshiro reference implementation's seeding advice.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** step.
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_samples_stay_in_range_and_spread() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mut lo_half, mut hi_half) = (0u32, 0u32);
+        for _ in 0..10_000 {
+            let x = rng.random_range(-0.35..0.35);
+            assert!((-0.35..0.35).contains(&x));
+            if x < 0.0 {
+                lo_half += 1;
+            } else {
+                hi_half += 1;
+            }
+        }
+        // Crude uniformity check: both halves well populated.
+        assert!(lo_half > 4_000 && hi_half > 4_000, "{lo_half}/{hi_half}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty finite range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(1.0..1.0);
+    }
+}

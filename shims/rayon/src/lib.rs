@@ -1,0 +1,184 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a small API-compatible subset of rayon implemented on scoped OS threads
+//! (`std::thread::scope`). It covers exactly what the engine uses:
+//! `slice.par_iter()`, `.zip(...)`, `.map(...)`, `.collect()`.
+//!
+//! Work items are handed out dynamically from a shared queue, so uneven
+//! patches load-balance the same way rayon's work stealing would at this
+//! granularity (the engine only parallelizes over coarse blocks/patches,
+//! never over inner-loop items). Results are returned in input order.
+
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// Everything the engine imports.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Upper bound on worker threads, overridable for tests via
+/// `RAYON_NUM_THREADS` (same variable real rayon honours).
+fn max_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f` over `items`, fanning out to OS threads, preserving input order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Dynamic dispatch: each worker pulls the next unclaimed item. The lock
+    // is taken once per coarse block, so contention is negligible.
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let done = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = queue.lock().expect("queue poisoned").next();
+                match next {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        done.lock().expect("results poisoned").push((i, r));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    let mut out = done.into_inner().expect("results poisoned");
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Entry point mirroring rayon's `par_iter` on slices (and, via deref, on
+/// `Vec`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Borrowed item type.
+    type Item: Send + 'data;
+    /// Starts a parallel pipeline over `&self`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<'data, &'data T> {
+        ParIter::new(self.iter().collect())
+    }
+}
+
+/// A materialized parallel iterator over borrowed items.
+pub struct ParIter<'data, T: Send + 'data> {
+    items: Vec<T>,
+    _marker_lifetime: std::marker::PhantomData<&'data ()>,
+}
+
+// Rust cannot infer the phantom field in the struct literal above; provide
+// the constructor explicitly instead of deriving.
+impl<'data, T: Send + 'data> ParIter<'data, T> {
+    fn new(items: Vec<T>) -> Self {
+        Self {
+            items,
+            _marker_lifetime: std::marker::PhantomData,
+        }
+    }
+
+    /// Pairs this iterator with any exactly-sized sequence.
+    pub fn zip<U: Send>(self, other: impl IntoIterator<Item = U>) -> ParIter<'data, (T, U)> {
+        let zipped: Vec<(T, U)> = self.items.into_iter().zip(other).collect();
+        ParIter::new(zipped)
+    }
+
+    /// Maps each item through `f` (executed on the worker threads).
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<'data, T, F> {
+        ParMap {
+            items: self.items,
+            f,
+            _marker_lifetime: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A mapped parallel pipeline, ready to collect.
+pub struct ParMap<'data, T: Send + 'data, F> {
+    items: Vec<T>,
+    f: F,
+    _marker_lifetime: std::marker::PhantomData<&'data ()>,
+}
+
+impl<'data, T: Send + 'data, F> ParMap<'data, T, F> {
+    /// Executes the pipeline on worker threads and collects the results in
+    /// input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_then_map() {
+        let xs = [1u32, 2, 3];
+        let ys = vec![10u32, 20, 30];
+        let sums: Vec<u32> = xs.par_iter().zip(ys).map(|(&a, b)| a + b).collect();
+        assert_eq!(sums, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn zip_with_mutable_slices() {
+        // The engine zips block bounds with disjoint &mut [f64] slices.
+        let bounds = [(0usize, 2usize), (2, 4)];
+        let mut buf = vec![0.0f64; 4];
+        let (a, b) = buf.split_at_mut(2);
+        let slices: Vec<&mut [f64]> = vec![a, b];
+        let lens: Vec<usize> = bounds
+            .par_iter()
+            .zip(slices)
+            .map(|(&(s, e), slice)| {
+                for v in slice.iter_mut() {
+                    *v = s as f64;
+                }
+                e - s
+            })
+            .collect();
+        assert_eq!(lens, vec![2, 2]);
+        assert_eq!(buf, vec![0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u8> = Vec::new();
+        let out: Vec<u8> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

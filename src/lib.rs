@@ -13,7 +13,9 @@
 //! * [`siac`] — B-spline convolution kernels,
 //! * [`spatial`] — uniform hash grids,
 //! * [`engine`] — the per-point / per-element stencil evaluators, overlapped
-//!   tiling and the streaming-device model.
+//!   tiling and the streaming-device model,
+//! * [`trace`] — phase spans, streaming histograms, imbalance summaries and
+//!   the JSON run reports (see DESIGN.md, "Observability").
 //!
 //! See `examples/quickstart.rs` for the five-minute tour.
 
@@ -24,5 +26,6 @@ pub use ustencil_mesh as mesh;
 pub use ustencil_quadrature as quadrature;
 pub use ustencil_siac as siac;
 pub use ustencil_spatial as spatial;
+pub use ustencil_trace as trace;
 
 pub use ustencil_core::prelude::*;

@@ -87,8 +87,7 @@ fn periodic_wrap_is_seamless() {
     let (mut far, mut far_n) = (0.0, 0);
     for (i, pt) in grid.points().iter().enumerate() {
         let err = (sol.values[i] - smooth(pt.x, pt.y)).powi(2);
-        let interior =
-            pt.x > hw && pt.x < 1.0 - hw && pt.y > hw && pt.y < 1.0 - hw;
+        let interior = pt.x > hw && pt.x < 1.0 - hw && pt.y > hw && pt.y < 1.0 - hw;
         if interior {
             far += err;
             far_n += 1;

@@ -73,6 +73,58 @@ proptest! {
         prop_assert!(diff < 1e-10, "blocks={blocks}: diff {diff}");
     }
 
+    /// Both schemes perform identical *true* work — intersections found,
+    /// clip sub-regions produced, quadrature points evaluated — for any
+    /// mesh and degree. Only the candidate-test counts may differ (the two
+    /// hash grids over-deliver differently). The stencil is kept narrow
+    /// enough that `width + element diameter < 1`: with a wide stencil a
+    /// (point, element) pair can intersect through two periodic images,
+    /// which the per-element scheme counts once per image and the
+    /// per-point scheme once per pair.
+    #[test]
+    fn schemes_count_identical_true_work(
+        seed in 0u64..1000,
+        n in 80usize..220,
+        p in 1usize..=2,
+        lv in proptest::bool::ANY,
+    ) {
+        let class = if lv { MeshClass::LowVariance } else { MeshClass::HighVariance };
+        let (mesh, field, grid, _) = build(class, n, p, seed);
+        let width_at_unit = (3 * p + 1) as f64 * mesh.max_edge_length();
+        let h_factor = (0.45 / width_at_unit).min(1.0);
+        let a = PostProcessor::new(Scheme::PerPoint)
+            .h_factor(h_factor)
+            .parallel(false)
+            .run(&mesh, &field, &grid);
+        let b = PostProcessor::new(Scheme::PerElement)
+            .h_factor(h_factor)
+            .parallel(false)
+            .run(&mesh, &field, &grid);
+        let (ma, mb) = (&a.metrics, &b.metrics);
+        prop_assert!(
+            ma.true_intersections == mb.true_intersections,
+            "true_intersections: per-point {} vs per-element {}",
+            ma.true_intersections,
+            mb.true_intersections
+        );
+        prop_assert!(
+            ma.cell_clips == mb.cell_clips,
+            "cell_clips: {} vs {}", ma.cell_clips, mb.cell_clips
+        );
+        prop_assert!(
+            ma.subregions == mb.subregions,
+            "subregions: {} vs {}", ma.subregions, mb.subregions
+        );
+        prop_assert!(
+            ma.quad_evals == mb.quad_evals,
+            "quad_evals: {} vs {}", ma.quad_evals, mb.quad_evals
+        );
+        // The counts the schemes are *allowed* to differ on must still be
+        // present on both sides.
+        prop_assert!(ma.intersection_tests >= ma.true_intersections);
+        prop_assert!(mb.intersection_tests >= mb.true_intersections);
+    }
+
     /// Kernel mass means a constant field passes through the filter
     /// unchanged, for any mesh and degree.
     #[test]
