@@ -16,6 +16,7 @@ use ustencil_bench::{mesh_sizes, size_label, Workload};
 use ustencil_core::per_element::memory_overhead;
 use ustencil_core::prelude::*;
 use ustencil_mesh::MeshClass;
+use ustencil_plan::{ApplyOptions, PlanExt, SCHEME_LABEL};
 
 /// Largest default mesh size per polynomial degree (indexed by `p`).
 /// Quadratic stops at 4k and cubic is skipped by default so the
@@ -225,6 +226,89 @@ fn fig14(r: &mut Runner, sizes: &[usize]) {
     println!("(paper: near-perfect linear scaling in both devices and mesh size)");
 }
 
+/// The `plan` subcommand: per mesh size, run the per-element scheme once
+/// directly, compile an evaluation plan, apply it to `timesteps` synthetic
+/// fields (the simulation frames a serving system would post-process), and
+/// report the amortization: build cost, per-apply cost, speedup over
+/// re-running the direct scheme per frame, and the crossover frame count
+/// `T*` past which the plan is cheaper in total.
+fn plan_cmd(r: &mut Runner, sizes: &[usize], timesteps: usize) {
+    println!(
+        "\n== Evaluation plans: build once, apply {} timestep(s); low-variance, p=1 ==",
+        timesteps
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10} {:>6} {:>10}",
+        "mesh", "direct ms", "build ms", "apply ms", "speedup", "T*", "nnz"
+    );
+    for &n in sizes {
+        let direct = r.run(MeshClass::LowVariance, n, 1, Scheme::PerElement);
+        let direct_ms = direct.wall.as_secs_f64() * 1e3;
+        let direct_values = direct.values.clone();
+
+        let w = r.workload(MeshClass::LowVariance, n, 1);
+        let processor = PostProcessor::new(Scheme::PerElement)
+            .blocks(16)
+            .h_factor(w.safe_h_factor())
+            .instrument(true);
+        eprintln!("  [compiling plan for {} triangles...]", n);
+        let plan = processor.compile_plan(&w.mesh, w.p, &w.grid);
+        let build_ms = plan.build_wall().as_secs_f64() * 1e3;
+
+        // Synthetic timesteps: the projected field with coefficients
+        // scaled per frame, standing in for an evolving simulation.
+        let apply_opts = ApplyOptions {
+            n_blocks: 16,
+            parallel: true,
+            instrument: true,
+        };
+        let mut apply_ms_sum = 0.0;
+        let mut last = None;
+        for t in 0..timesteps {
+            let mut field = w.field.clone();
+            let scale = 1.0 + 0.01 * t as f64;
+            for c in field.coefficients_mut() {
+                *c *= scale;
+            }
+            let sol = plan.apply_with(&field, &apply_opts);
+            apply_ms_sum += sol.wall.as_secs_f64() * 1e3;
+            if t == 0 {
+                // Frame 0 is the unscaled field: the plan must reproduce
+                // the direct run it replaces.
+                let diff = sol.max_abs_diff(&direct_values);
+                assert!(
+                    diff <= 1e-12,
+                    "plan disagrees with direct run by {diff} at {n} triangles"
+                );
+            }
+            last = Some(sol);
+        }
+        let apply_ms = apply_ms_sum / timesteps as f64;
+        let speedup = direct_ms / apply_ms;
+        // Smallest frame count where build + T * apply < T * direct.
+        let crossover = if direct_ms > apply_ms {
+            format!("{}", (build_ms / (direct_ms - apply_ms)).ceil().max(1.0))
+        } else {
+            "inf".to_string()
+        };
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>12.2} {:>9.1}x {:>6} {:>10}",
+            size_label(n),
+            direct_ms,
+            build_ms,
+            apply_ms,
+            speedup,
+            crossover,
+            plan.nnz()
+        );
+
+        let label = format!("low-variance/{}/p1/plan", size_label(n));
+        let sol = last.expect("at least one timestep");
+        r.records.push(plan.to_run_record(&label, n, &sol));
+    }
+    println!("(amortization: a plan pays for itself after T* frames; see EXPERIMENTS.md)");
+}
+
 /// The `profile` subcommand: run both schemes on the smallest configured
 /// size and print the phase, load-imbalance, and histogram view.
 fn profile(r: &mut Runner, sizes: &[usize]) {
@@ -295,8 +379,11 @@ fn checkjson(path: &str) -> Result<(), String> {
     }
     for run in &report.runs {
         let ctx = &run.label;
-        if Scheme::from_label(&run.scheme).is_none() {
+        if Scheme::from_label(&run.scheme).is_none() && run.scheme != SCHEME_LABEL {
             return Err(format!("{ctx}: unknown scheme '{}'", run.scheme));
+        }
+        if run.scheme == SCHEME_LABEL && run.plan.is_none() {
+            return Err(format!("{ctx}: plan run without plan stats"));
         }
         if run.spans.is_empty() {
             return Err(format!("{ctx}: no phase spans"));
@@ -380,6 +467,7 @@ fn main() {
         "fig13" => fig13(&mut r, &sizes, &caps),
         "fig14" => fig14(&mut r, &sizes),
         "profile" => profile(&mut r, &sizes),
+        "plan" => plan_cmd(&mut r, &sizes, opts.timesteps),
         "all" => {
             table1(&mut r, &sizes);
             fig8(&mut r, &sizes);

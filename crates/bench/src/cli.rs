@@ -14,17 +14,21 @@ commands:
                       regenerate one exhibit (or every exhibit)
   profile             run an instrumented workload and print the phase /
                       load-imbalance / histogram report
+  plan                compile an evaluation plan per mesh size, apply it to
+                      --timesteps synthetic fields, and report the speedup
+                      over direct per-element runs
   checkjson <path>    validate a --json report file (used by CI)
 
 options:
   --sizes N,N,..      mesh sizes in triangles (default: the paper ladder)
   --seed S            mesh-generation seed (default 2013)
+  --timesteps T       synthetic fields a `plan` run applies (default 8)
   --full              lift the size ladder and degree caps to paper scale
   --json <path>       also write the structured RunReport as JSON
   --help, -h          print this message";
 
 /// Commands `reproduce` accepts.
-pub const COMMANDS: [&str; 10] = [
+pub const COMMANDS: [&str; 11] = [
     "table1",
     "fig8",
     "fig11",
@@ -33,6 +37,7 @@ pub const COMMANDS: [&str; 10] = [
     "fig14",
     "all",
     "profile",
+    "plan",
     "checkjson",
     "help",
 ];
@@ -46,6 +51,8 @@ pub struct CliOptions {
     pub sizes: Option<Vec<usize>>,
     /// Mesh-generation seed.
     pub seed: u64,
+    /// Synthetic timesteps a `plan` run applies.
+    pub timesteps: usize,
     /// Whether `--full` was given.
     pub full: bool,
     /// `--json` output path, when given.
@@ -62,6 +69,7 @@ impl Default for CliOptions {
             command: "all".to_string(),
             sizes: None,
             seed: 2013,
+            timesteps: 8,
             full: false,
             json: None,
             path_arg: None,
@@ -99,6 +107,13 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
                 opts.seed = v
                     .parse()
                     .map_err(|_| format!("--seed value '{v}' is not an integer"))?;
+            }
+            "--timesteps" => {
+                let v = value_of(&mut it, "--timesteps")?;
+                opts.timesteps =
+                    v.parse::<usize>().ok().filter(|&t| t > 0).ok_or_else(|| {
+                        format!("--timesteps value '{v}' is not a positive integer")
+                    })?;
             }
             "--json" => {
                 opts.json = Some(value_of(&mut it, "--json")?.to_string());
@@ -200,6 +215,22 @@ mod tests {
         assert!(parse(&["--seed", "abc"])
             .unwrap_err()
             .contains("not an integer"));
+        assert!(parse(&["--timesteps", "0"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&["--timesteps", "x"])
+            .unwrap_err()
+            .contains("positive integer"));
+    }
+
+    #[test]
+    fn plan_command_with_timesteps() {
+        let opts = parse(&["plan", "--timesteps", "16", "--sizes", "4000"]).unwrap();
+        assert_eq!(opts.command, "plan");
+        assert_eq!(opts.timesteps, 16);
+        assert_eq!(opts.sizes, Some(vec![4000]));
+        // Default when the flag is absent.
+        assert_eq!(parse(&["plan"]).unwrap().timesteps, 8);
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub enum Scheme {
 }
 
 impl Scheme {
+    /// Every scheme, in declaration order. New variants must be added here;
+    /// [`from_label`](Self::from_label) is derived from this list, so the
+    /// label round-trip can never drift variant by variant.
+    pub const ALL: [Scheme; 2] = [Scheme::PerPoint, Scheme::PerElement];
+
     /// Canonical label for this scheme — used both for display by the
     /// benchmark harness and as the `"scheme"` value in `RunReport` JSON,
     /// so the two never drift apart.
@@ -37,14 +42,31 @@ impl Scheme {
         }
     }
 
-    /// The scheme a [`label`](Self::label) string names.
+    /// The scheme a [`label`](Self::label) string names. Implemented as a
+    /// search over [`Scheme::ALL`] so it is the exact inverse of
+    /// [`label`](Self::label) by construction.
     pub fn from_label(label: &str) -> Option<Scheme> {
-        match label {
-            "per-point" => Some(Scheme::PerPoint),
-            "per-element" => Some(Scheme::PerElement),
-            _ => None,
-        }
+        Self::ALL.into_iter().find(|s| s.label() == label)
     }
+}
+
+/// Snapshot of a [`PostProcessor`]'s configuration, resolved enough for
+/// other crates (e.g. the evaluation-plan compiler in `ustencil-plan`) to
+/// reproduce the exact kernel/quadrature setup `run` would use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorSettings {
+    /// The configured scheme.
+    pub scheme: Scheme,
+    /// Explicit kernel smoothness override, when one was set.
+    pub smoothness: Option<usize>,
+    /// Kernel width factor (`h = h_factor * s`).
+    pub h_factor: f64,
+    /// Concurrent blocks.
+    pub n_blocks: usize,
+    /// Whether thread parallelism is on.
+    pub parallel: bool,
+    /// Whether observability is on.
+    pub instrument: bool,
 }
 
 /// Configured SIAC post-processor.
@@ -140,6 +162,19 @@ impl PostProcessor {
     /// The configured scheme.
     pub fn scheme(&self) -> Scheme {
         self.scheme
+    }
+
+    /// The full configuration snapshot (used by plan compilers and other
+    /// front ends that must mirror `run`'s kernel/quadrature choices).
+    pub fn settings(&self) -> ProcessorSettings {
+        ProcessorSettings {
+            scheme: self.scheme,
+            smoothness: self.smoothness,
+            h_factor: self.h_factor,
+            n_blocks: self.n_blocks,
+            parallel: self.parallel,
+            instrument: self.instrument,
+        }
     }
 
     /// Runs the post-processor over `grid`'s evaluation points.
@@ -457,11 +492,45 @@ mod tests {
     }
 
     #[test]
-    fn scheme_labels_round_trip() {
-        for scheme in [Scheme::PerPoint, Scheme::PerElement] {
+    fn scheme_labels_round_trip_over_all_variants() {
+        // Exhaustive over Scheme::ALL: CLI parsing (`from_label`) and JSON
+        // emission (`label`) can never drift for any variant, and labels
+        // must be pairwise distinct for the round trip to be injective.
+        for scheme in Scheme::ALL {
             assert_eq!(Scheme::from_label(scheme.label()), Some(scheme));
         }
+        let labels: Vec<&str> = Scheme::ALL.iter().map(|s| s.label()).collect();
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b, "duplicate scheme label breaks from_label");
+            }
+        }
         assert_eq!(Scheme::from_label("per-face"), None);
+        assert_eq!(Scheme::from_label(""), None);
+    }
+
+    #[test]
+    fn settings_snapshot_reflects_builder() {
+        let pp = PostProcessor::new(Scheme::PerElement)
+            .smoothness(2)
+            .h_factor(0.5)
+            .blocks(7)
+            .parallel(false)
+            .instrument(true);
+        let s = pp.settings();
+        assert_eq!(s.scheme, Scheme::PerElement);
+        assert_eq!(s.smoothness, Some(2));
+        assert_eq!(s.h_factor, 0.5);
+        assert_eq!(s.n_blocks, 7);
+        assert!(!s.parallel);
+        assert!(s.instrument);
+        // Defaults: no smoothness override, paper defaults elsewhere.
+        let d = PostProcessor::new(Scheme::PerPoint).settings();
+        assert_eq!(d.smoothness, None);
+        assert_eq!(d.h_factor, 1.0);
+        assert_eq!(d.n_blocks, 16);
+        assert!(d.parallel);
+        assert!(!d.instrument);
     }
 
     #[test]

@@ -41,18 +41,18 @@ pub mod report;
 pub mod tiling;
 
 pub use device::{CostModel, DeviceConfig, SimReport};
-pub use engine::{PostProcessor, Scheme, Solution};
+pub use engine::{PostProcessor, ProcessorSettings, Scheme, Solution};
 pub use grid_points::ComputationGrid;
 pub use metrics::Metrics;
 pub use probe::{BlockStats, Probe};
-pub use report::{RunRecord, RunReport};
+pub use report::{PlanStats, RunRecord, RunReport};
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::device::{CostModel, DeviceConfig, SimReport};
-    pub use crate::engine::{PostProcessor, Scheme, Solution};
+    pub use crate::engine::{PostProcessor, ProcessorSettings, Scheme, Solution};
     pub use crate::grid_points::ComputationGrid;
     pub use crate::metrics::Metrics;
     pub use crate::probe::{BlockStats, Probe};
-    pub use crate::report::{RunRecord, RunReport};
+    pub use crate::report::{PlanStats, RunRecord, RunReport};
 }

@@ -49,6 +49,26 @@ pub struct PatchRecord {
     pub metrics: Metrics,
 }
 
+/// Size and timing of a compiled evaluation plan (`ustencil-plan`), when a
+/// run went through the plan path instead of direct evaluation. Build and
+/// apply times are reported separately because the whole point of a plan is
+/// paying the build once and amortizing it over many applies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStats {
+    /// Output rows (grid points) of the plan.
+    pub rows: u64,
+    /// Stored `(point, element)` entries (CSR non-zeros).
+    pub nnz: u64,
+    /// Weight values per entry (the field's modes per element).
+    pub n_modes: u64,
+    /// In-memory size of the plan's CSR arrays, in bytes.
+    pub bytes: u64,
+    /// Wall-clock milliseconds spent compiling the plan.
+    pub build_ms: f64,
+    /// Wall-clock milliseconds of one apply (the amortized unit).
+    pub apply_ms: f64,
+}
+
 /// Everything observed about one post-processing run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -72,6 +92,8 @@ pub struct RunRecord {
     pub histograms: Vec<(String, Hist64)>,
     /// Cost-model simulation of the run, when one was computed.
     pub device_sim: Option<SimReport>,
+    /// Evaluation-plan stats, when the run applied a compiled plan.
+    pub plan: Option<PlanStats>,
 }
 
 impl RunRecord {
@@ -119,6 +141,7 @@ impl RunRecord {
                 .collect(),
             histograms,
             device_sim,
+            plan: None,
         }
     }
 
@@ -236,6 +259,16 @@ fn record_to_json(r: &RunRecord) -> Json {
             .set("flops", sim.flops)
             .set("gflops", sim.gflops()),
     };
+    let plan = match &r.plan {
+        None => Json::Null,
+        Some(p) => Json::object()
+            .set("rows", p.rows)
+            .set("nnz", p.nnz)
+            .set("n_modes", p.n_modes)
+            .set("bytes", p.bytes)
+            .set("build_ms", p.build_ms)
+            .set("apply_ms", p.apply_ms),
+    };
     Json::object()
         .set("label", r.label.as_str())
         .set("scheme", r.scheme.as_str())
@@ -248,6 +281,7 @@ fn record_to_json(r: &RunRecord) -> Json {
         .set("imbalance", imbalance)
         .set("histograms", hists)
         .set("device_sim", device_sim)
+        .set("plan", plan)
 }
 
 fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
@@ -299,6 +333,17 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
             flops: get_u64(sim, "flops")?,
         }),
     };
+    let plan = match get(doc, "plan")? {
+        Json::Null => None,
+        p => Some(PlanStats {
+            rows: get_u64(p, "rows")?,
+            nnz: get_u64(p, "nnz")?,
+            n_modes: get_u64(p, "n_modes")?,
+            bytes: get_u64(p, "bytes")?,
+            build_ms: get_f64(p, "build_ms")?,
+            apply_ms: get_f64(p, "apply_ms")?,
+        }),
+    };
     Ok(RunRecord {
         label: get_str(doc, "label")?.to_string(),
         scheme: get_str(doc, "scheme")?.to_string(),
@@ -310,6 +355,7 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
         patches,
         histograms,
         device_sim,
+        plan,
     })
 }
 
@@ -506,12 +552,50 @@ mod tests {
             patches: vec![],
             histograms: vec![],
             device_sim: None,
+            plan: None,
         });
         // A valid minimal report still round-trips.
         let text = report.to_pretty_string();
         assert_eq!(RunReport::from_json(&text).unwrap(), report);
         // Corrupting a required field breaks the parse.
         let broken = text.replace("\"seed\"", "\"sead\"");
+        assert!(RunReport::from_json(&broken).is_err());
+    }
+
+    #[test]
+    fn plan_stats_round_trip() {
+        let mut report = RunReport::new("plan", 7);
+        report.runs.push(RunRecord {
+            label: "low-variance/4k/p1/plan".into(),
+            scheme: "plan".into(),
+            n_triangles: 4000,
+            n_points: 16000,
+            wall_ms: 1.25,
+            metrics: Metrics::default(),
+            spans: vec![],
+            patches: vec![PatchRecord {
+                wall_ns: 10,
+                elements: 0,
+                points: 16000,
+                metrics: Metrics::default(),
+            }],
+            histograms: vec![],
+            device_sim: None,
+            plan: Some(PlanStats {
+                rows: 16000,
+                nnz: 320000,
+                n_modes: 3,
+                bytes: 9_000_000,
+                build_ms: 480.5,
+                apply_ms: 3.75,
+            }),
+        });
+        let text = report.to_pretty_string();
+        let parsed = RunReport::from_json(&text).expect("plan report parses");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.to_pretty_string(), text);
+        // Dropping the plan object breaks the parse (key is required).
+        let broken = text.replace("\"plan\"", "\"paln\"");
         assert!(RunReport::from_json(&broken).is_err());
     }
 }

@@ -1,0 +1,208 @@
+//! Applying a compiled plan to dG fields: the SpMV-style hot loop.
+
+use crate::plan::EvalPlan;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+use ustencil_core::{BlockStats, Metrics, Probe};
+use ustencil_dg::DgField;
+use ustencil_trace::{SpanRecord, Tracer};
+
+/// Configuration of a plan apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApplyOptions {
+    /// Concurrent row blocks (default 16, matching the engine).
+    pub n_blocks: usize,
+    /// Whether to apply blocks on worker threads (default true).
+    pub parallel: bool,
+    /// Whether to record spans and per-row entry-count probes (default
+    /// false; off, the hot loop pays only its counter increments).
+    pub instrument: bool,
+}
+
+impl Default for ApplyOptions {
+    fn default() -> Self {
+        Self {
+            n_blocks: 16,
+            parallel: true,
+            instrument: false,
+        }
+    }
+}
+
+/// Result of applying a plan to one field.
+#[derive(Debug, Clone)]
+pub struct PlanSolution {
+    /// Post-processed value at each grid point (one per plan row).
+    pub values: Vec<f64>,
+    /// Aggregated work counters of the apply.
+    pub metrics: Metrics,
+    /// Per-block stats (wall time, owned rows, entry-count probes).
+    pub block_stats: Vec<BlockStats>,
+    /// Phase spans of the apply (empty unless instrumented).
+    pub spans: Vec<SpanRecord>,
+    /// Wall-clock time of the apply.
+    pub wall: Duration,
+}
+
+impl PlanSolution {
+    /// Maximum absolute difference against another value vector (e.g. a
+    /// direct [`Solution::values`](ustencil_core::Solution)).
+    pub fn max_abs_diff(&self, other: &[f64]) -> f64 {
+        self.values
+            .iter()
+            .zip(other)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl EvalPlan {
+    /// Applies the plan to `field` with default options (16 blocks,
+    /// parallel, uninstrumented).
+    ///
+    /// # Panics
+    /// Panics when the field's degree or element count does not match the
+    /// plan.
+    pub fn apply(&self, field: &DgField) -> PlanSolution {
+        self.apply_with(field, &ApplyOptions::default())
+    }
+
+    /// Applies the plan to `field` with explicit options.
+    ///
+    /// # Panics
+    /// Panics when the field's degree or element count does not match the
+    /// plan.
+    pub fn apply_with(&self, field: &DgField, options: &ApplyOptions) -> PlanSolution {
+        self.check_field(field);
+        let start = Instant::now();
+        let tracer = Tracer::new(options.instrument);
+
+        let n = self.rows();
+        let n_blocks = options.n_blocks.clamp(1, n.max(1));
+        let bounds: Vec<(usize, usize)> = (0..n_blocks)
+            .map(|b| (b * n / n_blocks, (b + 1) * n / n_blocks))
+            .collect();
+
+        let block = |s: usize, e: usize, slice: &mut [f64]| -> BlockStats {
+            let block_start = Instant::now();
+            let mut probe = Probe::new(options.instrument);
+            let metrics = self.apply_block(s, e, field.coefficients(), slice, &mut probe);
+            BlockStats {
+                metrics,
+                wall_ns: block_start.elapsed().as_nanos() as u64,
+                elements: 0,
+                points: (e - s) as u64,
+                probe,
+            }
+        };
+
+        let mut values = vec![0.0; n];
+        let block_stats: Vec<BlockStats> = {
+            let _span = tracer.span("apply.spmv");
+            if options.parallel {
+                // Split the output along block boundaries so each worker
+                // owns its slice — race freedom by construction.
+                let mut slices: Vec<&mut [f64]> = Vec::with_capacity(n_blocks);
+                let mut rest = values.as_mut_slice();
+                for &(s, e) in &bounds {
+                    let (head, tail) = rest.split_at_mut(e - s);
+                    slices.push(head);
+                    rest = tail;
+                }
+                bounds
+                    .par_iter()
+                    .zip(slices)
+                    .map(|(&(s, e), slice)| block(s, e, slice))
+                    .collect()
+            } else {
+                bounds
+                    .iter()
+                    .map(|&(s, e)| {
+                        let mut slice = vec![0.0; e - s];
+                        let st = block(s, e, &mut slice);
+                        values[s..e].copy_from_slice(&slice);
+                        st
+                    })
+                    .collect()
+            }
+        };
+
+        PlanSolution {
+            values,
+            metrics: Metrics::sum(block_stats.iter().map(|s| &s.metrics)),
+            block_stats,
+            spans: tracer.into_records(),
+            wall: start.elapsed(),
+        }
+    }
+
+    /// Applies the plan to a batch of fields (e.g. the timesteps of a
+    /// simulation), reusing the plan across all of them.
+    ///
+    /// # Panics
+    /// Panics when any field's degree or element count does not match the
+    /// plan.
+    pub fn apply_many(&self, fields: &[DgField], options: &ApplyOptions) -> Vec<PlanSolution> {
+        fields.iter().map(|f| self.apply_with(f, options)).collect()
+    }
+
+    /// The bare SpMV: writes values into a caller-provided buffer with no
+    /// allocation, spans, or stats. This is the serve-time fast path.
+    ///
+    /// # Panics
+    /// Panics when the field does not match the plan or `out` is not
+    /// exactly [`rows`](EvalPlan::rows) long.
+    pub fn apply_into(&self, field: &DgField, out: &mut [f64]) {
+        self.check_field(field);
+        assert_eq!(out.len(), self.rows(), "output buffer/plan row mismatch");
+        let mut probe = Probe::disabled();
+        self.apply_block(0, self.rows(), field.coefficients(), out, &mut probe);
+    }
+
+    fn check_field(&self, field: &DgField) {
+        assert_eq!(
+            field.degree(),
+            self.degree,
+            "field degree does not match the plan"
+        );
+        assert_eq!(
+            field.n_elements(),
+            self.n_elements,
+            "field element count does not match the plan"
+        );
+    }
+
+    /// Evaluates rows `[start, end)` into `out` (length `end - start`).
+    fn apply_block(
+        &self,
+        start: usize,
+        end: usize,
+        coeffs: &[f64],
+        out: &mut [f64],
+        probe: &mut Probe,
+    ) -> Metrics {
+        let mut metrics = Metrics::default();
+        let nm = self.n_modes;
+        for (slot, r) in (start..end).enumerate() {
+            let (lo, hi) = self.row_range(r);
+            let mut acc = 0.0;
+            for e in lo..hi {
+                let w = &self.weights[e * nm..(e + 1) * nm];
+                let c = &coeffs[self.cols[e] as usize * nm..];
+                for (wm, cm) in w.iter().zip(c) {
+                    acc += wm * cm;
+                }
+            }
+            out[slot] = acc;
+            // Row entries are this scheme's "candidates": the histogram
+            // shows how many stored elements each output point reads.
+            probe.record_candidates((hi - lo) as u64);
+            metrics.solution_writes += 1;
+            let entries = (hi - lo) as u64;
+            metrics.elem_data_loads += entries * nm as u64;
+            metrics.flops += 2 * entries * nm as u64;
+        }
+        metrics.partial_slots += (end - start) as u64;
+        metrics
+    }
+}

@@ -1,0 +1,114 @@
+//! Front ends that tie plans to the engine's `PostProcessor`: compile from
+//! a processor's settings, or cache a plan and recompile only on change.
+
+use crate::apply::{ApplyOptions, PlanSolution};
+use crate::compile::CompileOptions;
+use crate::plan::EvalPlan;
+use ustencil_core::{ComputationGrid, PostProcessor, ProcessorSettings};
+use ustencil_dg::DgField;
+use ustencil_mesh::TriMesh;
+
+/// Plan-mode extension of [`PostProcessor`]: compile the geometry once
+/// under the processor's exact kernel/quadrature settings, then apply the
+/// result to any number of fields.
+pub trait PlanExt {
+    /// Compiles an [`EvalPlan`] for degree-`degree` fields over `mesh` at
+    /// `grid`'s points, mirroring the kernel/smoothness/parallelism choices
+    /// this processor's `run` would make.
+    fn compile_plan(&self, mesh: &TriMesh, degree: usize, grid: &ComputationGrid) -> EvalPlan;
+
+    /// A lazily-compiled, self-invalidating plan front end bound to this
+    /// processor's settings.
+    fn plan(&self) -> CachedPlan;
+}
+
+impl PlanExt for PostProcessor {
+    fn compile_plan(&self, mesh: &TriMesh, degree: usize, grid: &ComputationGrid) -> EvalPlan {
+        EvalPlan::compile(
+            mesh,
+            grid,
+            degree,
+            &CompileOptions::from_settings(&self.settings()),
+        )
+    }
+
+    fn plan(&self) -> CachedPlan {
+        CachedPlan::new(self.settings())
+    }
+}
+
+/// A cached-plan runner: the drop-in "many timesteps" counterpart of
+/// [`PostProcessor::run`](ustencil_core::PostProcessor::run). The first
+/// [`run`](CachedPlan::run) compiles a plan; subsequent runs against the
+/// same mesh/grid/degree reuse it and pay only the SpMV.
+///
+/// Invalidation is by shape: the plan is recompiled when the element count,
+/// field degree, or grid size changes. Callers that mutate mesh geometry
+/// in place (same triangle count, moved vertices) must call
+/// [`invalidate`](CachedPlan::invalidate) themselves.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    compile: CompileOptions,
+    apply: ApplyOptions,
+    plan: Option<EvalPlan>,
+    rebuilds: usize,
+}
+
+impl CachedPlan {
+    /// A cache adopting a processor's settings for both compile and apply.
+    pub fn new(settings: ProcessorSettings) -> Self {
+        Self {
+            compile: CompileOptions::from_settings(&settings),
+            apply: ApplyOptions {
+                n_blocks: settings.n_blocks,
+                parallel: settings.parallel,
+                instrument: settings.instrument,
+            },
+            plan: None,
+            rebuilds: 0,
+        }
+    }
+
+    /// Whether the cached plan (if any) matches the given problem shape.
+    fn matches(&self, mesh: &TriMesh, field: &DgField, grid: &ComputationGrid) -> bool {
+        self.plan.as_ref().is_some_and(|p| {
+            p.n_elements() == mesh.n_triangles()
+                && p.degree() == field.degree()
+                && p.rows() == grid.len()
+        })
+    }
+
+    /// Applies the cached plan to `field`, compiling it first if the cache
+    /// is empty or the problem shape changed.
+    pub fn run(&mut self, mesh: &TriMesh, field: &DgField, grid: &ComputationGrid) -> PlanSolution {
+        if !self.matches(mesh, field, grid) {
+            self.plan = Some(EvalPlan::compile(mesh, grid, field.degree(), &self.compile));
+            self.rebuilds += 1;
+        }
+        self.plan
+            .as_ref()
+            .expect("plan compiled above")
+            .apply_with(field, &self.apply)
+    }
+
+    /// The cached plan, when one has been compiled.
+    pub fn get(&self) -> Option<&EvalPlan> {
+        self.plan.as_ref()
+    }
+
+    /// How many times [`run`](Self::run) had to (re)compile.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Drops the cached plan, forcing the next run to recompile (use after
+    /// in-place mesh mutation that shape checks cannot see).
+    pub fn invalidate(&mut self) {
+        self.plan = None;
+    }
+
+    /// Seeds the cache with an externally built (e.g. deserialized) plan.
+    pub fn set(&mut self, plan: EvalPlan) {
+        self.plan = Some(plan);
+    }
+}

@@ -1,0 +1,380 @@
+//! Plan compilation: run the per-point discovery machinery once, folding
+//! quadrature × kernel × basis into per-mode weights.
+//!
+//! The weight of entry `(point r, element e)` for mode `m` is (Eq. 2)
+//!
+//! ```text
+//! w[r][e][m] = Σ_cells Σ_subtris |J| Σ_q ω_q · K_h(p_q - x_r) · φ_m(p_q)
+//! ```
+//!
+//! where the cells are the stencil lattice squares clipped against (a
+//! periodic image of) element `e`, the sub-triangles come from fan
+//! triangulation of each clip polygon, and `φ_m` is evaluated through the
+//! same monomial path the direct engine uses: accumulate monomial-power
+//! sums `Σ ω_q K u^a v^b` first, then transform monomial → modal with the
+//! basis change matrix once per entry. This mirrors `ElementData::eval`
+//! term for term, so plan applies agree with direct evaluation to rounding.
+
+use crate::plan::EvalPlan;
+use rayon::prelude::*;
+use std::time::Instant;
+use ustencil_core::integrate::{
+    flops_per_clip, flops_per_quad_eval, needed_shifts, IntegrationCtx, MAX_MODES,
+};
+use ustencil_core::{BlockStats, ComputationGrid, Metrics, Probe};
+use ustencil_dg::DubinerBasis;
+use ustencil_geometry::{clip_triangle_rect, fan_triangulate, Aabb, Point2, Triangle, GEOM_EPS};
+use ustencil_mesh::TriMesh;
+use ustencil_quadrature::TriangleRule;
+use ustencil_siac::Stencil2d;
+use ustencil_spatial::{Boundary, TriangleGrid};
+use ustencil_trace::Tracer;
+
+/// Configuration of a plan compilation. Mirrors the relevant subset of
+/// [`PostProcessor`](ustencil_core::PostProcessor) settings so a plan can
+/// reproduce exactly the kernel/quadrature setup a direct run would use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompileOptions {
+    /// Explicit kernel smoothness `k` (default: the field degree `p`).
+    pub smoothness: Option<usize>,
+    /// Kernel width factor, `h = h_factor * max_edge` (default 1.0).
+    pub h_factor: f64,
+    /// Concurrent point blocks during compilation (default 16).
+    pub n_blocks: usize,
+    /// Whether to compile blocks on worker threads (default true).
+    pub parallel: bool,
+    /// Whether to record phase spans and distribution probes (default
+    /// false).
+    pub instrument: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self {
+            smoothness: None,
+            h_factor: 1.0,
+            n_blocks: 16,
+            parallel: true,
+            instrument: false,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Adopts the kernel/parallelism choices of a processor snapshot
+    /// ([`PostProcessor::settings`](ustencil_core::PostProcessor::settings)).
+    pub fn from_settings(s: &ustencil_core::ProcessorSettings) -> Self {
+        Self {
+            smoothness: s.smoothness,
+            h_factor: s.h_factor,
+            n_blocks: s.n_blocks,
+            parallel: s.parallel,
+            instrument: s.instrument,
+        }
+    }
+}
+
+/// One block's share of the CSR arrays, concatenated after the join.
+struct BlockOut {
+    /// Entries per row, for the row-pointer prefix sum.
+    row_counts: Vec<u32>,
+    cols: Vec<u32>,
+    weights: Vec<f64>,
+    stats: BlockStats,
+}
+
+/// Element geometry the weight accumulation needs: the same inverse affine
+/// map `(u, v) = M (p - origin)` the engine's `ElementData` caches.
+struct ElemGeom {
+    tri: Triangle,
+    bbox: Aabb,
+    inv: [f64; 4],
+    origin: Point2,
+}
+
+impl ElemGeom {
+    fn gather(mesh: &TriMesh, e: usize) -> Self {
+        let tri = mesh.triangle(e);
+        let e1 = tri.b - tri.a;
+        let e2 = tri.c - tri.a;
+        let det = e1.cross(e2);
+        Self {
+            tri,
+            bbox: tri.aabb(),
+            inv: [e2.y / det, -e2.x / det, -e1.y / det, e1.x / det],
+            origin: tri.a,
+        }
+    }
+}
+
+impl EvalPlan {
+    /// Compiles a plan for degree-`degree` fields over `mesh`, evaluated at
+    /// `grid`'s points.
+    ///
+    /// # Panics
+    /// Panics when the stencil is wider than the periodic unit domain (the
+    /// `(3k + 1) h <= 1` requirement, as in `PostProcessor::run`) or the
+    /// degree exceeds the engine's mode budget.
+    pub fn compile(
+        mesh: &TriMesh,
+        grid: &ComputationGrid,
+        degree: usize,
+        options: &CompileOptions,
+    ) -> EvalPlan {
+        let start = Instant::now();
+        let tracer = Tracer::new(options.instrument);
+        let k = options.smoothness.unwrap_or(degree);
+        let h = options.h_factor * mesh.max_edge_length();
+        let basis = DubinerBasis::new(degree);
+        let n_modes = basis.n_modes();
+        assert!(n_modes <= MAX_MODES, "degree {degree} exceeds mode budget");
+
+        let (stencil, rule) = {
+            let _span = tracer.span("setup.kernel");
+            let stencil = Stencil2d::symmetric(k, h);
+            assert!(
+                stencil.width() <= 1.0 + 1e-12,
+                "stencil width {} exceeds the periodic unit domain; \
+                 use a larger mesh or a smaller h_factor",
+                stencil.width()
+            );
+            let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(k, degree));
+            (stencil, rule)
+        };
+        let tri_grid = {
+            let _span = tracer.span("build.tri_grid");
+            TriangleGrid::build(mesh, Boundary::Periodic)
+        };
+
+        let n = grid.len();
+        let n_blocks = options.n_blocks.clamp(1, n.max(1));
+        let bounds: Vec<(usize, usize)> = (0..n_blocks)
+            .map(|b| (b * n / n_blocks, (b + 1) * n / n_blocks))
+            .collect();
+
+        let block = |s: usize, e: usize| -> BlockOut {
+            let block_start = Instant::now();
+            let mut probe = Probe::new(options.instrument);
+            let mut out = compile_block(
+                mesh, grid, &basis, &stencil, &rule, &tri_grid, s, e, &mut probe,
+            );
+            out.stats.wall_ns = block_start.elapsed().as_nanos() as u64;
+            out.stats.points = (e - s) as u64;
+            out.stats.probe = probe;
+            out
+        };
+
+        let blocks: Vec<BlockOut> = {
+            let _span = tracer.span("compile.rows");
+            if options.parallel {
+                bounds.par_iter().map(|&(s, e)| block(s, e)).collect()
+            } else {
+                bounds.iter().map(|&(s, e)| block(s, e)).collect()
+            }
+        };
+
+        let _span = tracer.span("assemble.csr");
+        let nnz: usize = blocks.iter().map(|b| b.cols.len()).sum();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut cols = Vec::with_capacity(nnz);
+        let mut weights = Vec::with_capacity(nnz * n_modes);
+        row_ptr.push(0u64);
+        let mut acc = 0u64;
+        for b in &blocks {
+            for &c in &b.row_counts {
+                acc += c as u64;
+                row_ptr.push(acc);
+            }
+            cols.extend_from_slice(&b.cols);
+            weights.extend_from_slice(&b.weights);
+        }
+        drop(_span);
+        let build_metrics = Metrics::sum(blocks.iter().map(|b| &b.stats.metrics));
+
+        EvalPlan {
+            degree,
+            smoothness: k,
+            n_modes,
+            n_elements: mesh.n_triangles(),
+            h,
+            row_ptr,
+            cols,
+            weights,
+            build_wall: start.elapsed(),
+            build_spans: tracer.into_records(),
+            build_metrics,
+        }
+    }
+}
+
+/// Compiles rows `[start, end)`, returning the block's CSR slices.
+#[allow(clippy::too_many_arguments)]
+fn compile_block(
+    mesh: &TriMesh,
+    grid: &ComputationGrid,
+    basis: &DubinerBasis,
+    stencil: &Stencil2d,
+    rule: &TriangleRule,
+    tri_grid: &TriangleGrid,
+    start: usize,
+    end: usize,
+    probe: &mut Probe,
+) -> BlockOut {
+    let mut metrics = Metrics::default();
+    let n_modes = basis.n_modes();
+    let half_width = stencil.width() / 2.0;
+    let exps = basis.monomial_exponents();
+    let mut row_counts = Vec::with_capacity(end - start);
+    let mut cols = Vec::new();
+    let mut weights = Vec::new();
+    let mut candidates: Vec<u32> = Vec::with_capacity(64);
+
+    for i in start..end {
+        let center = grid.points()[i];
+        let support = stencil.support_rect(center);
+
+        metrics.cells_visited += tri_grid.candidate_cells(center, half_width) as u64;
+        candidates.clear();
+        tri_grid.for_each_candidate(center, half_width, |id| candidates.push(id));
+        probe.record_candidates(candidates.len() as u64);
+
+        let mut row_entries = 0u32;
+        for &id in &candidates {
+            metrics.intersection_tests += 1;
+            let geom = ElemGeom::gather(mesh, id as usize);
+            let mut mono_w = [0.0f64; MAX_MODES];
+            let mut hit = false;
+            let subregions_before = metrics.subregions;
+            for shift in needed_shifts(&support) {
+                let bb = Aabb::new(geom.bbox.min + shift, geom.bbox.max + shift);
+                if support.intersects_aabb(&bb) {
+                    let quads_before = metrics.quad_evals;
+                    hit |= accumulate_element(
+                        stencil,
+                        rule,
+                        exps,
+                        n_modes,
+                        center,
+                        &geom,
+                        shift,
+                        &mut mono_w,
+                        &mut metrics,
+                    );
+                    probe.record_quad_points(metrics.quad_evals - quads_before);
+                }
+            }
+            probe.record_subregions(metrics.subregions - subregions_before);
+            metrics.true_intersections += hit as u64;
+            if hit {
+                // Monomial → modal: the transpose of the basis change
+                // `ElementData::gather` applies to coefficients.
+                cols.push(id);
+                for m in 0..n_modes {
+                    let mc = basis.monomial_coefficients(m);
+                    let mut w = 0.0;
+                    for (slot, &c) in mc.iter().enumerate().take(n_modes) {
+                        w += c * mono_w[slot];
+                    }
+                    weights.push(w);
+                }
+                row_entries += 1;
+            }
+        }
+        row_counts.push(row_entries);
+        metrics.solution_writes += 1;
+    }
+    metrics.partial_slots += (end - start) as u64;
+
+    BlockOut {
+        row_counts,
+        cols,
+        weights,
+        stats: BlockStats::bare(metrics),
+    }
+}
+
+/// Accumulates one periodic image's monomial-power weights, mirroring
+/// `integrate_element_stencil` cell by cell: clip each overlapped lattice
+/// square, fan-triangulate, and add `|J| Σ_q ω_q K_h u^a v^b` per slot.
+/// Returns whether any square truly intersected the image.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_element(
+    stencil: &Stencil2d,
+    rule: &TriangleRule,
+    exps: &[(usize, usize)],
+    n_modes: usize,
+    center: Point2,
+    geom: &ElemGeom,
+    shift: ustencil_geometry::Vec2,
+    mono_w: &mut [f64; MAX_MODES],
+    metrics: &mut Metrics,
+) -> bool {
+    let h = stencil.h();
+    let n_cells = stencil.cells_per_side();
+    let (lo, _) = stencil.kernel().support();
+    let shifted = geom.tri.translate(shift);
+    let bbox = Aabb::new(geom.bbox.min + shift, geom.bbox.max + shift);
+
+    // Lattice cell range overlapped by the shifted element's bbox (same
+    // arithmetic as the direct integration kernel).
+    let x_base = center.x + lo * h;
+    let y_base = center.y + lo * h;
+    let i0 = (((bbox.min.x - x_base) / h).floor().max(0.0)) as usize;
+    let j0 = (((bbox.min.y - y_base) / h).floor().max(0.0)) as usize;
+    if i0 >= n_cells || j0 >= n_cells {
+        return false;
+    }
+    if bbox.max.x < x_base || bbox.max.y < y_base {
+        return false;
+    }
+    let i1 = ((((bbox.max.x - x_base) / h).floor()) as usize).min(n_cells - 1);
+    let j1 = ((((bbox.max.y - y_base) / h).floor()) as usize).min(n_cells - 1);
+
+    let k = stencil.kernel().smoothness();
+    let eval_flops = flops_per_quad_eval(k, n_modes);
+    let nq = rule.len() as u64;
+    let points = rule.points();
+    let q_weights = rule.weights();
+
+    let mut any = false;
+    for j in j0..=j1 {
+        for i in i0..=i1 {
+            let cell = stencil.cell_rect(center, i, j);
+            metrics.cell_clips += 1;
+            metrics.flops += flops_per_clip();
+            let poly = clip_triangle_rect(&shifted, &cell);
+            if poly.is_degenerate(GEOM_EPS) {
+                continue;
+            }
+            any = true;
+            for sub in fan_triangulate(&poly) {
+                metrics.subregions += 1;
+                metrics.quad_evals += nq;
+                metrics.flops += nq * eval_flops;
+                let jac = sub.jacobian().abs();
+                if jac == 0.0 {
+                    continue;
+                }
+                // Per-sub-triangle accumulator scaled by |J| afterwards,
+                // matching `integrate_physical`'s summation order.
+                let mut local = [0.0f64; MAX_MODES];
+                for (&(u, v), &w) in points.iter().zip(q_weights) {
+                    let p = sub.map_from_unit(u, v);
+                    let wk = w * stencil.eval(center, p);
+                    let d = (p - shift) - geom.origin;
+                    let uu = geom.inv[0] * d.x + geom.inv[1] * d.y;
+                    let vv = geom.inv[2] * d.x + geom.inv[3] * d.y;
+                    let up = [1.0, uu, uu * uu, uu * uu * uu];
+                    let vp = [1.0, vv, vv * vv, vv * vv * vv];
+                    for (slot, &(a, b)) in exps.iter().enumerate().take(n_modes) {
+                        local[slot] += wk * up[a] * vp[b];
+                    }
+                }
+                for (slot, &l) in local.iter().enumerate().take(n_modes) {
+                    mono_w[slot] += jac * l;
+                }
+            }
+        }
+    }
+    any
+}

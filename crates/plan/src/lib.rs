@@ -1,0 +1,52 @@
+//! Evaluation plans: compile the stencil geometry once, apply it to many
+//! fields as a sparse operator.
+//!
+//! Everything geometric in the convolution (Eq. 1–2) — stencil placement,
+//! Sutherland–Hodgman clipping, fan triangulation, quadrature nodes, and the
+//! `K(x)K(y) · φ_j` kernel-times-basis products — depends only on
+//! `(mesh, grid, kernel)`, never on the dG coefficients. The direct
+//! [`PostProcessor::run`](ustencil_core::PostProcessor::run) recomputes all
+//! of it per call; for time-dependent output (the paper's motivating use of
+//! SIAC filtering) that is the dominant redundant cost.
+//!
+//! An [`EvalPlan`] removes it. Compilation runs the per-point discovery
+//! machinery once and folds quadrature × kernel × basis into per-mode
+//! weights, stored in CSR layout: each output point owns a row of
+//! `(element, weight[0..n_modes])` entries. Applying the plan to a field is
+//! then a flat, cache-friendly SpMV-style loop:
+//!
+//! ```text
+//! value[row] = Σ_{entry ∈ row} Σ_m weight[entry][m] · coeff[col(entry)][m]
+//! ```
+//!
+//! parallel over contiguous row chunks, instrumented with the same
+//! `Probe`/`Tracer` spans as the direct pipeline. Plans serialize to JSON
+//! ([`EvalPlan::to_json`]) with bit-exact weights, so they can be built
+//! offline and loaded at serve time, and their size/timing surface through
+//! [`RunReport`](ustencil_core::RunReport) as
+//! [`PlanStats`](ustencil_core::PlanStats).
+//!
+//! Entry points:
+//!
+//! * [`EvalPlan::compile`] — build a plan from a mesh, grid, and options;
+//! * [`EvalPlan::apply`] / [`EvalPlan::apply_many`] — evaluate fields;
+//! * [`PlanExt`] — compile straight from a configured
+//!   [`PostProcessor`](ustencil_core::PostProcessor);
+//! * [`CachedPlan`] — a front end that compiles lazily and recompiles only
+//!   when the mesh/grid/degree change.
+
+#![deny(missing_docs)]
+
+mod apply;
+mod cached;
+mod compile;
+mod plan;
+mod record;
+mod serial;
+#[cfg(test)]
+mod tests;
+
+pub use apply::{ApplyOptions, PlanSolution};
+pub use cached::{CachedPlan, PlanExt};
+pub use compile::CompileOptions;
+pub use plan::{EvalPlan, SCHEME_LABEL};

@@ -1,0 +1,313 @@
+//! Unit tests for plan compilation, application, caching, and
+//! serialization (cross-scheme equivalence properties live in the
+//! workspace-level `tests/plan_equivalence_prop.rs`).
+
+use crate::{ApplyOptions, CachedPlan, CompileOptions, EvalPlan, PlanExt, SCHEME_LABEL};
+use ustencil_core::{ComputationGrid, PostProcessor, Scheme};
+use ustencil_dg::project_l2;
+use ustencil_mesh::{generate_mesh, MeshClass, TriMesh};
+
+fn setup(n_tri: usize, p: usize, seed: u64) -> (TriMesh, ustencil_dg::DgField, ComputationGrid) {
+    let mesh = generate_mesh(MeshClass::LowVariance, n_tri, seed);
+    let field = project_l2(&mesh, p, |x, y| 0.2 + x - 0.5 * y + x * y, 2);
+    let grid = ComputationGrid::quadrature_points(&mesh, p);
+    (mesh, field, grid)
+}
+
+fn small_options() -> CompileOptions {
+    CompileOptions {
+        h_factor: 0.5,
+        parallel: false,
+        ..CompileOptions::default()
+    }
+}
+
+#[test]
+fn constant_field_is_preserved() {
+    let (mesh, _, grid) = setup(150, 1, 7);
+    let field = project_l2(&mesh, 1, |_, _| 1.75, 0);
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &small_options());
+    let sol = plan.apply(&field);
+    for (i, v) in sol.values.iter().enumerate() {
+        assert!((v - 1.75).abs() < 1e-9, "point {i}: {v}");
+    }
+}
+
+#[test]
+fn plan_matches_direct_run() {
+    let (mesh, field, grid) = setup(200, 2, 11);
+    let processor = PostProcessor::new(Scheme::PerPoint)
+        .h_factor(0.5)
+        .parallel(false);
+    let direct = processor.run(&mesh, &field, &grid);
+    let plan = processor.compile_plan(&mesh, field.degree(), &grid);
+    let sol = plan.apply_with(&field, &ApplyOptions::default());
+    let diff = sol.max_abs_diff(&direct.values);
+    assert!(diff <= 1e-12, "plan vs direct differ by {diff}");
+    assert_eq!(plan.rows(), grid.len());
+    assert!(plan.nnz() > 0);
+    assert_eq!(plan.stencil_width(), direct.stencil_width);
+}
+
+#[test]
+fn plan_shape_and_stats_are_consistent() {
+    let (mesh, field, grid) = setup(120, 1, 3);
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &small_options());
+    assert_eq!(plan.degree(), 1);
+    assert_eq!(plan.smoothness(), 1);
+    assert_eq!(plan.n_modes(), 3);
+    assert_eq!(plan.n_elements(), mesh.n_triangles());
+    let stats = plan.stats();
+    assert_eq!(stats.rows, grid.len() as u64);
+    assert_eq!(stats.nnz, plan.nnz() as u64);
+    assert_eq!(
+        stats.bytes,
+        (8 * (plan.rows() + 1) + 4 * plan.nnz() + 8 * plan.nnz() * plan.n_modes()) as u64
+    );
+    assert!(stats.build_ms > 0.0);
+    // The compile pass counted real geometric work.
+    let bm = plan.build_metrics();
+    assert!(bm.cell_clips > 0);
+    assert!(bm.quad_evals > 0);
+    assert!(bm.true_intersections >= plan.nnz() as u64);
+    // Every stored column is a valid element.
+    let sol = plan.apply(&field);
+    assert_eq!(sol.values.len(), grid.len());
+}
+
+#[test]
+fn parallel_and_sequential_compile_agree_exactly() {
+    let (mesh, _, grid) = setup(150, 1, 9);
+    let seq = EvalPlan::compile(&mesh, &grid, 1, &small_options());
+    let par = EvalPlan::compile(
+        &mesh,
+        &grid,
+        1,
+        &CompileOptions {
+            parallel: true,
+            n_blocks: 7,
+            ..small_options()
+        },
+    );
+    // Blocking only changes who computes each row, not what is computed:
+    // the CSR arrays must be bit-identical.
+    assert_eq!(seq.row_ptr, par.row_ptr);
+    assert_eq!(seq.cols, par.cols);
+    assert_eq!(
+        seq.weights.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+        par.weights.iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn apply_variants_agree() {
+    let (mesh, field, grid) = setup(150, 1, 5);
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &small_options());
+    let a = plan.apply(&field);
+    let b = plan.apply_with(
+        &field,
+        &ApplyOptions {
+            n_blocks: 3,
+            parallel: false,
+            instrument: true,
+        },
+    );
+    let mut c = vec![0.0; plan.rows()];
+    plan.apply_into(&field, &mut c);
+    for ((av, bv), cv) in a.values.iter().zip(&b.values).zip(&c) {
+        assert_eq!(av.to_bits(), bv.to_bits());
+        assert_eq!(av.to_bits(), cv.to_bits());
+    }
+    // Batched applies are per-field applies.
+    let fields = vec![field.clone(), field];
+    let many = plan.apply_many(&fields, &ApplyOptions::default());
+    assert_eq!(many.len(), 2);
+    assert_eq!(many[0].values, a.values);
+    assert_eq!(many[1].values, a.values);
+}
+
+#[test]
+fn instrumented_apply_populates_stats() {
+    let (mesh, field, grid) = setup(120, 1, 2);
+    let plan = EvalPlan::compile(
+        &mesh,
+        &grid,
+        1,
+        &CompileOptions {
+            instrument: true,
+            ..small_options()
+        },
+    );
+    assert!(plan
+        .build_spans()
+        .iter()
+        .any(|s| s.name == "compile.rows" && s.duration_ns > 0));
+    let sol = plan.apply_with(
+        &field,
+        &ApplyOptions {
+            n_blocks: 4,
+            parallel: false,
+            instrument: true,
+        },
+    );
+    assert!(sol.spans.iter().any(|s| s.name == "apply.spmv"));
+    assert_eq!(sol.block_stats.len(), 4);
+    let probe = ustencil_core::BlockStats::merged_probe(&sol.block_stats);
+    // One row-entry-count sample per grid point, summing to the nnz.
+    assert_eq!(probe.candidates_per_query().count(), grid.len() as u64);
+    assert_eq!(probe.candidates_per_query().sum(), plan.nnz() as u64);
+    assert_eq!(sol.metrics.solution_writes, grid.len() as u64);
+    assert_eq!(
+        sol.metrics.flops,
+        2 * plan.nnz() as u64 * plan.n_modes() as u64
+    );
+    // Uninstrumented applies keep the probes empty.
+    let bare = plan.apply(&field);
+    assert!(ustencil_core::BlockStats::merged_probe(&bare.block_stats)
+        .candidates_per_query()
+        .is_empty());
+}
+
+#[test]
+fn run_record_carries_plan_stats() {
+    let (mesh, field, grid) = setup(120, 1, 4);
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &small_options());
+    let sol = plan.apply_with(
+        &field,
+        &ApplyOptions {
+            instrument: true,
+            ..ApplyOptions::default()
+        },
+    );
+    let record = plan.to_run_record("test/plan", mesh.n_triangles(), &sol);
+    assert_eq!(record.scheme, SCHEME_LABEL);
+    assert_eq!(record.n_points, grid.len() as u64);
+    let stats = record.plan.as_ref().expect("plan stats present");
+    assert_eq!(stats.nnz, plan.nnz() as u64);
+    assert!(stats.build_ms > 0.0);
+    assert!(stats.apply_ms > 0.0);
+    let hist = record.histogram("candidates_per_query").unwrap();
+    assert_eq!(hist.count(), grid.len() as u64);
+    // The record survives the report JSON round trip.
+    let mut report = ustencil_core::RunReport::new("plan-test", 4);
+    report.runs.push(record);
+    let parsed = ustencil_core::RunReport::from_json(&report.to_pretty_string()).unwrap();
+    assert_eq!(parsed, report);
+}
+
+#[test]
+fn cached_plan_recompiles_only_on_shape_change() {
+    let (mesh, field, grid) = setup(150, 1, 8);
+    let processor = PostProcessor::new(Scheme::PerElement)
+        .h_factor(0.5)
+        .parallel(false);
+    let mut cached = processor.plan();
+    assert!(cached.get().is_none());
+    let first = cached.run(&mesh, &field, &grid);
+    assert_eq!(cached.rebuilds(), 1);
+    let second = cached.run(&mesh, &field, &grid);
+    assert_eq!(cached.rebuilds(), 1, "same shape must reuse the plan");
+    assert_eq!(first.values, second.values);
+    // A different degree forces a rebuild.
+    let field2 = project_l2(&mesh, 2, |x, y| x + y, 0);
+    let grid2 = ComputationGrid::quadrature_points(&mesh, 2);
+    let _ = cached.run(&mesh, &field2, &grid2);
+    assert_eq!(cached.rebuilds(), 2);
+    // Explicit invalidation also forces one.
+    cached.invalidate();
+    let _ = cached.run(&mesh, &field2, &grid2);
+    assert_eq!(cached.rebuilds(), 3);
+    // The cached plan agrees with the direct run it replaces.
+    let direct = processor.run(&mesh, &field2, &grid2);
+    let again = cached.run(&mesh, &field2, &grid2);
+    assert!(again.max_abs_diff(&direct.values) <= 1e-12);
+}
+
+#[test]
+fn serialization_round_trip_is_bit_exact() {
+    let (mesh, field, grid) = setup(120, 2, 6);
+    let plan = EvalPlan::compile(&mesh, &grid, 2, &small_options());
+    let text = plan.to_pretty_string();
+    let loaded = EvalPlan::from_json(&text).expect("serialized plan parses");
+    assert_eq!(loaded.degree(), plan.degree());
+    assert_eq!(loaded.smoothness(), plan.smoothness());
+    assert_eq!(loaded.n_elements(), plan.n_elements());
+    assert_eq!(loaded.h().to_bits(), plan.h().to_bits());
+    assert_eq!(loaded.row_ptr, plan.row_ptr);
+    assert_eq!(loaded.cols, plan.cols);
+    assert_eq!(
+        loaded
+            .weights
+            .iter()
+            .map(|w| w.to_bits())
+            .collect::<Vec<_>>(),
+        plan.weights.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+        "weights must survive serialization byte-identically"
+    );
+    // Loaded plans report a zero (offline) build but apply identically.
+    assert_eq!(loaded.build_wall().as_nanos(), 0);
+    let a = plan.apply(&field);
+    let b = loaded.apply(&field);
+    assert_eq!(a.values, b.values);
+    // A seeded cache uses the loaded plan without recompiling.
+    let mut cached = CachedPlan::new(
+        PostProcessor::new(Scheme::PerPoint)
+            .h_factor(0.5)
+            .settings(),
+    );
+    cached.set(loaded);
+    let c = cached.run(&mesh, &field, &grid);
+    assert_eq!(cached.rebuilds(), 0);
+    assert_eq!(c.values, a.values);
+}
+
+#[test]
+fn malformed_plans_are_rejected() {
+    let (mesh, _, grid) = setup(100, 1, 1);
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &small_options());
+    let text = plan.to_pretty_string();
+    assert!(EvalPlan::from_json("{}").is_err());
+    assert!(EvalPlan::from_json("not json").is_err());
+    // Wrong format tag.
+    let bad = text.replace("ustencil-plan/v1", "ustencil-plan/v999");
+    assert!(EvalPlan::from_json(&bad).is_err());
+    // Truncated weight blob (drop one f64 = 16 hex digits).
+    let start = text.find("\"weights\": \"").unwrap() + "\"weights\": \"".len();
+    let mut bad = text.clone();
+    bad.replace_range(start..start + 16, "");
+    assert!(EvalPlan::from_json(&bad).is_err());
+    // Corrupted hex.
+    let mut bad = text.clone();
+    bad.replace_range(start..start + 1, "z");
+    assert!(EvalPlan::from_json(&bad).is_err());
+    // Inconsistent mode count.
+    let bad = text.replace("\"n_modes\": 3", "\"n_modes\": 6");
+    assert!(EvalPlan::from_json(&bad).is_err());
+}
+
+#[test]
+#[should_panic(expected = "degree does not match")]
+fn mismatched_field_degree_is_rejected() {
+    let (mesh, _, grid) = setup(100, 1, 1);
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &small_options());
+    let field = project_l2(&mesh, 2, |x, _| x, 0);
+    let _ = plan.apply(&field);
+}
+
+#[test]
+#[should_panic(expected = "element count does not match")]
+fn mismatched_element_count_is_rejected() {
+    let (mesh, _, grid) = setup(100, 1, 1);
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &small_options());
+    let other = generate_mesh(MeshClass::LowVariance, 200, 1);
+    let field = project_l2(&other, 1, |x, _| x, 0);
+    let _ = plan.apply(&field);
+}
+
+#[test]
+#[should_panic(expected = "stencil width")]
+fn oversized_stencil_is_rejected() {
+    let mesh = generate_mesh(MeshClass::StructuredPattern, 8, 0);
+    let grid = ComputationGrid::quadrature_points(&mesh, 3);
+    let _ = EvalPlan::compile(&mesh, &grid, 3, &CompileOptions::default());
+}

@@ -336,11 +336,17 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (input is valid UTF-8: &str).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().ok_or("unterminated string")?;
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole run up to the next quote or escape in
+                // one slice. The delimiters are ASCII, so they can never
+                // split a multi-byte UTF-8 scalar, and validating the run
+                // once keeps parsing linear even for megabyte strings
+                // (per-character re-validation of the tail made loading
+                // serialized evaluation plans quadratic).
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
             }
         }
     }

@@ -14,18 +14,25 @@
 //! * [`spatial`] — uniform hash grids,
 //! * [`engine`] — the per-point / per-element stencil evaluators, overlapped
 //!   tiling and the streaming-device model,
+//! * [`plan`] — the evaluation-plan compiler: precompute the stencil
+//!   geometry once, apply it to many fields as a sparse operator
+//!   (see DESIGN.md §9),
 //! * [`trace`] — phase spans, streaming histograms, imbalance summaries and
 //!   the JSON run reports (see DESIGN.md, "Observability").
 //!
-//! See `examples/quickstart.rs` for the five-minute tour.
+//! See `examples/quickstart.rs` for the five-minute tour and
+//! `examples/timeseries_postprocess.rs` for the compile-once/apply-many
+//! plan workflow.
 
 pub use ustencil_core as engine;
 pub use ustencil_dg as dg;
 pub use ustencil_geometry as geometry;
 pub use ustencil_mesh as mesh;
+pub use ustencil_plan as plan;
 pub use ustencil_quadrature as quadrature;
 pub use ustencil_siac as siac;
 pub use ustencil_spatial as spatial;
 pub use ustencil_trace as trace;
 
 pub use ustencil_core::prelude::*;
+pub use ustencil_plan::{CachedPlan, EvalPlan, PlanExt};
