@@ -10,9 +10,7 @@
 
 use crate::metrics::Metrics;
 use ustencil_dg::{DgField, DubinerBasis};
-use ustencil_geometry::{
-    clip_triangle_rect, fan_triangulate, Aabb, Point2, Triangle, Vec2, GEOM_EPS,
-};
+use ustencil_geometry::{Aabb, Point2, Triangle, Vec2};
 use ustencil_mesh::TriMesh;
 use ustencil_quadrature::TriangleRule;
 use ustencil_siac::Stencil2d;
@@ -42,15 +40,13 @@ impl ElementData {
     /// Gathers element `e`'s data. The caller accounts the memory traffic
     /// (this is the load the per-element scheme amortizes).
     pub fn gather(mesh: &TriMesh, field: &DgField, basis: &DubinerBasis, e: usize) -> Self {
-        let tri = mesh.triangle(e);
-        let coeffs = field.element_coeffs(e);
         let n_modes = basis.n_modes();
-        debug_assert!(n_modes <= MAX_MODES);
+        let mut ed = Self::gather_geometry(mesh, e, n_modes);
 
         // Convert the modal expansion to reference monomials.
-        let mut mono = [0.0; MAX_MODES];
-        for (m, &c) in coeffs.iter().enumerate() {
-            for (slot, &mc) in mono
+        for (m, &c) in field.element_coeffs(e).iter().enumerate() {
+            for (slot, &mc) in ed
+                .mono
                 .iter_mut()
                 .zip(basis.monomial_coefficients(m))
                 .take(n_modes)
@@ -58,6 +54,15 @@ impl ElementData {
                 *slot += c * mc;
             }
         }
+        ed
+    }
+
+    /// Gathers only element `e`'s geometry (polynomial left zero) — the
+    /// plan compiler's variant, which keeps the quadrature symbolic and
+    /// never touches field coefficients.
+    pub fn gather_geometry(mesh: &TriMesh, e: usize, n_modes: usize) -> Self {
+        debug_assert!(n_modes <= MAX_MODES);
+        let tri = mesh.triangle(e);
 
         // Inverse affine map.
         let e1 = tri.b - tri.a;
@@ -68,11 +73,51 @@ impl ElementData {
         Self {
             tri,
             bbox: tri.aabb(),
-            mono,
+            mono: [0.0; MAX_MODES],
             inv,
             origin: tri.a,
             n_modes,
         }
+    }
+
+    /// A placeholder value for pre-sized caches; never read before being
+    /// overwritten by a real gather.
+    pub(crate) fn placeholder() -> Self {
+        Self {
+            tri: Triangle::new(
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(0.0, 1.0),
+            ),
+            bbox: Aabb::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)),
+            mono: [0.0; MAX_MODES],
+            inv: [1.0, 0.0, 0.0, 1.0],
+            origin: Point2::new(0.0, 0.0),
+            n_modes: 0,
+        }
+    }
+
+    /// Number of monomial slots in use.
+    #[inline]
+    pub fn n_modes(&self) -> usize {
+        self.n_modes
+    }
+
+    /// The element-frame map: `(u, v) = inv · (p - origin)`.
+    #[inline]
+    pub(crate) fn ref_coords(&self) -> (Point2, &[f64; 4]) {
+        (self.origin, &self.inv)
+    }
+
+    /// Contracts monomial-power sums against the element polynomial:
+    /// `Σ_slot mono[slot] · sums[slot]`.
+    #[inline]
+    pub(crate) fn dot_mono(&self, sums: &[f64; MAX_MODES]) -> f64 {
+        let mut acc = 0.0;
+        for (&c, &s) in self.mono[..self.n_modes].iter().zip(sums) {
+            acc += c * s;
+        }
+        acc
     }
 
     /// Evaluates the element polynomial at physical point `p` (which may lie
@@ -147,6 +192,13 @@ pub const fn flops_per_clip() -> u64 {
 /// `shift` is the translation applied to the element (so the field is
 /// evaluated at `p - shift`). The caller has already established that the
 /// shifted bounding box meets the stencil support.
+///
+/// This is a convenience wrapper over the kernel layer
+/// ([`StencilTraversal`](crate::kernel::StencilTraversal) with an
+/// [`AccumulateSolution`](crate::kernel::AccumulateSolution) sink) that
+/// allocates its own staging buffer per call; hot paths hold a
+/// [`Scratch`](crate::kernel::Scratch) arena and drive the traversal
+/// directly.
 pub fn integrate_element_stencil(
     ctx: &IntegrationCtx<'_>,
     center: Point2,
@@ -154,56 +206,11 @@ pub fn integrate_element_stencil(
     shift: Vec2,
     metrics: &mut Metrics,
 ) -> (f64, bool) {
-    let stencil = ctx.stencil;
-    let h = stencil.h();
-    let n_cells = stencil.cells_per_side();
-    let (lo, _) = stencil.kernel().support();
-    let shifted = elem.tri.translate(shift);
-    let bbox = Aabb::new(elem.bbox.min + shift, elem.bbox.max + shift);
-
-    // Lattice cell range overlapped by the shifted element's bbox.
-    let x_base = center.x + lo * h;
-    let y_base = center.y + lo * h;
-    let i0 = (((bbox.min.x - x_base) / h).floor().max(0.0)) as usize;
-    let j0 = (((bbox.min.y - y_base) / h).floor().max(0.0)) as usize;
-    if i0 >= n_cells || j0 >= n_cells {
-        return (0.0, false);
-    }
-    if bbox.max.x < x_base || bbox.max.y < y_base {
-        return (0.0, false);
-    }
-    let i1 = ((((bbox.max.x - x_base) / h).floor()) as usize).min(n_cells - 1);
-    let j1 = ((((bbox.max.y - y_base) / h).floor()) as usize).min(n_cells - 1);
-
-    let n_modes = elem.n_modes;
-    let k = stencil.kernel().smoothness();
-    let eval_flops = flops_per_quad_eval(k, n_modes);
-    let nq = ctx.rule.len() as u64;
-
-    let mut total = 0.0;
-    let mut any = false;
-    for j in j0..=j1 {
-        for i in i0..=i1 {
-            let cell = stencil.cell_rect(center, i, j);
-            metrics.cell_clips += 1;
-            metrics.flops += flops_per_clip();
-            let poly = clip_triangle_rect(&shifted, &cell);
-            if poly.is_degenerate(GEOM_EPS) {
-                continue;
-            }
-            any = true;
-            for sub in fan_triangulate(&poly) {
-                metrics.subregions += 1;
-                metrics.quad_evals += nq;
-                metrics.flops += nq * eval_flops;
-                total += ctx.rule.integrate_physical(&sub, |x, y| {
-                    let p = Point2::new(x, y);
-                    ctx.stencil.eval(center, p) * elem.eval(p - shift, ctx.exps)
-                });
-            }
-        }
-    }
-    (total, any)
+    let trav = crate::kernel::StencilTraversal::new(ctx.stencil, ctx.rule, ctx.exps, elem.n_modes);
+    let mut stage = crate::kernel::QuadStage::default();
+    let mut sink = crate::kernel::AccumulateSolution::new();
+    let hit = trav.integrate_image(center, elem, shift, &mut stage, &mut sink, metrics);
+    (sink.take(), hit)
 }
 
 /// The periodic shifts whose element images can intersect a support

@@ -1,0 +1,23 @@
+//! The stencil-traversal kernel layer: one allocation-free implementation
+//! of the clip → fan-triangulate → quadrature core (Eq. 2), shared by
+//! every evaluation scheme and the plan compiler.
+//!
+//! The layer splits three concerns that used to be fused in each scheme:
+//!
+//! * [`StencilTraversal`] — the *driver*: geometry discovery and the
+//!   quadrature staging loop, identical for every consumer;
+//! * [`ContributionSink`] — the *consumer*: what staged monomial-power
+//!   sums become ([`AccumulateSolution`] for direct evaluation,
+//!   [`AccumulateWeights`] for plan compilation; new backends implement
+//!   the trait);
+//! * [`Scratch`] — the *arena*: per-worker reusable buffers (candidate
+//!   list, element-data cache, SoA quadrature staging) that make the
+//!   per-query path heap-allocation-free after warm-up.
+
+mod scratch;
+mod sink;
+mod traversal;
+
+pub use scratch::{QuadStage, Scratch, ScratchCapacity};
+pub use sink::{AccumulateSolution, AccumulateWeights, ContributionSink};
+pub use traversal::StencilTraversal;

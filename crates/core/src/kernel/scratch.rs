@@ -1,0 +1,247 @@
+//! The reusable per-worker arena of the traversal kernel.
+//!
+//! Every buffer the hot loop needs lives here, owned by one worker and
+//! reused across queries: the candidate id list of the current hash-grid
+//! query, a direct-mapped [`ElementData`] cache that removes repeated
+//! gathers of the same element, and the SoA quadrature staging buffers the
+//! cells-then-modes integration loop consumes. After the first few queries
+//! warm the buffers up to their steady-state capacity, the per-query path
+//! performs no heap allocation (see [`ScratchCapacity`] and the purity
+//! tests).
+
+use crate::integrate::{ElementData, MAX_MODES};
+
+/// Slots of the direct-mapped element cache (power of two). Sized so the
+/// cache covers the working set of one stencil query (tens of candidates)
+/// plus the overlap between neighbouring queries, while keeping the
+/// per-worker footprint bounded (~56 KiB of `ElementData`).
+const ELEM_CACHE_SLOTS: usize = 256;
+
+/// Direct-mapped cache of gathered [`ElementData`], keyed by element id.
+///
+/// One query visits each candidate once, but consecutive queries of a block
+/// revisit mostly the same elements; the cache turns those repeat gathers
+/// into an id compare. Collisions simply re-gather — the cache is a pure
+/// memoization and never changes results.
+#[derive(Debug, Clone)]
+pub(crate) struct ElemCache {
+    /// `id + 1` of the element held in each slot; 0 marks an empty slot.
+    tags: Box<[u32]>,
+    data: Box<[ElementData]>,
+}
+
+impl ElemCache {
+    fn new() -> Self {
+        Self {
+            tags: vec![0u32; ELEM_CACHE_SLOTS].into_boxed_slice(),
+            data: vec![ElementData::placeholder(); ELEM_CACHE_SLOTS].into_boxed_slice(),
+        }
+    }
+
+    /// Returns the cached data of element `id`, gathering through `gather`
+    /// on a miss.
+    #[inline]
+    pub(crate) fn get_or_gather(
+        &mut self,
+        id: u32,
+        gather: impl FnOnce(usize) -> ElementData,
+    ) -> &ElementData {
+        let slot = id as usize & (ELEM_CACHE_SLOTS - 1);
+        if self.tags[slot] != id + 1 {
+            self.data[slot] = gather(id as usize);
+            self.tags[slot] = id + 1;
+        }
+        &self.data[slot]
+    }
+
+    fn clear(&mut self) {
+        self.tags.fill(0);
+    }
+}
+
+/// SoA staging buffers for the quadrature points of one element-image
+/// integration.
+///
+/// The traversal driver clips and fan-triangulates first, streaming every
+/// surviving quadrature point into these parallel arrays (kernel-scaled
+/// weight plus the element-frame coordinate powers), then evaluates all
+/// modes over the staged batch — the cells-then-modes loop order that keeps
+/// the innermost loop a branch-free multiply-accumulate over contiguous
+/// `f64` slices.
+#[derive(Debug, Clone, Default)]
+pub struct QuadStage {
+    len: usize,
+    /// `|J| · ω_q · K_h(p_q - center)` per staged point.
+    w: Vec<f64>,
+    /// Element-frame powers `u^a`, indexed by exponent `a` (0..=3).
+    u_pow: [Vec<f64>; 4],
+    /// Element-frame powers `v^b`, indexed by exponent `b` (0..=3).
+    v_pow: [Vec<f64>; 4],
+}
+
+impl QuadStage {
+    /// Number of staged quadrature points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is staged.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Discards the staged points (capacity is retained).
+    #[inline]
+    pub(crate) fn clear(&mut self) {
+        self.len = 0;
+        self.w.clear();
+        for p in &mut self.u_pow {
+            p.clear();
+        }
+        for p in &mut self.v_pow {
+            p.clear();
+        }
+    }
+
+    /// Stages one quadrature point: kernel-scaled weight `w` and the
+    /// element-frame coordinates `(u, v)` of the physical point.
+    #[inline]
+    pub(crate) fn push(&mut self, w: f64, u: f64, v: f64) {
+        self.w.push(w);
+        let u2 = u * u;
+        let v2 = v * v;
+        self.u_pow[0].push(1.0);
+        self.u_pow[1].push(u);
+        self.u_pow[2].push(u2);
+        self.u_pow[3].push(u2 * u);
+        self.v_pow[0].push(1.0);
+        self.v_pow[1].push(v);
+        self.v_pow[2].push(v2);
+        self.v_pow[3].push(v2 * v);
+        self.len += 1;
+    }
+
+    /// Reduces the staged batch to per-monomial sums
+    /// `S[slot] = Σ_q w_q · u_q^a · v_q^b` for the first `n_modes` exponent
+    /// pairs of `exps` — the modes loop of the cells-then-modes order. Each
+    /// slot's inner loop is a straight dot product over three contiguous
+    /// slices, which the compiler auto-vectorizes.
+    pub(crate) fn mono_sums(&self, exps: &[(usize, usize)], n_modes: usize) -> [f64; MAX_MODES] {
+        let mut sums = [0.0f64; MAX_MODES];
+        let w = &self.w[..self.len];
+        for (slot, &(a, b)) in exps.iter().enumerate().take(n_modes) {
+            let ua = &self.u_pow[a][..self.len];
+            let vb = &self.v_pow[b][..self.len];
+            let mut acc = 0.0;
+            for q in 0..self.len {
+                acc += w[q] * ua[q] * vb[q];
+            }
+            sums[slot] = acc;
+        }
+        sums
+    }
+}
+
+/// Capacity snapshot of a [`Scratch`] arena, for allocation-freedom checks:
+/// run a workload once to warm up, snapshot, run it again, and assert the
+/// snapshot is unchanged — any growth inside the per-query path would show
+/// up here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchCapacity {
+    /// Capacity of the candidate id buffer.
+    pub candidates: usize,
+    /// Capacity of the staged-weight buffer (the power buffers track it).
+    pub staged: usize,
+}
+
+/// The per-worker scratch arena threaded through every traversal.
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    /// Candidate ids of the current hash-grid query.
+    pub(crate) candidates: Vec<u32>,
+    /// Memoized element gathers.
+    pub(crate) cache: ElemCache,
+    /// SoA quadrature staging of the current element image.
+    pub(crate) stage: QuadStage,
+}
+
+impl Scratch {
+    /// A fresh arena with warm initial capacities.
+    pub fn new() -> Self {
+        Self {
+            candidates: Vec::with_capacity(64),
+            cache: ElemCache::new(),
+            stage: QuadStage::default(),
+        }
+    }
+
+    /// Invalidates the element cache (required when the same arena is
+    /// reused against a different mesh or field).
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Current buffer capacities (see [`ScratchCapacity`]).
+    pub fn capacity(&self) -> ScratchCapacity {
+        ScratchCapacity {
+            candidates: self.candidates.capacity(),
+            staged: self.stage.w.capacity(),
+        }
+    }
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_push_and_sums() {
+        let mut s = QuadStage::default();
+        s.push(2.0, 3.0, 5.0);
+        s.push(1.0, 1.0, 1.0);
+        assert_eq!(s.len(), 2);
+        // exps for degree 1: (0,0), (1,0), (0,1)
+        let exps = [(0usize, 0usize), (1, 0), (0, 1)];
+        let sums = s.mono_sums(&exps, 3);
+        assert_eq!(sums[0], 3.0); // 2 + 1
+        assert_eq!(sums[1], 7.0); // 2*3 + 1*1
+        assert_eq!(sums[2], 11.0); // 2*5 + 1*1
+        assert_eq!(sums[3], 0.0);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn stage_cubic_powers() {
+        let mut s = QuadStage::default();
+        s.push(1.0, 2.0, 3.0);
+        let exps = [(3usize, 0usize), (0, 3), (2, 1)];
+        let sums = s.mono_sums(&exps, 3);
+        assert_eq!(sums[0], 8.0);
+        assert_eq!(sums[1], 27.0);
+        assert_eq!(sums[2], 12.0);
+    }
+
+    #[test]
+    fn capacity_snapshot_is_stable_after_warmup() {
+        let mut s = Scratch::new();
+        for _ in 0..100 {
+            s.stage.push(1.0, 0.5, 0.5);
+        }
+        s.stage.clear();
+        let snap = s.capacity();
+        for _ in 0..100 {
+            s.stage.push(1.0, 0.5, 0.5);
+        }
+        s.stage.clear();
+        assert_eq!(s.capacity(), snap);
+    }
+}

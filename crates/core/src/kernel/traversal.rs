@@ -1,0 +1,331 @@
+//! The traversal driver: the one copy of the candidate-gather /
+//! halo-shift / clip / fan-triangulate / quadrature loop.
+//!
+//! [`StencilTraversal`] owns the geometry pipeline of Eq. 2 — which lattice
+//! squares a (shifted) element overlaps, the Sutherland–Hodgman clip, the
+//! fan triangulation, and the quadrature staging — and hands every staged
+//! element image to a [`ContributionSink`](super::ContributionSink). The
+//! direct schemes and the plan compiler differ only in the sink they plug
+//! in and in how they discover (point, element) pairs; the pair-level loop
+//! bodies live in [`point_query`](StencilTraversal::point_query) (gather
+//! schemes: per-point, plan compile) and
+//! [`integrate_image`](StencilTraversal::integrate_image) (scatter scheme:
+//! per-element, and through it pipelined and tiled execution).
+//!
+//! The innermost evaluation is cells-then-modes: all quadrature points of
+//! one element image are staged into the SoA [`QuadStage`](super::QuadStage)
+//! first (weights pre-scaled by `|J| · ω_q · K_h`), then every monomial
+//! slot reduces over the staged batch as a contiguous dot product.
+
+use super::scratch::{QuadStage, Scratch};
+use super::sink::ContributionSink;
+use crate::integrate::{flops_per_clip, flops_per_quad_eval, needed_shifts, ElementData};
+use crate::metrics::Metrics;
+use crate::probe::Probe;
+use ustencil_geometry::{clip_triangle_rect, fan_triangulate, Aabb, Point2, Vec2, GEOM_EPS};
+use ustencil_quadrature::TriangleRule;
+use ustencil_siac::Stencil2d;
+use ustencil_spatial::TriangleGrid;
+
+/// The shared stencil-traversal driver. Holds everything constant across
+/// integrations of one run; per-query mutable state lives in
+/// [`Scratch`](super::Scratch) and the sink.
+pub struct StencilTraversal<'a> {
+    stencil: &'a Stencil2d,
+    rule: &'a TriangleRule,
+    exps: &'a [(usize, usize)],
+    n_modes: usize,
+    /// Modeled flops of one quadrature-point evaluation, precomputed.
+    eval_flops: u64,
+}
+
+impl<'a> StencilTraversal<'a> {
+    /// Builds a driver for `n_modes` monomial slots with exponent table
+    /// `exps` (the element basis's monomial exponents).
+    pub fn new(
+        stencil: &'a Stencil2d,
+        rule: &'a TriangleRule,
+        exps: &'a [(usize, usize)],
+        n_modes: usize,
+    ) -> Self {
+        Self {
+            stencil,
+            rule,
+            exps,
+            n_modes,
+            eval_flops: flops_per_quad_eval(stencil.kernel().smoothness(), n_modes),
+        }
+    }
+
+    /// One gather-style query: center the stencil at `center`, walk the
+    /// triangle hash grid's candidates, and integrate every periodic image
+    /// that meets the support, feeding the sink. This is the shared loop of
+    /// the per-point scheme and the plan compiler; they differ only in the
+    /// sink and in `elem_load_values` (the modeled memory traffic charged
+    /// per candidate — the per-point scheme re-reads element data per pair,
+    /// plan compilation charges nothing).
+    ///
+    /// Counter and probe semantics are exactly the historical ones:
+    /// `cells_visited` from the hash-grid walk, one candidates sample per
+    /// query, one `intersection_tests` per candidate, one quad-points
+    /// sample per shift integration, one sub-regions sample and one
+    /// `true_intersections` flag per candidate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn point_query<S: ContributionSink>(
+        &self,
+        center: Point2,
+        tri_grid: &TriangleGrid,
+        gather: impl Fn(usize) -> ElementData,
+        elem_load_values: u64,
+        scratch: &mut Scratch,
+        sink: &mut S,
+        metrics: &mut Metrics,
+        probe: &mut Probe,
+    ) {
+        let support = self.stencil.support_rect(center);
+        let half_width = self.stencil.width() / 2.0;
+        let Scratch {
+            candidates,
+            cache,
+            stage,
+        } = scratch;
+
+        metrics.cells_visited += tri_grid.candidate_cells(center, half_width) as u64;
+        candidates.clear();
+        tri_grid.for_each_candidate(center, half_width, |id| candidates.push(id));
+        probe.record_candidates(candidates.len() as u64);
+
+        for &id in candidates.iter() {
+            metrics.intersection_tests += 1;
+            metrics.elem_data_loads += elem_load_values;
+            let ed = cache.get_or_gather(id, &gather);
+            let mut hit = false;
+            let subregions_before = metrics.subregions;
+            for shift in needed_shifts(&support) {
+                let bb = Aabb::new(ed.bbox.min + shift, ed.bbox.max + shift);
+                if support.intersects_aabb(&bb) {
+                    let quads_before = metrics.quad_evals;
+                    hit |= self.image_into_sink(center, ed, shift, stage, sink, metrics);
+                    probe.record_quad_points(metrics.quad_evals - quads_before);
+                }
+            }
+            probe.record_subregions(metrics.subregions - subregions_before);
+            metrics.true_intersections += hit as u64;
+            sink.finish_candidate(id, hit);
+        }
+    }
+
+    /// Integrates the stencil centered at `center` against the periodic
+    /// image `elem + shift`, feeding the sink. Returns whether any lattice
+    /// square truly intersected the image. This is the scatter-scheme entry
+    /// point (the per-element scheme discovers pairs through the point hash
+    /// grid and calls this per surviving pair); `point_query` funnels into
+    /// the same body.
+    ///
+    /// The caller has already established that the shifted bounding box
+    /// meets the stencil support, and accounts `true_intersections` /
+    /// probe samples itself.
+    #[inline]
+    pub fn integrate_image<S: ContributionSink>(
+        &self,
+        center: Point2,
+        elem: &ElementData,
+        shift: Vec2,
+        stage: &mut QuadStage,
+        sink: &mut S,
+        metrics: &mut Metrics,
+    ) -> bool {
+        self.image_into_sink(center, elem, shift, stage, sink, metrics)
+    }
+
+    /// The single copy of the clip / fan-triangulate / quadrature loop.
+    ///
+    /// Stage 1 (cells): clip each overlapped lattice square against the
+    /// shifted triangle, fan-triangulate, and stream every quadrature point
+    /// of every sub-triangle into the SoA staging buffer with its
+    /// kernel-scaled weight `|J| · ω_q · K_h(p_q - center)` and
+    /// element-frame coordinates. Stage 2 (modes): reduce the staged batch
+    /// to monomial-power sums and hand them to the sink.
+    fn image_into_sink<S: ContributionSink>(
+        &self,
+        center: Point2,
+        elem: &ElementData,
+        shift: Vec2,
+        stage: &mut QuadStage,
+        sink: &mut S,
+        metrics: &mut Metrics,
+    ) -> bool {
+        let stencil = self.stencil;
+        let h = stencil.h();
+        let n_cells = stencil.cells_per_side();
+        let (lo, _) = stencil.kernel().support();
+        let shifted = elem.tri.translate(shift);
+        let bbox = Aabb::new(elem.bbox.min + shift, elem.bbox.max + shift);
+
+        // Lattice cell range overlapped by the shifted element's bbox.
+        let x_base = center.x + lo * h;
+        let y_base = center.y + lo * h;
+        let i0 = (((bbox.min.x - x_base) / h).floor().max(0.0)) as usize;
+        let j0 = (((bbox.min.y - y_base) / h).floor().max(0.0)) as usize;
+        if i0 >= n_cells || j0 >= n_cells {
+            return false;
+        }
+        if bbox.max.x < x_base || bbox.max.y < y_base {
+            return false;
+        }
+        let i1 = ((((bbox.max.x - x_base) / h).floor()) as usize).min(n_cells - 1);
+        let j1 = ((((bbox.max.y - y_base) / h).floor()) as usize).min(n_cells - 1);
+
+        let nq = self.rule.len() as u64;
+        let q_points = self.rule.points();
+        let q_weights = self.rule.weights();
+        let (origin, inv) = elem.ref_coords();
+
+        stage.clear();
+        let mut any = false;
+        for j in j0..=j1 {
+            for i in i0..=i1 {
+                let cell = stencil.cell_rect(center, i, j);
+                metrics.cell_clips += 1;
+                metrics.flops += flops_per_clip();
+                let poly = clip_triangle_rect(&shifted, &cell);
+                if poly.is_degenerate(GEOM_EPS) {
+                    continue;
+                }
+                any = true;
+                for sub in fan_triangulate(&poly) {
+                    // Work is accounted per sub-region even when the
+                    // degenerate-jacobian guard skips its staging, matching
+                    // the historical counter semantics.
+                    metrics.subregions += 1;
+                    metrics.quad_evals += nq;
+                    metrics.flops += nq * self.eval_flops;
+                    let jac = sub.jacobian().abs();
+                    if jac == 0.0 {
+                        continue;
+                    }
+                    for (&(uq, vq), &wq) in q_points.iter().zip(q_weights) {
+                        let p = sub.map_from_unit(uq, vq);
+                        let w = jac * wq * stencil.eval(center, p);
+                        let d = (p - shift) - origin;
+                        let u = inv[0] * d.x + inv[1] * d.y;
+                        let v = inv[2] * d.x + inv[3] * d.y;
+                        stage.push(w, u, v);
+                    }
+                }
+            }
+        }
+        if !stage.is_empty() {
+            let sums = stage.mono_sums(self.exps, self.n_modes);
+            sink.absorb(elem, &sums);
+        }
+        any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::AccumulateSolution;
+    use ustencil_dg::project_l2;
+    use ustencil_mesh::{generate_mesh, MeshClass};
+    use ustencil_quadrature::TriangleRule;
+
+    /// The staged SoA path must agree with the fused reference evaluation
+    /// (integrate_physical over `K_h · u`) to rounding.
+    #[test]
+    fn staged_matches_fused_reference() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 120, 5);
+        let field = project_l2(&mesh, 2, |x, y| 0.3 + x - 0.4 * y + x * y, 1);
+        let basis = field.basis().clone();
+        let k = 2;
+        let stencil = Stencil2d::symmetric(k, mesh.max_edge_length());
+        let rule =
+            TriangleRule::with_strength(crate::integrate::IntegrationCtx::required_strength(k, 2));
+        let exps = basis.monomial_exponents();
+        let trav = StencilTraversal::new(&stencil, &rule, exps, basis.n_modes());
+
+        let center = Point2::new(0.5, 0.5);
+        let mut stage = QuadStage::default();
+        let mut metrics = Metrics::default();
+        let mut ref_metrics = Metrics::default();
+        let ctx = crate::integrate::IntegrationCtx::new(&stencil, &rule, &basis);
+        let mut any_hit = 0u32;
+        for e in 0..mesh.n_triangles() {
+            let ed = ElementData::gather(&mesh, &field, &basis, e);
+            let mut sink = AccumulateSolution::new();
+            let hit =
+                trav.integrate_image(center, &ed, Vec2::ZERO, &mut stage, &mut sink, &mut metrics);
+            let staged = sink.take();
+            // Fused reference: kernel × polynomial at each quadrature point.
+            let (fused, ref_hit) = fused_reference(&ctx, center, &ed, &mut ref_metrics);
+            assert_eq!(hit, ref_hit, "element {e}");
+            let tol = 1e-13 * fused.abs().max(1.0);
+            assert!(
+                (staged - fused).abs() < tol,
+                "element {e}: {staged} vs {fused}"
+            );
+            any_hit += hit as u32;
+        }
+        assert!(any_hit > 0, "test must exercise intersecting elements");
+        // Identical traversal ⇒ identical counters.
+        assert_eq!(metrics.cell_clips, ref_metrics.cell_clips);
+        assert_eq!(metrics.subregions, ref_metrics.subregions);
+        assert_eq!(metrics.quad_evals, ref_metrics.quad_evals);
+        assert_eq!(metrics.flops, ref_metrics.flops);
+    }
+
+    /// The pre-refactor fused loop, kept in test code as the numerical
+    /// reference for the staged path.
+    fn fused_reference(
+        ctx: &crate::integrate::IntegrationCtx<'_>,
+        center: Point2,
+        elem: &ElementData,
+        metrics: &mut Metrics,
+    ) -> (f64, bool) {
+        let stencil = ctx.stencil;
+        let h = stencil.h();
+        let n_cells = stencil.cells_per_side();
+        let (lo, _) = stencil.kernel().support();
+        let shifted = elem.tri;
+        let bbox = elem.bbox;
+        let x_base = center.x + lo * h;
+        let y_base = center.y + lo * h;
+        let i0 = (((bbox.min.x - x_base) / h).floor().max(0.0)) as usize;
+        let j0 = (((bbox.min.y - y_base) / h).floor().max(0.0)) as usize;
+        if i0 >= n_cells || j0 >= n_cells {
+            return (0.0, false);
+        }
+        if bbox.max.x < x_base || bbox.max.y < y_base {
+            return (0.0, false);
+        }
+        let i1 = ((((bbox.max.x - x_base) / h).floor()) as usize).min(n_cells - 1);
+        let j1 = ((((bbox.max.y - y_base) / h).floor()) as usize).min(n_cells - 1);
+        let nq = ctx.rule.len() as u64;
+        let eval_flops = flops_per_quad_eval(stencil.kernel().smoothness(), elem.n_modes());
+        let mut total = 0.0;
+        let mut any = false;
+        for j in j0..=j1 {
+            for i in i0..=i1 {
+                let cell = stencil.cell_rect(center, i, j);
+                metrics.cell_clips += 1;
+                metrics.flops += flops_per_clip();
+                let poly = clip_triangle_rect(&shifted, &cell);
+                if poly.is_degenerate(GEOM_EPS) {
+                    continue;
+                }
+                any = true;
+                for sub in fan_triangulate(&poly) {
+                    metrics.subregions += 1;
+                    metrics.quad_evals += nq;
+                    metrics.flops += nq * eval_flops;
+                    total += ctx.rule.integrate_physical(&sub, |x, y| {
+                        let p = Point2::new(x, y);
+                        stencil.eval(center, p) * elem.eval(p, ctx.exps)
+                    });
+                }
+            }
+        }
+        (total, any)
+    }
+}

@@ -5,6 +5,9 @@
 //! This crate implements the paper's two evaluation strategies
 //! (Section 3) and its scalability machinery (Section 4):
 //!
+//! * [`kernel`] — the shared stencil-traversal layer: one allocation-free
+//!   clip/fan-triangulate/quadrature driver parameterized by contribution
+//!   sinks, used by every scheme below and by the plan compiler;
 //! * [`per_point`] — Algorithm 2: center a stencil on every grid point and
 //!   gather intersecting elements through a triangle hash grid (halo ring
 //!   included);
@@ -32,6 +35,7 @@ pub mod device;
 pub mod engine;
 pub mod grid_points;
 pub mod integrate;
+pub mod kernel;
 pub mod metrics;
 pub mod per_element;
 pub mod per_point;
@@ -43,6 +47,10 @@ pub mod tiling;
 pub use device::{CostModel, DeviceConfig, SimReport};
 pub use engine::{PostProcessor, ProcessorSettings, Scheme, Solution};
 pub use grid_points::ComputationGrid;
+pub use kernel::{
+    AccumulateSolution, AccumulateWeights, ContributionSink, QuadStage, Scratch, ScratchCapacity,
+    StencilTraversal,
+};
 pub use metrics::Metrics;
 pub use probe::{BlockStats, Probe};
 pub use report::{PlanStats, RunRecord, RunReport};

@@ -8,7 +8,8 @@
 //! partials — no synchronization between concurrently executing patches.
 
 use crate::grid_points::ComputationGrid;
-use crate::integrate::{integrate_element_stencil, needed_shifts, ElementData, IntegrationCtx};
+use crate::integrate::{needed_shifts, ElementData};
+use crate::kernel::{AccumulateSolution, Scratch, StencilTraversal};
 use crate::metrics::Metrics;
 use crate::probe::{timed, BlockStats, Probe};
 use rayon::prelude::*;
@@ -76,12 +77,18 @@ impl PerElementRun<'_> {
         let mut metrics = Metrics::default();
         let basis = self.field.basis();
         let half_width = self.stencil.width() / 2.0;
-        let ctx = IntegrationCtx::new(self.stencil, self.rule, basis);
+        let trav = StencilTraversal::new(
+            self.stencil,
+            self.rule,
+            basis.monomial_exponents(),
+            basis.n_modes(),
+        );
         let elem_values = Metrics::element_data_values(self.field.degree());
         let points = self.grid.points();
 
         let mut partials: HashMap<u32, f64> = HashMap::new();
-        let mut candidates: Vec<u32> = Vec::with_capacity(64);
+        let mut scratch = Scratch::new();
+        let mut sink = AccumulateSolution::new();
 
         for &e in elements {
             // Element data is gathered once and reused for every
@@ -103,16 +110,16 @@ impl PerElementRun<'_> {
             for sigma in needed_shifts(&inflated) {
                 let query = ustencil_geometry::Aabb::new(ed.bbox.min - sigma, ed.bbox.max - sigma);
                 metrics.cells_visited += self.point_grid.candidate_cells(&query, half_width) as u64;
-                candidates.clear();
+                scratch.candidates.clear();
                 self.point_grid
-                    .for_each_candidate(&query, half_width, |id| candidates.push(id));
-                probe.record_candidates(candidates.len() as u64);
+                    .for_each_candidate(&query, half_width, |id| scratch.candidates.push(id));
+                probe.record_candidates(scratch.candidates.len() as u64);
 
                 let elem_shift = -sigma;
                 let image_min = ed.bbox.min + elem_shift;
                 let image_max = ed.bbox.max + elem_shift;
                 let image_bb = ustencil_geometry::Aabb::new(image_min, image_max);
-                for &id in &candidates {
+                for &id in &scratch.candidates {
                     metrics.intersection_tests += 1;
                     // Only the point's spatial offset is read per
                     // integration (2 values, Section 3.4).
@@ -123,8 +130,15 @@ impl PerElementRun<'_> {
                         continue;
                     }
                     let quads_before = metrics.quad_evals;
-                    let (v, hit) =
-                        integrate_element_stencil(&ctx, center, &ed, elem_shift, &mut metrics);
+                    let hit = trav.integrate_image(
+                        center,
+                        &ed,
+                        elem_shift,
+                        &mut scratch.stage,
+                        &mut sink,
+                        &mut metrics,
+                    );
+                    let v = sink.take();
                     probe.record_quad_points(metrics.quad_evals - quads_before);
                     metrics.true_intersections += hit as u64;
                     if hit {

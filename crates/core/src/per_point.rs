@@ -7,12 +7,12 @@
 //! per-element scheme removes.
 
 use crate::grid_points::ComputationGrid;
-use crate::integrate::{integrate_element_stencil, needed_shifts, ElementData, IntegrationCtx};
+use crate::integrate::ElementData;
+use crate::kernel::{AccumulateSolution, Scratch, StencilTraversal};
 use crate::metrics::Metrics;
 use crate::probe::{timed, BlockStats, Probe};
 use rayon::prelude::*;
 use ustencil_dg::DgField;
-use ustencil_geometry::Aabb;
 use ustencil_mesh::TriMesh;
 use ustencil_quadrature::TriangleRule;
 use ustencil_siac::Stencil2d;
@@ -46,45 +46,33 @@ impl PerPointRun<'_> {
     ) -> Metrics {
         let mut metrics = Metrics::default();
         let basis = self.field.basis();
-        let half_width = self.stencil.width() / 2.0;
-        let ctx = IntegrationCtx::new(self.stencil, self.rule, basis);
+        let trav = StencilTraversal::new(
+            self.stencil,
+            self.rule,
+            basis.monomial_exponents(),
+            basis.n_modes(),
+        );
+        // The per-point scheme reads the element data anew for every
+        // (point, element) pair — no reuse across points is *modeled*, so
+        // the full load is charged per candidate even though the scratch
+        // cache elides repeat gathers in the implementation.
         let elem_values = Metrics::element_data_values(self.field.degree());
-        let mut candidates: Vec<u32> = Vec::with_capacity(64);
+        let mut scratch = Scratch::new();
+        let mut sink = AccumulateSolution::new();
 
         for (slot, i) in (start..end).enumerate() {
             let center = self.grid.points()[i];
-            let support = self.stencil.support_rect(center);
-
-            metrics.cells_visited += self.tri_grid.candidate_cells(center, half_width) as u64;
-            candidates.clear();
-            self.tri_grid
-                .for_each_candidate(center, half_width, |id| candidates.push(id));
-            probe.record_candidates(candidates.len() as u64);
-
-            let mut value = 0.0;
-            for &id in &candidates {
-                metrics.intersection_tests += 1;
-                // The per-point scheme reads the element data anew for every
-                // (point, element) pair — no reuse across points.
-                metrics.elem_data_loads += elem_values;
-                let ed = ElementData::gather(self.mesh, self.field, basis, id as usize);
-                let mut hit = false;
-                let subregions_before = metrics.subregions;
-                for shift in needed_shifts(&support) {
-                    let bb = Aabb::new(ed.bbox.min + shift, ed.bbox.max + shift);
-                    if support.intersects_aabb(&bb) {
-                        let quads_before = metrics.quad_evals;
-                        let (v, h) =
-                            integrate_element_stencil(&ctx, center, &ed, shift, &mut metrics);
-                        probe.record_quad_points(metrics.quad_evals - quads_before);
-                        value += v;
-                        hit |= h;
-                    }
-                }
-                probe.record_subregions(metrics.subregions - subregions_before);
-                metrics.true_intersections += hit as u64;
-            }
-            values[slot] = value;
+            trav.point_query(
+                center,
+                self.tri_grid,
+                |e| ElementData::gather(self.mesh, self.field, basis, e),
+                elem_values,
+                &mut scratch,
+                &mut sink,
+                &mut metrics,
+                probe,
+            );
+            values[slot] = sink.take();
             metrics.solution_writes += 1;
         }
         // Untiled scheme: exactly one solution slot per grid point.

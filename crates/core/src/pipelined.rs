@@ -184,12 +184,11 @@ pub fn simulate_pipelined(
         costs.sort_by(|a, b| b.total_cmp(a));
         let mut sms = vec![0.0f64; total_sms];
         for c in costs {
-            let (imin, _) = sms
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.total_cmp(b.1))
-                .expect("at least one SM");
-            sms[imin] += c;
+            // Place on the least-loaded SM; a zero-SM configuration (caller
+            // bug) degrades to dropping the work instead of aborting.
+            if let Some((imin, _)) = sms.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)) {
+                sms[imin] += c;
+            }
         }
         total_cycles += sms.iter().fold(0.0f64, |a, &b| a.max(b));
     }

@@ -32,20 +32,35 @@ impl ConvexPolygon {
     /// Builds a polygon from a vertex slice (counter-clockwise order
     /// expected).
     ///
-    /// # Panics
-    /// Panics when more than [`Self::CAPACITY`] vertices are supplied.
+    /// Capacity overflow is a caller bug (no geometric pipeline in this
+    /// library produces more than [`Self::CAPACITY`] vertices): debug
+    /// builds assert, release builds keep the first `CAPACITY` vertices.
+    /// Use [`try_from_vertices`](Self::try_from_vertices) at fallible
+    /// boundaries.
     pub fn from_vertices(vertices: &[Point2]) -> Self {
-        assert!(
+        debug_assert!(
             vertices.len() <= Self::CAPACITY,
             "polygon exceeds inline capacity: {} > {}",
             vertices.len(),
             Self::CAPACITY
         );
         let mut p = Self::empty();
-        for &v in vertices {
+        for &v in &vertices[..vertices.len().min(Self::CAPACITY)] {
             p.push(v);
         }
         p
+    }
+
+    /// Builds a polygon from a vertex slice, reporting capacity overflow
+    /// instead of asserting — the fallible public boundary for callers
+    /// constructing polygons from external data.
+    pub fn try_from_vertices(vertices: &[Point2]) -> Result<Self, PolygonCapacityError> {
+        if vertices.len() > Self::CAPACITY {
+            return Err(PolygonCapacityError {
+                len: vertices.len(),
+            });
+        }
+        Ok(Self::from_vertices(vertices))
     }
 
     /// Number of vertices.
@@ -66,16 +81,17 @@ impl ConvexPolygon {
         self.len < 3 || self.area() <= eps
     }
 
-    /// Appends a vertex.
-    ///
-    /// # Panics
-    /// Panics when the polygon is full.
+    /// Appends a vertex. Pushing past capacity is a caller bug: debug
+    /// builds assert ("polygon vertex overflow"), release builds drop the
+    /// vertex instead of corrupting memory or aborting mid-run.
     #[inline]
     pub fn push(&mut self, p: Point2) {
         let i = self.len as usize;
-        assert!(i < Self::CAPACITY, "polygon vertex overflow");
-        self.verts[i] = p;
-        self.len += 1;
+        debug_assert!(i < Self::CAPACITY, "polygon vertex overflow");
+        if i < Self::CAPACITY {
+            self.verts[i] = p;
+            self.len += 1;
+        }
     }
 
     /// Removes all vertices.
@@ -163,6 +179,27 @@ impl PartialEq for ConvexPolygon {
     }
 }
 
+/// Error of [`ConvexPolygon::try_from_vertices`]: the supplied vertex count
+/// exceeds the inline capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolygonCapacityError {
+    /// Number of vertices supplied.
+    pub len: usize,
+}
+
+impl std::fmt::Display for PolygonCapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "polygon exceeds inline capacity: {} > {}",
+            self.len,
+            ConvexPolygon::CAPACITY
+        )
+    }
+}
+
+impl std::error::Error for PolygonCapacityError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,11 +264,39 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "overflow")]
-    fn push_past_capacity_panics() {
+    fn push_past_capacity_panics_in_debug() {
         let mut p = ConvexPolygon::empty();
         for i in 0..=ConvexPolygon::CAPACITY {
             p.push(Point2::new(i as f64, 0.0));
         }
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn push_past_capacity_saturates_in_release() {
+        let mut p = ConvexPolygon::empty();
+        for i in 0..=ConvexPolygon::CAPACITY {
+            p.push(Point2::new(i as f64, 0.0));
+        }
+        assert_eq!(p.len(), ConvexPolygon::CAPACITY);
+        assert_eq!(p.vertex(ConvexPolygon::CAPACITY - 1).x, 7.0);
+    }
+
+    #[test]
+    fn try_from_vertices_reports_overflow() {
+        let sq = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        let ok = ConvexPolygon::try_from_vertices(&sq).unwrap();
+        assert_eq!(ok.len(), 4);
+        let too_many = [Point2::ORIGIN; ConvexPolygon::CAPACITY + 1];
+        let err = ConvexPolygon::try_from_vertices(&too_many).unwrap_err();
+        assert_eq!(err.len, ConvexPolygon::CAPACITY + 1);
+        assert!(err.to_string().contains("capacity"));
     }
 }

@@ -18,12 +18,10 @@
 use crate::plan::EvalPlan;
 use rayon::prelude::*;
 use std::time::Instant;
-use ustencil_core::integrate::{
-    flops_per_clip, flops_per_quad_eval, needed_shifts, IntegrationCtx, MAX_MODES,
-};
+use ustencil_core::integrate::{ElementData, IntegrationCtx, MAX_MODES};
+use ustencil_core::kernel::{AccumulateWeights, Scratch, StencilTraversal};
 use ustencil_core::{BlockStats, ComputationGrid, Metrics, Probe};
 use ustencil_dg::DubinerBasis;
-use ustencil_geometry::{clip_triangle_rect, fan_triangulate, Aabb, Point2, Triangle, GEOM_EPS};
 use ustencil_mesh::TriMesh;
 use ustencil_quadrature::TriangleRule;
 use ustencil_siac::Stencil2d;
@@ -81,30 +79,6 @@ struct BlockOut {
     cols: Vec<u32>,
     weights: Vec<f64>,
     stats: BlockStats,
-}
-
-/// Element geometry the weight accumulation needs: the same inverse affine
-/// map `(u, v) = M (p - origin)` the engine's `ElementData` caches.
-struct ElemGeom {
-    tri: Triangle,
-    bbox: Aabb,
-    inv: [f64; 4],
-    origin: Point2,
-}
-
-impl ElemGeom {
-    fn gather(mesh: &TriMesh, e: usize) -> Self {
-        let tri = mesh.triangle(e);
-        let e1 = tri.b - tri.a;
-        let e2 = tri.c - tri.a;
-        let det = e1.cross(e2);
-        Self {
-            tri,
-            bbox: tri.aabb(),
-            inv: [e2.y / det, -e2.x / det, -e1.y / det, e1.x / det],
-            origin: tri.a,
-        }
-    }
 }
 
 impl EvalPlan {
@@ -222,159 +196,37 @@ fn compile_block(
 ) -> BlockOut {
     let mut metrics = Metrics::default();
     let n_modes = basis.n_modes();
-    let half_width = stencil.width() / 2.0;
-    let exps = basis.monomial_exponents();
+    let trav = StencilTraversal::new(stencil, rule, basis.monomial_exponents(), n_modes);
     let mut row_counts = Vec::with_capacity(end - start);
-    let mut cols = Vec::new();
-    let mut weights = Vec::new();
-    let mut candidates: Vec<u32> = Vec::with_capacity(64);
+    let mut scratch = Scratch::new();
+    let mut sink = AccumulateWeights::new(basis);
 
     for i in start..end {
         let center = grid.points()[i];
-        let support = stencil.support_rect(center);
-
-        metrics.cells_visited += tri_grid.candidate_cells(center, half_width) as u64;
-        candidates.clear();
-        tri_grid.for_each_candidate(center, half_width, |id| candidates.push(id));
-        probe.record_candidates(candidates.len() as u64);
-
-        let mut row_entries = 0u32;
-        for &id in &candidates {
-            metrics.intersection_tests += 1;
-            let geom = ElemGeom::gather(mesh, id as usize);
-            let mut mono_w = [0.0f64; MAX_MODES];
-            let mut hit = false;
-            let subregions_before = metrics.subregions;
-            for shift in needed_shifts(&support) {
-                let bb = Aabb::new(geom.bbox.min + shift, geom.bbox.max + shift);
-                if support.intersects_aabb(&bb) {
-                    let quads_before = metrics.quad_evals;
-                    hit |= accumulate_element(
-                        stencil,
-                        rule,
-                        exps,
-                        n_modes,
-                        center,
-                        &geom,
-                        shift,
-                        &mut mono_w,
-                        &mut metrics,
-                    );
-                    probe.record_quad_points(metrics.quad_evals - quads_before);
-                }
-            }
-            probe.record_subregions(metrics.subregions - subregions_before);
-            metrics.true_intersections += hit as u64;
-            if hit {
-                // Monomial → modal: the transpose of the basis change
-                // `ElementData::gather` applies to coefficients.
-                cols.push(id);
-                for m in 0..n_modes {
-                    let mc = basis.monomial_coefficients(m);
-                    let mut w = 0.0;
-                    for (slot, &c) in mc.iter().enumerate().take(n_modes) {
-                        w += c * mono_w[slot];
-                    }
-                    weights.push(w);
-                }
-                row_entries += 1;
-            }
-        }
-        row_counts.push(row_entries);
+        sink.begin_row();
+        // Same traversal as a direct per-point query, but the weights sink
+        // keeps the quadrature symbolic; no element coefficients are read
+        // (`elem_load_values = 0`), only geometry is gathered.
+        trav.point_query(
+            center,
+            tri_grid,
+            |e| ElementData::gather_geometry(mesh, e, n_modes),
+            0,
+            &mut scratch,
+            &mut sink,
+            &mut metrics,
+            probe,
+        );
+        row_counts.push(sink.row_entries());
         metrics.solution_writes += 1;
     }
     metrics.partial_slots += (end - start) as u64;
 
+    let (cols, weights) = sink.into_csr();
     BlockOut {
         row_counts,
         cols,
         weights,
         stats: BlockStats::bare(metrics),
     }
-}
-
-/// Accumulates one periodic image's monomial-power weights, mirroring
-/// `integrate_element_stencil` cell by cell: clip each overlapped lattice
-/// square, fan-triangulate, and add `|J| Σ_q ω_q K_h u^a v^b` per slot.
-/// Returns whether any square truly intersected the image.
-#[allow(clippy::too_many_arguments)]
-fn accumulate_element(
-    stencil: &Stencil2d,
-    rule: &TriangleRule,
-    exps: &[(usize, usize)],
-    n_modes: usize,
-    center: Point2,
-    geom: &ElemGeom,
-    shift: ustencil_geometry::Vec2,
-    mono_w: &mut [f64; MAX_MODES],
-    metrics: &mut Metrics,
-) -> bool {
-    let h = stencil.h();
-    let n_cells = stencil.cells_per_side();
-    let (lo, _) = stencil.kernel().support();
-    let shifted = geom.tri.translate(shift);
-    let bbox = Aabb::new(geom.bbox.min + shift, geom.bbox.max + shift);
-
-    // Lattice cell range overlapped by the shifted element's bbox (same
-    // arithmetic as the direct integration kernel).
-    let x_base = center.x + lo * h;
-    let y_base = center.y + lo * h;
-    let i0 = (((bbox.min.x - x_base) / h).floor().max(0.0)) as usize;
-    let j0 = (((bbox.min.y - y_base) / h).floor().max(0.0)) as usize;
-    if i0 >= n_cells || j0 >= n_cells {
-        return false;
-    }
-    if bbox.max.x < x_base || bbox.max.y < y_base {
-        return false;
-    }
-    let i1 = ((((bbox.max.x - x_base) / h).floor()) as usize).min(n_cells - 1);
-    let j1 = ((((bbox.max.y - y_base) / h).floor()) as usize).min(n_cells - 1);
-
-    let k = stencil.kernel().smoothness();
-    let eval_flops = flops_per_quad_eval(k, n_modes);
-    let nq = rule.len() as u64;
-    let points = rule.points();
-    let q_weights = rule.weights();
-
-    let mut any = false;
-    for j in j0..=j1 {
-        for i in i0..=i1 {
-            let cell = stencil.cell_rect(center, i, j);
-            metrics.cell_clips += 1;
-            metrics.flops += flops_per_clip();
-            let poly = clip_triangle_rect(&shifted, &cell);
-            if poly.is_degenerate(GEOM_EPS) {
-                continue;
-            }
-            any = true;
-            for sub in fan_triangulate(&poly) {
-                metrics.subregions += 1;
-                metrics.quad_evals += nq;
-                metrics.flops += nq * eval_flops;
-                let jac = sub.jacobian().abs();
-                if jac == 0.0 {
-                    continue;
-                }
-                // Per-sub-triangle accumulator scaled by |J| afterwards,
-                // matching `integrate_physical`'s summation order.
-                let mut local = [0.0f64; MAX_MODES];
-                for (&(u, v), &w) in points.iter().zip(q_weights) {
-                    let p = sub.map_from_unit(u, v);
-                    let wk = w * stencil.eval(center, p);
-                    let d = (p - shift) - geom.origin;
-                    let uu = geom.inv[0] * d.x + geom.inv[1] * d.y;
-                    let vv = geom.inv[2] * d.x + geom.inv[3] * d.y;
-                    let up = [1.0, uu, uu * uu, uu * uu * uu];
-                    let vp = [1.0, vv, vv * vv, vv * vv * vv];
-                    for (slot, &(a, b)) in exps.iter().enumerate().take(n_modes) {
-                        local[slot] += wk * up[a] * vp[b];
-                    }
-                }
-                for (slot, &l) in local.iter().enumerate().take(n_modes) {
-                    mono_w[slot] += jac * l;
-                }
-            }
-        }
-    }
-    any
 }

@@ -30,6 +30,7 @@ const WARMUP_BUDGET: Duration = Duration::from_millis(120);
 pub struct Criterion {
     default_sample_size: usize,
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -37,6 +38,7 @@ impl Default for Criterion {
         Self {
             default_sample_size: 10,
             filter: None,
+            test_mode: false,
         }
     }
 }
@@ -48,9 +50,24 @@ impl Criterion {
         self
     }
 
+    /// Enables run-once smoke mode (criterion's `--test` flag): every
+    /// benchmark closure executes exactly once, with no calibration, warmup
+    /// or timing — CI uses this to keep the harness from rotting without
+    /// paying for measurements.
+    pub fn with_test_mode(mut self, test_mode: bool) -> Self {
+        self.test_mode = test_mode;
+        self
+    }
+
     /// Runs one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        run_one(id, self.default_sample_size, &self.filter, f);
+        run_one(
+            id,
+            self.default_sample_size,
+            &self.filter,
+            self.test_mode,
+            f,
+        );
         self
     }
 
@@ -81,7 +98,13 @@ impl BenchmarkGroup<'_> {
     /// Runs one benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
-        run_one(&full, self.sample_size, &self.parent.filter, f);
+        run_one(
+            &full,
+            self.sample_size,
+            &self.parent.filter,
+            self.parent.test_mode,
+            f,
+        );
         self
     }
 
@@ -93,9 +116,13 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.render());
-        run_one(&full, self.sample_size, &self.parent.filter, |b| {
-            f(b, input)
-        });
+        run_one(
+            &full,
+            self.sample_size,
+            &self.parent.filter,
+            self.parent.test_mode,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -137,12 +164,18 @@ pub struct Bencher {
 enum BencherMode {
     Calibrate,
     Measure,
+    /// Run-once smoke mode: execute the routine a single time, no timing.
+    Once,
 }
 
 impl Bencher {
     /// Times `routine`, keeping its result alive through `black_box`.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         match self.mode {
+            BencherMode::Once => {
+                std_black_box(routine());
+                self.samples.push(Duration::ZERO);
+            }
             BencherMode::Calibrate => {
                 // One timed call decides how many iterations one ~40 ms
                 // sample needs; long routines run once per sample.
@@ -175,12 +208,28 @@ fn run_one<F: FnMut(&mut Bencher)>(
     id: &str,
     sample_size: usize,
     filter: &Option<String>,
+    test_mode: bool,
     mut f: F,
 ) {
     if let Some(pat) = filter {
         if !id.contains(pat.as_str()) {
             return;
         }
+    }
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            samples: Vec::new(),
+            sample_size: 1,
+            mode: BencherMode::Once,
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{id:<48} (no samples: closure never called iter)");
+        } else {
+            println!("{id:<48} ok (run once, --test mode)");
+        }
+        return;
     }
     let mut b = Bencher {
         iters: 1,
@@ -232,24 +281,29 @@ fn fmt_ns(ns: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
-        pub fn $group(filter: ::std::option::Option<::std::string::String>) {
-            let mut c = $crate::Criterion::default().with_filter(filter);
+        pub fn $group(filter: ::std::option::Option<::std::string::String>, test_mode: bool) {
+            let mut c = $crate::Criterion::default()
+                .with_filter(filter)
+                .with_test_mode(test_mode);
             $( $target(&mut c); )+
         }
     };
 }
 
 /// Declares `main` for a `harness = false` bench binary. Accepts and ignores
-/// harness flags cargo passes (`--bench`, `--test`); a bare argument is
-/// treated as a substring filter on benchmark ids.
+/// harness flags cargo passes (`--bench`); `--test` switches to run-once
+/// smoke mode (each benchmark closure executes once, untimed — the CI bench
+/// smoke step); a bare argument is treated as a substring filter on
+/// benchmark ids.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            let test_mode = ::std::env::args().skip(1).any(|a| a == "--test");
             let filter = ::std::env::args()
                 .skip(1)
                 .find(|a| !a.starts_with("--"));
-            $( $group(filter.clone()); )+
+            $( $group(filter.clone(), test_mode); )+
         }
     };
 }
