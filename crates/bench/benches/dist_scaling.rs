@@ -1,0 +1,31 @@
+//! Rank-scaling bench: the sharded per-element runtime end to end — shard
+//! build, halo exchange over the in-process channel fabric, local patch
+//! evaluation on real threads, and the gather — at the small and large
+//! ends of the default mesh ladder. The interesting ratio is wall time at
+//! 4 ranks vs 1 rank: ideal is 1/4 plus the (counted) halo-exchange cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ustencil_bench::Workload;
+use ustencil_dist::{run_dist, DistOptions};
+use ustencil_mesh::MeshClass;
+
+fn bench_rank_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_rank_scaling");
+    group.sample_size(10);
+    for &n_tri in &[4_000usize, 64_000] {
+        let w = Workload::build(MeshClass::LowVariance, n_tri, 1, 2013);
+        for &ranks in &[1usize, 4] {
+            let opts = DistOptions::new(ranks).h_factor(w.safe_h_factor());
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}k_p1", n_tri / 1000), ranks),
+                &opts,
+                |b, opts| b.iter(|| black_box(run_dist(&w.mesh, &w.field, &w.grid, opts).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_scaling);
+criterion_main!(benches);

@@ -15,6 +15,7 @@ use ustencil_bench::cli::{parse_cli, CliOptions, USAGE};
 use ustencil_bench::{mesh_sizes, size_label, Workload};
 use ustencil_core::per_element::memory_overhead;
 use ustencil_core::prelude::*;
+use ustencil_dist::{run_dist, DistOptions, SCHEME_LABEL as DIST_SCHEME_LABEL};
 use ustencil_mesh::MeshClass;
 use ustencil_plan::{ApplyOptions, PlanExt, SCHEME_LABEL};
 
@@ -226,6 +227,67 @@ fn fig14(r: &mut Runner, sizes: &[usize]) {
     println!("(paper: near-perfect linear scaling in both devices and mesh size)");
 }
 
+/// Figure 14 with `--ranks`: the rank-sharded runtime on real threads.
+/// Unlike the block-partitioned projection above, every cross-rank byte
+/// here is an actual serialized message through the transport layer, so
+/// the device model's communication term is charged with *counted*
+/// traffic rather than an estimate. Each rank count is validated against
+/// the in-process per-element reference before being reported.
+fn fig14_ranks(r: &mut Runner, sizes: &[usize], ranks: &[usize]) {
+    println!("\n== Figure 14 (rank-sharded): per-element with explicit halo exchange, linear polynomials ==");
+    println!(
+        "{:>8} {:>6} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "mesh", "ranks", "sim ms", "halo elems", "msgs", "wire KiB", "max diff"
+    );
+    for &n in sizes {
+        let reference = r
+            .run(MeshClass::LowVariance, n, 1, Scheme::PerElement)
+            .values
+            .clone();
+        for &n_ranks in ranks {
+            let w = r.workload(MeshClass::LowVariance, n, 1);
+            eprintln!("  [running {} triangles on {} rank(s)...]", n, n_ranks);
+            let opts = DistOptions::new(n_ranks)
+                .h_factor(w.safe_h_factor())
+                .instrument(true);
+            let sol = match run_dist(&w.mesh, &w.field, &w.grid, &opts) {
+                Ok(sol) => sol,
+                Err(e) => {
+                    eprintln!("rank-sharded run failed at {n} triangles, {n_ranks} ranks: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let diff = sol.max_abs_diff(&reference);
+            assert!(
+                diff <= 1e-12,
+                "{n_ranks}-rank run diverges from the per-element reference by {diff}"
+            );
+            let cfg = DeviceConfig {
+                n_devices: n_ranks,
+                ..Default::default()
+            };
+            let sim = sol.simulate(&cfg);
+            let comm = sol.total_comm();
+            let halo: u64 = sol.ranks.iter().map(|rr| rr.halo_elements).sum();
+            println!(
+                "{:>8} {:>6} {:>12.2} {:>10} {:>10} {:>12.1} {:>10.1e}",
+                size_label(n),
+                n_ranks,
+                sim.total_ms,
+                halo,
+                comm.msgs_sent,
+                comm.bytes_sent as f64 / 1024.0,
+                diff
+            );
+            let label = format!("low-variance/{}/p1/dist@{}ranks", size_label(n), n_ranks);
+            r.records.push(sol.to_run_record(&label, n, Some(sim)));
+        }
+    }
+    println!(
+        "(log-log in ranks x size: compute shrinks per rank while counted halo traffic grows)"
+    );
+}
+
 /// The `plan` subcommand: per mesh size, run the per-element scheme once
 /// directly, compile an evaluation plan, apply it to `timesteps` synthetic
 /// fields (the simulation frames a serving system would post-process), and
@@ -379,7 +441,10 @@ fn checkjson(path: &str) -> Result<(), String> {
     }
     for run in &report.runs {
         let ctx = &run.label;
-        if Scheme::from_label(&run.scheme).is_none() && run.scheme != SCHEME_LABEL {
+        if Scheme::from_label(&run.scheme).is_none()
+            && run.scheme != SCHEME_LABEL
+            && run.scheme != DIST_SCHEME_LABEL
+        {
             return Err(format!("{ctx}: unknown scheme '{}'", run.scheme));
         }
         if run.scheme == SCHEME_LABEL && run.plan.is_none() {
@@ -394,9 +459,25 @@ fn checkjson(path: &str) -> Result<(), String> {
         if run.patches.is_empty() {
             return Err(format!("{ctx}: no per-patch stats"));
         }
-        match run.histogram("candidates_per_query") {
-            Some(h) if !h.is_empty() => {}
-            _ => return Err(format!("{ctx}: candidates_per_query histogram is empty")),
+        if run.scheme == DIST_SCHEME_LABEL {
+            // Rank-sharded runs promise comms accounting instead of the
+            // in-process distribution histograms.
+            if run.comms.is_empty() {
+                return Err(format!("{ctx}: dist run without per-rank comms ledgers"));
+            }
+            for phase in ["exchange.halo", "reduce.gather"] {
+                if !run.spans.iter().any(|s| s.name == phase) {
+                    return Err(format!("{ctx}: dist run missing the '{phase}' span"));
+                }
+            }
+            if run.comms.len() > 1 && !run.comms.iter().any(|c| c.bytes_sent > 0) {
+                return Err(format!("{ctx}: multi-rank run counted no wire traffic"));
+            }
+        } else {
+            match run.histogram("candidates_per_query") {
+                Some(h) if !h.is_empty() => {}
+                _ => return Err(format!("{ctx}: candidates_per_query histogram is empty")),
+            }
         }
     }
     println!(
@@ -465,7 +546,10 @@ fn main() {
             "Figure 12: simulated GFLOP/s, high-variance meshes",
         ),
         "fig13" => fig13(&mut r, &sizes, &caps),
-        "fig14" => fig14(&mut r, &sizes),
+        "fig14" => match &opts.ranks {
+            Some(ranks) => fig14_ranks(&mut r, &sizes, ranks),
+            None => fig14(&mut r, &sizes),
+        },
         "profile" => profile(&mut r, &sizes),
         "plan" => plan_cmd(&mut r, &sizes, opts.timesteps),
         "all" => {
@@ -486,7 +570,10 @@ fn main() {
                 "Figure 12: simulated GFLOP/s, high-variance meshes",
             );
             fig13(&mut r, &sizes, &caps);
-            fig14(&mut r, &sizes);
+            match &opts.ranks {
+                Some(ranks) => fig14_ranks(&mut r, &sizes, ranks),
+                None => fig14(&mut r, &sizes),
+            }
         }
         other => unreachable!("parse_cli validated the command '{other}'"),
     }

@@ -21,6 +21,9 @@ commands:
 
 options:
   --sizes N,N,..      mesh sizes in triangles (default: the paper ladder)
+  --ranks N,N,..      run fig14 rank-sharded at each rank count (per-element
+                      evaluation with explicit halo exchange; emits per-rank
+                      comms ledgers into the JSON report)
   --seed S            mesh-generation seed (default 2013)
   --timesteps T       synthetic fields a `plan` run applies (default 8)
   --full              lift the size ladder and degree caps to paper scale
@@ -49,6 +52,8 @@ pub struct CliOptions {
     pub command: String,
     /// Explicit `--sizes` list, when given.
     pub sizes: Option<Vec<usize>>,
+    /// Explicit `--ranks` list, when given (fig14 rank scaling).
+    pub ranks: Option<Vec<usize>>,
     /// Mesh-generation seed.
     pub seed: u64,
     /// Synthetic timesteps a `plan` run applies.
@@ -68,6 +73,7 @@ impl Default for CliOptions {
         Self {
             command: "all".to_string(),
             sizes: None,
+            ranks: None,
             seed: 2013,
             timesteps: 8,
             full: false,
@@ -101,6 +107,21 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
                     return Err("--sizes needs at least one size".to_string());
                 }
                 opts.sizes = Some(sizes);
+            }
+            "--ranks" => {
+                let list = value_of(&mut it, "--ranks")?;
+                let ranks =
+                    list.split(',')
+                        .map(|s| {
+                            s.parse::<usize>().ok().filter(|&r| r > 0).ok_or_else(|| {
+                                format!("--ranks entry '{s}' is not a positive integer")
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                if ranks.is_empty() {
+                    return Err("--ranks needs at least one rank count".to_string());
+                }
+                opts.ranks = Some(ranks);
             }
             "--seed" => {
                 let v = value_of(&mut it, "--seed")?;
@@ -245,6 +266,21 @@ mod tests {
         assert!(parse(&["table1", "extra"])
             .unwrap_err()
             .contains("unexpected argument 'extra'"));
+    }
+
+    #[test]
+    fn ranks_flag() {
+        let opts = parse(&["fig14", "--ranks", "1,2,4,8"]).unwrap();
+        assert_eq!(opts.command, "fig14");
+        assert_eq!(opts.ranks, Some(vec![1, 2, 4, 8]));
+        assert_eq!(parse(&["fig14"]).unwrap().ranks, None);
+        assert!(parse(&["--ranks"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--ranks", "0"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&["--ranks", "2x"])
+            .unwrap_err()
+            .contains("positive integer"));
     }
 
     #[test]

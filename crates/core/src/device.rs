@@ -40,6 +40,11 @@ pub struct CostModel {
     pub cell_visit_cycles: f64,
     /// Cycles per partial-solution slot in the reduction phase.
     pub reduce_cycles: f64,
+    /// Cycles per byte moved over the inter-rank link (PCIe/network; a
+    /// few GB/s against a ~1.3 GHz clock).
+    pub link_byte_cycles: f64,
+    /// Fixed per-message latency charge on the inter-rank link.
+    pub msg_latency_cycles: f64,
     /// Device clock in GHz.
     pub clock_ghz: f64,
 }
@@ -54,6 +59,8 @@ impl Default for CostModel {
             clip_cycles: 48.0,
             cell_visit_cycles: 12.0,
             reduce_cycles: 4.0,
+            link_byte_cycles: 4.0,
+            msg_latency_cycles: 20_000.0,
             clock_ghz: 1.3,
         }
     }
@@ -87,7 +94,10 @@ pub struct SimReport {
     pub device_ms: Vec<f64>,
     /// Reduction-phase time in milliseconds.
     pub reduction_ms: f64,
-    /// End-to-end simulated time: slowest device plus reduction.
+    /// Communication-phase time in milliseconds (0 for single-address-space
+    /// runs; counted wire traffic under [`simulate_ranks`]).
+    pub comms_ms: f64,
+    /// End-to-end simulated time: slowest device plus comms plus reduction.
     pub total_ms: f64,
     /// Total counted flops across all blocks.
     pub flops: u64,
@@ -171,8 +181,89 @@ pub fn simulate(scheme: Scheme, blocks: &[Metrics], config: &DeviceConfig) -> Si
     SimReport {
         device_ms,
         reduction_ms,
+        comms_ms: 0.0,
         total_ms: compute_ms + reduction_ms,
         flops: blocks.iter().map(|m| m.flops).sum(),
+    }
+}
+
+/// One rank's wire traffic, as counted by the distributed runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankTraffic {
+    /// Wire bytes the rank sent.
+    pub bytes_sent: u64,
+    /// Messages the rank sent.
+    pub msgs_sent: u64,
+}
+
+/// Simulates a rank-sharded execution: each rank is one device evaluating
+/// its own blocks, plus a communication phase charged from *counted* wire
+/// traffic and a cross-rank reduction.
+///
+/// `rank_blocks[r]` holds rank `r`'s per-patch metrics and `traffic[r]`
+/// its measured send-side traffic (the distributed runtime counts both).
+/// The comms phase is the busiest rank's `bytes · link_byte_cycles +
+/// msgs · msg_latency_cycles` — ranks exchange halos concurrently, so the
+/// slowest link bounds the phase, which is what flattens the log-log
+/// scaling curve once halo traffic stops shrinking with rank count.
+///
+/// # Panics
+/// Panics when `rank_blocks` is empty, its length differs from
+/// `traffic`'s, or the config has zero SMs.
+pub fn simulate_ranks(
+    scheme: Scheme,
+    rank_blocks: &[Vec<Metrics>],
+    traffic: &[RankTraffic],
+    config: &DeviceConfig,
+) -> SimReport {
+    assert!(!rank_blocks.is_empty(), "no ranks to simulate");
+    assert_eq!(rank_blocks.len(), traffic.len(), "ranks/traffic mismatch");
+    assert!(config.n_sms > 0, "empty device");
+    let n_ranks = rank_blocks.len();
+    let cycles_to_ms = 1.0 / (config.cost.clock_ghz * 1e6);
+
+    // Each rank LPT-schedules its own blocks onto its SMs.
+    let device_ms: Vec<f64> = rank_blocks
+        .iter()
+        .map(|blocks| {
+            let mut costs: Vec<f64> = blocks
+                .iter()
+                .map(|m| config.cost.block_cycles(scheme, m))
+                .collect();
+            costs.sort_by(|a, b| b.total_cmp(a));
+            let mut sms = vec![0.0f64; config.n_sms];
+            for c in costs {
+                if let Some((imin, _)) = sms.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)) {
+                    sms[imin] += c;
+                }
+            }
+            sms.iter().fold(0.0f64, |a, &b| a.max(b)) * cycles_to_ms
+        })
+        .collect();
+    let compute_ms = device_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+
+    let comms_cycles = traffic
+        .iter()
+        .map(|t| {
+            t.bytes_sent as f64 * config.cost.link_byte_cycles
+                + t.msgs_sent as f64 * config.cost.msg_latency_cycles
+        })
+        .fold(0.0f64, f64::max);
+    let comms_ms = comms_cycles * cycles_to_ms;
+
+    let total_slots: u64 = rank_blocks.iter().flatten().map(|m| m.partial_slots).sum();
+    let reduction_cycles = total_slots as f64 * config.cost.reduce_cycles
+        / (n_ranks * config.n_sms) as f64
+        + (n_ranks.saturating_sub(1)) as f64 * total_slots as f64 * config.cost.reduce_cycles
+            / (n_ranks * config.n_sms * 4) as f64;
+    let reduction_ms = reduction_cycles * cycles_to_ms;
+
+    SimReport {
+        device_ms,
+        reduction_ms,
+        comms_ms,
+        total_ms: compute_ms + comms_ms + reduction_ms,
+        flops: rank_blocks.iter().flatten().map(|m| m.flops).sum(),
     }
 }
 
@@ -253,6 +344,66 @@ mod tests {
         let rep = simulate(Scheme::PerElement, &blocks, &DeviceConfig::default());
         assert!(rep.flops == 13_000_000_000);
         assert!(rep.gflops() > 0.0);
+    }
+
+    #[test]
+    fn rank_sim_charges_counted_traffic() {
+        let blocks: Vec<Metrics> = (0..32).map(|_| block(1_000_000, 5_000)).collect();
+        let per_rank: Vec<Vec<Metrics>> = blocks.chunks(16).map(|c| c.to_vec()).collect();
+        let quiet = vec![RankTraffic::default(); 2];
+        let busy = vec![
+            RankTraffic {
+                bytes_sent: 1_000_000,
+                msgs_sent: 10,
+            };
+            2
+        ];
+        let cfg = DeviceConfig::default();
+        let rep_quiet = simulate_ranks(Scheme::PerElement, &per_rank, &quiet, &cfg);
+        let rep_busy = simulate_ranks(Scheme::PerElement, &per_rank, &busy, &cfg);
+        assert_eq!(rep_quiet.comms_ms, 0.0);
+        assert!(rep_busy.comms_ms > 0.0);
+        assert!(
+            (rep_busy.total_ms - rep_quiet.total_ms - rep_busy.comms_ms).abs() < 1e-12,
+            "comms must be additive on top of compute + reduction"
+        );
+    }
+
+    #[test]
+    fn rank_scaling_bends_under_flat_halo_traffic() {
+        // With per-rank halo traffic that does not shrink as ranks are
+        // added, the speedup curve must fall away from linear — the shape
+        // Fig. 14 shows once communication stops being amortized.
+        let blocks: Vec<Metrics> = (0..256).map(|_| block(4_000_000, 5_000)).collect();
+        let cfg = DeviceConfig::default();
+        let time_at = |n: usize| {
+            let per_rank: Vec<Vec<Metrics>> = (0..n)
+                .map(|r| {
+                    blocks
+                        .iter()
+                        .skip(r)
+                        .step_by(n)
+                        .cloned()
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let traffic = vec![
+                RankTraffic {
+                    bytes_sent: if n > 1 { 100_000 } else { 0 },
+                    msgs_sent: if n > 1 { (n - 1) as u64 * 2 } else { 0 },
+                };
+                n
+            ];
+            simulate_ranks(Scheme::PerElement, &per_rank, &traffic, &cfg).total_ms
+        };
+        let t1 = time_at(1);
+        let t8 = time_at(8);
+        let speedup = t1 / t8;
+        assert!(speedup > 1.5, "ranks must still help, got {speedup}");
+        assert!(
+            speedup < 7.0,
+            "flat halo traffic must bend the curve below linear, got {speedup}"
+        );
     }
 
     #[test]

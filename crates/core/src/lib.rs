@@ -44,7 +44,7 @@ pub mod probe;
 pub mod report;
 pub mod tiling;
 
-pub use device::{CostModel, DeviceConfig, SimReport};
+pub use device::{simulate_ranks, CostModel, DeviceConfig, RankTraffic, SimReport};
 pub use engine::{PostProcessor, ProcessorSettings, Scheme, Solution};
 pub use grid_points::ComputationGrid;
 pub use kernel::{
@@ -53,14 +53,14 @@ pub use kernel::{
 };
 pub use metrics::Metrics;
 pub use probe::{BlockStats, Probe};
-pub use report::{PlanStats, RunRecord, RunReport};
+pub use report::{PlanStats, RankCommRecord, RunRecord, RunReport};
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::device::{CostModel, DeviceConfig, SimReport};
+    pub use crate::device::{simulate_ranks, CostModel, DeviceConfig, RankTraffic, SimReport};
     pub use crate::engine::{PostProcessor, ProcessorSettings, Scheme, Solution};
     pub use crate::grid_points::ComputationGrid;
     pub use crate::metrics::Metrics;
     pub use crate::probe::{BlockStats, Probe};
-    pub use crate::report::{PlanStats, RunRecord, RunReport};
+    pub use crate::report::{PlanStats, RankCommRecord, RunRecord, RunReport};
 }

@@ -69,6 +69,37 @@ pub struct PlanStats {
     pub apply_ms: f64,
 }
 
+/// One rank's communication ledger in a rank-sharded run: shard shape,
+/// counted wire traffic, and coarse phase timings. Emitted for every rank
+/// of a `scheme = "dist"` run; empty for single-address-space runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RankCommRecord {
+    /// Rank id (0-based; rank 0 is the coordinator).
+    pub rank: u64,
+    /// Elements the rank owns.
+    pub owned_elements: u64,
+    /// Ghost-ring elements replicated onto the rank.
+    pub halo_elements: u64,
+    /// Grid points the rank resolves.
+    pub owned_points: u64,
+    /// Messages the rank handed to the transport.
+    pub msgs_sent: u64,
+    /// Wire bytes the rank handed to the transport.
+    pub bytes_sent: u64,
+    /// Messages the rank received.
+    pub msgs_recv: u64,
+    /// Wire bytes the rank received.
+    pub bytes_recv: u64,
+    /// Payload messages the reliability layer sent more than once.
+    pub retransmits: u64,
+    /// Nanoseconds in the halo-exchange phase.
+    pub exchange_ns: u64,
+    /// Nanoseconds in the local evaluation phase.
+    pub eval_ns: u64,
+    /// Nanoseconds in the local reduce + gather phase.
+    pub reduce_ns: u64,
+}
+
 /// Everything observed about one post-processing run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -94,6 +125,9 @@ pub struct RunRecord {
     pub device_sim: Option<SimReport>,
     /// Evaluation-plan stats, when the run applied a compiled plan.
     pub plan: Option<PlanStats>,
+    /// Per-rank communication ledgers (empty unless the run was
+    /// rank-sharded).
+    pub comms: Vec<RankCommRecord>,
 }
 
 impl RunRecord {
@@ -142,6 +176,7 @@ impl RunRecord {
             histograms,
             device_sim,
             plan: None,
+            comms: Vec::new(),
         }
     }
 
@@ -255,10 +290,30 @@ fn record_to_json(r: &RunRecord) -> Json {
                     .collect::<Vec<_>>(),
             )
             .set("reduction_ms", sim.reduction_ms)
+            .set("comms_ms", sim.comms_ms)
             .set("total_ms", sim.total_ms)
             .set("flops", sim.flops)
             .set("gflops", sim.gflops()),
     };
+    let comms: Vec<Json> = r
+        .comms
+        .iter()
+        .map(|c| {
+            Json::object()
+                .set("rank", c.rank)
+                .set("owned_elements", c.owned_elements)
+                .set("halo_elements", c.halo_elements)
+                .set("owned_points", c.owned_points)
+                .set("msgs_sent", c.msgs_sent)
+                .set("bytes_sent", c.bytes_sent)
+                .set("msgs_recv", c.msgs_recv)
+                .set("bytes_recv", c.bytes_recv)
+                .set("retransmits", c.retransmits)
+                .set("exchange_ns", c.exchange_ns)
+                .set("eval_ns", c.eval_ns)
+                .set("reduce_ns", c.reduce_ns)
+        })
+        .collect();
     let plan = match &r.plan {
         None => Json::Null,
         Some(p) => Json::object()
@@ -282,6 +337,7 @@ fn record_to_json(r: &RunRecord) -> Json {
         .set("histograms", hists)
         .set("device_sim", device_sim)
         .set("plan", plan)
+        .set("comms", comms)
 }
 
 fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
@@ -329,10 +385,32 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
                 .map(|v| v.as_f64().ok_or("non-numeric device_ms entry"))
                 .collect::<Result<Vec<_>, _>>()?,
             reduction_ms: get_f64(sim, "reduction_ms")?,
+            comms_ms: get_f64(sim, "comms_ms")?,
             total_ms: get_f64(sim, "total_ms")?,
             flops: get_u64(sim, "flops")?,
         }),
     };
+    let comms = get(doc, "comms")?
+        .as_array()
+        .ok_or("'comms' is not an array")?
+        .iter()
+        .map(|c| {
+            Ok(RankCommRecord {
+                rank: get_u64(c, "rank")?,
+                owned_elements: get_u64(c, "owned_elements")?,
+                halo_elements: get_u64(c, "halo_elements")?,
+                owned_points: get_u64(c, "owned_points")?,
+                msgs_sent: get_u64(c, "msgs_sent")?,
+                bytes_sent: get_u64(c, "bytes_sent")?,
+                msgs_recv: get_u64(c, "msgs_recv")?,
+                bytes_recv: get_u64(c, "bytes_recv")?,
+                retransmits: get_u64(c, "retransmits")?,
+                exchange_ns: get_u64(c, "exchange_ns")?,
+                eval_ns: get_u64(c, "eval_ns")?,
+                reduce_ns: get_u64(c, "reduce_ns")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
     let plan = match get(doc, "plan")? {
         Json::Null => None,
         p => Some(PlanStats {
@@ -356,6 +434,7 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
         histograms,
         device_sim,
         plan,
+        comms,
     })
 }
 
@@ -553,6 +632,7 @@ mod tests {
             histograms: vec![],
             device_sim: None,
             plan: None,
+            comms: vec![],
         });
         // A valid minimal report still round-trips.
         let text = report.to_pretty_string();
@@ -589,6 +669,7 @@ mod tests {
                 build_ms: 480.5,
                 apply_ms: 3.75,
             }),
+            comms: vec![],
         });
         let text = report.to_pretty_string();
         let parsed = RunReport::from_json(&text).expect("plan report parses");
@@ -596,6 +677,47 @@ mod tests {
         assert_eq!(parsed.to_pretty_string(), text);
         // Dropping the plan object breaks the parse (key is required).
         let broken = text.replace("\"plan\"", "\"paln\"");
+        assert!(RunReport::from_json(&broken).is_err());
+    }
+
+    #[test]
+    fn rank_comm_records_round_trip() {
+        let mut report = RunReport::new("fig14", 2013);
+        report.runs.push(RunRecord {
+            label: "low-variance/4k/p1/dist@2ranks".into(),
+            scheme: "dist".into(),
+            n_triangles: 1000,
+            n_points: 4000,
+            wall_ms: 12.5,
+            metrics: Metrics::default(),
+            spans: vec![],
+            patches: vec![],
+            histograms: vec![],
+            device_sim: None,
+            plan: None,
+            comms: (0..2)
+                .map(|r| RankCommRecord {
+                    rank: r,
+                    owned_elements: 500,
+                    halo_elements: 120 + r,
+                    owned_points: 2000,
+                    msgs_sent: 6,
+                    bytes_sent: 48_000 + r,
+                    msgs_recv: 6,
+                    bytes_recv: 48_100 - r,
+                    retransmits: r,
+                    exchange_ns: 1_000_000,
+                    eval_ns: 9_000_000,
+                    reduce_ns: 500_000,
+                })
+                .collect(),
+        });
+        let text = report.to_pretty_string();
+        let parsed = RunReport::from_json(&text).expect("dist report parses");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.to_pretty_string(), text);
+        // The comms array is a required key.
+        let broken = text.replace("\"comms\"", "\"comsm\"");
         assert!(RunReport::from_json(&broken).is_err());
     }
 }

@@ -22,6 +22,18 @@ pub fn assign_patches(n_patches: usize, n_devices: usize) -> Vec<Vec<usize>> {
     out
 }
 
+/// Accumulates sparse `(point id, value)` partials into a dense output.
+/// The shared stage-1 primitive of both the in-process two-stage reduction
+/// and the distributed runtime's per-rank local reduce — using the same
+/// accumulation (in the same partial order) is what keeps the two paths
+/// bitwise identical.
+#[inline]
+pub fn add_partials(partials: &[(u32, f64)], out: &mut [f64]) {
+    for &(id, v) in partials {
+        out[id as usize] += v;
+    }
+}
+
 /// The two-stage reduction: per-device partial sums, then a cross-device
 /// sum. Numerically equivalent to the single-stage reduction because each
 /// point's contributions are still added in ascending patch order within
@@ -51,9 +63,7 @@ pub fn two_stage_reduce_traced(
             .map(|patches| {
                 let mut local = vec![0.0; n_points];
                 for &p in patches {
-                    for &(id, v) in &results[p].partials {
-                        local[id as usize] += v;
-                    }
+                    add_partials(&results[p].partials, &mut local);
                 }
                 local
             })

@@ -1,0 +1,151 @@
+//! Deterministic fault injection for transport testing.
+//!
+//! A [`FaultPlan`] is a list of rules applied at send time. Decisions
+//! depend only on message identity (sender, destination, tag) and how many
+//! matching sends the rule has already seen — never on wall-clock timing —
+//! so a test that injects faults observes the same drops and reorders on
+//! every run.
+
+use crate::transport::{Message, Tag};
+
+/// What to do with a matching send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Silently discard the message (the sender's reliability layer will
+    /// time out and retransmit).
+    Drop,
+    /// Park the message; it is delivered after the *next* message to the
+    /// same destination goes through — an out-of-order delivery.
+    Hold,
+}
+
+/// One fault rule. `None` fields match anything; `first_n` bounds how many
+/// matching sends the rule fires on (so a dropped flow eventually gets
+/// through, exercising the retry path instead of livelocking it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Match only messages from this rank.
+    pub from: Option<u32>,
+    /// Match only messages to this rank.
+    pub to: Option<u32>,
+    /// Match only messages with this tag.
+    pub tag: Option<Tag>,
+    /// Fire on the first `n` matching sends, then become inert. Use
+    /// `u32::MAX` for a permanent fault (e.g. a failed rank).
+    pub first_n: u32,
+    /// The injected behaviour.
+    pub action: FaultAction,
+}
+
+impl FaultRule {
+    /// Drops the first `n` payload sends from `from` with `tag`.
+    pub fn drop_first(from: u32, tag: Tag, n: u32) -> Self {
+        Self {
+            from: Some(from),
+            to: None,
+            tag: Some(tag),
+            first_n: n,
+            action: FaultAction::Drop,
+        }
+    }
+
+    /// Holds (reorders) the first `n` sends from `from` to `to`.
+    pub fn hold_first(from: u32, to: u32, n: u32) -> Self {
+        Self {
+            from: Some(from),
+            to: Some(to),
+            tag: None,
+            first_n: n,
+            action: FaultAction::Hold,
+        }
+    }
+
+    fn matches(&self, msg: &Message) -> bool {
+        self.from.is_none_or(|f| f == msg.from)
+            && self.to.is_none_or(|t| t == msg.to)
+            && self.tag.is_none_or(|t| t == msg.tag)
+    }
+}
+
+/// An ordered set of fault rules with per-rule match counters.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    fired: Vec<u32>,
+}
+
+impl FaultPlan {
+    /// A plan injecting no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Appends a rule (builder style; rules are tried in insertion order,
+    /// first match wins).
+    pub fn with_rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self.fired.push(0);
+        self
+    }
+
+    /// True when the plan has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Decides the fate of one send. `None` means deliver normally. Rules
+    /// are tried in insertion order; the first matching rule with budget
+    /// left fires, and a spent rule is inert (later rules get the send).
+    pub fn decide(&mut self, msg: &Message) -> Option<FaultAction> {
+        for (rule, fired) in self.rules.iter().zip(self.fired.iter_mut()) {
+            if rule.matches(msg) && *fired < rule.first_n {
+                *fired += 1;
+                return Some(rule.action);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(from: u32, to: u32, tag: Tag) -> Message {
+        Message {
+            from,
+            to,
+            tag,
+            seq: 0,
+            payload: vec![],
+        }
+    }
+
+    #[test]
+    fn bounded_rule_expires() {
+        let mut plan = FaultPlan::none().with_rule(FaultRule::drop_first(1, Tag::HaloCoeffs, 2));
+        let m = msg(1, 0, Tag::HaloCoeffs);
+        assert_eq!(plan.decide(&m), Some(FaultAction::Drop));
+        assert_eq!(plan.decide(&m), Some(FaultAction::Drop));
+        assert_eq!(plan.decide(&m), None, "rule must expire after first_n");
+        // Non-matching traffic is never touched.
+        assert_eq!(plan.decide(&msg(2, 0, Tag::HaloCoeffs)), None);
+        assert_eq!(plan.decide(&msg(1, 0, Tag::Ack)), None);
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let mut plan = FaultPlan::none()
+            .with_rule(FaultRule::hold_first(0, 1, 1))
+            .with_rule(FaultRule::drop_first(0, Tag::HaloCoeffs, u32::MAX));
+        assert_eq!(
+            plan.decide(&msg(0, 1, Tag::HaloCoeffs)),
+            Some(FaultAction::Hold)
+        );
+        // Hold rule spent; the drop rule takes over.
+        assert_eq!(
+            plan.decide(&msg(0, 1, Tag::HaloCoeffs)),
+            Some(FaultAction::Drop)
+        );
+    }
+}

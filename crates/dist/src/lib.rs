@@ -1,0 +1,61 @@
+//! Rank-sharded execution runtime: explicit halo exchange, deterministic
+//! transport, and comms accounting.
+//!
+//! The paper's scheme tiles an unstructured mesh into overlapped patches
+//! whose evaluation needs no communication until an ordered reduction; this
+//! crate pushes that structure across *address spaces*. The mesh is
+//! sharded over ranks by the same recursive bisection the in-process
+//! tiler uses, each rank gets a ghost ring sized from the stencil extent
+//! `(3k + 1) h`, and every byte of dynamic data that crosses a rank
+//! boundary moves as a serialized message through the [`Transport`] trait
+//! — no shared references to field or solution data exist between ranks.
+//!
+//! The stack, bottom to top:
+//!
+//! * [`transport`] — the message and the five-method transport contract;
+//! * [`channel`] / [`record`] — an in-process fabric over `mpsc` channels
+//!   with ranks on real threads, and a deterministic recording fabric
+//!   whose delivery order is a pure function of send order and whose log
+//!   lets tests assert exactly which messages were dropped, held, or
+//!   delivered;
+//! * [`fault`] — deterministic drop/delay(reorder) injection, keyed by
+//!   message identity, never timing;
+//! * [`link`] — stop-and-wait acknowledgement with bounded retry on top
+//!   of any transport: at-least-once on the wire, exactly-once to the
+//!   application, with every payload and ack byte counted;
+//! * [`shard`] — who owns which elements and points, and the push sets a
+//!   halo exchange must move;
+//! * [`runtime`] — the sharded direct per-element scheme: push-based
+//!   coefficient exchange, local patch evaluation, two-stage reduction,
+//!   and rank-failure recovery by coordinator re-resolve;
+//! * [`plan_dist`] — the sharded plan path: per-rank CSR compile of owned
+//!   rows, pull-based exchange of exactly the columns the plan stored,
+//!   local SpMV, bitwise equal to a global plan apply.
+//!
+//! Work counters partition exactly (see the module docs of [`runtime`] and
+//! [`plan_dist`] for which components are bit-identical to a single-rank
+//! run), wire traffic is counted per rank, and both surface through
+//! [`RunRecord`](ustencil_core::RunRecord) JSON and the device cost
+//! model's communication term.
+
+#![deny(missing_docs)]
+
+pub mod channel;
+pub mod fault;
+pub mod link;
+pub mod plan_dist;
+pub mod record;
+pub mod runtime;
+pub mod shard;
+pub mod transport;
+pub mod wire;
+
+pub use channel::{ChannelEndpoint, ChannelFabric};
+pub use fault::{FaultAction, FaultPlan, FaultRule};
+pub use link::{DistError, LinkConfig, ReliableLink};
+pub use plan_dist::{run_plan_dist, run_plan_dist_on, DistPlanSolution};
+pub use record::{Disposition, MessageRecord, RecordingEndpoint, RecordingFabric};
+pub use runtime::{run_dist, run_dist_on, DistOptions, DistSolution, RankReport, SCHEME_LABEL};
+pub use shard::{RankShard, ShardPlan};
+pub use transport::{Message, Tag, Transport, TransportError, HEADER_BYTES};
+pub use wire::RankResult;

@@ -1,0 +1,323 @@
+//! The reliability layer: stop-and-wait acknowledgement on top of any
+//! [`Transport`].
+//!
+//! The transport may drop, delay, or reorder messages; this layer restores
+//! at-least-once delivery with bounded retry, and deduplicates by
+//! `(sender, seq)` so the application above sees each payload exactly
+//! once. While a sender waits for its own acknowledgement it keeps
+//! servicing incoming traffic (acknowledging and queueing payloads), so
+//! two ranks sending to each other at the same time cannot deadlock.
+
+use crate::transport::{Message, Tag, Transport, TransportError};
+use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
+use ustencil_trace::CommStats;
+
+/// Tunables for the reliability layer.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// How long to wait for an acknowledgement before retransmitting.
+    /// The default is generous: in-process fabrics don't lose messages
+    /// unless a fault plan says so, and a busy peer (e.g. the coordinator
+    /// evaluating its own shard) must not trigger spurious retransmits.
+    pub ack_timeout: Duration,
+    /// Retransmissions after the first attempt before the peer is declared
+    /// unreachable.
+    pub max_retries: u32,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            ack_timeout: Duration::from_secs(30),
+            max_retries: 4,
+        }
+    }
+}
+
+/// Failures surfaced by the distributed runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// A peer never acknowledged within the retry budget.
+    Unreachable {
+        /// The rank that did not answer.
+        peer: u32,
+    },
+    /// A receive deadline passed with nothing arriving.
+    Timeout,
+    /// The fabric shut down underneath us.
+    Closed,
+    /// A peer sent bytes that do not decode as the expected payload.
+    Protocol(String),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Unreachable { peer } => write!(f, "rank {peer} unreachable"),
+            DistError::Timeout => write!(f, "receive deadline passed"),
+            DistError::Closed => write!(f, "transport closed"),
+            DistError::Protocol(why) => write!(f, "protocol error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// A reliable endpoint: one per rank, wrapping that rank's transport.
+pub struct ReliableLink<T: Transport> {
+    transport: T,
+    config: LinkConfig,
+    next_seq: u64,
+    /// `(sender, seq)` pairs already handed to the application.
+    seen: HashSet<(u32, u64)>,
+    /// Payload messages that arrived while awaiting an acknowledgement.
+    inbox: VecDeque<Message>,
+    stats: CommStats,
+}
+
+impl<T: Transport> ReliableLink<T> {
+    /// Wraps `transport` with reliability state.
+    pub fn new(transport: T, config: LinkConfig) -> Self {
+        Self {
+            transport,
+            config,
+            next_seq: 0,
+            seen: HashSet::new(),
+            inbox: VecDeque::new(),
+            stats: CommStats::default(),
+        }
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> u32 {
+        self.transport.rank()
+    }
+
+    /// Total ranks in the fabric.
+    pub fn n_ranks(&self) -> u32 {
+        self.transport.n_ranks()
+    }
+
+    /// Counters so far (payloads and acknowledgements both count — they
+    /// are all bytes on the wire).
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    fn raw_send(&mut self, msg: Message) -> Result<(), DistError> {
+        self.stats.record_send(msg.wire_bytes());
+        self.transport.send(msg).map_err(|e| match e {
+            TransportError::Closed => DistError::Closed,
+            TransportError::Timeout => DistError::Timeout,
+        })
+    }
+
+    /// Handles one incoming message: acknowledges payloads and queues the
+    /// ones not seen before. Acknowledgements are returned to the caller
+    /// so `send_reliable` can match its own.
+    fn absorb(&mut self, msg: Message) -> Result<Option<(u32, u64)>, DistError> {
+        self.stats.record_recv(msg.wire_bytes());
+        if msg.tag == Tag::Ack {
+            return Ok(Some((msg.from, msg.seq)));
+        }
+        let key = (msg.from, msg.seq);
+        let ack = Message {
+            from: self.transport.rank(),
+            to: msg.from,
+            tag: Tag::Ack,
+            seq: msg.seq,
+            payload: Vec::new(),
+        };
+        // Duplicates (a retransmit whose original got through, or whose
+        // ack was lost) are re-acknowledged but not re-queued.
+        if self.seen.insert(key) {
+            self.inbox.push_back(msg);
+        }
+        self.raw_send(ack)?;
+        Ok(None)
+    }
+
+    /// Sends `payload` to rank `to` and blocks until it is acknowledged,
+    /// retransmitting on timeout up to the configured retry budget.
+    pub fn send_reliable(&mut self, to: u32, tag: Tag, payload: Vec<u8>) -> Result<(), DistError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let msg = Message {
+            from: self.transport.rank(),
+            to,
+            tag,
+            seq,
+            payload,
+        };
+        for attempt in 0..=self.config.max_retries {
+            if attempt > 0 {
+                self.stats.retransmits += 1;
+            }
+            self.raw_send(msg.clone())?;
+            let deadline = Instant::now() + self.config.ack_timeout;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    self.stats.timeouts += 1;
+                    break;
+                }
+                match self.transport.recv_timeout(deadline - now) {
+                    Ok(incoming) => {
+                        if let Some((from, acked)) = self.absorb(incoming)? {
+                            if from == to && acked == seq {
+                                return Ok(());
+                            }
+                            // A stale ack (for an earlier retransmitted
+                            // seq) or another peer's ack: ignore.
+                        }
+                    }
+                    Err(TransportError::Timeout) => {
+                        self.stats.timeouts += 1;
+                        break;
+                    }
+                    Err(TransportError::Closed) => return Err(DistError::Closed),
+                }
+            }
+        }
+        Err(DistError::Unreachable { peer: to })
+    }
+
+    /// Receives the next payload message (never an acknowledgement),
+    /// waiting at most `timeout`. Each payload is returned exactly once
+    /// even when the fabric duplicated it through retransmission.
+    pub fn recv_payload(&mut self, timeout: Duration) -> Result<Message, DistError> {
+        if let Some(msg) = self.inbox.pop_front() {
+            return Ok(msg);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(DistError::Timeout);
+            }
+            match self.transport.recv_timeout(deadline - now) {
+                Ok(incoming) => {
+                    self.absorb(incoming)?;
+                    if let Some(msg) = self.inbox.pop_front() {
+                        return Ok(msg);
+                    }
+                }
+                Err(TransportError::Timeout) => return Err(DistError::Timeout),
+                Err(TransportError::Closed) => return Err(DistError::Closed),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultRule};
+    use crate::record::{Disposition, RecordingFabric};
+
+    fn links(
+        n: usize,
+        faults: FaultPlan,
+        config: LinkConfig,
+    ) -> (
+        RecordingFabric,
+        Vec<ReliableLink<crate::record::RecordingEndpoint>>,
+    ) {
+        let (fabric, eps) = RecordingFabric::with_faults(n, faults);
+        let links = eps
+            .into_iter()
+            .map(|ep| ReliableLink::new(ep, config))
+            .collect();
+        (fabric, links)
+    }
+
+    #[test]
+    fn dropped_message_is_retransmitted_and_arrives_once() {
+        let faults = FaultPlan::none().with_rule(FaultRule::drop_first(0, Tag::HaloCoeffs, 1));
+        let config = LinkConfig {
+            ack_timeout: Duration::from_millis(20),
+            max_retries: 4,
+        };
+        let (fabric, mut ls) = links(2, faults, config);
+        let mut l1 = ls.pop().unwrap();
+        let mut l0 = ls.pop().unwrap();
+        let receiver = std::thread::spawn(move || {
+            let msg = l1.recv_payload(Duration::from_secs(5)).unwrap();
+            (msg.payload.clone(), l1.stats())
+        });
+        l0.send_reliable(1, Tag::HaloCoeffs, vec![42, 7]).unwrap();
+        let (payload, _) = receiver.join().unwrap();
+        assert_eq!(payload, vec![42, 7]);
+        assert!(l0.stats().retransmits >= 1, "drop must force a retransmit");
+        let log = fabric.log();
+        let halo: Vec<_> = log.iter().filter(|r| r.tag == Tag::HaloCoeffs).collect();
+        assert_eq!(halo[0].disposition, Disposition::Dropped);
+        assert!(halo[1..]
+            .iter()
+            .any(|r| r.disposition == Disposition::Delivered));
+    }
+
+    #[test]
+    fn duplicate_delivery_is_deduplicated() {
+        // Drop the *ack*: the payload arrives, the sender times out and
+        // retransmits, and the receiver must surface the payload once.
+        let faults = FaultPlan::none().with_rule(FaultRule::drop_first(1, Tag::Ack, 1));
+        let config = LinkConfig {
+            ack_timeout: Duration::from_millis(20),
+            max_retries: 4,
+        };
+        let (_fabric, mut ls) = links(2, faults, config);
+        let mut l1 = ls.pop().unwrap();
+        let mut l0 = ls.pop().unwrap();
+        let receiver = std::thread::spawn(move || {
+            let first = l1.recv_payload(Duration::from_secs(5)).unwrap();
+            let second = l1.recv_payload(Duration::from_millis(100));
+            (first.seq, second.err())
+        });
+        l0.send_reliable(1, Tag::HaloCoeffs, vec![9]).unwrap();
+        let (first_seq, second) = receiver.join().unwrap();
+        assert_eq!(first_seq, 0);
+        assert_eq!(
+            second,
+            Some(DistError::Timeout),
+            "duplicate must not surface"
+        );
+    }
+
+    #[test]
+    fn unreachable_peer_exhausts_retries() {
+        let faults =
+            FaultPlan::none().with_rule(FaultRule::drop_first(0, Tag::HaloCoeffs, u32::MAX));
+        let config = LinkConfig {
+            ack_timeout: Duration::from_millis(5),
+            max_retries: 2,
+        };
+        let (_fabric, mut ls) = links(2, faults, config);
+        let _l1 = ls.pop().unwrap();
+        let mut l0 = ls.pop().unwrap();
+        let err = l0.send_reliable(1, Tag::HaloCoeffs, vec![1]).unwrap_err();
+        assert_eq!(err, DistError::Unreachable { peer: 1 });
+        assert_eq!(l0.stats().retransmits, 2);
+    }
+
+    #[test]
+    fn simultaneous_senders_do_not_deadlock() {
+        let config = LinkConfig {
+            ack_timeout: Duration::from_millis(100),
+            max_retries: 4,
+        };
+        let (_fabric, mut ls) = links(2, FaultPlan::none(), config);
+        let mut l1 = ls.pop().unwrap();
+        let mut l0 = ls.pop().unwrap();
+        let t1 = std::thread::spawn(move || {
+            l1.send_reliable(0, Tag::HaloCoeffs, vec![1]).unwrap();
+            l1.recv_payload(Duration::from_secs(5)).unwrap().payload
+        });
+        l0.send_reliable(1, Tag::HaloCoeffs, vec![2]).unwrap();
+        let got0 = l0.recv_payload(Duration::from_secs(5)).unwrap().payload;
+        let got1 = t1.join().unwrap();
+        assert_eq!(got0, vec![1]);
+        assert_eq!(got1, vec![2]);
+    }
+}

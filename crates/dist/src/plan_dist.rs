@@ -1,0 +1,652 @@
+//! Rank-sharded plan compile and apply: each rank compiles the CSR rows of
+//! its owned grid points, then applies them as a local SpMV over owned +
+//! pulled halo coefficients.
+//!
+//! The exchange here is *pull*-based, unlike the push-based coefficient
+//! scatter of the direct runtime: a compiled plan knows exactly which
+//! element columns its rows reference, so each rank requests precisely
+//! those columns from their owners ([`Tag::HaloRequest`]) and gets back
+//! one [`Tag::HaloCoeffs`] reply per peer. No geometric halo estimate is
+//! involved on the wire — the requested set is the support the plan
+//! actually stored.
+//!
+//! ## Numerical contract
+//!
+//! Plan rows depend only on the grid point they belong to (compilation
+//! walks the full mesh replica through the same `TriangleGrid`), so the
+//! per-rank rows are *bit-identical* to the corresponding rows of a
+//! single-rank plan, and each output value is produced by the same
+//! entry-order dot product. Sharded plan application is therefore bitwise
+//! equal to a global [`EvalPlan::apply`], for any rank count, and the
+//! row-partitioned apply counters sum exactly.
+
+use crate::channel::ChannelFabric;
+use crate::link::{DistError, LinkConfig, ReliableLink};
+use crate::runtime::{DistOptions, GatherOutcome, RankReport, SCHEME_LABEL};
+use crate::shard::ShardPlan;
+use crate::transport::{Message, Tag, Transport};
+use crate::wire::{
+    decode_coeffs_into, decode_ids, decode_rank_result, encode_coeffs, encode_ids,
+    encode_rank_result, RankResult,
+};
+use std::time::Instant;
+use ustencil_core::{
+    simulate_ranks, ComputationGrid, DeviceConfig, Metrics, PlanStats, RankCommRecord, RankTraffic,
+    RunRecord, Scheme, SimReport,
+};
+use ustencil_dg::DgField;
+use ustencil_geometry::Point2;
+use ustencil_mesh::TriMesh;
+use ustencil_plan::{ApplyOptions, CompileOptions, EvalPlan};
+use ustencil_trace::{CommStats, SpanRecord, Tracer};
+
+/// Result of a rank-sharded plan compile + apply.
+#[derive(Debug, Clone)]
+pub struct DistPlanSolution {
+    /// Post-processed value at each grid point (global order). Bitwise
+    /// equal to a single-address-space plan apply.
+    pub values: Vec<f64>,
+    /// Apply counters summed over every rank (row-partitioned, so the sum
+    /// is exactly a single-rank apply's counters).
+    pub metrics: Metrics,
+    /// Aggregate shape of the sharded plan, derived from the apply
+    /// counters: `rows`/`nnz` sum the per-rank CSR pieces, `build_ms` and
+    /// `apply_ms` are critical-path (max over ranks) times.
+    pub plan_stats: PlanStats,
+    /// Per-rank ledgers. For the plan path, `eval_ns` is the local SpMV
+    /// and `reduce_ns` carries the local plan *compile* time (there is no
+    /// per-rank reduce: owned rows assemble by placement).
+    pub ranks: Vec<RankReport>,
+    /// Phase spans of rank 0 (empty unless instrumented).
+    pub spans: Vec<SpanRecord>,
+    /// Wall-clock time of the whole run.
+    pub wall: std::time::Duration,
+    /// The stencil width `(3k+1) h` used.
+    pub stencil_width: f64,
+}
+
+impl DistPlanSolution {
+    /// Maximum absolute difference against another value vector.
+    pub fn max_abs_diff(&self, other: &[f64]) -> f64 {
+        self.values
+            .iter()
+            .zip(other)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Transport counters summed over every rank.
+    pub fn total_comm(&self) -> CommStats {
+        let stats: Vec<CommStats> = self.ranks.iter().map(|r| r.comm).collect();
+        CommStats::sum(&stats)
+    }
+
+    /// Counted per-rank wire traffic, in the cost model's shape.
+    pub fn traffic(&self) -> Vec<RankTraffic> {
+        self.ranks
+            .iter()
+            .map(|r| RankTraffic {
+                bytes_sent: r.comm.bytes_sent,
+                msgs_sent: r.comm.msgs_sent,
+            })
+            .collect()
+    }
+
+    /// Simulated execution time on `n_ranks` devices, charging the counted
+    /// wire traffic through the cost model's comms term.
+    pub fn simulate(&self, config: &DeviceConfig) -> SimReport {
+        let blocks: Vec<Vec<Metrics>> = self
+            .ranks
+            .iter()
+            .map(|r| r.patches.iter().map(|s| s.metrics).collect())
+            .collect();
+        simulate_ranks(Scheme::PerPoint, &blocks, &self.traffic(), config)
+    }
+
+    /// Builds the `RunReport` record of this run: scheme `"dist"` with the
+    /// aggregate plan shape attached and one comms ledger per rank.
+    pub fn to_run_record(
+        &self,
+        label: &str,
+        n_triangles: usize,
+        device_sim: Option<SimReport>,
+    ) -> RunRecord {
+        RunRecord {
+            label: label.to_string(),
+            scheme: SCHEME_LABEL.to_string(),
+            n_triangles: n_triangles as u64,
+            n_points: self.values.len() as u64,
+            wall_ms: self.wall.as_secs_f64() * 1e3,
+            metrics: self.metrics,
+            spans: self.spans.clone(),
+            patches: self
+                .ranks
+                .iter()
+                .flat_map(|r| r.patches.iter())
+                .map(|s| ustencil_core::report::PatchRecord {
+                    wall_ns: s.wall_ns,
+                    elements: s.elements,
+                    points: s.points,
+                    metrics: s.metrics,
+                })
+                .collect(),
+            histograms: Vec::new(),
+            device_sim,
+            plan: Some(self.plan_stats.clone()),
+            comms: self
+                .ranks
+                .iter()
+                .map(|r| RankCommRecord {
+                    rank: r.rank as u64,
+                    owned_elements: r.owned_elements,
+                    halo_elements: r.halo_elements,
+                    owned_points: r.owned_points,
+                    msgs_sent: r.comm.msgs_sent,
+                    bytes_sent: r.comm.bytes_sent,
+                    msgs_recv: r.comm.msgs_recv,
+                    bytes_recv: r.comm.bytes_recv,
+                    retransmits: r.comm.retransmits,
+                    exchange_ns: r.exchange_ns,
+                    eval_ns: r.eval_ns,
+                    reduce_ns: r.reduce_ns,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A rank's static scatter for the plan path (the mesh and shard plan are
+/// replicated; dynamic coefficients move only as messages).
+struct PlanRankCtx {
+    mesh: TriMesh,
+    plan: ShardPlan,
+    degree: usize,
+    smoothness: usize,
+    h_factor: f64,
+    n_modes: usize,
+    sm_patches: usize,
+    owned_coeffs: Vec<f64>,
+    points: Vec<Point2>,
+    owners: Vec<u32>,
+    link: LinkConfig,
+    phase_timeout: std::time::Duration,
+}
+
+/// Compiles a rank's local plan: rows for its owned points, over the full
+/// mesh replica (compilation is pure geometry — no cross-rank data).
+fn compile_local(
+    ctx_mesh: &TriMesh,
+    points: Vec<Point2>,
+    owners: Vec<u32>,
+    degree: usize,
+    smoothness: usize,
+    h_factor: f64,
+    sm_patches: usize,
+) -> (EvalPlan, ComputationGrid) {
+    let grid = ComputationGrid::from_points(points, owners);
+    let plan = EvalPlan::compile(
+        ctx_mesh,
+        &grid,
+        degree,
+        &CompileOptions {
+            smoothness: Some(smoothness),
+            h_factor,
+            n_blocks: sm_patches,
+            parallel: false,
+            instrument: false,
+        },
+    );
+    (plan, grid)
+}
+
+/// The columns rank `rank` must pull from each peer: the deduplicated,
+/// non-owned element columns its local plan references, grouped by owner.
+fn pull_sets(plan: &ShardPlan, local: &EvalPlan, rank: usize) -> Vec<Vec<u32>> {
+    let mut needed: Vec<u32> = local.cols().to_vec();
+    needed.sort_unstable();
+    needed.dedup();
+    let mut per_peer = vec![Vec::new(); plan.n_ranks()];
+    for e in needed {
+        let owner = plan.owner_of(e) as usize;
+        if owner != rank {
+            per_peer[owner].push(e);
+        }
+    }
+    per_peer
+}
+
+/// One rank's run: local compile, pull-based halo exchange, local SpMV.
+fn plan_rank_body<T: Transport>(
+    ctx: PlanRankCtx,
+    link: &mut ReliableLink<T>,
+    pending: &mut Vec<Message>,
+    tracer: &Tracer,
+) -> Result<(Vec<f64>, RankResult), DistError> {
+    let rank = link.rank() as usize;
+    let n = link.n_ranks() as usize;
+    let shard = ctx.plan.shard(rank).clone();
+    let nm = ctx.n_modes;
+
+    let compile_start = Instant::now();
+    let (local_plan, _grid) = {
+        let _span = tracer.span("compile.plan");
+        compile_local(
+            &ctx.mesh,
+            ctx.points,
+            ctx.owners,
+            ctx.degree,
+            ctx.smoothness,
+            ctx.h_factor,
+            ctx.sm_patches,
+        )
+    };
+    let compile_ns = compile_start.elapsed().as_nanos() as u64;
+
+    // Scatter this rank's owned coefficients into a full-width vector;
+    // pulled halo columns land in the same vector, untouched columns stay
+    // zero (the plan never reads them).
+    let mut coeffs = vec![0.0; ctx.mesh.n_triangles() * nm];
+    for (i, &e) in shard.owned_elements.iter().enumerate() {
+        coeffs[e as usize * nm..(e as usize + 1) * nm]
+            .copy_from_slice(&ctx.owned_coeffs[i * nm..(i + 1) * nm]);
+    }
+
+    let exchange_start = Instant::now();
+    {
+        let _span = tracer.span("exchange.halo");
+        let wanted = pull_sets(&ctx.plan, &local_plan, rank);
+        // One request to every peer (possibly empty) and one reply from
+        // every peer: the fixed message count terminates the service loop
+        // without negotiation.
+        for peer in (0..n).filter(|&q| q != rank) {
+            link.send_reliable(peer as u32, Tag::HaloRequest, encode_ids(&wanted[peer]))?;
+        }
+        let mut served = 0;
+        let mut received = 0;
+        let deadline = Instant::now() + ctx.phase_timeout;
+        while served < n - 1 || received < n - 1 {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(DistError::Timeout);
+            }
+            let msg = link.recv_payload(deadline - now)?;
+            match msg.tag {
+                Tag::HaloRequest => {
+                    let ids = decode_ids(&msg.payload).map_err(DistError::Protocol)?;
+                    let reply = encode_coeffs(&ids, &coeffs, nm);
+                    link.send_reliable(msg.from, Tag::HaloCoeffs, reply)?;
+                    served += 1;
+                }
+                Tag::HaloCoeffs => {
+                    decode_coeffs_into(&msg.payload, nm, &mut coeffs)
+                        .map_err(DistError::Protocol)?;
+                    received += 1;
+                }
+                _ => pending.push(msg),
+            }
+        }
+    }
+    let exchange_ns = exchange_start.elapsed().as_nanos() as u64;
+
+    let field = DgField::from_coefficients(ctx.degree, ctx.mesh.n_triangles(), coeffs);
+    let solution = {
+        let _span = tracer.span("apply.spmv");
+        local_plan.apply_with(
+            &field,
+            &ApplyOptions {
+                n_blocks: ctx.sm_patches,
+                parallel: false,
+                instrument: false,
+            },
+        )
+    };
+
+    let result = RankResult {
+        values: solution.values.clone(),
+        comm: link.stats(),
+        exchange_ns,
+        eval_ns: solution.wall.as_nanos() as u64,
+        reduce_ns: compile_ns,
+        patches: solution.block_stats,
+    };
+    Ok((solution.values, result))
+}
+
+/// Runs the rank-sharded plan compile + apply over the in-process channel
+/// fabric.
+///
+/// # Panics
+/// Panics when the field does not match the mesh, the stencil exceeds the
+/// periodic domain, or `options.n_ranks == 0`.
+pub fn run_plan_dist(
+    mesh: &TriMesh,
+    field: &DgField,
+    grid: &ComputationGrid,
+    options: &DistOptions,
+) -> Result<DistPlanSolution, DistError> {
+    let transports = ChannelFabric::endpoints(options.n_ranks);
+    run_plan_dist_on(mesh, field, grid, options, transports)
+}
+
+/// [`run_plan_dist`] over caller-provided transport endpoints — the seam
+/// the deterministic/fault-injecting fabrics plug into.
+///
+/// # Panics
+/// Panics on the same conditions as [`run_plan_dist`], or when the
+/// endpoint count disagrees with `options.n_ranks`.
+pub fn run_plan_dist_on<T: Transport>(
+    mesh: &TriMesh,
+    field: &DgField,
+    grid: &ComputationGrid,
+    options: &DistOptions,
+    transports: Vec<T>,
+) -> Result<DistPlanSolution, DistError> {
+    assert!(options.n_ranks > 0, "need at least one rank");
+    assert_eq!(
+        transports.len(),
+        options.n_ranks,
+        "one transport endpoint per rank"
+    );
+    assert_eq!(
+        field.n_elements(),
+        mesh.n_triangles(),
+        "field does not match mesh"
+    );
+
+    let start = Instant::now();
+    let tracer = Tracer::new(options.instrument);
+    let n = options.n_ranks;
+    let degree = field.degree();
+    let k = options.smoothness.unwrap_or(degree);
+    let h = options.h_factor * mesh.max_edge_length();
+    let stencil_width = (3 * k + 1) as f64 * h;
+    let nm = field.basis().n_modes();
+
+    // The exchange needs only ownership, not a geometric halo estimate —
+    // the plan's stored columns are the exact pull set. Passing zero keeps
+    // the shard build from computing rings nobody reads.
+    let plan = {
+        let _span = tracer.span("build.shard_plan");
+        ShardPlan::build(mesh, grid, n, 0.0)
+    };
+
+    let mut ctxs: Vec<PlanRankCtx> = (0..n)
+        .map(|r| {
+            let shard = plan.shard(r);
+            let mut owned_coeffs = Vec::with_capacity(shard.owned_elements.len() * nm);
+            for &e in &shard.owned_elements {
+                owned_coeffs.extend_from_slice(
+                    &field.coefficients()[e as usize * nm..(e as usize + 1) * nm],
+                );
+            }
+            PlanRankCtx {
+                mesh: mesh.clone(),
+                plan: plan.clone(),
+                degree,
+                smoothness: k,
+                h_factor: options.h_factor,
+                n_modes: nm,
+                sm_patches: options.sm_patches,
+                owned_coeffs,
+                points: shard
+                    .owned_points
+                    .iter()
+                    .map(|&i| grid.points()[i as usize])
+                    .collect(),
+                owners: shard
+                    .owned_points
+                    .iter()
+                    .map(|&i| grid.owners()[i as usize])
+                    .collect(),
+                link: options.link,
+                phase_timeout: options.gather_timeout,
+            }
+        })
+        .collect();
+
+    let mut transports = transports;
+    let transport0 = transports.remove(0);
+    let ctx0 = ctxs.remove(0);
+    let worker_inputs: Vec<(PlanRankCtx, T)> = ctxs.into_iter().zip(transports).collect();
+
+    let (rank_results, own_comm, spans) =
+        std::thread::scope(|scope| -> Result<GatherOutcome, DistError> {
+            for (ctx, transport) in worker_inputs {
+                scope.spawn(move || {
+                    let mut link = ReliableLink::new(transport, ctx.link);
+                    let mut pending = Vec::new();
+                    let disabled = Tracer::disabled();
+                    match plan_rank_body(ctx, &mut link, &mut pending, &disabled) {
+                        Ok((_, mut result)) => {
+                            // Snapshot the counters *before* encoding: the
+                            // result message cannot count itself.
+                            result.comm = link.stats();
+                            let payload = encode_rank_result(&result);
+                            let _ = link.send_reliable(0, Tag::OwnedValues, payload);
+                        }
+                        Err(_) => {
+                            // The coordinator's gather deadline re-resolves
+                            // this rank's rows.
+                        }
+                    }
+                });
+            }
+
+            let mut link = ReliableLink::new(transport0, options.link);
+            let mut pending = Vec::new();
+            let (_, own_result) = plan_rank_body(ctx0, &mut link, &mut pending, &tracer)?;
+
+            let mut rank_results: Vec<Option<RankResult>> = (0..n).map(|_| None).collect();
+            rank_results[0] = Some(own_result);
+            let mut missing = n - 1;
+            let absorb = |msg: Message,
+                          rank_results: &mut Vec<Option<RankResult>>,
+                          missing: &mut usize|
+             -> Result<(), DistError> {
+                if msg.tag != Tag::OwnedValues {
+                    return Ok(());
+                }
+                let result = decode_rank_result(&msg.payload).map_err(DistError::Protocol)?;
+                let r = msg.from as usize;
+                if r < n && rank_results[r].is_none() {
+                    rank_results[r] = Some(result);
+                    *missing -= 1;
+                }
+                Ok(())
+            };
+            {
+                let _span = tracer.span("reduce.gather");
+                for msg in std::mem::take(&mut pending) {
+                    absorb(msg, &mut rank_results, &mut missing)?;
+                }
+                let deadline = Instant::now() + options.gather_timeout;
+                while missing > 0 {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match link.recv_payload(deadline - now) {
+                        Ok(msg) => absorb(msg, &mut rank_results, &mut missing)?,
+                        Err(DistError::Timeout) => break,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Ok((rank_results, link.stats(), tracer.into_records()))
+        })?;
+
+    let mut values = vec![0.0; grid.len()];
+    let mut ranks = Vec::with_capacity(n);
+    let mut all_metrics: Vec<Metrics> = Vec::new();
+    let mut max_compile_ns = 0u64;
+    let mut max_apply_ns = 0u64;
+    for (r, slot) in rank_results.into_iter().enumerate() {
+        let shard = plan.shard(r);
+        let (result, reresolved) = match slot {
+            Some(mut result) => {
+                if r == 0 {
+                    result.comm = own_comm;
+                }
+                (result, false)
+            }
+            None => {
+                // Rank failure: recompile and apply this shard's rows
+                // locally with the caller's field. Rows depend only on
+                // their point, so this is bitwise what the rank would
+                // have returned.
+                let pts: Vec<Point2> = shard
+                    .owned_points
+                    .iter()
+                    .map(|&i| grid.points()[i as usize])
+                    .collect();
+                let owners: Vec<u32> = shard
+                    .owned_points
+                    .iter()
+                    .map(|&i| grid.owners()[i as usize])
+                    .collect();
+                let compile_start = Instant::now();
+                let (local_plan, _g) = compile_local(
+                    mesh,
+                    pts,
+                    owners,
+                    degree,
+                    k,
+                    options.h_factor,
+                    options.sm_patches,
+                );
+                let compile_ns = compile_start.elapsed().as_nanos() as u64;
+                let solution = local_plan.apply_with(
+                    field,
+                    &ApplyOptions {
+                        n_blocks: options.sm_patches,
+                        parallel: false,
+                        instrument: false,
+                    },
+                );
+                (
+                    RankResult {
+                        values: solution.values,
+                        comm: CommStats::default(),
+                        exchange_ns: 0,
+                        eval_ns: solution.wall.as_nanos() as u64,
+                        reduce_ns: compile_ns,
+                        patches: solution.block_stats,
+                    },
+                    true,
+                )
+            }
+        };
+        if result.values.len() != shard.owned_points.len() {
+            return Err(DistError::Protocol(format!(
+                "rank {r} returned {} values for {} owned points",
+                result.values.len(),
+                shard.owned_points.len()
+            )));
+        }
+        for (&global, &v) in shard.owned_points.iter().zip(&result.values) {
+            values[global as usize] = v;
+        }
+        all_metrics.extend(result.patches.iter().map(|s| s.metrics));
+        max_compile_ns = max_compile_ns.max(result.reduce_ns);
+        max_apply_ns = max_apply_ns.max(result.eval_ns);
+        ranks.push(RankReport {
+            rank: r as u32,
+            owned_elements: shard.owned_elements.len() as u64,
+            halo_elements: shard.halo_elements.len() as u64,
+            owned_points: shard.owned_points.len() as u64,
+            comm: result.comm,
+            exchange_ns: result.exchange_ns,
+            eval_ns: result.eval_ns,
+            reduce_ns: result.reduce_ns,
+            reresolved,
+            patches: result.patches,
+        });
+    }
+
+    let metrics = Metrics::sum(&all_metrics);
+    // The apply counters encode the sharded plan's shape exactly: one
+    // solution write per row, `nnz * n_modes` coefficient loads.
+    let nnz = metrics.elem_data_loads / nm as u64;
+    let rows = metrics.solution_writes;
+    let plan_stats = PlanStats {
+        rows,
+        nnz,
+        n_modes: nm as u64,
+        bytes: nnz * (4 + 8 * nm as u64) + (rows + 1) * 8,
+        build_ms: max_compile_ns as f64 / 1e6,
+        apply_ms: max_apply_ns as f64 / 1e6,
+    };
+
+    Ok(DistPlanSolution {
+        values,
+        metrics,
+        plan_stats,
+        ranks,
+        spans,
+        wall: start.elapsed(),
+        stencil_width,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustencil_dg::project_l2;
+    use ustencil_mesh::{generate_mesh, MeshClass};
+
+    fn fixture(n_tri: usize, p: usize, seed: u64) -> (TriMesh, DgField, ComputationGrid) {
+        let mesh = generate_mesh(MeshClass::LowVariance, n_tri, seed);
+        let field = project_l2(&mesh, p, |x, y| 0.2 + 0.7 * x + 0.3 * y - x * y, 2);
+        let grid = ComputationGrid::quadrature_points(&mesh, p);
+        (mesh, field, grid)
+    }
+
+    #[test]
+    fn sharded_apply_is_bitwise_the_global_plan_apply() {
+        let (mesh, field, grid) = fixture(300, 1, 17);
+        let global = EvalPlan::compile(&mesh, &grid, 1, &CompileOptions::default());
+        let reference = global.apply(&field);
+        for ranks in [1usize, 2, 4] {
+            let dist = run_plan_dist(&mesh, &field, &grid, &DistOptions::new(ranks)).unwrap();
+            assert_eq!(
+                dist.values, reference.values,
+                "{ranks}-rank plan apply must be bitwise equal"
+            );
+            assert_eq!(
+                dist.metrics.solution_writes,
+                reference.metrics.solution_writes
+            );
+            assert_eq!(
+                dist.metrics.elem_data_loads,
+                reference.metrics.elem_data_loads
+            );
+            assert_eq!(dist.metrics.flops, reference.metrics.flops);
+            assert_eq!(dist.plan_stats.rows, global.stats().rows);
+            assert_eq!(dist.plan_stats.nnz, global.stats().nnz);
+            if ranks > 1 {
+                let comm = dist.total_comm();
+                assert!(comm.bytes_sent > 0, "halo pull must move bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn record_carries_plan_shape_and_comms() {
+        let (mesh, field, grid) = fixture(200, 1, 3);
+        let dist =
+            run_plan_dist(&mesh, &field, &grid, &DistOptions::new(2).instrument(true)).unwrap();
+        let record = dist.to_run_record("test/plan@2ranks", mesh.n_triangles(), None);
+        assert_eq!(record.scheme, SCHEME_LABEL);
+        assert_eq!(record.comms.len(), 2);
+        assert!(record.plan.is_some());
+        let names: Vec<&str> = dist.spans.iter().map(|s| s.name.as_str()).collect();
+        for phase in [
+            "compile.plan",
+            "exchange.halo",
+            "apply.spmv",
+            "reduce.gather",
+        ] {
+            assert!(names.contains(&phase), "missing span {phase}: {names:?}");
+        }
+    }
+}

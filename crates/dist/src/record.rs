@@ -1,0 +1,256 @@
+//! The recording fabric: a deterministic in-memory transport that logs the
+//! fate of every send.
+//!
+//! Mailboxes are FIFO queues behind one mutex, so the delivery order is a
+//! pure function of the send order — no OS scheduling leaks into message
+//! ordering the way it can with `mpsc` channels. Every send appends a
+//! [`MessageRecord`]; a message parked by a Hold rule gets a second record
+//! when it is finally released, so a test can assert the exact
+//! dropped-then-retransmitted or reordered history it injected.
+
+use crate::fault::{FaultAction, FaultPlan};
+use crate::transport::{Message, Tag, Transport, TransportError};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What the fabric did with one send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Placed in the destination mailbox.
+    Delivered,
+    /// Silently discarded by a Drop rule.
+    Dropped,
+    /// Parked by a Hold rule (a later `Delivered` record for the same
+    /// `(from, seq, tag)` marks its release).
+    Held,
+}
+
+/// One line of the fabric's message log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageRecord {
+    /// Sending rank.
+    pub from: u32,
+    /// Destination rank.
+    pub to: u32,
+    /// Message tag.
+    pub tag: Tag,
+    /// Sender sequence number.
+    pub seq: u64,
+    /// Header + payload bytes.
+    pub wire_bytes: u64,
+    /// What happened to the send.
+    pub disposition: Disposition,
+}
+
+struct FabricState {
+    mailboxes: Vec<VecDeque<Message>>,
+    faults: FaultPlan,
+    held: HashMap<u32, Vec<Message>>,
+    log: Vec<MessageRecord>,
+}
+
+struct FabricShared {
+    state: Mutex<FabricState>,
+    arrived: Condvar,
+}
+
+fn record_of(msg: &Message, disposition: Disposition) -> MessageRecord {
+    MessageRecord {
+        from: msg.from,
+        to: msg.to,
+        tag: msg.tag,
+        seq: msg.seq,
+        wire_bytes: msg.wire_bytes(),
+        disposition,
+    }
+}
+
+/// Handle to a recording fabric: inspect the log after (or during) a run.
+#[derive(Clone)]
+pub struct RecordingFabric {
+    shared: Arc<FabricShared>,
+}
+
+/// One rank's endpoint of the recording fabric.
+pub struct RecordingEndpoint {
+    rank: u32,
+    n_ranks: u32,
+    shared: Arc<FabricShared>,
+}
+
+impl RecordingFabric {
+    /// A fabric of `n` ranks with no fault injection, plus its endpoints.
+    pub fn new(n: usize) -> (RecordingFabric, Vec<RecordingEndpoint>) {
+        Self::with_faults(n, FaultPlan::none())
+    }
+
+    /// A fabric of `n` ranks applying `faults` to sends.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn with_faults(n: usize, faults: FaultPlan) -> (RecordingFabric, Vec<RecordingEndpoint>) {
+        assert!(n > 0, "need at least one rank");
+        let shared = Arc::new(FabricShared {
+            state: Mutex::new(FabricState {
+                mailboxes: (0..n).map(|_| VecDeque::new()).collect(),
+                faults,
+                held: HashMap::new(),
+                log: Vec::new(),
+            }),
+            arrived: Condvar::new(),
+        });
+        let endpoints = (0..n)
+            .map(|rank| RecordingEndpoint {
+                rank: rank as u32,
+                n_ranks: n as u32,
+                shared: Arc::clone(&shared),
+            })
+            .collect();
+        (RecordingFabric { shared }, endpoints)
+    }
+
+    /// A snapshot of the message log so far.
+    pub fn log(&self) -> Vec<MessageRecord> {
+        self.shared
+            .state
+            .lock()
+            .expect("fabric poisoned")
+            .log
+            .clone()
+    }
+}
+
+impl Transport for RecordingEndpoint {
+    fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    fn n_ranks(&self) -> u32 {
+        self.n_ranks
+    }
+
+    fn send(&mut self, msg: Message) -> Result<(), TransportError> {
+        let mut state = self.shared.state.lock().expect("fabric poisoned");
+        if msg.to as usize >= state.mailboxes.len() {
+            return Err(TransportError::Closed);
+        }
+        match state.faults.decide(&msg) {
+            Some(FaultAction::Drop) => {
+                let rec = record_of(&msg, Disposition::Dropped);
+                state.log.push(rec);
+            }
+            Some(FaultAction::Hold) => {
+                let rec = record_of(&msg, Disposition::Held);
+                state.log.push(rec);
+                state.held.entry(msg.to).or_default().push(msg);
+            }
+            None => {
+                let to = msg.to;
+                let rec = record_of(&msg, Disposition::Delivered);
+                state.log.push(rec);
+                state.mailboxes[to as usize].push_back(msg);
+                // Release anything held for this destination behind the
+                // newer message — the reorder the Hold rule encodes.
+                for held in state.held.remove(&to).unwrap_or_default() {
+                    let rec = record_of(&held, Disposition::Delivered);
+                    state.log.push(rec);
+                    state.mailboxes[to as usize].push_back(held);
+                }
+                self.shared.arrived.notify_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Message, TransportError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("fabric poisoned");
+        loop {
+            if let Some(msg) = state.mailboxes[self.rank as usize].pop_front() {
+                return Ok(msg);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            let (next, res) = self
+                .shared
+                .arrived
+                .wait_timeout(state, deadline - now)
+                .expect("fabric poisoned");
+            state = next;
+            if res.timed_out() && state.mailboxes[self.rank as usize].is_empty() {
+                return Err(TransportError::Timeout);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultRule;
+
+    fn msg(from: u32, to: u32, tag: Tag, seq: u64) -> Message {
+        Message {
+            from,
+            to,
+            tag,
+            seq,
+            payload: vec![0u8; 8],
+        }
+    }
+
+    #[test]
+    fn log_captures_drop_then_delivery() {
+        let plan = FaultPlan::none().with_rule(FaultRule::drop_first(0, Tag::HaloCoeffs, 1));
+        let (fabric, mut eps) = RecordingFabric::with_faults(2, plan);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        e0.send(msg(0, 1, Tag::HaloCoeffs, 1)).unwrap();
+        // Retransmit of the same sequence number after the (simulated)
+        // timeout.
+        e0.send(msg(0, 1, Tag::HaloCoeffs, 1)).unwrap();
+        let got = e1.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(got.seq, 1);
+        let log = fabric.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].disposition, Disposition::Dropped);
+        assert_eq!(log[1].disposition, Disposition::Delivered);
+        assert_eq!(log[0].seq, log[1].seq);
+    }
+
+    #[test]
+    fn held_messages_release_in_reorder_position() {
+        let plan = FaultPlan::none().with_rule(FaultRule::hold_first(0, 1, 1));
+        let (fabric, mut eps) = RecordingFabric::with_faults(2, plan);
+        let mut e1 = eps.pop().unwrap();
+        let mut e0 = eps.pop().unwrap();
+        e0.send(msg(0, 1, Tag::HaloCoeffs, 1)).unwrap();
+        e0.send(msg(0, 1, Tag::HaloCoeffs, 2)).unwrap();
+        let a = e1.recv_timeout(Duration::from_millis(100)).unwrap();
+        let b = e1.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!((a.seq, b.seq), (2, 1));
+        let log = fabric.log();
+        let dispositions: Vec<_> = log.iter().map(|r| (r.seq, r.disposition)).collect();
+        assert_eq!(
+            dispositions,
+            vec![
+                (1, Disposition::Held),
+                (2, Disposition::Delivered),
+                (1, Disposition::Delivered),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_mailbox_times_out() {
+        let (_fabric, mut eps) = RecordingFabric::new(1);
+        let mut e0 = eps.pop().unwrap();
+        assert_eq!(
+            e0.recv_timeout(Duration::from_millis(5)),
+            Err(TransportError::Timeout)
+        );
+    }
+}

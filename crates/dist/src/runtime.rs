@@ -1,0 +1,838 @@
+//! The rank-sharded per-element runtime: real threads, explicit halo
+//! exchange, comms accounting.
+//!
+//! Each rank owns a contiguous shard of mesh elements (recursive
+//! bisection) and resolves exactly the grid points that live on its owned
+//! elements. The only data that crosses ranks after the initial static
+//! scatter are serialized messages: boundary dG coefficients during the
+//! halo exchange, and each rank's finished owned-point values during the
+//! gather — both through the [`Transport`] boundary with stop-and-wait
+//! reliability.
+//!
+//! ## Numerical contract
+//!
+//! A rank evaluates its owned ∪ halo elements against a point grid built
+//! over its owned points only. The halo ring is sized so that every
+//! element whose cell-rounded candidate search can reach an owned point is
+//! present locally, and per-rank point grids share the global grid's cell
+//! geometry (cell size depends only on `max_edge/2`). Each global
+//! `(element, point)` candidate pair is therefore tested on exactly one
+//! rank, which makes the summed pair-driven work counters
+//! (`intersection_tests`, `true_intersections`, `cell_clips`,
+//! `subregions`, `quad_evals`, `flops`, `point_data_loads`,
+//! `solution_writes`) *bit-identical* to a single-rank run. Element-driven
+//! counters (`cells_visited`, `elem_data_loads`) and `partial_slots` count
+//! halo replication and per-rank patch shapes, so they grow with the rank
+//! count — that duplicated work is the scheme's replication cost and is
+//! reported as such.
+//!
+//! Values agree with a single-rank run to rounding (the per-rank patch
+//! decomposition changes the floating-point summation order, nothing
+//! else); with one rank the patch decomposition is identical and the
+//! values are bitwise equal to the engine's per-element path.
+
+use crate::channel::ChannelFabric;
+use crate::link::{DistError, LinkConfig, ReliableLink};
+use crate::shard::ShardPlan;
+use crate::transport::{Message, Tag, Transport};
+use crate::wire::{
+    decode_coeffs_into, decode_rank_result, encode_coeffs, encode_rank_result, RankResult,
+};
+use std::time::{Duration, Instant};
+use ustencil_core::integrate::IntegrationCtx;
+use ustencil_core::per_element::PerElementRun;
+use ustencil_core::tiling::add_partials;
+use ustencil_core::{
+    simulate_ranks, BlockStats, ComputationGrid, DeviceConfig, Metrics, RankCommRecord,
+    RankTraffic, RunRecord, Scheme, SimReport,
+};
+use ustencil_dg::DgField;
+use ustencil_geometry::Point2;
+use ustencil_mesh::{partition_subset, TriMesh};
+use ustencil_quadrature::TriangleRule;
+use ustencil_siac::Stencil2d;
+use ustencil_spatial::{Boundary, PointGrid};
+use ustencil_trace::{CommStats, SpanRecord, Tracer};
+
+/// The `"scheme"` label rank-sharded runs carry in `RunReport` JSON.
+pub const SCHEME_LABEL: &str = "dist";
+
+/// Configuration of a rank-sharded run.
+#[derive(Debug, Clone, Copy)]
+pub struct DistOptions {
+    /// Number of ranks (worker threads; rank 0 runs on the caller's
+    /// thread and coordinates the gather).
+    pub n_ranks: usize,
+    /// Patches per rank — the SM-granularity tiling each rank applies to
+    /// its local element set (default 16, matching the engine).
+    pub sm_patches: usize,
+    /// Explicit kernel smoothness `k` (default: the field degree).
+    pub smoothness: Option<usize>,
+    /// Kernel width factor, `h = h_factor * max_edge` (default 1.0).
+    pub h_factor: f64,
+    /// Reliability-layer tunables (ack timeout, retry budget).
+    pub link: LinkConfig,
+    /// How long phase receives wait before giving up: the halo exchange
+    /// fails a run on expiry, while the gather falls back to re-resolving
+    /// the missing ranks' points locally (rank-failure recovery).
+    pub gather_timeout: Duration,
+    /// Whether rank 0 records phase spans (other ranks report phase
+    /// nanoseconds through their result message instead — the tracer is
+    /// thread-local).
+    pub instrument: bool,
+}
+
+impl DistOptions {
+    /// Defaults for `n_ranks` ranks: 16 patches per rank, paper kernel
+    /// defaults, generous timeouts, no instrumentation.
+    pub fn new(n_ranks: usize) -> Self {
+        Self {
+            n_ranks,
+            sm_patches: 16,
+            smoothness: None,
+            h_factor: 1.0,
+            link: LinkConfig::default(),
+            gather_timeout: Duration::from_secs(120),
+            instrument: false,
+        }
+    }
+
+    /// Overrides the kernel smoothness `k`.
+    pub fn smoothness(mut self, k: usize) -> Self {
+        self.smoothness = Some(k);
+        self
+    }
+
+    /// Scales the kernel width: `h = h_factor * max_edge`.
+    pub fn h_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "h factor must be positive");
+        self.h_factor = factor;
+        self
+    }
+
+    /// Sets the per-rank patch count.
+    pub fn sm_patches(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one patch per rank");
+        self.sm_patches = n;
+        self
+    }
+
+    /// Sets the reliability-layer tunables.
+    pub fn link(mut self, config: LinkConfig) -> Self {
+        self.link = config;
+        self
+    }
+
+    /// Sets the phase/gather deadline.
+    pub fn gather_timeout(mut self, timeout: Duration) -> Self {
+        self.gather_timeout = timeout;
+        self
+    }
+
+    /// Enables phase spans on rank 0.
+    pub fn instrument(mut self, on: bool) -> Self {
+        self.instrument = on;
+        self
+    }
+}
+
+/// One rank's ledger in a finished run.
+#[derive(Debug, Clone)]
+pub struct RankReport {
+    /// The rank.
+    pub rank: u32,
+    /// Elements the rank owned.
+    pub owned_elements: u64,
+    /// Ghost-ring elements replicated onto the rank.
+    pub halo_elements: u64,
+    /// Grid points the rank resolved.
+    pub owned_points: u64,
+    /// Transport counters (zero when the rank failed and its points were
+    /// re-resolved by the coordinator).
+    pub comm: CommStats,
+    /// Nanoseconds in the halo-exchange phase.
+    pub exchange_ns: u64,
+    /// Nanoseconds evaluating local patches.
+    pub eval_ns: u64,
+    /// Nanoseconds in the local reduce.
+    pub reduce_ns: u64,
+    /// Whether the coordinator re-resolved this rank's points after the
+    /// gather deadline (rank-failure recovery).
+    pub reresolved: bool,
+    /// Per-patch stats of the rank's evaluation.
+    pub patches: Vec<BlockStats>,
+}
+
+/// Result of a rank-sharded run.
+#[derive(Debug, Clone)]
+pub struct DistSolution {
+    /// Post-processed value at each grid point (global order).
+    pub values: Vec<f64>,
+    /// Work counters summed over every rank's patches (includes the halo
+    /// replication cost — see the module docs for which components stay
+    /// exactly equal to a single-rank run).
+    pub metrics: Metrics,
+    /// Per-rank ledgers.
+    pub ranks: Vec<RankReport>,
+    /// Phase spans of rank 0 (empty unless instrumented).
+    pub spans: Vec<SpanRecord>,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// The stencil width `(3k+1) h` used.
+    pub stencil_width: f64,
+}
+
+impl DistSolution {
+    /// Maximum absolute difference against another value vector.
+    pub fn max_abs_diff(&self, other: &[f64]) -> f64 {
+        self.values
+            .iter()
+            .zip(other)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Transport counters summed over every rank.
+    pub fn total_comm(&self) -> CommStats {
+        let stats: Vec<CommStats> = self.ranks.iter().map(|r| r.comm).collect();
+        CommStats::sum(&stats)
+    }
+
+    /// Counted per-rank wire traffic, in the cost model's shape.
+    pub fn traffic(&self) -> Vec<RankTraffic> {
+        self.ranks
+            .iter()
+            .map(|r| RankTraffic {
+                bytes_sent: r.comm.bytes_sent,
+                msgs_sent: r.comm.msgs_sent,
+            })
+            .collect()
+    }
+
+    /// Per-rank patch metrics, the unit of the rank-aware cost model.
+    pub fn rank_block_metrics(&self) -> Vec<Vec<Metrics>> {
+        self.ranks
+            .iter()
+            .map(|r| r.patches.iter().map(|s| s.metrics).collect())
+            .collect()
+    }
+
+    /// Simulated execution time on `n_ranks` devices, charging the counted
+    /// wire traffic through the cost model's comms term.
+    pub fn simulate(&self, config: &DeviceConfig) -> SimReport {
+        simulate_ranks(
+            Scheme::PerElement,
+            &self.rank_block_metrics(),
+            &self.traffic(),
+            config,
+        )
+    }
+
+    /// Builds the `RunReport` record of this run: scheme `"dist"`, patches
+    /// flattened across ranks, one comms ledger per rank. Histograms stay
+    /// empty — distribution probes are rank-local diagnostics and are not
+    /// shipped through the transport.
+    pub fn to_run_record(
+        &self,
+        label: &str,
+        n_triangles: usize,
+        device_sim: Option<SimReport>,
+    ) -> RunRecord {
+        RunRecord {
+            label: label.to_string(),
+            scheme: SCHEME_LABEL.to_string(),
+            n_triangles: n_triangles as u64,
+            n_points: self.values.len() as u64,
+            wall_ms: self.wall.as_secs_f64() * 1e3,
+            metrics: self.metrics,
+            spans: self.spans.clone(),
+            patches: self
+                .ranks
+                .iter()
+                .flat_map(|r| r.patches.iter())
+                .map(|s| ustencil_core::report::PatchRecord {
+                    wall_ns: s.wall_ns,
+                    elements: s.elements,
+                    points: s.points,
+                    metrics: s.metrics,
+                })
+                .collect(),
+            histograms: Vec::new(),
+            device_sim,
+            plan: None,
+            comms: self
+                .ranks
+                .iter()
+                .map(|r| RankCommRecord {
+                    rank: r.rank as u64,
+                    owned_elements: r.owned_elements,
+                    halo_elements: r.halo_elements,
+                    owned_points: r.owned_points,
+                    msgs_sent: r.comm.msgs_sent,
+                    bytes_sent: r.comm.bytes_sent,
+                    msgs_recv: r.comm.msgs_recv,
+                    bytes_recv: r.comm.bytes_recv,
+                    retransmits: r.comm.retransmits,
+                    exchange_ns: r.exchange_ns,
+                    eval_ns: r.eval_ns,
+                    reduce_ns: r.reduce_ns,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// What the coordinator's gather loop yields: one result slot per rank
+/// (None until that rank's result arrives), rank 0's own comm ledger, and
+/// rank 0's span records.
+pub(crate) type GatherOutcome = (Vec<Option<RankResult>>, CommStats, Vec<SpanRecord>);
+
+/// Everything a rank needs, scattered at spawn. The mesh and shard plan
+/// are read-only problem geometry and are *replicated* per rank; owned
+/// coefficients and owned point positions are that rank's static scatter.
+/// No dynamic field or solution data is shared — it moves only as
+/// serialized messages.
+struct RankCtx {
+    mesh: TriMesh,
+    plan: ShardPlan,
+    degree: usize,
+    smoothness: usize,
+    h: f64,
+    n_modes: usize,
+    sm_patches: usize,
+    /// Packed coefficients of the rank's owned elements, in
+    /// `owned_elements` order.
+    owned_coeffs: Vec<f64>,
+    /// Positions of the rank's owned grid points, in `owned_points` order.
+    points: Vec<Point2>,
+    /// Owning element of each owned grid point.
+    owners: Vec<u32>,
+    link: LinkConfig,
+    phase_timeout: Duration,
+}
+
+/// Phase outputs of one rank's evaluation.
+struct RankWork {
+    exchange_ns: u64,
+    eval_ns: u64,
+    reduce_ns: u64,
+    patches: Vec<BlockStats>,
+}
+
+fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Evaluates one shard: owned ∪ halo elements against the local owned-
+/// point grid, patch by patch, then the local (stage-1) reduce with the
+/// same [`add_partials`] accumulation as the in-process tiling scheme.
+/// Shared by ranks and by the coordinator's re-resolve path, so a
+/// recovered shard is bitwise identical to what the failed rank would
+/// have produced.
+fn eval_shard(
+    mesh: &TriMesh,
+    field: &DgField,
+    local_elems: &[u32],
+    grid: &ComputationGrid,
+    stencil: &Stencil2d,
+    rule: &TriangleRule,
+    sm_patches: usize,
+) -> (Vec<f64>, RankWork) {
+    let eval_start = Instant::now();
+    let point_grid =
+        PointGrid::build_half_edge(grid.points(), mesh.max_edge_length(), Boundary::Clamped);
+    let partition = partition_subset(mesh, local_elems, sm_patches);
+    let run = PerElementRun {
+        mesh,
+        field,
+        grid,
+        stencil,
+        point_grid: &point_grid,
+        rule,
+    };
+    let mut results = Vec::with_capacity(partition.n_patches());
+    let mut patches = Vec::with_capacity(partition.n_patches());
+    for patch in partition.patches() {
+        let (result, stats) = run.run_patch_instrumented(patch, false);
+        results.push(result);
+        patches.push(stats);
+    }
+    let eval_ns = eval_start.elapsed().as_nanos() as u64;
+
+    let reduce_start = Instant::now();
+    let mut values = vec![0.0; grid.len()];
+    for result in &results {
+        add_partials(&result.partials, &mut values);
+    }
+    let reduce_ns = reduce_start.elapsed().as_nanos() as u64;
+
+    (
+        values,
+        RankWork {
+            exchange_ns: 0,
+            eval_ns,
+            reduce_ns,
+            patches,
+        },
+    )
+}
+
+/// One rank's run: halo exchange, local evaluation, local reduce.
+/// Messages with tags the current phase does not expect (a fast peer's
+/// result reaching the coordinator mid-exchange) are stashed in `pending`.
+fn rank_body<T: Transport>(
+    ctx: RankCtx,
+    link: &mut ReliableLink<T>,
+    pending: &mut Vec<Message>,
+    tracer: &Tracer,
+) -> Result<(Vec<f64>, RankWork), DistError> {
+    let rank = link.rank() as usize;
+    let n = link.n_ranks() as usize;
+    let shard = ctx.plan.shard(rank).clone();
+    let nm = ctx.n_modes;
+
+    // --- Halo exchange: push owned boundary coefficients to every peer
+    // whose ghost ring needs them, receive this rank's own ring.
+    let exchange_start = Instant::now();
+    let mut coeffs = vec![0.0; ctx.mesh.n_triangles() * nm];
+    for (i, &e) in shard.owned_elements.iter().enumerate() {
+        coeffs[e as usize * nm..(e as usize + 1) * nm]
+            .copy_from_slice(&ctx.owned_coeffs[i * nm..(i + 1) * nm]);
+    }
+    {
+        let _span = tracer.span("exchange.halo");
+        // Every rank sends exactly one (possibly empty) message to every
+        // peer — both sides compute the push set from their plan replica,
+        // and the fixed message count makes the receive loop terminate
+        // without a negotiation round.
+        for peer in (0..n).filter(|&q| q != rank) {
+            let ids = ctx.plan.push_set(rank, peer);
+            let payload = encode_coeffs(&ids, &coeffs, nm);
+            link.send_reliable(peer as u32, Tag::HaloCoeffs, payload)?;
+        }
+        let mut received = 0;
+        let deadline = Instant::now() + ctx.phase_timeout;
+        while received < n - 1 {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(DistError::Timeout);
+            }
+            let msg = link.recv_payload(deadline - now)?;
+            if msg.tag == Tag::HaloCoeffs {
+                decode_coeffs_into(&msg.payload, nm, &mut coeffs).map_err(DistError::Protocol)?;
+                received += 1;
+            } else {
+                pending.push(msg);
+            }
+        }
+    }
+    let exchange_ns = exchange_start.elapsed().as_nanos() as u64;
+
+    // --- Local evaluation + reduce over owned ∪ halo elements.
+    let field = DgField::from_coefficients(ctx.degree, ctx.mesh.n_triangles(), coeffs);
+    let stencil = Stencil2d::symmetric(ctx.smoothness, ctx.h);
+    let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(
+        ctx.smoothness,
+        ctx.degree,
+    ));
+    let grid = ComputationGrid::from_points(ctx.points, ctx.owners);
+    let local = merge_sorted(&shard.owned_elements, &shard.halo_elements);
+    let (values, mut work) = {
+        let _span = tracer.span("eval.per_element");
+        eval_shard(
+            &ctx.mesh,
+            &field,
+            &local,
+            &grid,
+            &stencil,
+            &rule,
+            ctx.sm_patches,
+        )
+    };
+    work.exchange_ns = exchange_ns;
+    Ok((values, work))
+}
+
+/// Runs the rank-sharded per-element scheme over the in-process channel
+/// fabric (one OS thread per rank).
+///
+/// # Panics
+/// Panics when the field does not match the mesh, the stencil exceeds the
+/// periodic domain, or `options.n_ranks == 0`.
+pub fn run_dist(
+    mesh: &TriMesh,
+    field: &DgField,
+    grid: &ComputationGrid,
+    options: &DistOptions,
+) -> Result<DistSolution, DistError> {
+    let transports = ChannelFabric::endpoints(options.n_ranks);
+    run_dist_on(mesh, field, grid, options, transports)
+}
+
+/// [`run_dist`] over caller-provided transport endpoints (one per rank, in
+/// rank order) — the seam the deterministic/fault-injecting fabrics plug
+/// into.
+///
+/// # Panics
+/// Panics on the same conditions as [`run_dist`], or when the endpoint
+/// count disagrees with `options.n_ranks`.
+pub fn run_dist_on<T: Transport>(
+    mesh: &TriMesh,
+    field: &DgField,
+    grid: &ComputationGrid,
+    options: &DistOptions,
+    transports: Vec<T>,
+) -> Result<DistSolution, DistError> {
+    assert!(options.n_ranks > 0, "need at least one rank");
+    assert_eq!(
+        transports.len(),
+        options.n_ranks,
+        "one transport endpoint per rank"
+    );
+    assert_eq!(
+        field.n_elements(),
+        mesh.n_triangles(),
+        "field does not match mesh"
+    );
+
+    let start = Instant::now();
+    let tracer = Tracer::new(options.instrument);
+    let n = options.n_ranks;
+    let degree = field.degree();
+    let k = options.smoothness.unwrap_or(degree);
+    let s = mesh.max_edge_length();
+    let h = options.h_factor * s;
+    let stencil = Stencil2d::symmetric(k, h);
+    assert!(
+        stencil.width() <= 1.0 + 1e-12,
+        "stencil width {} exceeds the periodic unit domain; \
+         use a larger mesh or a smaller h_factor",
+        stencil.width()
+    );
+    let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(k, degree));
+    let nm = field.basis().n_modes();
+
+    // Ghost-ring distance: half the stencil width, plus one point-grid
+    // cell because candidate lookups round query boxes out to cell
+    // boundaries, plus an epsilon against boundary ties. The cell size is
+    // probed from a throwaway grid so this can never drift from the
+    // spatial crate's actual geometry.
+    let cell = PointGrid::build(&[Point2::new(0.5, 0.5)], s / 2.0, Boundary::Clamped)
+        .grid()
+        .cell_size();
+    let halo_width = stencil.width() / 2.0 + cell + 1e-9;
+
+    let plan = {
+        let _span = tracer.span("build.shard_plan");
+        ShardPlan::build(mesh, grid, n, halo_width)
+    };
+
+    // Static scatter: each rank gets the mesh + plan replicas and its own
+    // slice of coefficients and grid points.
+    let mut ctxs: Vec<RankCtx> = (0..n)
+        .map(|r| {
+            let shard = plan.shard(r);
+            let mut owned_coeffs = Vec::with_capacity(shard.owned_elements.len() * nm);
+            for &e in &shard.owned_elements {
+                owned_coeffs.extend_from_slice(
+                    &field.coefficients()[e as usize * nm..(e as usize + 1) * nm],
+                );
+            }
+            RankCtx {
+                mesh: mesh.clone(),
+                plan: plan.clone(),
+                degree,
+                smoothness: k,
+                h,
+                n_modes: nm,
+                sm_patches: options.sm_patches,
+                owned_coeffs,
+                points: shard
+                    .owned_points
+                    .iter()
+                    .map(|&i| grid.points()[i as usize])
+                    .collect(),
+                owners: shard
+                    .owned_points
+                    .iter()
+                    .map(|&i| grid.owners()[i as usize])
+                    .collect(),
+                link: options.link,
+                phase_timeout: options.gather_timeout,
+            }
+        })
+        .collect();
+
+    let mut transports = transports;
+    let transport0 = transports.remove(0);
+    let ctx0 = ctxs.remove(0);
+    let worker_inputs: Vec<(RankCtx, T)> = ctxs.into_iter().zip(transports).collect();
+
+    let (rank_results, own_comm, spans) =
+        std::thread::scope(|scope| -> Result<GatherOutcome, DistError> {
+            for (ctx, transport) in worker_inputs {
+                scope.spawn(move || {
+                    let mut link = ReliableLink::new(transport, ctx.link);
+                    let mut pending = Vec::new();
+                    let disabled = Tracer::disabled();
+                    let body = rank_body(ctx, &mut link, &mut pending, &disabled);
+                    match body {
+                        Ok((values, work)) => {
+                            // Snapshot the counters *before* encoding: the
+                            // result message cannot count itself.
+                            let result = RankResult {
+                                values,
+                                comm: link.stats(),
+                                exchange_ns: work.exchange_ns,
+                                eval_ns: work.eval_ns,
+                                reduce_ns: work.reduce_ns,
+                                patches: work.patches,
+                            };
+                            let payload = encode_rank_result(&result);
+                            // A dead coordinator is unrecoverable from a
+                            // worker; exit and let the scope join.
+                            let _ = link.send_reliable(0, Tag::OwnedValues, payload);
+                        }
+                        Err(_) => {
+                            // Exchange failure: this rank contributes
+                            // nothing; the coordinator's gather deadline
+                            // re-resolves its points.
+                        }
+                    }
+                });
+            }
+
+            let mut link = ReliableLink::new(transport0, options.link);
+            let mut pending = Vec::new();
+            let (own_values, own_work) = rank_body(ctx0, &mut link, &mut pending, &tracer)?;
+
+            let mut rank_results: Vec<Option<RankResult>> = (0..n).map(|_| None).collect();
+            rank_results[0] = Some(RankResult {
+                values: own_values,
+                comm: CommStats::default(), // patched after the gather completes
+                exchange_ns: own_work.exchange_ns,
+                eval_ns: own_work.eval_ns,
+                reduce_ns: own_work.reduce_ns,
+                patches: own_work.patches,
+            });
+            let mut missing = n - 1;
+            let absorb = |msg: Message,
+                          rank_results: &mut Vec<Option<RankResult>>,
+                          missing: &mut usize|
+             -> Result<(), DistError> {
+                if msg.tag != Tag::OwnedValues {
+                    return Ok(());
+                }
+                let result = decode_rank_result(&msg.payload).map_err(DistError::Protocol)?;
+                let r = msg.from as usize;
+                if r < n && rank_results[r].is_none() {
+                    rank_results[r] = Some(result);
+                    *missing -= 1;
+                }
+                Ok(())
+            };
+            {
+                let _span = tracer.span("reduce.gather");
+                for msg in std::mem::take(&mut pending) {
+                    absorb(msg, &mut rank_results, &mut missing)?;
+                }
+                let deadline = Instant::now() + options.gather_timeout;
+                while missing > 0 {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match link.recv_payload(deadline - now) {
+                        Ok(msg) => absorb(msg, &mut rank_results, &mut missing)?,
+                        Err(DistError::Timeout) => break,
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Ok((rank_results, link.stats(), tracer.into_records()))
+        })?;
+
+    // Assemble: owned-point shards are disjoint, so the cross-rank stage
+    // is pure placement. Failed ranks are re-resolved locally from the
+    // caller's field — bitwise what the rank would have computed, since
+    // the evaluation reads only owned ∪ halo coefficients.
+    let mut values = vec![0.0; grid.len()];
+    let mut ranks = Vec::with_capacity(n);
+    let mut all_metrics: Vec<Metrics> = Vec::new();
+    for (r, slot) in rank_results.into_iter().enumerate() {
+        let shard = plan.shard(r);
+        let (result, reresolved) = match slot {
+            Some(mut result) => {
+                if r == 0 {
+                    result.comm = own_comm;
+                }
+                (result, false)
+            }
+            None => {
+                let pts: Vec<Point2> = shard
+                    .owned_points
+                    .iter()
+                    .map(|&i| grid.points()[i as usize])
+                    .collect();
+                let owners: Vec<u32> = shard
+                    .owned_points
+                    .iter()
+                    .map(|&i| grid.owners()[i as usize])
+                    .collect();
+                let lgrid = ComputationGrid::from_points(pts, owners);
+                let local = merge_sorted(&shard.owned_elements, &shard.halo_elements);
+                let (vals, work) = eval_shard(
+                    mesh,
+                    field,
+                    &local,
+                    &lgrid,
+                    &stencil,
+                    &rule,
+                    options.sm_patches,
+                );
+                (
+                    RankResult {
+                        values: vals,
+                        comm: CommStats::default(),
+                        exchange_ns: 0,
+                        eval_ns: work.eval_ns,
+                        reduce_ns: work.reduce_ns,
+                        patches: work.patches,
+                    },
+                    true,
+                )
+            }
+        };
+        if result.values.len() != shard.owned_points.len() {
+            return Err(DistError::Protocol(format!(
+                "rank {r} returned {} values for {} owned points",
+                result.values.len(),
+                shard.owned_points.len()
+            )));
+        }
+        for (&global, &v) in shard.owned_points.iter().zip(&result.values) {
+            values[global as usize] = v;
+        }
+        all_metrics.extend(result.patches.iter().map(|s| s.metrics));
+        ranks.push(RankReport {
+            rank: r as u32,
+            owned_elements: shard.owned_elements.len() as u64,
+            halo_elements: shard.halo_elements.len() as u64,
+            owned_points: shard.owned_points.len() as u64,
+            comm: result.comm,
+            exchange_ns: result.exchange_ns,
+            eval_ns: result.eval_ns,
+            reduce_ns: result.reduce_ns,
+            reresolved,
+            patches: result.patches,
+        });
+    }
+
+    Ok(DistSolution {
+        values,
+        metrics: Metrics::sum(&all_metrics),
+        ranks,
+        spans,
+        wall: start.elapsed(),
+        stencil_width: stencil.width(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ustencil_core::{PostProcessor, Scheme};
+    use ustencil_dg::project_l2;
+    use ustencil_mesh::{generate_mesh, MeshClass};
+
+    fn fixture(n_tri: usize, p: usize, seed: u64) -> (TriMesh, DgField, ComputationGrid) {
+        let mesh = generate_mesh(MeshClass::LowVariance, n_tri, seed);
+        let field = project_l2(&mesh, p, |x, y| 0.3 + x - 0.4 * y + 0.8 * x * y, 2);
+        let grid = ComputationGrid::quadrature_points(&mesh, p);
+        (mesh, field, grid)
+    }
+
+    #[test]
+    fn sharded_run_matches_single_rank() {
+        let (mesh, field, grid) = fixture(300, 1, 21);
+        let single = run_dist(&mesh, &field, &grid, &DistOptions::new(1)).unwrap();
+        for ranks in [2usize, 4] {
+            let multi = run_dist(&mesh, &field, &grid, &DistOptions::new(ranks)).unwrap();
+            let diff = multi.max_abs_diff(&single.values);
+            assert!(diff <= 1e-12, "{ranks} ranks diverge by {diff}");
+            // Candidate-pair counters are partitioned exactly.
+            for (name, f) in [
+                (
+                    "intersection_tests",
+                    (|m: &Metrics| m.intersection_tests) as fn(&Metrics) -> u64,
+                ),
+                ("true_intersections", |m| m.true_intersections),
+                ("quad_evals", |m| m.quad_evals),
+                ("flops", |m| m.flops),
+                ("solution_writes", |m| m.solution_writes),
+            ] {
+                assert_eq!(
+                    f(&multi.metrics),
+                    f(&single.metrics),
+                    "{name} must partition exactly across {ranks} ranks"
+                );
+            }
+            // Halo replication shows up in the element-driven counters.
+            assert!(multi.metrics.elem_data_loads > single.metrics.elem_data_loads);
+            // Traffic was actually counted.
+            let comm = multi.total_comm();
+            assert!(comm.bytes_sent > 0 && comm.msgs_sent >= (ranks * (ranks - 1)) as u64);
+            assert_eq!(comm.retransmits, 0, "clean fabric must not retransmit");
+        }
+    }
+
+    #[test]
+    fn single_rank_is_bitwise_the_engine_per_element_path() {
+        let (mesh, field, grid) = fixture(250, 1, 5);
+        let dist = run_dist(&mesh, &field, &grid, &DistOptions::new(1)).unwrap();
+        let engine = PostProcessor::new(Scheme::PerElement)
+            .parallel(false)
+            .run(&mesh, &field, &grid);
+        assert_eq!(dist.values, engine.values, "one rank must be bitwise equal");
+        assert_eq!(dist.metrics, engine.metrics);
+    }
+
+    #[test]
+    fn instrumented_run_records_phases_and_comms() {
+        let (mesh, field, grid) = fixture(200, 1, 9);
+        let sol = run_dist(&mesh, &field, &grid, &DistOptions::new(2).instrument(true)).unwrap();
+        let names: Vec<&str> = sol.spans.iter().map(|s| s.name.as_str()).collect();
+        for phase in [
+            "build.shard_plan",
+            "exchange.halo",
+            "eval.per_element",
+            "reduce.gather",
+        ] {
+            assert!(names.contains(&phase), "missing span {phase}: {names:?}");
+        }
+        assert_eq!(sol.ranks.len(), 2);
+        for r in &sol.ranks {
+            assert!(!r.reresolved);
+            assert!(r.comm.bytes_sent > 0);
+            assert!(r.eval_ns > 0);
+        }
+        let record = sol.to_run_record("test/dist@2ranks", mesh.n_triangles(), None);
+        assert_eq!(record.scheme, SCHEME_LABEL);
+        assert_eq!(record.comms.len(), 2);
+        let sim = sol.simulate(&DeviceConfig::default());
+        assert!(sim.comms_ms > 0.0, "counted traffic must be charged");
+    }
+}

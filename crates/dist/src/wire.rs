@@ -1,0 +1,370 @@
+//! Payload codecs: little-endian, length-prefixed, no external crates.
+//!
+//! Every payload layout the runtime puts on the wire is defined here, so
+//! the message formats are auditable in one place:
+//!
+//! * **coeffs** — `u32 count`, then per element `u32 id` + `n_modes × f64`
+//!   modal coefficients ([`Tag::HaloCoeffs`](crate::transport::Tag));
+//! * **ids** — `u32 count` + `count × u32` element ids
+//!   ([`Tag::HaloRequest`](crate::transport::Tag));
+//! * **rank result** — owned-point values in shard order plus the rank's
+//!   execution summary ([`Tag::OwnedValues`](crate::transport::Tag)).
+
+use ustencil_core::{BlockStats, Metrics, Probe};
+use ustencil_trace::CommStats;
+
+/// A growable little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` (bit pattern, exact round-trip).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Finishes, returning the payload bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A bounds-checked little-endian byte reader.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("payload truncated at byte {}", self.pos))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().unwrap(),
+        )))
+    }
+
+    /// True when every byte has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Encodes the modal coefficients of `ids` (each `n_modes` long, sliced
+/// out of the element-major `coeffs` array).
+pub fn encode_coeffs(ids: &[u32], coeffs: &[f64], n_modes: usize) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u32(ids.len() as u32);
+    for &e in ids {
+        w.u32(e);
+        for m in 0..n_modes {
+            w.f64(coeffs[e as usize * n_modes + m]);
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a coeffs payload directly into an element-major destination
+/// array, returning the element ids that were filled.
+pub fn decode_coeffs_into(
+    payload: &[u8],
+    n_modes: usize,
+    dest: &mut [f64],
+) -> Result<Vec<u32>, String> {
+    let mut r = WireReader::new(payload);
+    let count = r.u32()? as usize;
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        let e = r.u32()? as usize;
+        if (e + 1) * n_modes > dest.len() {
+            return Err(format!("element id {e} out of range"));
+        }
+        for m in 0..n_modes {
+            dest[e * n_modes + m] = r.f64()?;
+        }
+        ids.push(e as u32);
+    }
+    if !r.exhausted() {
+        return Err("trailing bytes in coeffs payload".into());
+    }
+    Ok(ids)
+}
+
+/// Encodes a list of element ids (a halo request).
+pub fn encode_ids(ids: &[u32]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u32(ids.len() as u32);
+    for &e in ids {
+        w.u32(e);
+    }
+    w.finish()
+}
+
+/// Decodes a list of element ids.
+pub fn decode_ids(payload: &[u8]) -> Result<Vec<u32>, String> {
+    let mut r = WireReader::new(payload);
+    let count = r.u32()? as usize;
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        ids.push(r.u32()?);
+    }
+    if !r.exhausted() {
+        return Err("trailing bytes in ids payload".into());
+    }
+    Ok(ids)
+}
+
+/// One rank's finished contribution: owned-point values (in the shard
+/// plan's owned-point order, ids implicit) plus its execution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankResult {
+    /// Values of the rank's owned points, shard order.
+    pub values: Vec<f64>,
+    /// Transport counters snapshotted *before* this message was sent (the
+    /// message carrying the snapshot is necessarily excluded from it).
+    pub comm: CommStats,
+    /// Nanoseconds in the halo-exchange phase.
+    pub exchange_ns: u64,
+    /// Nanoseconds in the local evaluation phase.
+    pub eval_ns: u64,
+    /// Nanoseconds in the local reduce phase.
+    pub reduce_ns: u64,
+    /// Per-patch stats of the rank's evaluation (probes are not shipped —
+    /// they are rank-local diagnostics).
+    pub patches: Vec<BlockStats>,
+}
+
+fn encode_metrics(w: &mut WireWriter, m: &Metrics) {
+    for v in [
+        m.intersection_tests,
+        m.true_intersections,
+        m.cell_clips,
+        m.subregions,
+        m.quad_evals,
+        m.flops,
+        m.cells_visited,
+        m.elem_data_loads,
+        m.point_data_loads,
+        m.solution_writes,
+        m.partial_slots,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn decode_metrics(r: &mut WireReader) -> Result<Metrics, String> {
+    Ok(Metrics {
+        intersection_tests: r.u64()?,
+        true_intersections: r.u64()?,
+        cell_clips: r.u64()?,
+        subregions: r.u64()?,
+        quad_evals: r.u64()?,
+        flops: r.u64()?,
+        cells_visited: r.u64()?,
+        elem_data_loads: r.u64()?,
+        point_data_loads: r.u64()?,
+        solution_writes: r.u64()?,
+        partial_slots: r.u64()?,
+    })
+}
+
+/// Encodes a [`RankResult`].
+pub fn encode_rank_result(res: &RankResult) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u32(res.values.len() as u32);
+    for &v in &res.values {
+        w.f64(v);
+    }
+    for v in [
+        res.comm.msgs_sent,
+        res.comm.bytes_sent,
+        res.comm.msgs_recv,
+        res.comm.bytes_recv,
+        res.comm.retransmits,
+        res.comm.timeouts,
+        res.exchange_ns,
+        res.eval_ns,
+        res.reduce_ns,
+    ] {
+        w.u64(v);
+    }
+    w.u32(res.patches.len() as u32);
+    for p in &res.patches {
+        w.u64(p.wall_ns);
+        w.u64(p.elements);
+        w.u64(p.points);
+        encode_metrics(&mut w, &p.metrics);
+    }
+    w.finish()
+}
+
+/// Decodes a [`RankResult`].
+pub fn decode_rank_result(payload: &[u8]) -> Result<RankResult, String> {
+    let mut r = WireReader::new(payload);
+    let n = r.u32()? as usize;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(r.f64()?);
+    }
+    let comm = CommStats {
+        msgs_sent: r.u64()?,
+        bytes_sent: r.u64()?,
+        msgs_recv: r.u64()?,
+        bytes_recv: r.u64()?,
+        retransmits: r.u64()?,
+        timeouts: r.u64()?,
+    };
+    let exchange_ns = r.u64()?;
+    let eval_ns = r.u64()?;
+    let reduce_ns = r.u64()?;
+    let n_patches = r.u32()? as usize;
+    let mut patches = Vec::with_capacity(n_patches);
+    for _ in 0..n_patches {
+        let wall_ns = r.u64()?;
+        let elements = r.u64()?;
+        let points = r.u64()?;
+        let metrics = decode_metrics(&mut r)?;
+        patches.push(BlockStats {
+            metrics,
+            wall_ns,
+            elements,
+            points,
+            probe: Probe::disabled(),
+        });
+    }
+    if !r.exhausted() {
+        return Err("trailing bytes in rank-result payload".into());
+    }
+    Ok(RankResult {
+        values,
+        comm,
+        exchange_ns,
+        eval_ns,
+        reduce_ns,
+        patches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coeffs_round_trip_bit_exact() {
+        let n_modes = 3;
+        let coeffs: Vec<f64> = (0..12).map(|i| (i as f64).sqrt() * 0.1 - 0.3).collect();
+        let payload = encode_coeffs(&[1, 3], &coeffs, n_modes);
+        let mut dest = vec![0.0; 12];
+        let ids = decode_coeffs_into(&payload, n_modes, &mut dest).unwrap();
+        assert_eq!(ids, vec![1, 3]);
+        for e in [1usize, 3] {
+            for m in 0..n_modes {
+                assert_eq!(
+                    dest[e * n_modes + m].to_bits(),
+                    coeffs[e * n_modes + m].to_bits()
+                );
+            }
+        }
+        assert_eq!(dest[0], 0.0, "unnamed elements stay untouched");
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        let payload = encode_ids(&[7, 0, 42]);
+        assert_eq!(decode_ids(&payload).unwrap(), vec![7, 0, 42]);
+        assert_eq!(decode_ids(&encode_ids(&[])).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn rank_result_round_trip() {
+        let res = RankResult {
+            values: vec![1.5, -2.25, 0.0],
+            comm: CommStats {
+                msgs_sent: 4,
+                bytes_sent: 900,
+                msgs_recv: 3,
+                bytes_recv: 700,
+                retransmits: 1,
+                timeouts: 1,
+            },
+            exchange_ns: 123,
+            eval_ns: 456,
+            reduce_ns: 789,
+            patches: vec![BlockStats {
+                metrics: Metrics {
+                    flops: 10,
+                    intersection_tests: 3,
+                    ..Default::default()
+                },
+                wall_ns: 99,
+                elements: 5,
+                points: 7,
+                probe: Probe::disabled(),
+            }],
+        };
+        let decoded = decode_rank_result(&encode_rank_result(&res)).unwrap();
+        assert_eq!(decoded.values, res.values);
+        assert_eq!(decoded.comm, res.comm);
+        assert_eq!(decoded.patches.len(), 1);
+        assert_eq!(decoded.patches[0].metrics, res.patches[0].metrics);
+        assert_eq!(decoded.patches[0].wall_ns, 99);
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let payload = encode_ids(&[7, 8, 9]);
+        assert!(decode_ids(&payload[..payload.len() - 1]).is_err());
+        let mut extended = payload.clone();
+        extended.push(0);
+        assert!(decode_ids(&extended).is_err());
+        let coeffs = encode_coeffs(&[0], &[1.0, 2.0], 2);
+        let mut small = vec![0.0; 2];
+        assert!(decode_coeffs_into(&coeffs[..6], 2, &mut small).is_err());
+        // Out-of-range element ids are rejected, not written.
+        let bad = encode_coeffs(&[5], &[0.0; 12], 2);
+        assert!(decode_coeffs_into(&bad, 2, &mut small).is_err());
+    }
+}

@@ -26,7 +26,7 @@ pub mod trimesh;
 
 pub use delaunay::delaunay_triangulate;
 pub use generate::{generate_mesh, MeshClass};
-pub use partition::{partition_recursive_bisection, Partition};
+pub use partition::{halo_elements, partition_recursive_bisection, partition_subset, Partition};
 pub use periodic::{minimal_image_delta, wrap_unit, PERIODIC_SHIFTS};
 pub use stats::MeshStats;
 pub use trimesh::{MeshError, TriMesh};

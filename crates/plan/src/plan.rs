@@ -89,6 +89,14 @@ impl EvalPlan {
         self.cols.len()
     }
 
+    /// CSR column ids (the element each stored entry reads), concatenated
+    /// across rows. The distributed runtime scans this to learn which
+    /// non-owned elements a rank's rows reference — its halo set.
+    #[inline]
+    pub fn cols(&self) -> &[u32] {
+        &self.cols
+    }
+
     /// In-memory size of the CSR arrays in bytes.
     pub fn bytes(&self) -> usize {
         self.row_ptr.len() * std::mem::size_of::<u64>()

@@ -11,7 +11,9 @@
 //! * [`imbalance`] — per-patch load-balance summaries
 //!   ([`ImbalanceSummary`]: max/mean, coefficient of variation, Gini);
 //! * [`json`] — a hand-rolled JSON value type ([`Json`]) with writer *and*
-//!   parser, so run reports round-trip without external crates.
+//!   parser, so run reports round-trip without external crates;
+//! * [`comm`] — per-endpoint communication counters ([`CommStats`]) for
+//!   the rank-sharded runtime's serialized transports.
 //!
 //! The evaluation engine (`ustencil-core`) threads these through its
 //! per-patch runs and surfaces them as a `RunReport`; the `reproduce`
@@ -19,11 +21,13 @@
 
 #![deny(missing_docs)]
 
+pub mod comm;
 pub mod hist;
 pub mod imbalance;
 pub mod json;
 pub mod span;
 
+pub use comm::CommStats;
 pub use hist::Hist64;
 pub use imbalance::ImbalanceSummary;
 pub use json::Json;

@@ -17,6 +17,9 @@
 //! * [`plan`] — the evaluation-plan compiler: precompute the stencil
 //!   geometry once, apply it to many fields as a sparse operator
 //!   (see DESIGN.md §9),
+//! * [`dist`] — the rank-sharded execution runtime: explicit halo
+//!   exchange over serialized transports, deterministic fault injection,
+//!   and per-rank comms accounting (see DESIGN.md §11),
 //! * [`trace`] — phase spans, streaming histograms, imbalance summaries and
 //!   the JSON run reports (see DESIGN.md, "Observability").
 //!
@@ -26,6 +29,7 @@
 
 pub use ustencil_core as engine;
 pub use ustencil_dg as dg;
+pub use ustencil_dist as dist;
 pub use ustencil_geometry as geometry;
 pub use ustencil_mesh as mesh;
 pub use ustencil_plan as plan;
@@ -35,4 +39,5 @@ pub use ustencil_spatial as spatial;
 pub use ustencil_trace as trace;
 
 pub use ustencil_core::prelude::*;
+pub use ustencil_dist::{run_dist, run_plan_dist, DistOptions, DistPlanSolution, DistSolution};
 pub use ustencil_plan::{CachedPlan, EvalPlan, PlanExt};
