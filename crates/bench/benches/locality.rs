@@ -1,0 +1,49 @@
+//! Locality bench: the plan-apply SpMV under the three storage layouts.
+//!
+//! Compiles one plan per [`Layout`] over the same workload — `natural`
+//! (grid/mesh order), `hilbert` (rows and columns permuted along the
+//! Hilbert curve), `hilbert-blocked` (Hilbert order plus L2-sized row
+//! tiles as the parallel work units) — and times repeated applies. The
+//! per-row arithmetic is identical across layouts (reordered applies are
+//! bitwise equal to natural after the inverse permutation), so any wall
+//! difference is purely memory-system behaviour: the Hilbert order shrinks
+//! each row's coefficient span and makes consecutive rows reuse the same
+//! cache lines, and the tiles keep one work unit's span inside L2. The
+//! interesting ratio is `natural / hilbert-blocked` at 64k; measured
+//! values live in EXPERIMENTS.md under "Locality".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ustencil_bench::Workload;
+use ustencil_core::Layout;
+use ustencil_mesh::MeshClass;
+use ustencil_plan::{CompileOptions, EvalPlan};
+
+fn bench_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locality");
+    for (n_tri, label) in [(4_000usize, "4k"), (64_000, "64k")] {
+        group.sample_size(10);
+        let w = Workload::build(MeshClass::LowVariance, n_tri, 1, 2013);
+        for layout in Layout::ALL {
+            let compile_opts = CompileOptions {
+                h_factor: w.safe_h_factor(),
+                layout,
+                ..CompileOptions::default()
+            };
+            let plan = EvalPlan::compile(&w.mesh, &w.grid, w.p, &compile_opts);
+            // Time the serve-time fast path: apply_into with a reused
+            // output buffer, so the comparison is pure sweep cost.
+            let mut out = vec![0.0; plan.rows()];
+            group.bench_with_input(BenchmarkId::new(layout.label(), label), &plan, |b, plan| {
+                b.iter(|| {
+                    plan.apply_into(&w.field, &mut out);
+                    black_box(out[0])
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_locality);
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 use crate::device::{simulate, DeviceConfig, SimReport};
 use crate::grid_points::ComputationGrid;
 use crate::integrate::IntegrationCtx;
+use crate::layout::Layout;
 use crate::metrics::Metrics;
 use crate::per_element::{reduce_patches, PerElementRun};
 use crate::per_point::PerPointRun;
@@ -13,7 +14,9 @@ use ustencil_dg::DgField;
 use ustencil_mesh::{partition_recursive_bisection, TriMesh};
 use ustencil_quadrature::TriangleRule;
 use ustencil_siac::Stencil2d;
-use ustencil_spatial::{Boundary, PointGrid, TriangleGrid};
+use ustencil_spatial::{
+    hilbert_order_elements, hilbert_order_points, Boundary, PointGrid, TriangleGrid,
+};
 use ustencil_trace::{SpanRecord, Tracer};
 
 /// Which evaluation strategy to run (Section 3.1).
@@ -67,6 +70,8 @@ pub struct ProcessorSettings {
     pub parallel: bool,
     /// Whether observability is on.
     pub instrument: bool,
+    /// Traversal/storage order for points and elements.
+    pub layout: Layout,
 }
 
 /// Configured SIAC post-processor.
@@ -100,6 +105,7 @@ pub struct PostProcessor {
     n_blocks: usize,
     parallel: bool,
     instrument: bool,
+    layout: Layout,
 }
 
 impl PostProcessor {
@@ -114,6 +120,7 @@ impl PostProcessor {
             n_blocks: 16,
             parallel: true,
             instrument: false,
+            layout: Layout::Natural,
         }
     }
 
@@ -159,6 +166,17 @@ impl PostProcessor {
         self
     }
 
+    /// Sets the traversal/storage order (default [`Layout::Natural`]).
+    ///
+    /// Hilbert layouts renumber points and elements internally for memory
+    /// locality; results are still returned in the caller's original point
+    /// order and agree with natural order to ≤1e-12 (floating-point
+    /// summation order changes; nothing else does).
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
     /// The configured scheme.
     pub fn scheme(&self) -> Scheme {
         self.scheme
@@ -174,6 +192,7 @@ impl PostProcessor {
             n_blocks: self.n_blocks,
             parallel: self.parallel,
             instrument: self.instrument,
+            layout: self.layout,
         }
     }
 
@@ -189,6 +208,35 @@ impl PostProcessor {
             "field does not match mesh"
         );
         let tracer = Tracer::new(self.instrument);
+        if !self.layout.reorders() {
+            return self.run_with(mesh, field, grid, &tracer, None);
+        }
+        // Hilbert layouts: renumber elements and points along the curve,
+        // evaluate in the permuted frame, and scatter the values back so
+        // callers still see their original point order. The permuted run
+        // computes the same convolution pair-for-pair; only floating-point
+        // accumulation order moves, so results agree with natural order to
+        // ≤1e-12.
+        let (pmesh, pfield, pgrid, point_perm) = {
+            let _span = tracer.span("build.hilbert_order");
+            let elem_perm = hilbert_order_elements(mesh);
+            let point_perm = hilbert_order_points(grid.points());
+            let pmesh = mesh.reordered_elements(elem_perm.forward());
+            let pfield = field.reordered_elements(elem_perm.forward());
+            let pgrid = grid.reordered(point_perm.forward(), elem_perm.inverse());
+            (pmesh, pfield, pgrid, point_perm)
+        };
+        self.run_with(&pmesh, &pfield, &pgrid, &tracer, Some(&point_perm))
+    }
+
+    fn run_with(
+        &self,
+        mesh: &TriMesh,
+        field: &DgField,
+        grid: &ComputationGrid,
+        tracer: &Tracer,
+        unpermute: Option<&ustencil_spatial::Permutation>,
+    ) -> Solution {
         let p = field.degree();
         let k = self.smoothness.unwrap_or(p);
         let s = mesh.max_edge_length();
@@ -252,6 +300,13 @@ impl PostProcessor {
                 (values, stats)
             }
         };
+        let values = match unpermute {
+            None => values,
+            Some(perm) => {
+                let _span = tracer.span("reduce.unpermute");
+                perm.scatter(&values)
+            }
+        };
         let wall = start.elapsed();
         let block_metrics = BlockStats::metrics_of(&block_stats);
 
@@ -260,7 +315,7 @@ impl PostProcessor {
             metrics: Metrics::sum(&block_metrics),
             block_metrics,
             block_stats,
-            spans: tracer.into_records(),
+            spans: tracer.records(),
             wall,
             stencil_width: stencil.width(),
             scheme: self.scheme,
@@ -516,7 +571,8 @@ mod tests {
             .h_factor(0.5)
             .blocks(7)
             .parallel(false)
-            .instrument(true);
+            .instrument(true)
+            .layout(Layout::Hilbert);
         let s = pp.settings();
         assert_eq!(s.scheme, Scheme::PerElement);
         assert_eq!(s.smoothness, Some(2));
@@ -524,6 +580,7 @@ mod tests {
         assert_eq!(s.n_blocks, 7);
         assert!(!s.parallel);
         assert!(s.instrument);
+        assert_eq!(s.layout, Layout::Hilbert);
         // Defaults: no smoothness override, paper defaults elsewhere.
         let d = PostProcessor::new(Scheme::PerPoint).settings();
         assert_eq!(d.smoothness, None);
@@ -531,6 +588,48 @@ mod tests {
         assert_eq!(d.n_blocks, 16);
         assert!(d.parallel);
         assert!(!d.instrument);
+        assert_eq!(d.layout, Layout::Natural);
+    }
+
+    #[test]
+    fn hilbert_layout_matches_natural_order() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 200, 23);
+        let field = project_l2(&mesh, 2, |x, y| (TAU * x).sin() + 0.5 * y, 3);
+        let grid = ComputationGrid::quadrature_points(&mesh, 2);
+        for scheme in Scheme::ALL {
+            let natural = PostProcessor::new(scheme)
+                .blocks(4)
+                .h_factor(0.3)
+                .parallel(false)
+                .run(&mesh, &field, &grid);
+            let hilbert = PostProcessor::new(scheme)
+                .blocks(4)
+                .h_factor(0.3)
+                .parallel(false)
+                .layout(Layout::Hilbert)
+                .run(&mesh, &field, &grid);
+            let diff = natural.max_abs_diff(&hilbert);
+            assert!(diff < 1e-12, "{scheme:?}: hilbert differs by {diff}");
+            // The permuted run evaluates the same (element, point) pairs,
+            // so aggregate work counters are identical.
+            assert_eq!(natural.metrics, hilbert.metrics, "{scheme:?} counters");
+        }
+    }
+
+    #[test]
+    fn hilbert_layout_records_ordering_span() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 150, 8);
+        let field = project_l2(&mesh, 1, |x, y| x + y, 0);
+        let grid = ComputationGrid::quadrature_points(&mesh, 1);
+        let sol = PostProcessor::new(Scheme::PerPoint)
+            .h_factor(0.5)
+            .parallel(false)
+            .instrument(true)
+            .layout(Layout::Hilbert)
+            .run(&mesh, &field, &grid);
+        let names: Vec<&str> = sol.spans.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"build.hilbert_order"), "spans: {names:?}");
+        assert!(names.contains(&"reduce.unpermute"), "spans: {names:?}");
     }
 
     #[test]

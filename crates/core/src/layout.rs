@@ -1,0 +1,101 @@
+//! Data-layout policy: in what *order* the engines visit points and
+//! elements.
+//!
+//! The schemes and the plan compiler decide *which* (element, point) pairs
+//! interact; [`Layout`] decides the traversal and storage order of those
+//! pairs. Natural order is whatever the mesh generator produced — for the
+//! Delaunay generators that is close to insertion order, which scatters
+//! spatially adjacent elements across the index space. The Hilbert layouts
+//! renumber points and elements along a Hilbert space-filling curve
+//! (`ustencil_spatial::hilbert`), so consecutive CSR rows of a compiled
+//! [`EvalPlan`](../../ustencil_plan/struct.EvalPlan.html) read nearby
+//! coefficient columns and the direct schemes revisit recently-cached
+//! elements.
+//!
+//! Reordering is an internal concern: every public API still speaks
+//! original indices. Inputs are permuted on entry, outputs inverse-permuted
+//! on exit. Direct-scheme results move by ≤1e-12 (floating-point summation
+//! order changes); plan application is bitwise identical to natural order
+//! after the inverse permutation.
+
+/// Traversal/storage order for evaluation points and mesh elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Mesh-generator order, untouched. The default; bit-compatible with
+    /// every result produced before layouts existed.
+    #[default]
+    Natural,
+    /// Points and elements renumbered along a Hilbert space-filling curve;
+    /// plan apply runs over the permuted CSR with a plain row sweep.
+    Hilbert,
+    /// Hilbert renumbering plus a cache-blocked plan apply: rows are
+    /// grouped into tiles whose coefficient column span fits in L2, and
+    /// workers process whole tiles (row-aligned, so numerics are unchanged
+    /// relative to [`Layout::Hilbert`]).
+    HilbertBlocked,
+}
+
+impl Layout {
+    /// Every layout, in declaration order. [`from_label`](Self::from_label)
+    /// searches this list, so labels can never drift variant by variant.
+    pub const ALL: [Layout; 3] = [Layout::Natural, Layout::Hilbert, Layout::HilbertBlocked];
+
+    /// Canonical label — used for CLI flags and as the `"layout"` value in
+    /// `RunReport` JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Layout::Natural => "natural",
+            Layout::Hilbert => "hilbert",
+            Layout::HilbertBlocked => "hilbert-blocked",
+        }
+    }
+
+    /// The layout a [`label`](Self::label) string names (exact inverse of
+    /// `label` by construction).
+    pub fn from_label(label: &str) -> Option<Layout> {
+        Self::ALL.into_iter().find(|l| l.label() == label)
+    }
+
+    /// Whether this layout renumbers points/elements (both Hilbert
+    /// variants do; natural order does not).
+    pub fn reorders(&self) -> bool {
+        !matches!(self, Layout::Natural)
+    }
+
+    /// Whether plan application should use the cache-blocked row-tile
+    /// sweep.
+    pub fn blocked(&self) -> bool {
+        matches!(self, Layout::HilbertBlocked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_over_all_variants() {
+        for layout in Layout::ALL {
+            assert_eq!(Layout::from_label(layout.label()), Some(layout));
+        }
+        let labels: Vec<&str> = Layout::ALL.iter().map(|l| l.label()).collect();
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b, "duplicate layout label breaks from_label");
+            }
+        }
+        assert_eq!(Layout::from_label("z-order"), None);
+        assert_eq!(Layout::from_label(""), None);
+    }
+
+    #[test]
+    fn predicates_match_variants() {
+        assert!(!Layout::Natural.reorders());
+        assert!(Layout::Hilbert.reorders());
+        assert!(Layout::HilbertBlocked.reorders());
+        assert!(!Layout::Natural.blocked());
+        assert!(!Layout::Hilbert.blocked());
+        assert!(Layout::HilbertBlocked.blocked());
+        assert_eq!(Layout::default(), Layout::Natural);
+    }
+}

@@ -36,6 +36,7 @@ pub mod engine;
 pub mod grid_points;
 pub mod integrate;
 pub mod kernel;
+pub mod layout;
 pub mod metrics;
 pub mod per_element;
 pub mod per_point;
@@ -51,16 +52,18 @@ pub use kernel::{
     AccumulateSolution, AccumulateWeights, ContributionSink, QuadStage, Scratch, ScratchCapacity,
     StencilTraversal,
 };
+pub use layout::Layout;
 pub use metrics::Metrics;
 pub use probe::{BlockStats, Probe};
-pub use report::{PlanStats, RankCommRecord, RunRecord, RunReport};
+pub use report::{LocalityStats, PlanStats, RankCommRecord, RunRecord, RunReport};
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::device::{simulate_ranks, CostModel, DeviceConfig, RankTraffic, SimReport};
     pub use crate::engine::{PostProcessor, ProcessorSettings, Scheme, Solution};
     pub use crate::grid_points::ComputationGrid;
+    pub use crate::layout::Layout;
     pub use crate::metrics::Metrics;
     pub use crate::probe::{BlockStats, Probe};
-    pub use crate::report::{PlanStats, RankCommRecord, RunRecord, RunReport};
+    pub use crate::report::{LocalityStats, PlanStats, RankCommRecord, RunRecord, RunReport};
 }

@@ -1,6 +1,6 @@
 //! Per-block instrumentation: distribution probes and per-patch stats.
 //!
-//! Like [`Metrics`](crate::Metrics), everything here follows the
+//! Like [`Metrics`], everything here follows the
 //! merge-at-join design: each worker owns its [`Probe`] and [`BlockStats`]
 //! privately, the coordinator merges after the join. A disabled probe
 //! reduces every `record_*` call to a single predictable branch, so the

@@ -69,6 +69,40 @@ pub struct PlanStats {
     pub apply_ms: f64,
 }
 
+/// Memory-locality profile of a compiled plan's CSR structure, emitted when
+/// a run applied a plan (`scheme = "plan"`). Spans are measured over the
+/// coefficient array the apply reads — in 64-byte cache lines of
+/// `n_modes`-wide f64 column blocks — so the numbers directly describe the
+/// working set a row sweep drags through the cache hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalityStats {
+    /// [`Layout::label`](crate::Layout::label) of the layout that produced
+    /// the structure.
+    pub layout: String,
+    /// Rows measured (grid points).
+    pub rows: u64,
+    /// CSR non-zeros.
+    pub nnz: u64,
+    /// Mean per-row column span, in cache lines: the distance from the
+    /// first to the last coefficient line a row touches.
+    pub mean_span_lines: f64,
+    /// 95th-percentile per-row column span, in cache lines.
+    pub p95_span_lines: f64,
+    /// Estimated reuse distance: mean number of coefficient cache lines a
+    /// row touches that the *previous* row did not (0 = perfect reuse,
+    /// row-span = no reuse).
+    pub est_reuse_lines: f64,
+    /// Row tiles of the cache-blocked apply (0 when the layout is not
+    /// blocked).
+    pub n_tiles: u64,
+    /// Mean rows per tile (0 when not blocked).
+    pub mean_rows_per_tile: f64,
+    /// Mean tile fill: distinct coefficient lines a tile touches divided by
+    /// its total line span (1 = dense span, → 0 = scattered; 0 when not
+    /// blocked).
+    pub tile_fill: f64,
+}
+
 /// One rank's communication ledger in a rank-sharded run: shard shape,
 /// counted wire traffic, and coarse phase timings. Emitted for every rank
 /// of a `scheme = "dist"` run; empty for single-address-space runs.
@@ -125,6 +159,8 @@ pub struct RunRecord {
     pub device_sim: Option<SimReport>,
     /// Evaluation-plan stats, when the run applied a compiled plan.
     pub plan: Option<PlanStats>,
+    /// CSR locality profile, when the run applied a compiled plan.
+    pub locality: Option<LocalityStats>,
     /// Per-rank communication ledgers (empty unless the run was
     /// rank-sharded).
     pub comms: Vec<RankCommRecord>,
@@ -176,6 +212,7 @@ impl RunRecord {
             histograms,
             device_sim,
             plan: None,
+            locality: None,
             comms: Vec::new(),
         }
     }
@@ -324,6 +361,19 @@ fn record_to_json(r: &RunRecord) -> Json {
             .set("build_ms", p.build_ms)
             .set("apply_ms", p.apply_ms),
     };
+    let locality = match &r.locality {
+        None => Json::Null,
+        Some(l) => Json::object()
+            .set("layout", l.layout.as_str())
+            .set("rows", l.rows)
+            .set("nnz", l.nnz)
+            .set("mean_span_lines", l.mean_span_lines)
+            .set("p95_span_lines", l.p95_span_lines)
+            .set("est_reuse_lines", l.est_reuse_lines)
+            .set("n_tiles", l.n_tiles)
+            .set("mean_rows_per_tile", l.mean_rows_per_tile)
+            .set("tile_fill", l.tile_fill),
+    };
     Json::object()
         .set("label", r.label.as_str())
         .set("scheme", r.scheme.as_str())
@@ -337,6 +387,7 @@ fn record_to_json(r: &RunRecord) -> Json {
         .set("histograms", hists)
         .set("device_sim", device_sim)
         .set("plan", plan)
+        .set("locality", locality)
         .set("comms", comms)
 }
 
@@ -422,6 +473,20 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
             apply_ms: get_f64(p, "apply_ms")?,
         }),
     };
+    let locality = match get(doc, "locality")? {
+        Json::Null => None,
+        l => Some(LocalityStats {
+            layout: get_str(l, "layout")?.to_string(),
+            rows: get_u64(l, "rows")?,
+            nnz: get_u64(l, "nnz")?,
+            mean_span_lines: get_f64(l, "mean_span_lines")?,
+            p95_span_lines: get_f64(l, "p95_span_lines")?,
+            est_reuse_lines: get_f64(l, "est_reuse_lines")?,
+            n_tiles: get_u64(l, "n_tiles")?,
+            mean_rows_per_tile: get_f64(l, "mean_rows_per_tile")?,
+            tile_fill: get_f64(l, "tile_fill")?,
+        }),
+    };
     Ok(RunRecord {
         label: get_str(doc, "label")?.to_string(),
         scheme: get_str(doc, "scheme")?.to_string(),
@@ -434,6 +499,7 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
         histograms,
         device_sim,
         plan,
+        locality,
         comms,
     })
 }
@@ -632,6 +698,7 @@ mod tests {
             histograms: vec![],
             device_sim: None,
             plan: None,
+            locality: None,
             comms: vec![],
         });
         // A valid minimal report still round-trips.
@@ -669,6 +736,17 @@ mod tests {
                 build_ms: 480.5,
                 apply_ms: 3.75,
             }),
+            locality: Some(LocalityStats {
+                layout: "hilbert-blocked".into(),
+                rows: 16000,
+                nnz: 320000,
+                mean_span_lines: 42.5,
+                p95_span_lines: 96.0,
+                est_reuse_lines: 3.25,
+                n_tiles: 25,
+                mean_rows_per_tile: 640.0,
+                tile_fill: 0.75,
+            }),
             comms: vec![],
         });
         let text = report.to_pretty_string();
@@ -677,6 +755,9 @@ mod tests {
         assert_eq!(parsed.to_pretty_string(), text);
         // Dropping the plan object breaks the parse (key is required).
         let broken = text.replace("\"plan\"", "\"paln\"");
+        assert!(RunReport::from_json(&broken).is_err());
+        // The locality object is likewise required (null when absent).
+        let broken = text.replace("\"locality\"", "\"localty\"");
         assert!(RunReport::from_json(&broken).is_err());
     }
 
@@ -695,6 +776,7 @@ mod tests {
             histograms: vec![],
             device_sim: None,
             plan: None,
+            locality: None,
             comms: (0..2)
                 .map(|r| RankCommRecord {
                     rank: r,

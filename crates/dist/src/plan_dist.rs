@@ -133,6 +133,7 @@ impl DistPlanSolution {
             histograms: Vec::new(),
             device_sim,
             plan: Some(self.plan_stats.clone()),
+            locality: None,
             comms: self
                 .ranks
                 .iter()
@@ -194,6 +195,10 @@ fn compile_local(
             n_blocks: sm_patches,
             parallel: false,
             instrument: false,
+            // Per-rank plans stay in natural order: their cols() are
+            // scanned as *global element ids* for halo discovery, which a
+            // permuted column space would break.
+            layout: ustencil_core::Layout::Natural,
         },
     );
     (plan, grid)

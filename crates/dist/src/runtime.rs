@@ -43,7 +43,7 @@ use ustencil_core::integrate::IntegrationCtx;
 use ustencil_core::per_element::PerElementRun;
 use ustencil_core::tiling::add_partials;
 use ustencil_core::{
-    simulate_ranks, BlockStats, ComputationGrid, DeviceConfig, Metrics, RankCommRecord,
+    simulate_ranks, BlockStats, ComputationGrid, DeviceConfig, Layout, Metrics, RankCommRecord,
     RankTraffic, RunRecord, Scheme, SimReport,
 };
 use ustencil_dg::DgField;
@@ -51,7 +51,7 @@ use ustencil_geometry::Point2;
 use ustencil_mesh::{partition_subset, TriMesh};
 use ustencil_quadrature::TriangleRule;
 use ustencil_siac::Stencil2d;
-use ustencil_spatial::{Boundary, PointGrid};
+use ustencil_spatial::{hilbert_sort_elements, Boundary, PointGrid};
 use ustencil_trace::{CommStats, SpanRecord, Tracer};
 
 /// The `"scheme"` label rank-sharded runs carry in `RunReport` JSON.
@@ -80,6 +80,15 @@ pub struct DistOptions {
     /// nanoseconds through their result message instead — the tracer is
     /// thread-local).
     pub instrument: bool,
+    /// Traversal order of each rank's local element sweep (default
+    /// [`Layout::Natural`]). Hilbert layouts sort the owned ∪ halo element
+    /// list along the Hilbert curve before patch partitioning, so
+    /// consecutive patches walk spatially adjacent elements. The shard
+    /// plan's membership lists (halo discovery, push sets) always stay in
+    /// sorted global order — only the evaluation sweep is reordered, which
+    /// changes patch composition and therefore floating-point summation
+    /// order, nothing else (values agree to rounding).
+    pub layout: Layout,
 }
 
 impl DistOptions {
@@ -94,6 +103,7 @@ impl DistOptions {
             link: LinkConfig::default(),
             gather_timeout: Duration::from_secs(120),
             instrument: false,
+            layout: Layout::Natural,
         }
     }
 
@@ -132,6 +142,12 @@ impl DistOptions {
     /// Enables phase spans on rank 0.
     pub fn instrument(mut self, on: bool) -> Self {
         self.instrument = on;
+        self
+    }
+
+    /// Sets the per-rank element traversal order.
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
         self
     }
 }
@@ -260,6 +276,7 @@ impl DistSolution {
             histograms: Vec::new(),
             device_sim,
             plan: None,
+            locality: None,
             comms: self
                 .ranks
                 .iter()
@@ -309,6 +326,7 @@ struct RankCtx {
     owners: Vec<u32>,
     link: LinkConfig,
     phase_timeout: Duration,
+    layout: Layout,
 }
 
 /// Phase outputs of one rank's evaluation.
@@ -342,6 +360,7 @@ fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
 /// Shared by ranks and by the coordinator's re-resolve path, so a
 /// recovered shard is bitwise identical to what the failed rank would
 /// have produced.
+#[allow(clippy::too_many_arguments)]
 fn eval_shard(
     mesh: &TriMesh,
     field: &DgField,
@@ -350,8 +369,20 @@ fn eval_shard(
     stencil: &Stencil2d,
     rule: &TriangleRule,
     sm_patches: usize,
+    layout: Layout,
 ) -> (Vec<f64>, RankWork) {
     let eval_start = Instant::now();
+    // Hilbert layouts sweep the local elements in curve order so each
+    // patch walks a spatially compact run; the reorder is sweep-local and
+    // never reaches the shard plan's sorted membership lists.
+    let mut hilbert_ids;
+    let local_elems = if layout.reorders() {
+        hilbert_ids = local_elems.to_vec();
+        hilbert_sort_elements(mesh, &mut hilbert_ids);
+        &hilbert_ids[..]
+    } else {
+        local_elems
+    };
     let point_grid =
         PointGrid::build_half_edge(grid.points(), mesh.max_edge_length(), Boundary::Clamped);
     let partition = partition_subset(mesh, local_elems, sm_patches);
@@ -460,6 +491,7 @@ fn rank_body<T: Transport>(
             &stencil,
             &rule,
             ctx.sm_patches,
+            ctx.layout,
         )
     };
     work.exchange_ns = exchange_ns;
@@ -572,6 +604,7 @@ pub fn run_dist_on<T: Transport>(
                     .collect(),
                 link: options.link,
                 phase_timeout: options.gather_timeout,
+                layout: options.layout,
             }
         })
         .collect();
@@ -702,6 +735,7 @@ pub fn run_dist_on<T: Transport>(
                     &stencil,
                     &rule,
                     options.sm_patches,
+                    options.layout,
                 );
                 (
                     RankResult {
@@ -808,6 +842,33 @@ mod tests {
             .run(&mesh, &field, &grid);
         assert_eq!(dist.values, engine.values, "one rank must be bitwise equal");
         assert_eq!(dist.metrics, engine.metrics);
+    }
+
+    #[test]
+    fn hilbert_layout_matches_natural_dist_run() {
+        let (mesh, field, grid) = fixture(300, 1, 33);
+        let natural = run_dist(&mesh, &field, &grid, &DistOptions::new(2)).unwrap();
+        let hilbert = run_dist(
+            &mesh,
+            &field,
+            &grid,
+            &DistOptions::new(2).layout(Layout::Hilbert),
+        )
+        .unwrap();
+        let diff = hilbert.max_abs_diff(&natural.values);
+        assert!(diff <= 1e-12, "hilbert dist diverges by {diff}");
+        // The reorder only regroups patches; the candidate-pair counters
+        // still partition exactly.
+        assert_eq!(
+            hilbert.metrics.true_intersections,
+            natural.metrics.true_intersections
+        );
+        assert_eq!(hilbert.metrics.quad_evals, natural.metrics.quad_evals);
+        assert_eq!(hilbert.metrics.flops, natural.metrics.flops);
+        assert_eq!(
+            hilbert.metrics.solution_writes,
+            natural.metrics.solution_writes
+        );
     }
 
     #[test]

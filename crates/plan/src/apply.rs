@@ -7,6 +7,10 @@ use ustencil_core::{BlockStats, Metrics, Probe};
 use ustencil_dg::DgField;
 use ustencil_trace::{SpanRecord, Tracer};
 
+/// Upper bound on modal coefficients per element supported by the
+/// lane-accumulator row kernel (degree 6 ⇒ 28 modes, with headroom).
+const MAX_MODES: usize = 32;
+
 /// Configuration of a plan apply.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ApplyOptions {
@@ -77,16 +81,38 @@ impl EvalPlan {
         let start = Instant::now();
         let tracer = Tracer::new(options.instrument);
 
+        // Reordered plans reference permuted element slots; gather the
+        // field's coefficients into those slots once (a streaming copy), so
+        // the row sweep reads a compact, Hilbert-ordered array.
+        let gathered: Option<Vec<f64>> = if self.layout.reorders() {
+            let _span = tracer.span("apply.gather");
+            Some(self.gather_coeffs(field.coefficients()))
+        } else {
+            None
+        };
+        let coeffs: &[f64] = gathered.as_deref().unwrap_or_else(|| field.coefficients());
+
         let n = self.rows();
-        let n_blocks = options.n_blocks.clamp(1, n.max(1));
-        let bounds: Vec<(usize, usize)> = (0..n_blocks)
-            .map(|b| (b * n / n_blocks, (b + 1) * n / n_blocks))
-            .collect();
+        // Blocked layouts sweep cache-sized row tiles (work-stealing units
+        // whose coefficient span fits in L2); other layouts split the rows
+        // into n_blocks uniform chunks. Either way the per-row arithmetic
+        // order is identical.
+        let bounds: Vec<(usize, usize)> = if self.layout.blocked() && self.tiles.len() >= 2 {
+            self.tiles
+                .windows(2)
+                .map(|w| (w[0] as usize, w[1] as usize))
+                .collect()
+        } else {
+            let n_blocks = options.n_blocks.clamp(1, n.max(1));
+            (0..n_blocks)
+                .map(|b| (b * n / n_blocks, (b + 1) * n / n_blocks))
+                .collect()
+        };
 
         let block = |s: usize, e: usize, slice: &mut [f64]| -> BlockStats {
             let block_start = Instant::now();
             let mut probe = Probe::new(options.instrument);
-            let metrics = self.apply_block(s, e, field.coefficients(), slice, &mut probe);
+            let metrics = self.apply_block(s, e, coeffs, slice, &mut probe);
             BlockStats {
                 metrics,
                 wall_ns: block_start.elapsed().as_nanos() as u64,
@@ -102,7 +128,7 @@ impl EvalPlan {
             if options.parallel {
                 // Split the output along block boundaries so each worker
                 // owns its slice — race freedom by construction.
-                let mut slices: Vec<&mut [f64]> = Vec::with_capacity(n_blocks);
+                let mut slices: Vec<&mut [f64]> = Vec::with_capacity(bounds.len());
                 let mut rest = values.as_mut_slice();
                 for &(s, e) in &bounds {
                     let (head, tail) = rest.split_at_mut(e - s);
@@ -127,6 +153,15 @@ impl EvalPlan {
             }
         };
 
+        // Rows were computed in the plan's internal (possibly permuted)
+        // order; scatter them back so callers see original point indices.
+        let values = if self.layout.reorders() {
+            let _span = tracer.span("apply.scatter");
+            self.scatter_rows(&values)
+        } else {
+            values
+        };
+
         PlanSolution {
             values,
             metrics: Metrics::sum(block_stats.iter().map(|s| &s.metrics)),
@@ -147,7 +182,10 @@ impl EvalPlan {
     }
 
     /// The bare SpMV: writes values into a caller-provided buffer with no
-    /// allocation, spans, or stats. This is the serve-time fast path.
+    /// spans or stats. Allocation-free for natural-layout plans — the
+    /// serve-time fast path. Reordered plans allocate one scratch buffer
+    /// (the coefficient gather); the inverse row permutation is fused into
+    /// the sweep, so each row lands directly in its original output slot.
     ///
     /// # Panics
     /// Panics when the field does not match the plan or `out` is not
@@ -155,11 +193,43 @@ impl EvalPlan {
     pub fn apply_into(&self, field: &DgField, out: &mut [f64]) {
         self.check_field(field);
         assert_eq!(out.len(), self.rows(), "output buffer/plan row mismatch");
-        let mut probe = Probe::disabled();
-        self.apply_block(0, self.rows(), field.coefficients(), out, &mut probe);
+        if !self.layout.reorders() {
+            let mut probe = Probe::disabled();
+            self.apply_block(0, self.rows(), field.coefficients(), out, &mut probe);
+            return;
+        }
+        let coeffs = self.gather_coeffs(field.coefficients());
+        for (r, &p) in self.row_perm.iter().enumerate() {
+            out[p as usize] = self.row_dot(r, &coeffs);
+        }
+    }
+
+    /// Copies `coeffs` (element-major, original numbering) into permuted
+    /// element slots: slot `c` receives element `col_perm[c]`'s modes.
+    fn gather_coeffs(&self, coeffs: &[f64]) -> Vec<f64> {
+        let nm = self.n_modes;
+        let mut out = vec![0.0; coeffs.len()];
+        for (slot, &old) in self.col_perm.iter().enumerate() {
+            let old = old as usize;
+            out[slot * nm..(slot + 1) * nm].copy_from_slice(&coeffs[old * nm..(old + 1) * nm]);
+        }
+        out
+    }
+
+    /// Scatters internally-ordered row values back to original point order.
+    fn scatter_rows(&self, permuted: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; permuted.len()];
+        for (r, &p) in self.row_perm.iter().enumerate() {
+            out[p as usize] = permuted[r];
+        }
+        out
     }
 
     fn check_field(&self, field: &DgField) {
+        assert!(
+            self.n_modes <= MAX_MODES,
+            "plan exceeds the row kernel's {MAX_MODES}-mode lane budget"
+        );
         assert_eq!(
             field.degree(),
             self.degree,
@@ -170,6 +240,43 @@ impl EvalPlan {
             self.n_elements,
             "field element count does not match the plan"
         );
+    }
+
+    /// One row's dot product against `coeffs`, accumulated in per-mode
+    /// lanes. The lanes break the single-accumulator FMA dependency chain
+    /// (the former hot-loop bottleneck: one serial add per mode-entry) into
+    /// `n_modes` independent chains the CPU can overlap and vectorize. The
+    /// lane order and the final lane reduction are fixed, so the result is
+    /// deterministic — and bitwise identical across layouts, because every
+    /// layout stores each row's entries in the same sequence.
+    #[inline]
+    fn row_dot(&self, r: usize, coeffs: &[f64]) -> f64 {
+        // Pick the narrowest lane array that holds n_modes, so the per-row
+        // lane reset and reduction don't pay for unused slots. The branch
+        // is perfectly predicted (n_modes is fixed per plan).
+        match self.n_modes {
+            1..=4 => self.row_dot_lanes::<4>(r, coeffs),
+            5..=8 => self.row_dot_lanes::<8>(r, coeffs),
+            9..=16 => self.row_dot_lanes::<16>(r, coeffs),
+            _ => self.row_dot_lanes::<MAX_MODES>(r, coeffs),
+        }
+    }
+
+    #[inline]
+    fn row_dot_lanes<const L: usize>(&self, r: usize, coeffs: &[f64]) -> f64 {
+        let nm = self.n_modes;
+        debug_assert!(nm <= L);
+        let (lo, hi) = self.row_range(r);
+        let mut lane = [0.0f64; L];
+        for e in lo..hi {
+            let w = &self.weights[e * nm..(e + 1) * nm];
+            let col = self.cols[e] as usize;
+            let c = &coeffs[col * nm..col * nm + nm];
+            for m in 0..nm {
+                lane[m] += w[m] * c[m];
+            }
+        }
+        lane[..nm].iter().sum()
     }
 
     /// Evaluates rows `[start, end)` into `out` (length `end - start`).
@@ -184,16 +291,8 @@ impl EvalPlan {
         let mut metrics = Metrics::default();
         let nm = self.n_modes;
         for (slot, r) in (start..end).enumerate() {
+            out[slot] = self.row_dot(r, coeffs);
             let (lo, hi) = self.row_range(r);
-            let mut acc = 0.0;
-            for e in lo..hi {
-                let w = &self.weights[e * nm..(e + 1) * nm];
-                let c = &coeffs[self.cols[e] as usize * nm..];
-                for (wm, cm) in w.iter().zip(c) {
-                    acc += wm * cm;
-                }
-            }
-            out[slot] = acc;
             // Row entries are this scheme's "candidates": the histogram
             // shows how many stored elements each output point reads.
             probe.record_candidates((hi - lo) as u64);

@@ -20,12 +20,14 @@ use rayon::prelude::*;
 use std::time::Instant;
 use ustencil_core::integrate::{ElementData, IntegrationCtx, MAX_MODES};
 use ustencil_core::kernel::{AccumulateWeights, Scratch, StencilTraversal};
-use ustencil_core::{BlockStats, ComputationGrid, Metrics, Probe};
+use ustencil_core::{BlockStats, ComputationGrid, Layout, Metrics, Probe};
 use ustencil_dg::DubinerBasis;
 use ustencil_mesh::TriMesh;
 use ustencil_quadrature::TriangleRule;
 use ustencil_siac::Stencil2d;
-use ustencil_spatial::{Boundary, TriangleGrid};
+use ustencil_spatial::{
+    hilbert_order_elements, hilbert_order_points, Boundary, Permutation, TriangleGrid,
+};
 use ustencil_trace::Tracer;
 
 /// Configuration of a plan compilation. Mirrors the relevant subset of
@@ -44,6 +46,13 @@ pub struct CompileOptions {
     /// Whether to record phase spans and distribution probes (default
     /// false).
     pub instrument: bool,
+    /// Storage order of the compiled CSR (default [`Layout::Natural`]).
+    /// Hilbert layouts emit rows in Hilbert point order with columns
+    /// compacted to the element permutation; row *contents* are
+    /// bit-identical to the natural plan's corresponding rows, so a
+    /// reordered apply is bitwise equal to a natural apply after the
+    /// inverse permutation.
+    pub layout: Layout,
 }
 
 impl Default for CompileOptions {
@@ -54,6 +63,7 @@ impl Default for CompileOptions {
             n_blocks: 16,
             parallel: true,
             instrument: false,
+            layout: Layout::Natural,
         }
     }
 }
@@ -68,6 +78,7 @@ impl CompileOptions {
             n_blocks: s.n_blocks,
             parallel: s.parallel,
             instrument: s.instrument,
+            layout: s.layout,
         }
     }
 }
@@ -120,18 +131,41 @@ impl EvalPlan {
             TriangleGrid::build(mesh, Boundary::Periodic)
         };
 
+        // Hilbert layouts: rows are compiled in Hilbert point order and
+        // columns renumbered to Hilbert element slots. The traversal itself
+        // still runs over the original mesh through the same tri_grid, so
+        // each row's weights (and their within-row entry order) are
+        // bit-identical to the natural plan's row for the same point.
+        let perms: Option<(Permutation, Permutation)> = if options.layout.reorders() {
+            let _span = tracer.span("build.hilbert_order");
+            Some((
+                hilbert_order_points(grid.points()),
+                hilbert_order_elements(mesh),
+            ))
+        } else {
+            None
+        };
+
         let n = grid.len();
         let n_blocks = options.n_blocks.clamp(1, n.max(1));
         let bounds: Vec<(usize, usize)> = (0..n_blocks)
             .map(|b| (b * n / n_blocks, (b + 1) * n / n_blocks))
             .collect();
 
+        let row_order = perms.as_ref().map(|(pp, _)| pp.forward());
         let block = |s: usize, e: usize| -> BlockOut {
             let block_start = Instant::now();
             let mut probe = Probe::new(options.instrument);
             let mut out = compile_block(
-                mesh, grid, &basis, &stencil, &rule, &tri_grid, s, e, &mut probe,
+                mesh, grid, &basis, &stencil, &rule, &tri_grid, s, e, row_order, &mut probe,
             );
+            if let Some((_, ep)) = &perms {
+                // Renumber columns to permuted element slots (values only;
+                // entry order and weights are untouched).
+                for c in &mut out.cols {
+                    *c = ep.inverse()[*c as usize];
+                }
+            }
             out.stats.wall_ns = block_start.elapsed().as_nanos() as u64;
             out.stats.points = (e - s) as u64;
             out.stats.probe = probe;
@@ -165,7 +199,11 @@ impl EvalPlan {
         drop(_span);
         let build_metrics = Metrics::sum(blocks.iter().map(|b| &b.stats.metrics));
 
-        EvalPlan {
+        let (row_perm, col_perm) = match perms {
+            None => (Vec::new(), Vec::new()),
+            Some((pp, ep)) => (pp.forward().to_vec(), ep.forward().to_vec()),
+        };
+        let mut plan = EvalPlan {
             degree,
             smoothness: k,
             n_modes,
@@ -175,13 +213,26 @@ impl EvalPlan {
             cols,
             weights,
             build_wall: start.elapsed(),
-            build_spans: tracer.into_records(),
+            build_spans: Vec::new(),
             build_metrics,
+            layout: options.layout,
+            row_perm,
+            col_perm,
+            tiles: Vec::new(),
+        };
+        if options.layout.blocked() {
+            let _span = tracer.span("build.tiles");
+            plan.tiles = plan.build_tiles();
         }
+        plan.build_wall = start.elapsed();
+        plan.build_spans = tracer.into_records();
+        plan
     }
 }
 
-/// Compiles rows `[start, end)`, returning the block's CSR slices.
+/// Compiles rows `[start, end)`, returning the block's CSR slices. When
+/// `row_order` is given, row `i` evaluates grid point `row_order[i]`
+/// instead of point `i` (the Hilbert row permutation).
 #[allow(clippy::too_many_arguments)]
 fn compile_block(
     mesh: &TriMesh,
@@ -192,6 +243,7 @@ fn compile_block(
     tri_grid: &TriangleGrid,
     start: usize,
     end: usize,
+    row_order: Option<&[u32]>,
     probe: &mut Probe,
 ) -> BlockOut {
     let mut metrics = Metrics::default();
@@ -202,7 +254,8 @@ fn compile_block(
     let mut sink = AccumulateWeights::new(basis);
 
     for i in start..end {
-        let center = grid.points()[i];
+        let point = row_order.map_or(i, |o| o[i] as usize);
+        let center = grid.points()[point];
         sink.begin_row();
         // Same traversal as a direct per-point query, but the weights sink
         // keeps the quadrature symbolic; no element coefficients are read

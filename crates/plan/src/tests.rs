@@ -3,7 +3,7 @@
 //! workspace-level `tests/plan_equivalence_prop.rs`).
 
 use crate::{ApplyOptions, CachedPlan, CompileOptions, EvalPlan, PlanExt, SCHEME_LABEL};
-use ustencil_core::{ComputationGrid, PostProcessor, Scheme};
+use ustencil_core::{ComputationGrid, Layout, PostProcessor, Scheme};
 use ustencil_dg::project_l2;
 use ustencil_mesh::{generate_mesh, MeshClass, TriMesh};
 
@@ -269,7 +269,19 @@ fn malformed_plans_are_rejected() {
     assert!(EvalPlan::from_json("{}").is_err());
     assert!(EvalPlan::from_json("not json").is_err());
     // Wrong format tag.
-    let bad = text.replace("ustencil-plan/v1", "ustencil-plan/v999");
+    let bad = text.replace("ustencil-plan/v2", "ustencil-plan/v999");
+    assert!(EvalPlan::from_json(&bad).is_err());
+    // Old format tag (v1 documents are no longer accepted).
+    let bad = text.replace("ustencil-plan/v2", "ustencil-plan/v1");
+    assert!(EvalPlan::from_json(&bad).is_err());
+    // Unknown layout label.
+    let bad = text.replace("\"layout\": \"natural\"", "\"layout\": \"zigzag\"");
+    assert!(EvalPlan::from_json(&bad).is_err());
+    // Natural layouts must not carry permutations.
+    let bad = text.replace("\"row_perm\": []", "\"row_perm\": [0]");
+    assert!(EvalPlan::from_json(&bad).is_err());
+    // Non-blocked layouts must not carry tiles.
+    let bad = text.replace("\"tiles\": []", "\"tiles\": [0, 1]");
     assert!(EvalPlan::from_json(&bad).is_err());
     // Truncated weight blob (drop one f64 = 16 hex digits).
     let start = text.find("\"weights\": \"").unwrap() + "\"weights\": \"".len();
@@ -310,4 +322,142 @@ fn oversized_stencil_is_rejected() {
     let mesh = generate_mesh(MeshClass::StructuredPattern, 8, 0);
     let grid = ComputationGrid::quadrature_points(&mesh, 3);
     let _ = EvalPlan::compile(&mesh, &grid, 3, &CompileOptions::default());
+}
+
+#[test]
+fn hilbert_layout_is_bitwise_equal_after_unpermutation() {
+    let (mesh, field, grid) = setup(200, 2, 13);
+    let natural = EvalPlan::compile(&mesh, &grid, 2, &small_options());
+    for layout in [Layout::Hilbert, Layout::HilbertBlocked] {
+        let opts = CompileOptions {
+            layout,
+            ..small_options()
+        };
+        let plan = EvalPlan::compile(&mesh, &grid, 2, &opts);
+        assert_eq!(plan.layout(), layout);
+        assert_eq!(plan.nnz(), natural.nnz());
+        // Each reordered row is the natural plan's row for the same point:
+        // identical entry order, bit-identical weights, columns mapped
+        // through the element permutation.
+        let inv_col: Vec<u32> = {
+            let mut inv = vec![0u32; plan.col_perm().len()];
+            for (slot, &old) in plan.col_perm().iter().enumerate() {
+                inv[old as usize] = slot as u32;
+            }
+            inv
+        };
+        for (r, &point) in plan.row_perm().iter().enumerate() {
+            let (lo, hi) = plan.row_range(r);
+            let (nlo, nhi) = natural.row_range(point as usize);
+            assert_eq!(hi - lo, nhi - nlo, "row {r} width");
+            for (e, ne) in (lo..hi).zip(nlo..nhi) {
+                assert_eq!(plan.cols()[e], inv_col[natural.cols()[ne] as usize]);
+                let nm = plan.n_modes();
+                let w = &plan.weights[e * nm..(e + 1) * nm];
+                let nw = &natural.weights[ne * nm..(ne + 1) * nm];
+                assert!(
+                    w.iter().zip(nw).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "row {r} weights not bit-identical"
+                );
+            }
+        }
+        // Apply is bitwise equal to the natural apply after the scatter.
+        let nat_sol = natural.apply_with(&field, &ApplyOptions::default());
+        let sol = plan.apply_with(&field, &ApplyOptions::default());
+        assert!(sol
+            .values
+            .iter()
+            .zip(&nat_sol.values)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        // Aggregate counters are reorder-invariant.
+        assert_eq!(sol.metrics, nat_sol.metrics);
+        // apply_into matches too.
+        let mut out = vec![0.0; plan.rows()];
+        plan.apply_into(&field, &mut out);
+        assert!(out
+            .iter()
+            .zip(&nat_sol.values)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}
+
+#[test]
+fn blocked_layout_builds_valid_tiles() {
+    let (mesh, field, grid) = setup(250, 1, 21);
+    let opts = CompileOptions {
+        layout: Layout::HilbertBlocked,
+        ..small_options()
+    };
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &opts);
+    let tiles = plan.tiles();
+    assert!(tiles.len() >= 2);
+    assert_eq!(tiles.first(), Some(&0));
+    assert_eq!(*tiles.last().unwrap() as usize, plan.rows());
+    assert!(tiles.windows(2).all(|w| w[0] < w[1]));
+    // Tiles only change the parallel split, never the per-row arithmetic.
+    let hilbert = EvalPlan::compile(
+        &mesh,
+        &grid,
+        1,
+        &CompileOptions {
+            layout: Layout::Hilbert,
+            ..small_options()
+        },
+    );
+    let a = plan.apply_with(&field, &ApplyOptions::default());
+    let b = hilbert.apply_with(&field, &ApplyOptions::default());
+    assert!(a
+        .values
+        .iter()
+        .zip(&b.values)
+        .all(|(x, y)| x.to_bits() == y.to_bits()));
+}
+
+#[test]
+fn reordered_serialization_round_trip_is_bit_exact() {
+    let (mesh, field, grid) = setup(150, 1, 17);
+    let opts = CompileOptions {
+        layout: Layout::HilbertBlocked,
+        ..small_options()
+    };
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &opts);
+    let text = plan.to_pretty_string();
+    let loaded = EvalPlan::from_json(&text).expect("round trip");
+    assert_eq!(loaded.layout(), Layout::HilbertBlocked);
+    assert_eq!(loaded.row_perm(), plan.row_perm());
+    assert_eq!(loaded.col_perm(), plan.col_perm());
+    assert_eq!(loaded.tiles(), plan.tiles());
+    let a = plan.apply(&field);
+    let b = loaded.apply(&field);
+    assert!(a
+        .values
+        .iter()
+        .zip(&b.values)
+        .all(|(x, y)| x.to_bits() == y.to_bits()));
+}
+
+#[test]
+fn locality_stats_are_populated() {
+    let (mesh, _, grid) = setup(200, 1, 19);
+    for layout in Layout::ALL {
+        let opts = CompileOptions {
+            layout,
+            ..small_options()
+        };
+        let plan = EvalPlan::compile(&mesh, &grid, 1, &opts);
+        let stats = plan.locality_stats();
+        assert_eq!(stats.layout, layout.label());
+        assert_eq!(stats.rows, plan.rows() as u64);
+        assert_eq!(stats.nnz, plan.nnz() as u64);
+        assert!(stats.mean_span_lines >= 1.0);
+        assert!(stats.p95_span_lines >= stats.mean_span_lines * 0.5);
+        assert!(stats.est_reuse_lines >= 0.0);
+        if layout.blocked() {
+            assert!(stats.n_tiles >= 1);
+            assert!(stats.mean_rows_per_tile >= 1.0);
+            assert!(stats.tile_fill > 0.0 && stats.tile_fill <= 1.0);
+        } else {
+            assert_eq!(stats.n_tiles, 0);
+        }
+    }
 }

@@ -1,0 +1,84 @@
+//! Locality probe: per-layout plan locality stats plus an interleaved
+//! min-of-N apply timing — the measurement behind the "Locality" section
+//! of EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release --example locality_probe [n_tri] [reps]`
+//! (defaults: 16000 triangles, 8 reps). Compiles one plan per [`Layout`]
+//! over the same degree-1 workload, then times `apply_into` — the
+//! serve-time fast path — with the layouts interleaved every rep so
+//! machine drift hits all of them equally; the minimum over reps is the
+//! least-noise estimate on a shared host. Prints each layout's best time
+//! next to its [`locality_stats`](ustencil::EvalPlan::locality_stats):
+//! mean/95p row span, estimated fresh lines per row, and tile shape.
+use std::time::Instant;
+use ustencil::dg::project_l2;
+use ustencil::engine::{ComputationGrid, Layout};
+use ustencil::mesh::{generate_mesh, MeshClass};
+use ustencil::plan::{CompileOptions, EvalPlan};
+
+fn main() {
+    let n_tri: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16_000);
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let mesh = generate_mesh(MeshClass::LowVariance, n_tri, 2013);
+    let p = 1;
+    let field = project_l2(
+        &mesh,
+        p,
+        |x, y| {
+            let tau = std::f64::consts::TAU;
+            (tau * x).sin() * (tau * y).cos()
+        },
+        4,
+    );
+    let grid = ComputationGrid::quadrature_points(&mesh, p);
+    let plans: Vec<EvalPlan> = Layout::ALL
+        .iter()
+        .map(|&layout| {
+            let t = Instant::now();
+            let plan = EvalPlan::compile(
+                &mesh,
+                &grid,
+                p,
+                &CompileOptions {
+                    layout,
+                    ..CompileOptions::default()
+                },
+            );
+            eprintln!(
+                "compiled {} in {:.1}s",
+                layout.label(),
+                t.elapsed().as_secs_f64()
+            );
+            plan
+        })
+        .collect();
+    let mut best = [f64::INFINITY; 3];
+    let mut out = vec![0.0; plans[0].rows()];
+    // Interleave layouts each rep so machine drift hits all three equally.
+    for _ in 0..reps {
+        for (i, plan) in plans.iter().enumerate() {
+            let t = Instant::now();
+            plan.apply_into(&field, &mut out);
+            best[i] = best[i].min(t.elapsed().as_secs_f64());
+        }
+    }
+    for (i, plan) in plans.iter().enumerate() {
+        let s = plan.locality_stats();
+        println!(
+            "{:16} best={:8.1}ms span={:8.1} p95={:8.1} reuse={:6.2} tiles={:5} rows/tile={:8.1}",
+            s.layout,
+            best[i] * 1e3,
+            s.mean_span_lines,
+            s.p95_span_lines,
+            s.est_reuse_lines,
+            s.n_tiles,
+            s.mean_rows_per_tile
+        );
+    }
+}

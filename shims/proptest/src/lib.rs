@@ -2,8 +2,9 @@
 //!
 //! The build environment has no access to crates.io, so this workspace ships
 //! a small property-testing harness with proptest's surface syntax: the
-//! `proptest!` / `prop_assert!` macros, `ProptestConfig::with_cases`, range
-//! and tuple strategies, `prop_map` / `prop_filter`, and `bool::ANY`.
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros,
+//! `ProptestConfig::with_cases`, range and tuple strategies,
+//! `prop_map` / `prop_filter`, and `bool::ANY`.
 //!
 //! Differences from upstream, by design:
 //! * no shrinking — a failing case reports its inputs via the assertion
@@ -35,7 +36,7 @@ pub mod bool {
 pub mod prelude {
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
 }
 
 /// Asserts a condition inside a `proptest!` body, failing the current case
@@ -62,6 +63,40 @@ macro_rules! prop_assert {
             }
         }
     };
+}
+
+/// Asserts two values are equal inside a `proptest!` body, failing the
+/// current case (showing both sides, plus optional formatted context)
+/// instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
 }
 
 /// Declares property tests: each `fn name(binding in strategy, ...) { body }`

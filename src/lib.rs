@@ -27,6 +27,8 @@
 //! `examples/timeseries_postprocess.rs` for the compile-once/apply-many
 //! plan workflow.
 
+#![deny(missing_docs)]
+
 pub use ustencil_core as engine;
 pub use ustencil_dg as dg;
 pub use ustencil_dist as dist;

@@ -124,6 +124,48 @@ fn outputs_match_golden_bits() {
     }
 }
 
+/// The plan golden pins the `Layout::Natural` apply bit-for-bit; the
+/// reordered layouts must reproduce those exact bits after their fused
+/// inverse permutation — the locality layer's bitwise contract
+/// (DESIGN.md §12), checked here against the committed fixture rather
+/// than a same-process baseline.
+#[test]
+fn reordered_layouts_match_the_plan_golden() {
+    use ustencil::engine::Layout;
+    let golden = parse_golden();
+    let (_, plan_bits) = &golden[2];
+    assert_eq!(golden[2].0, "plan", "fixture row order changed");
+    let (mesh, field, grid, h_factor) = fixture();
+    for layout in [Layout::Hilbert, Layout::HilbertBlocked] {
+        let options = CompileOptions {
+            h_factor,
+            n_blocks: 1,
+            parallel: false,
+            layout,
+            ..CompileOptions::default()
+        };
+        let values = EvalPlan::compile(&mesh, &grid, DEGREE, &options)
+            .apply_with(
+                &field,
+                &ApplyOptions {
+                    n_blocks: 1,
+                    parallel: false,
+                    instrument: false,
+                },
+            )
+            .values;
+        assert_eq!(values.len(), plan_bits.len(), "{layout:?}: length changed");
+        for (i, (v, &bits)) in values.iter().zip(plan_bits).enumerate() {
+            assert_eq!(
+                v.to_bits(),
+                bits,
+                "{layout:?}[{i}]: {v:e} != {:e} (bit-wise)",
+                f64::from_bits(bits)
+            );
+        }
+    }
+}
+
 /// Sanity-check the fixture itself: the three schemes agree with each other
 /// to the refactor tolerance, so the committed vectors describe one
 /// consistent convolution rather than three independent accidents.

@@ -1,0 +1,114 @@
+//! Property-based tests of the locality layer: Hilbert-reordered execution
+//! is an internal storage choice that callers cannot observe numerically.
+//! Direct schemes agree with natural order to 1e-12 with bit-identical
+//! aggregate counters; a reordered plan apply is *bitwise* equal to the
+//! natural apply after the inverse permutation. Case counts are small
+//! because every case runs full post-processing passes under two layouts.
+
+use proptest::prelude::*;
+use ustencil::dg::project_l2;
+use ustencil::engine::prelude::*;
+use ustencil::engine::Layout;
+use ustencil::mesh::{generate_mesh, MeshClass};
+use ustencil::plan::CompileOptions;
+use ustencil::EvalPlan;
+
+fn build(
+    class: MeshClass,
+    n: usize,
+    p: usize,
+    k: usize,
+    seed: u64,
+) -> (
+    ustencil::mesh::TriMesh,
+    ustencil::dg::DgField,
+    ComputationGrid,
+    f64,
+) {
+    let mesh = generate_mesh(class, n, seed);
+    let field = project_l2(&mesh, p, |x, y| (x * 4.7).sin() - y * y + 0.4 * x * y, 2);
+    let grid = ComputationGrid::quadrature_points(&mesh, p);
+    // Keep the (3k+1)h support inside the periodic unit square.
+    let h_factor = (0.9 / ((3 * k + 1) as f64 * mesh.max_edge_length())).min(1.0);
+    (mesh, field, grid, h_factor)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Hilbert-reordered direct runs agree with natural order to 1e-12
+    /// under both schemes, and the aggregate work counters — sums over
+    /// (element, point) pairs — are permutation-invariant, i.e.
+    /// bit-identical.
+    #[test]
+    fn hilbert_direct_runs_match_natural(
+        seed in 0u64..1000,
+        n in 80usize..220,
+        p in 1usize..=2,
+        lv in proptest::bool::ANY,
+    ) {
+        let class = if lv { MeshClass::LowVariance } else { MeshClass::HighVariance };
+        let (mesh, field, grid, h_factor) = build(class, n, p, p, seed);
+        for scheme in Scheme::ALL {
+            let natural = PostProcessor::new(scheme)
+                .h_factor(h_factor)
+                .parallel(false)
+                .run(&mesh, &field, &grid);
+            let hilbert = PostProcessor::new(scheme)
+                .h_factor(h_factor)
+                .parallel(false)
+                .layout(Layout::Hilbert)
+                .run(&mesh, &field, &grid);
+            let diff = natural
+                .values
+                .iter()
+                .zip(&hilbert.values)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            prop_assert!(diff <= 1e-12, "{scheme:?}: layouts diverge by {diff}");
+            prop_assert_eq!(
+                natural.metrics, hilbert.metrics,
+                "aggregate counters must be permutation-invariant"
+            );
+        }
+    }
+
+    /// A Hilbert (and Hilbert-blocked) plan apply is bitwise equal to the
+    /// natural plan apply after the inverse row permutation — the plan
+    /// path's stronger-than-1e-12 contract.
+    #[test]
+    fn reordered_plan_apply_is_bitwise_after_unpermutation(
+        seed in 0u64..1000,
+        n in 80usize..200,
+        p in 1usize..=2,
+        lv in proptest::bool::ANY,
+    ) {
+        let class = if lv { MeshClass::LowVariance } else { MeshClass::HighVariance };
+        let (mesh, field, grid, h_factor) = build(class, n, p, p, seed);
+        let natural = EvalPlan::compile(&mesh, &grid, p, &CompileOptions {
+            h_factor,
+            parallel: false,
+            ..CompileOptions::default()
+        });
+        let nat_values = natural.apply(&field).values;
+        for layout in [Layout::Hilbert, Layout::HilbertBlocked] {
+            let plan = EvalPlan::compile(&mesh, &grid, p, &CompileOptions {
+                h_factor,
+                parallel: false,
+                layout,
+                ..CompileOptions::default()
+            });
+            let values = plan.apply(&field).values;
+            prop_assert_eq!(values.len(), nat_values.len());
+            for (r, (a, b)) in values.iter().zip(&nat_values).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{:?} row {} not bitwise equal",
+                    layout,
+                    r
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Docs-link checker: every DESIGN.md section referenced from code comments
+or the top-level markdown files must actually exist.
+
+Checks three reference styles:
+
+1. ``DESIGN.md §N`` (possibly a list: ``DESIGN.md §9, §12``) — section N
+   must exist as a ``## N.`` heading in DESIGN.md.
+2. ``DESIGN.md#anchor`` — the GitHub-style anchor must match a DESIGN.md
+   heading.
+3. Relative markdown links ``[text](FILE.md...)`` inside the top-level
+   markdown files — the target file must exist (and its anchor, if one is
+   given and the target is DESIGN.md).
+
+Exits non-zero listing every broken reference. No dependencies.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DESIGN = ROOT / "DESIGN.md"
+TOP_MD = ["README.md", "DESIGN.md", "ARCHITECTURE.md", "EXPERIMENTS.md", "CHANGES.md"]
+
+
+def design_sections():
+    """Section numbers and GitHub-style anchors of DESIGN.md headings."""
+    numbers = set()
+    anchors = set()
+    for line in DESIGN.read_text().splitlines():
+        m = re.match(r"^(#{1,6})\s+(.*)$", line)
+        if not m:
+            continue
+        title = m.group(2).strip()
+        num = re.match(r"^(\d+)\.\s", title)
+        if num:
+            numbers.add(int(num.group(1)))
+        anchor = re.sub(r"[^\w\s-]", "", title.lower())
+        anchor = re.sub(r"\s+", "-", anchor.strip())
+        anchors.add(anchor)
+    return numbers, anchors
+
+
+def iter_source_files():
+    for pattern in ("crates/**/*.rs", "src/**/*.rs", "tests/**/*.rs", "examples/**/*.rs"):
+        yield from ROOT.glob(pattern)
+    for name in TOP_MD:
+        p = ROOT / name
+        if p.exists():
+            yield p
+
+
+def main():
+    numbers, anchors = design_sections()
+    errors = []
+
+    for path in iter_source_files():
+        text = path.read_text()
+        rel = path.relative_to(ROOT)
+        for lineno, line in enumerate(text.splitlines(), 1):
+            # Style 1: DESIGN.md §9 / DESIGN.md §9, §12
+            for m in re.finditer(r"DESIGN\.md\s*((?:§\d+(?:\s*,\s*)?)+)", line):
+                for sec in re.findall(r"§(\d+)", m.group(1)):
+                    if int(sec) not in numbers:
+                        errors.append(f"{rel}:{lineno}: DESIGN.md §{sec} does not exist")
+            # Style 2: DESIGN.md#anchor
+            for m in re.finditer(r"DESIGN\.md#([A-Za-z0-9-]+)", line):
+                if m.group(1) not in anchors:
+                    errors.append(f"{rel}:{lineno}: DESIGN.md#{m.group(1)} anchor not found")
+            # Style 3: markdown links to local .md files
+            if path.suffix == ".md":
+                for m in re.finditer(r"\]\((?!https?://)([^)#]+\.md)(#[A-Za-z0-9-]+)?\)", line):
+                    target = ROOT / m.group(1)
+                    if not target.exists():
+                        errors.append(f"{rel}:{lineno}: broken link to {m.group(1)}")
+
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken documentation reference(s)")
+        return 1
+    print("doc links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
