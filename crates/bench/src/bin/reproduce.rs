@@ -12,12 +12,14 @@
 
 use std::collections::HashMap;
 use ustencil_bench::cli::{parse_cli, CliOptions, USAGE};
+use ustencil_bench::record::{min_of, BenchRecord};
 use ustencil_bench::{mesh_sizes, size_label, Workload};
 use ustencil_core::per_element::memory_overhead;
 use ustencil_core::prelude::*;
 use ustencil_dist::{run_dist, DistOptions, SCHEME_LABEL as DIST_SCHEME_LABEL};
 use ustencil_mesh::MeshClass;
 use ustencil_plan::{ApplyOptions, PlanExt, SCHEME_LABEL};
+use ustencil_trace::Timeline;
 
 /// Largest default mesh size per polynomial degree (indexed by `p`).
 /// Quadratic stops at 4k and cubic is skipped by default so the
@@ -233,12 +235,14 @@ fn fig14(r: &mut Runner, sizes: &[usize]) {
 /// the device model's communication term is charged with *counted*
 /// traffic rather than an estimate. Each rank count is validated against
 /// the in-process per-element reference before being reported.
-fn fig14_ranks(r: &mut Runner, sizes: &[usize], ranks: &[usize]) {
+fn fig14_ranks(r: &mut Runner, sizes: &[usize], ranks: &[usize], timeline_path: Option<&str>) {
     println!("\n== Figure 14 (rank-sharded): per-element with explicit halo exchange, linear polynomials ==");
     println!(
         "{:>8} {:>6} {:>12} {:>10} {:>10} {:>12} {:>10}",
         "mesh", "ranks", "sim ms", "halo elems", "msgs", "wire KiB", "max diff"
     );
+    let mut timeline = Timeline::new();
+    let mut next_pid = 1u64;
     for &n in sizes {
         let reference = r
             .run(MeshClass::LowVariance, n, 1, Scheme::PerElement)
@@ -280,8 +284,22 @@ fn fig14_ranks(r: &mut Runner, sizes: &[usize], ranks: &[usize]) {
                 diff
             );
             let label = format!("low-variance/{}/p1/dist@{}ranks", size_label(n), n_ranks);
+            sol.add_to_timeline(&mut timeline, next_pid, &label);
+            next_pid += 1;
             r.records.push(sol.to_run_record(&label, n, Some(sim)));
         }
+    }
+    if let Some(path) = timeline_path {
+        let text = timeline.to_pretty_string();
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("cannot write '{path}': {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "  [wrote {} track(s), {} flow arrow(s) to {path}; load at ui.perfetto.dev]",
+            timeline.tracks().len(),
+            timeline.flows().len()
+        );
     }
     println!(
         "(log-log in ranks x size: compute shrinks per rank while counted halo traffic grows)"
@@ -369,6 +387,196 @@ fn plan_cmd(r: &mut Runner, sizes: &[usize], timesteps: usize) {
         r.records.push(plan.to_run_record(&label, n, &sol));
     }
     println!("(amortization: a plan pays for itself after T* frames; see EXPERIMENTS.md)");
+}
+
+/// The `bench` subcommand: the standard fixtures of the performance
+/// observatory, timed as min-of-`--reps` walls and optionally written as a
+/// versioned [`BenchRecord`] for `tools/bench_diff.py` to gate on.
+///
+/// Fixtures: plan apply at the ladder's large size, the rank-sharded
+/// fig14 exchange at the medium size across the rank ladder, and the
+/// staged-vs-fused integration micro-kernel. Each entry also pins a few
+/// deterministic shape metrics (nnz, counted wire bytes) so a diff can
+/// distinguish "the machine got slower" from "the workload changed".
+fn bench_cmd(opts: &CliOptions) {
+    let (dist_size, plan_size) = match opts.sizes.as_deref() {
+        Some(sizes) => (sizes[0], *sizes.last().expect("validated non-empty")),
+        None => (16_000, 64_000),
+    };
+    let ranks: Vec<usize> = opts.ranks.clone().unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let reps = opts.reps;
+    let mut record = BenchRecord::new(reps);
+    println!(
+        "\n== Benchmark fixtures: min of {} rep(s), rev {} ==",
+        reps, record.git_rev
+    );
+    println!("{:>28} {:>12}  metrics", "fixture", "wall ms");
+
+    // Fixture 1: plan apply (the amortized hot path of a serving system).
+    let w = Workload::build(MeshClass::LowVariance, plan_size, 1, opts.seed);
+    eprintln!("  [compiling plan for {} triangles...]", plan_size);
+    let processor = PostProcessor::new(Scheme::PerElement)
+        .blocks(16)
+        .h_factor(w.safe_h_factor());
+    let plan = processor.compile_plan(&w.mesh, w.p, &w.grid);
+    let apply_opts = ApplyOptions {
+        n_blocks: 16,
+        parallel: true,
+        instrument: false,
+    };
+    let (wall, sol) = min_of(reps, || plan.apply_with(&w.field, &apply_opts));
+    let name = format!("plan.apply/{}", size_label(plan_size));
+    let metrics = [
+        ("nnz", plan.nnz() as f64),
+        ("rows", sol.values.len() as f64),
+    ];
+    print_bench_row(&name, wall, &metrics);
+    record.push(&name, wall, &metrics);
+
+    // Fixture 2: the rank-sharded halo exchange at each rank count.
+    let w = Workload::build(MeshClass::LowVariance, dist_size, 1, opts.seed);
+    for &n_ranks in &ranks {
+        eprintln!(
+            "  [running {} triangles on {} rank(s)...]",
+            dist_size, n_ranks
+        );
+        let dist_opts = DistOptions::new(n_ranks).h_factor(w.safe_h_factor());
+        let (wall, sol) = min_of(reps, || {
+            run_dist(&w.mesh, &w.field, &w.grid, &dist_opts).unwrap_or_else(|e| {
+                eprintln!("bench dist run failed at {n_ranks} ranks: {e}");
+                std::process::exit(1);
+            })
+        });
+        let comm = sol.total_comm();
+        let name = format!("dist.halo/{}@{}ranks", size_label(dist_size), n_ranks);
+        let metrics = [
+            ("bytes_sent", comm.bytes_sent as f64),
+            ("msgs_sent", comm.msgs_sent as f64),
+        ];
+        print_bench_row(&name, wall, &metrics);
+        record.push(&name, wall, &metrics);
+    }
+
+    // Fixture 3: staged vs fused integration micro-kernel.
+    for (name, wall, n_elems) in micro_integration(reps) {
+        let metrics = [("elements", n_elems as f64)];
+        print_bench_row(&name, wall, &metrics);
+        record.push(&name, wall, &metrics);
+    }
+
+    if let Some(path) = &opts.record {
+        let text = record.to_pretty_string();
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("cannot write '{path}': {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "  [wrote {} fixture(s) to {path}; compare with tools/bench_diff.py]",
+            record.entries.len()
+        );
+    }
+}
+
+fn print_bench_row(name: &str, wall: f64, metrics: &[(&str, f64)]) {
+    let m: Vec<String> = metrics.iter().map(|(k, v)| format!("{k}={v:.0}")).collect();
+    println!("{:>28} {:>12.3}  {}", name, wall, m.join(" "));
+}
+
+/// The staged-vs-fused integration micro: one realistic stencil query's
+/// worth of element images, integrated through the shared traversal
+/// driver's staged SoA path and through a fused closure over the same
+/// public primitives. Returns `(name, wall_ms, n_elements)` per variant.
+/// (The Criterion twin lives in `benches/micro_kernels.rs`; this one is
+/// cheap enough to gate CI on.)
+fn micro_integration(reps: usize) -> Vec<(String, f64, usize)> {
+    use ustencil_core::integrate::{ElementData, IntegrationCtx};
+    use ustencil_core::kernel::{AccumulateSolution, QuadStage, StencilTraversal};
+    use ustencil_dg::project_l2;
+    use ustencil_geometry::{clip_triangle_rect, fan_triangulate, Point2, Vec2, GEOM_EPS};
+    use ustencil_mesh::generate_mesh;
+    use ustencil_quadrature::TriangleRule;
+    use ustencil_siac::Stencil2d;
+
+    let mesh = generate_mesh(MeshClass::LowVariance, 200, 7);
+    let field = project_l2(&mesh, 2, |x, y| (x * 3.0).sin() + y * y - 0.3 * x * y, 1);
+    let basis = field.basis().clone();
+    let stencil = Stencil2d::symmetric(2, mesh.max_edge_length());
+    let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(2, 2));
+    let exps = basis.monomial_exponents();
+    let center = Point2::new(0.5, 0.5);
+    let support = stencil.support_rect(center);
+    let elems: Vec<ElementData> = (0..mesh.n_triangles())
+        .map(|e| ElementData::gather(&mesh, &field, &basis, e))
+        .filter(|ed| support.intersects_aabb(&ed.bbox))
+        .collect();
+    assert!(!elems.is_empty());
+    // Enough sweeps per repetition for a wall resolvable above timer noise.
+    const SWEEPS: usize = 20;
+
+    let (fused_wall, _) = min_of(reps, || {
+        let mut total = 0.0;
+        for _ in 0..SWEEPS {
+            for ed in &elems {
+                let h = stencil.h();
+                let n_cells = stencil.cells_per_side();
+                let (lo, _) = stencil.kernel().support();
+                let x_base = center.x + lo * h;
+                let y_base = center.y + lo * h;
+                let bbox = &ed.bbox;
+                let i0 = (((bbox.min.x - x_base) / h).floor().max(0.0)) as usize;
+                let j0 = (((bbox.min.y - y_base) / h).floor().max(0.0)) as usize;
+                if i0 >= n_cells || j0 >= n_cells || bbox.max.x < x_base || bbox.max.y < y_base {
+                    continue;
+                }
+                let i1 = ((((bbox.max.x - x_base) / h).floor()) as usize).min(n_cells - 1);
+                let j1 = ((((bbox.max.y - y_base) / h).floor()) as usize).min(n_cells - 1);
+                for j in j0..=j1 {
+                    for i in i0..=i1 {
+                        let cell = stencil.cell_rect(center, i, j);
+                        let poly = clip_triangle_rect(&ed.tri, &cell);
+                        if poly.is_degenerate(GEOM_EPS) {
+                            continue;
+                        }
+                        for sub in fan_triangulate(&poly) {
+                            total += rule.integrate_physical(&sub, |x, y| {
+                                let p = Point2::new(x, y);
+                                stencil.eval(center, p) * ed.eval(p, exps)
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        total
+    });
+
+    let trav = StencilTraversal::new(&stencil, &rule, exps, basis.n_modes());
+    let mut stage = QuadStage::default();
+    let mut metrics = Metrics::default();
+    let mut sink = AccumulateSolution::new();
+    let (staged_wall, _) = min_of(reps, || {
+        let mut total = 0.0;
+        for _ in 0..SWEEPS {
+            for ed in &elems {
+                trav.integrate_image(center, ed, Vec2::ZERO, &mut stage, &mut sink, &mut metrics);
+                total += sink.take();
+            }
+        }
+        total
+    });
+
+    vec![
+        (
+            "micro.integration/fused".to_string(),
+            fused_wall,
+            elems.len(),
+        ),
+        (
+            "micro.integration/staged".to_string(),
+            staged_wall,
+            elems.len(),
+        ),
+    ]
 }
 
 /// The `profile` subcommand: run both schemes on the smallest configured
@@ -473,6 +681,40 @@ fn checkjson(path: &str) -> Result<(), String> {
             if run.comms.len() > 1 && !run.comms.iter().any(|c| c.bytes_sent > 0) {
                 return Err(format!("{ctx}: multi-rank run counted no wire traffic"));
             }
+            for c in &run.comms {
+                if c.exposed_comms_ms.is_nan() || c.exposed_comms_ms < 0.0 {
+                    return Err(format!(
+                        "{ctx}: rank {} has invalid exposed_comms_ms {}",
+                        c.rank, c.exposed_comms_ms
+                    ));
+                }
+            }
+            if run.comms.len() > 1 {
+                // Instrumented multi-rank runs promise the exposed-comms
+                // analysis: a critical path with one utilization entry per
+                // rank, and a completely joined flow trace (every halo
+                // send recorded at its receiver).
+                let cp = run.critical_path.as_ref().ok_or_else(|| {
+                    format!("{ctx}: multi-rank dist run without a critical_path summary")
+                })?;
+                if cp.total_ms <= 0.0 {
+                    return Err(format!("{ctx}: critical path has no duration"));
+                }
+                if cp.utilization.len() != run.comms.len() {
+                    return Err(format!(
+                        "{ctx}: {} utilization entries for {} ranks",
+                        cp.utilization.len(),
+                        run.comms.len()
+                    ));
+                }
+                let sends: u64 = run.comms.iter().map(|c| c.flow_sends).sum();
+                let recvs: u64 = run.comms.iter().map(|c| c.flow_recvs).sum();
+                if sends == 0 || sends != recvs {
+                    return Err(format!(
+                        "{ctx}: flow trace is incomplete ({sends} sends, {recvs} recvs)"
+                    ));
+                }
+            }
         } else {
             match run.histogram("candidates_per_query") {
                 Some(h) if !h.is_empty() => {}
@@ -547,11 +789,12 @@ fn main() {
         ),
         "fig13" => fig13(&mut r, &sizes, &caps),
         "fig14" => match &opts.ranks {
-            Some(ranks) => fig14_ranks(&mut r, &sizes, ranks),
+            Some(ranks) => fig14_ranks(&mut r, &sizes, ranks, opts.timeline.as_deref()),
             None => fig14(&mut r, &sizes),
         },
         "profile" => profile(&mut r, &sizes),
         "plan" => plan_cmd(&mut r, &sizes, opts.timesteps),
+        "bench" => bench_cmd(&opts),
         "all" => {
             table1(&mut r, &sizes);
             fig8(&mut r, &sizes);
@@ -571,7 +814,7 @@ fn main() {
             );
             fig13(&mut r, &sizes, &caps);
             match &opts.ranks {
-                Some(ranks) => fig14_ranks(&mut r, &sizes, ranks),
+                Some(ranks) => fig14_ranks(&mut r, &sizes, ranks, opts.timeline.as_deref()),
                 None => fig14(&mut r, &sizes),
             }
         }

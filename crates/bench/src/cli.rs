@@ -17,21 +17,33 @@ commands:
   plan                compile an evaluation plan per mesh size, apply it to
                       --timesteps synthetic fields, and report the speedup
                       over direct per-element runs
+  bench               run the standard benchmark fixtures (plan apply,
+                      rank-sharded fig14, staged-vs-fused micro) and report
+                      min-of-N walls; --record writes the versioned record
+                      tools/bench_diff.py compares against a baseline
   checkjson <path>    validate a --json report file (used by CI)
 
 options:
-  --sizes N,N,..      mesh sizes in triangles (default: the paper ladder)
+  --sizes N,N,..      mesh sizes in triangles (default: the paper ladder;
+                      for `bench`: halo-exchange size, plan-apply size,
+                      default 16000,64000)
   --ranks N,N,..      run fig14 rank-sharded at each rank count (per-element
                       evaluation with explicit halo exchange; emits per-rank
-                      comms ledgers into the JSON report)
+                      comms ledgers into the JSON report); also the rank
+                      ladder of the `bench` fixture (default 1,2,4,8)
   --seed S            mesh-generation seed (default 2013)
   --timesteps T       synthetic fields a `plan` run applies (default 8)
+  --reps N            repetitions per `bench` fixture; the record keeps the
+                      minimum wall (default 3)
   --full              lift the size ladder and degree caps to paper scale
   --json <path>       also write the structured RunReport as JSON
+  --record <path>     write the `bench` record as JSON (versioned schema)
+  --timeline <path>   write a Chrome trace-event timeline of a rank-sharded
+                      fig14 run (load at ui.perfetto.dev)
   --help, -h          print this message";
 
 /// Commands `reproduce` accepts.
-pub const COMMANDS: [&str; 11] = [
+pub const COMMANDS: [&str; 12] = [
     "table1",
     "fig8",
     "fig11",
@@ -41,6 +53,7 @@ pub const COMMANDS: [&str; 11] = [
     "all",
     "profile",
     "plan",
+    "bench",
     "checkjson",
     "help",
 ];
@@ -58,10 +71,16 @@ pub struct CliOptions {
     pub seed: u64,
     /// Synthetic timesteps a `plan` run applies.
     pub timesteps: usize,
+    /// Repetitions per `bench` fixture (the record keeps the min wall).
+    pub reps: usize,
     /// Whether `--full` was given.
     pub full: bool,
     /// `--json` output path, when given.
     pub json: Option<String>,
+    /// `--record` output path of the `bench` command, when given.
+    pub record: Option<String>,
+    /// `--timeline` trace-event output path, when given.
+    pub timeline: Option<String>,
     /// The positional path argument of `checkjson`.
     pub path_arg: Option<String>,
     /// Whether `--help`/`-h` was given.
@@ -76,8 +95,11 @@ impl Default for CliOptions {
             ranks: None,
             seed: 2013,
             timesteps: 8,
+            reps: 3,
             full: false,
             json: None,
+            record: None,
+            timeline: None,
             path_arg: None,
             help: false,
         }
@@ -136,8 +158,22 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
                         format!("--timesteps value '{v}' is not a positive integer")
                     })?;
             }
+            "--reps" => {
+                let v = value_of(&mut it, "--reps")?;
+                opts.reps = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&r| r > 0)
+                    .ok_or_else(|| format!("--reps value '{v}' is not a positive integer"))?;
+            }
             "--json" => {
                 opts.json = Some(value_of(&mut it, "--json")?.to_string());
+            }
+            "--record" => {
+                opts.record = Some(value_of(&mut it, "--record")?.to_string());
+            }
+            "--timeline" => {
+                opts.timeline = Some(value_of(&mut it, "--timeline")?.to_string());
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag '{flag}'\n\n{USAGE}"));
@@ -281,6 +317,43 @@ mod tests {
         assert!(parse(&["--ranks", "2x"])
             .unwrap_err()
             .contains("positive integer"));
+    }
+
+    #[test]
+    fn bench_flags() {
+        let opts = parse(&[
+            "bench",
+            "--record",
+            "BENCH.json",
+            "--reps",
+            "5",
+            "--ranks",
+            "1,2",
+        ])
+        .unwrap();
+        assert_eq!(opts.command, "bench");
+        assert_eq!(opts.record.as_deref(), Some("BENCH.json"));
+        assert_eq!(opts.reps, 5);
+        assert_eq!(opts.ranks, Some(vec![1, 2]));
+        // Defaults when the flags are absent.
+        let opts = parse(&["bench"]).unwrap();
+        assert_eq!(opts.reps, 3);
+        assert_eq!(opts.record, None);
+        assert!(parse(&["bench", "--reps", "0"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&["bench", "--record"])
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn timeline_flag() {
+        let opts = parse(&["fig14", "--ranks", "1,2", "--timeline", "out.trace.json"]).unwrap();
+        assert_eq!(opts.timeline.as_deref(), Some("out.trace.json"));
+        assert!(parse(&["fig14", "--timeline"])
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]

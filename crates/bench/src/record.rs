@@ -1,0 +1,219 @@
+//! The versioned benchmark record the `reproduce bench` command writes.
+//!
+//! A record is a small JSON document pinning the standard fixtures' walls
+//! (minimum over `--reps` repetitions — the stable statistic under
+//! scheduler noise) plus a few deterministic shape metrics per fixture,
+//! stamped with the git revision it was measured at. `tools/bench_diff.py`
+//! compares two records entry by entry and fails on regressions past a
+//! threshold; CI keeps a committed baseline (`BENCH_baseline.json`).
+
+use ustencil_trace::Json;
+
+/// Version of the record layout. Bump on any change to the JSON shape so
+/// `bench_diff.py` never silently compares records of different shapes.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One fixture's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Fixture name, e.g. `"plan.apply/64k"`.
+    pub name: String,
+    /// Minimum wall time over the record's repetitions, in ms.
+    pub wall_ms: f64,
+    /// Deterministic shape metrics (nnz, bytes on the wire, ...): equal
+    /// across runs of the same code, so a diff in them means the workload
+    /// itself changed, not the machine.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// A full benchmark record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// The record layout version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// `git rev-parse --short HEAD` at measurement time (`"unknown"`
+    /// outside a git checkout).
+    pub git_rev: String,
+    /// Repetitions each wall is the minimum of.
+    pub reps: u64,
+    /// The fixtures, in execution order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchRecord {
+    /// An empty record stamped with the current git revision.
+    pub fn new(reps: usize) -> Self {
+        Self {
+            schema: BENCH_SCHEMA_VERSION,
+            git_rev: git_rev(),
+            reps: reps as u64,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends one fixture measurement.
+    pub fn push(&mut self, name: &str, wall_ms: f64, metrics: &[(&str, f64)]) {
+        self.entries.push(BenchEntry {
+            name: name.to_string(),
+            wall_ms,
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+    }
+
+    /// The JSON document of this record.
+    pub fn to_json(&self) -> Json {
+        let entries: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut metrics = Json::object();
+                for (k, v) in &e.metrics {
+                    metrics = metrics.set(k, *v);
+                }
+                Json::object()
+                    .set("name", e.name.as_str())
+                    .set("wall_ms", e.wall_ms)
+                    .set("metrics", metrics)
+            })
+            .collect();
+        Json::object()
+            .set("schema", self.schema)
+            .set("git_rev", self.git_rev.as_str())
+            .set("reps", self.reps)
+            .set("entries", entries)
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline.
+    pub fn to_pretty_string(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+
+    /// Parses a record written by [`BenchRecord::to_pretty_string`].
+    /// Rejects missing keys and foreign schema versions loudly.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("bench record has no 'schema' key")?;
+        if schema != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "bench record schema version {schema} is not supported: this build \
+                 reads version {BENCH_SCHEMA_VERSION}; re-record the baseline"
+            ));
+        }
+        let git_rev = doc
+            .get("git_rev")
+            .and_then(Json::as_str)
+            .ok_or("bench record has no 'git_rev' key")?
+            .to_string();
+        let reps = doc
+            .get("reps")
+            .and_then(Json::as_u64)
+            .ok_or("bench record has no 'reps' key")?;
+        let mut entries = Vec::new();
+        for e in doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or("bench record has no 'entries' array")?
+        {
+            let name = e
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("bench entry has no 'name'")?
+                .to_string();
+            let wall_ms = e
+                .get("wall_ms")
+                .and_then(Json::as_f64)
+                .ok_or("bench entry has no 'wall_ms'")?;
+            let mut metrics = Vec::new();
+            if let Some(Json::Obj(pairs)) = e.get("metrics") {
+                for (k, v) in pairs {
+                    let v = v
+                        .as_f64()
+                        .ok_or_else(|| format!("bench metric '{k}' is not a number"))?;
+                    metrics.push((k.clone(), v));
+                }
+            }
+            entries.push(BenchEntry {
+                name,
+                wall_ms,
+                metrics,
+            });
+        }
+        Ok(Self {
+            schema,
+            git_rev,
+            reps,
+            entries,
+        })
+    }
+}
+
+/// Runs `f` `reps` times and returns the minimum wall in ms plus the last
+/// repetition's result (min-of-N filters scheduler noise; the result is
+/// identical across repetitions for every fixture we measure).
+pub fn min_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    assert!(reps > 0, "need at least one repetition");
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    (best, last.expect("reps > 0"))
+}
+
+/// The short git revision of the working tree, or `"unknown"` when git or
+/// the repository is unavailable (records stay writable anywhere).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips() {
+        let mut rec = BenchRecord::new(3);
+        rec.push("plan.apply/64k", 12.5, &[("nnz", 1234.0), ("rows", 99.0)]);
+        rec.push("dist.fig14/16k@4ranks", 8.25, &[("bytes_sent", 4096.0)]);
+        let text = rec.to_pretty_string();
+        let back = BenchRecord::from_json(&text).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.entries[0].metrics[0], ("nnz".to_string(), 1234.0));
+    }
+
+    #[test]
+    fn foreign_schema_is_rejected() {
+        let mut rec = BenchRecord::new(1);
+        rec.schema = BENCH_SCHEMA_VERSION + 1;
+        let err = BenchRecord::from_json(&rec.to_pretty_string()).unwrap_err();
+        assert!(err.contains("not supported"), "{err}");
+        let err = BenchRecord::from_json("{}").unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn min_of_takes_the_minimum() {
+        let mut calls = 0;
+        let (wall, r) = min_of(4, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 4);
+        assert_eq!(r, 4);
+        assert!(wall >= 0.0 && wall.is_finite());
+    }
+}

@@ -55,7 +55,10 @@ pub use kernel::{
 pub use layout::Layout;
 pub use metrics::Metrics;
 pub use probe::{BlockStats, Probe};
-pub use report::{LocalityStats, PlanStats, RankCommRecord, RunRecord, RunReport};
+pub use report::{
+    CriticalPathRecord, CriticalPhaseRecord, LocalityStats, PlanStats, RankCommRecord, RunRecord,
+    RunReport, REPORT_SCHEMA_VERSION,
+};
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -65,5 +68,8 @@ pub mod prelude {
     pub use crate::layout::Layout;
     pub use crate::metrics::Metrics;
     pub use crate::probe::{BlockStats, Probe};
-    pub use crate::report::{LocalityStats, PlanStats, RankCommRecord, RunRecord, RunReport};
+    pub use crate::report::{
+        CriticalPathRecord, CriticalPhaseRecord, LocalityStats, PlanStats, RankCommRecord,
+        RunRecord, RunReport, REPORT_SCHEMA_VERSION,
+    };
 }

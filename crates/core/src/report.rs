@@ -13,7 +13,18 @@ use crate::device::SimReport;
 use crate::engine::Solution;
 use crate::metrics::Metrics;
 use crate::probe::BlockStats;
-use ustencil_trace::{Hist64, ImbalanceSummary, Json, SpanRecord};
+use ustencil_trace::{CriticalPath, Hist64, ImbalanceSummary, Json, SpanRecord};
+
+/// Version of the report JSON layout. Bumped whenever a required key is
+/// added or changes meaning; [`RunReport::from_json`] rejects documents
+/// written under any other version (including pre-versioned ones) with a
+/// message naming both versions, so stale artifacts fail loudly instead of
+/// parsing into garbage.
+///
+/// History: v1 (implicit, no `"schema"` key) through PR 5; v2 adds the
+/// performance-observatory fields (`exposed_comms_ms`, `flow_sends`,
+/// `flow_recvs` per rank, and the run-level `critical_path`).
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// Canonical histogram names, in emission order. These are the keys of the
 /// report's `"histograms"` object.
@@ -104,9 +115,10 @@ pub struct LocalityStats {
 }
 
 /// One rank's communication ledger in a rank-sharded run: shard shape,
-/// counted wire traffic, and coarse phase timings. Emitted for every rank
-/// of a `scheme = "dist"` run; empty for single-address-space runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// counted wire traffic, coarse phase timings, and the rank's exposed
+/// communication time. Emitted for every rank of a `scheme = "dist"` run;
+/// empty for single-address-space runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RankCommRecord {
     /// Rank id (0-based; rank 0 is the coordinator).
     pub rank: u64,
@@ -132,6 +144,58 @@ pub struct RankCommRecord {
     pub eval_ns: u64,
     /// Nanoseconds in the local reduce + gather phase.
     pub reduce_ns: u64,
+    /// Milliseconds of the rank's communication intervals not hidden
+    /// behind its computation — the wait the run actually paid (0 for
+    /// uninstrumented runs).
+    pub exposed_comms_ms: f64,
+    /// Halo-phase flow send points the rank logged (0 uninstrumented).
+    pub flow_sends: u64,
+    /// Halo-phase flow receive points the rank logged (0 uninstrumented).
+    pub flow_recvs: u64,
+}
+
+/// One phase of the serialized critical path (see
+/// [`ustencil_trace::critical_path`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPhaseRecord {
+    /// Canonical phase name (`"build"`, `"exchange"`, `"eval"`,
+    /// `"reduce"`).
+    pub name: String,
+    /// The bottleneck rank.
+    pub rank: u64,
+    /// That rank's time in the phase, milliseconds.
+    pub duration_ms: f64,
+}
+
+/// The serialized cross-rank critical path of an instrumented rank-sharded
+/// run, plus per-rank utilization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathRecord {
+    /// Sum of the bottleneck phase durations, milliseconds.
+    pub total_ms: f64,
+    /// Phases in barrier order (phases nobody recorded are omitted).
+    pub phases: Vec<CriticalPhaseRecord>,
+    /// Per-rank utilization: computation time over the rank's active
+    /// window.
+    pub utilization: Vec<f64>,
+}
+
+impl From<&CriticalPath> for CriticalPathRecord {
+    fn from(cp: &CriticalPath) -> Self {
+        Self {
+            total_ms: cp.total_ns as f64 / 1e6,
+            phases: cp
+                .phases
+                .iter()
+                .map(|p| CriticalPhaseRecord {
+                    name: p.name.clone(),
+                    rank: p.rank,
+                    duration_ms: p.duration_ns as f64 / 1e6,
+                })
+                .collect(),
+            utilization: cp.utilization.clone(),
+        }
+    }
 }
 
 /// Everything observed about one post-processing run.
@@ -164,6 +228,9 @@ pub struct RunRecord {
     /// Per-rank communication ledgers (empty unless the run was
     /// rank-sharded).
     pub comms: Vec<RankCommRecord>,
+    /// Cross-rank critical path (present only for instrumented
+    /// rank-sharded runs).
+    pub critical_path: Option<CriticalPathRecord>,
 }
 
 impl RunRecord {
@@ -214,6 +281,7 @@ impl RunRecord {
             plan: None,
             locality: None,
             comms: Vec::new(),
+            critical_path: None,
         }
     }
 
@@ -250,9 +318,12 @@ impl RunReport {
         }
     }
 
-    /// Serializes the report to a JSON document.
+    /// Serializes the report to a JSON document. The `"schema"` key is
+    /// emitted first so a human (or a failing diff) sees the version at
+    /// the top of the file.
     pub fn to_json(&self) -> Json {
         Json::object()
+            .set("schema", REPORT_SCHEMA_VERSION)
             .set("exhibit", self.exhibit.as_str())
             .set("seed", self.seed)
             .set(
@@ -271,6 +342,23 @@ impl RunReport {
     /// are ignored and recomputed on demand.
     pub fn from_json(text: &str) -> Result<Self, String> {
         let doc = Json::parse(text)?;
+        match doc.get("schema").and_then(Json::as_u64) {
+            Some(v) if v == REPORT_SCHEMA_VERSION => {}
+            Some(v) => {
+                return Err(format!(
+                    "report schema version {v} is not supported: this build reads \
+                     version {REPORT_SCHEMA_VERSION}; re-run the harness to regenerate \
+                     the report"
+                ));
+            }
+            None => {
+                return Err(format!(
+                    "report has no 'schema' key (written before schema versioning, \
+                     pre-v2): this build reads version {REPORT_SCHEMA_VERSION}; \
+                     re-run the harness to regenerate the report"
+                ));
+            }
+        }
         let runs = get(&doc, "runs")?
             .as_array()
             .ok_or("'runs' is not an array")?
@@ -349,8 +437,35 @@ fn record_to_json(r: &RunRecord) -> Json {
                 .set("exchange_ns", c.exchange_ns)
                 .set("eval_ns", c.eval_ns)
                 .set("reduce_ns", c.reduce_ns)
+                .set("exposed_comms_ms", c.exposed_comms_ms)
+                .set("flow_sends", c.flow_sends)
+                .set("flow_recvs", c.flow_recvs)
         })
         .collect();
+    let critical_path = match &r.critical_path {
+        None => Json::Null,
+        Some(cp) => Json::object()
+            .set("total_ms", cp.total_ms)
+            .set(
+                "phases",
+                cp.phases
+                    .iter()
+                    .map(|p| {
+                        Json::object()
+                            .set("name", p.name.as_str())
+                            .set("rank", p.rank)
+                            .set("duration_ms", p.duration_ms)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .set(
+                "utilization",
+                cp.utilization
+                    .iter()
+                    .map(|&u| Json::Num(u))
+                    .collect::<Vec<_>>(),
+            ),
+    };
     let plan = match &r.plan {
         None => Json::Null,
         Some(p) => Json::object()
@@ -389,6 +504,7 @@ fn record_to_json(r: &RunRecord) -> Json {
         .set("plan", plan)
         .set("locality", locality)
         .set("comms", comms)
+        .set("critical_path", critical_path)
 }
 
 fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
@@ -459,9 +575,36 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
                 exchange_ns: get_u64(c, "exchange_ns")?,
                 eval_ns: get_u64(c, "eval_ns")?,
                 reduce_ns: get_u64(c, "reduce_ns")?,
+                exposed_comms_ms: get_f64(c, "exposed_comms_ms")?,
+                flow_sends: get_u64(c, "flow_sends")?,
+                flow_recvs: get_u64(c, "flow_recvs")?,
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
+    let critical_path = match get(doc, "critical_path")? {
+        Json::Null => None,
+        cp => Some(CriticalPathRecord {
+            total_ms: get_f64(cp, "total_ms")?,
+            phases: get(cp, "phases")?
+                .as_array()
+                .ok_or("'phases' is not an array")?
+                .iter()
+                .map(|p| {
+                    Ok(CriticalPhaseRecord {
+                        name: get_str(p, "name")?.to_string(),
+                        rank: get_u64(p, "rank")?,
+                        duration_ms: get_f64(p, "duration_ms")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            utilization: get(cp, "utilization")?
+                .as_array()
+                .ok_or("'utilization' is not an array")?
+                .iter()
+                .map(|u| u.as_f64().ok_or("non-numeric utilization entry"))
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
+    };
     let plan = match get(doc, "plan")? {
         Json::Null => None,
         p => Some(PlanStats {
@@ -501,6 +644,7 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
         plan,
         locality,
         comms,
+        critical_path,
     })
 }
 
@@ -700,6 +844,7 @@ mod tests {
             plan: None,
             locality: None,
             comms: vec![],
+            critical_path: None,
         });
         // A valid minimal report still round-trips.
         let text = report.to_pretty_string();
@@ -707,6 +852,35 @@ mod tests {
         // Corrupting a required field breaks the parse.
         let broken = text.replace("\"seed\"", "\"sead\"");
         assert!(RunReport::from_json(&broken).is_err());
+    }
+
+    #[test]
+    fn schema_versioning_rejects_old_and_foreign_reports() {
+        let report = small_report();
+        let text = report.to_pretty_string();
+        // The version is the first key of the document.
+        assert!(text
+            .trim_start_matches('{')
+            .trim_start()
+            .starts_with(&format!("\"schema\": {REPORT_SCHEMA_VERSION}")));
+        // A pre-versioning report (no schema key) is rejected with a
+        // message that says what to do about it.
+        let unversioned = text.replacen("\"schema\"", "\"schemo\"", 1);
+        let err = RunReport::from_json(&unversioned).unwrap_err();
+        assert!(err.contains("pre-v2"), "unhelpful error: {err}");
+        assert!(err.contains("re-run the harness"), "unhelpful error: {err}");
+        // A future version is rejected, naming both versions.
+        let future = text.replacen(
+            &format!("\"schema\": {REPORT_SCHEMA_VERSION}"),
+            "\"schema\": 99",
+            1,
+        );
+        let err = RunReport::from_json(&future).unwrap_err();
+        assert!(err.contains("99"), "unhelpful error: {err}");
+        assert!(
+            err.contains(&REPORT_SCHEMA_VERSION.to_string()),
+            "unhelpful error: {err}"
+        );
     }
 
     #[test]
@@ -748,6 +922,7 @@ mod tests {
                 tile_fill: 0.75,
             }),
             comms: vec![],
+            critical_path: None,
         });
         let text = report.to_pretty_string();
         let parsed = RunReport::from_json(&text).expect("plan report parses");
@@ -791,15 +966,42 @@ mod tests {
                     exchange_ns: 1_000_000,
                     eval_ns: 9_000_000,
                     reduce_ns: 500_000,
+                    exposed_comms_ms: 0.75 + r as f64,
+                    flow_sends: 6,
+                    flow_recvs: 6,
                 })
                 .collect(),
+            critical_path: Some(CriticalPathRecord {
+                total_ms: 11.5,
+                phases: vec![
+                    CriticalPhaseRecord {
+                        name: "build".into(),
+                        rank: 0,
+                        duration_ms: 1.0,
+                    },
+                    CriticalPhaseRecord {
+                        name: "exchange".into(),
+                        rank: 1,
+                        duration_ms: 1.5,
+                    },
+                    CriticalPhaseRecord {
+                        name: "eval".into(),
+                        rank: 0,
+                        duration_ms: 9.0,
+                    },
+                ],
+                utilization: vec![0.8, 0.75],
+            }),
         });
         let text = report.to_pretty_string();
         let parsed = RunReport::from_json(&text).expect("dist report parses");
         assert_eq!(parsed, report);
         assert_eq!(parsed.to_pretty_string(), text);
-        // The comms array is a required key.
-        let broken = text.replace("\"comms\"", "\"comsm\"");
-        assert!(RunReport::from_json(&broken).is_err());
+        // The comms array is a required key, and so are the
+        // per-rank observability fields and the critical path.
+        for key in ["\"comms\"", "\"exposed_comms_ms\"", "\"critical_path\""] {
+            let broken = text.replace(key, "\"zzz\"");
+            assert!(RunReport::from_json(&broken).is_err(), "corrupting {key}");
+        }
     }
 }

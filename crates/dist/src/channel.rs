@@ -139,6 +139,7 @@ mod tests {
             to,
             tag: Tag::HaloCoeffs,
             seq,
+            flow: seq,
             payload: vec![seq as u8],
         }
     }

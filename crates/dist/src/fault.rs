@@ -117,6 +117,7 @@ mod tests {
             to,
             tag,
             seq: 0,
+            flow: 0,
             payload: vec![],
         }
     }

@@ -20,6 +20,10 @@
 //!   delivered;
 //! * [`fault`] — deterministic drop/delay(reorder) injection, keyed by
 //!   message identity, never timing;
+//! * [`flow`] — comm-flow tracing: every payload message carries a
+//!   per-sender monotone flow id; instrumented links log send/recv points
+//!   and a deterministic join pairs them into the arcs a trace timeline
+//!   draws (lost flows are flagged, never fatal);
 //! * [`link`] — stop-and-wait acknowledgement with bounded retry on top
 //!   of any transport: at-least-once on the wire, exactly-once to the
 //!   application, with every payload and ack byte counted;
@@ -42,6 +46,7 @@
 
 pub mod channel;
 pub mod fault;
+pub mod flow;
 pub mod link;
 pub mod plan_dist;
 pub mod record;
@@ -52,6 +57,9 @@ pub mod wire;
 
 pub use channel::{ChannelEndpoint, ChannelFabric};
 pub use fault::{FaultAction, FaultPlan, FaultRule};
+pub use flow::{
+    match_flow_logs, match_wire_log, FlowLog, FlowMatch, FlowPair, FlowPoint, WireFlowSummary,
+};
 pub use link::{DistError, LinkConfig, ReliableLink};
 pub use plan_dist::{run_plan_dist, run_plan_dist_on, DistPlanSolution};
 pub use record::{Disposition, MessageRecord, RecordingEndpoint, RecordingFabric};

@@ -8,10 +8,20 @@
 //! servicing incoming traffic (acknowledging and queueing payloads), so
 //! two ranks sending to each other at the same time cannot deadlock.
 
+use crate::flow::{FlowLog, FlowPoint};
 use crate::transport::{Message, Tag, Transport, TransportError};
 use std::collections::{HashSet, VecDeque};
 use std::time::{Duration, Instant};
 use ustencil_trace::CommStats;
+
+/// Whether a tag belongs to the halo-exchange phase, whose messages get
+/// flow-log instrumentation. `OwnedValues` is excluded deliberately: a
+/// worker ships its flow log *inside* that message, so its own send point
+/// could never appear in the snapshot and every run would report a bogus
+/// unmatched recv at the coordinator.
+fn is_flow_tag(tag: Tag) -> bool {
+    matches!(tag, Tag::HaloCoeffs | Tag::HaloRequest)
+}
 
 /// Tunables for the reliability layer.
 #[derive(Debug, Clone, Copy)]
@@ -69,11 +79,18 @@ pub struct ReliableLink<T: Transport> {
     transport: T,
     config: LinkConfig,
     next_seq: u64,
+    /// Per-sender monotone flow id: one per logical payload message,
+    /// shared by its retransmits.
+    next_flow: u64,
     /// `(sender, seq)` pairs already handed to the application.
     seen: HashSet<(u32, u64)>,
     /// Payload messages that arrived while awaiting an acknowledgement.
     inbox: VecDeque<Message>,
     stats: CommStats,
+    /// When set, halo-phase sends and first-seen recvs are logged as
+    /// [`FlowPoint`]s with timestamps relative to this epoch.
+    flow_epoch: Option<Instant>,
+    flow_log: FlowLog,
 }
 
 impl<T: Transport> ReliableLink<T> {
@@ -83,10 +100,31 @@ impl<T: Transport> ReliableLink<T> {
             transport,
             config,
             next_seq: 0,
+            next_flow: 0,
             seen: HashSet::new(),
             inbox: VecDeque::new(),
             stats: CommStats::default(),
+            flow_epoch: None,
+            flow_log: FlowLog::default(),
         }
+    }
+
+    /// Enables flow-point logging for halo-phase messages, with timestamps
+    /// measured from `epoch` (share one epoch across ranks to put every
+    /// log on the same time axis). Flow *ids* are always assigned; this
+    /// only turns on the recording, so the disabled path stays free.
+    pub fn instrument_flows(&mut self, epoch: Instant) {
+        self.flow_epoch = Some(epoch);
+    }
+
+    /// The flow log recorded so far (empty unless
+    /// [`instrument_flows`](Self::instrument_flows) was called).
+    pub fn flow_log(&self) -> &FlowLog {
+        &self.flow_log
+    }
+
+    fn flow_ts(&self, epoch: Instant) -> u64 {
+        epoch.elapsed().as_nanos() as u64
     }
 
     /// This endpoint's rank.
@@ -127,11 +165,23 @@ impl<T: Transport> ReliableLink<T> {
             to: msg.from,
             tag: Tag::Ack,
             seq: msg.seq,
+            flow: msg.flow,
             payload: Vec::new(),
         };
         // Duplicates (a retransmit whose original got through, or whose
         // ack was lost) are re-acknowledged but not re-queued.
         if self.seen.insert(key) {
+            if let Some(epoch) = self.flow_epoch {
+                if is_flow_tag(msg.tag) {
+                    self.flow_log.recvs.push(FlowPoint {
+                        flow: msg.flow,
+                        peer: msg.from,
+                        tag: msg.tag,
+                        ts_ns: self.flow_ts(epoch),
+                        bytes: msg.wire_bytes(),
+                    });
+                }
+            }
             self.inbox.push_back(msg);
         }
         self.raw_send(ack)?;
@@ -143,13 +193,29 @@ impl<T: Transport> ReliableLink<T> {
     pub fn send_reliable(&mut self, to: u32, tag: Tag, payload: Vec<u8>) -> Result<(), DistError> {
         let seq = self.next_seq;
         self.next_seq += 1;
+        // The flow id is assigned once, before the retry loop: every
+        // retransmit of this payload carries the same flow.
+        let flow = self.next_flow;
+        self.next_flow += 1;
         let msg = Message {
             from: self.transport.rank(),
             to,
             tag,
             seq,
+            flow,
             payload,
         };
+        if let Some(epoch) = self.flow_epoch {
+            if is_flow_tag(tag) {
+                self.flow_log.sends.push(FlowPoint {
+                    flow,
+                    peer: to,
+                    tag,
+                    ts_ns: self.flow_ts(epoch),
+                    bytes: msg.wire_bytes(),
+                });
+            }
+        }
         for attempt in 0..=self.config.max_retries {
             if attempt > 0 {
                 self.stats.retransmits += 1;
@@ -299,6 +365,62 @@ mod tests {
         let err = l0.send_reliable(1, Tag::HaloCoeffs, vec![1]).unwrap_err();
         assert_eq!(err, DistError::Unreachable { peer: 1 });
         assert_eq!(l0.stats().retransmits, 2);
+    }
+
+    #[test]
+    fn instrumented_links_log_matching_flow_points() {
+        use crate::flow::match_flow_logs;
+        let config = LinkConfig {
+            ack_timeout: Duration::from_millis(100),
+            max_retries: 4,
+        };
+        let (_fabric, mut ls) = links(2, FaultPlan::none(), config);
+        let mut l1 = ls.pop().unwrap();
+        let mut l0 = ls.pop().unwrap();
+        let epoch = Instant::now();
+        l0.instrument_flows(epoch);
+        l1.instrument_flows(epoch);
+        let receiver = std::thread::spawn(move || {
+            l1.recv_payload(Duration::from_secs(5)).unwrap();
+            l1
+        });
+        l0.send_reliable(1, Tag::HaloCoeffs, vec![1, 2, 3]).unwrap();
+        let l1 = receiver.join().unwrap();
+        let matched = match_flow_logs(&[(0, l0.flow_log()), (1, l1.flow_log())]);
+        assert_eq!(matched.pairs.len(), 1);
+        assert!(matched.unmatched_sends.is_empty());
+        assert!(matched.unmatched_recvs.is_empty());
+        let p = matched.pairs[0];
+        assert_eq!((p.src, p.dst, p.flow, p.tag), (0, 1, 0, Tag::HaloCoeffs));
+        assert!(p.send_ns <= p.recv_ns, "send must precede the receive");
+    }
+
+    #[test]
+    fn retransmits_share_one_flow_id() {
+        let faults = FaultPlan::none().with_rule(FaultRule::drop_first(0, Tag::HaloCoeffs, 1));
+        let config = LinkConfig {
+            ack_timeout: Duration::from_millis(20),
+            max_retries: 4,
+        };
+        let (fabric, mut ls) = links(2, faults, config);
+        let mut l1 = ls.pop().unwrap();
+        let mut l0 = ls.pop().unwrap();
+        l0.instrument_flows(Instant::now());
+        let receiver = std::thread::spawn(move || {
+            l1.recv_payload(Duration::from_secs(5)).unwrap();
+        });
+        l0.send_reliable(1, Tag::HaloCoeffs, vec![5]).unwrap();
+        receiver.join().unwrap();
+        // Dropped original and delivered retransmit are one logical flow:
+        // one send point in the log, every wire copy stamped flow 0.
+        assert_eq!(l0.flow_log().sends.len(), 1);
+        let halo: Vec<_> = fabric
+            .log()
+            .into_iter()
+            .filter(|r| r.tag == Tag::HaloCoeffs)
+            .collect();
+        assert!(halo.len() >= 2, "drop must force a retransmit");
+        assert!(halo.iter().all(|r| r.flow == 0));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! row-partitioned apply counters sum exactly.
 
 use crate::channel::ChannelFabric;
+use crate::flow::{match_flow_logs, FlowLog, FlowMatch};
 use crate::link::{DistError, LinkConfig, ReliableLink};
 use crate::runtime::{DistOptions, GatherOutcome, RankReport, SCHEME_LABEL};
 use crate::shard::ShardPlan;
@@ -38,7 +39,7 @@ use ustencil_dg::DgField;
 use ustencil_geometry::Point2;
 use ustencil_mesh::TriMesh;
 use ustencil_plan::{ApplyOptions, CompileOptions, EvalPlan};
-use ustencil_trace::{CommStats, SpanRecord, Tracer};
+use ustencil_trace::{critical_path, exposed_comms_ns, CommStats, SpanRecord, Timeline, Tracer};
 
 /// Result of a rank-sharded plan compile + apply.
 #[derive(Debug, Clone)]
@@ -103,6 +104,43 @@ impl DistPlanSolution {
         simulate_ranks(Scheme::PerPoint, &blocks, &self.traffic(), config)
     }
 
+    /// Per-rank span vectors in rank order — the input shape of
+    /// [`critical_path`].
+    pub fn rank_spans(&self) -> Vec<Vec<SpanRecord>> {
+        self.ranks.iter().map(|r| r.spans.clone()).collect()
+    }
+
+    /// Joins the per-rank flow logs into send→recv pairs (empty unless the
+    /// run was instrumented).
+    pub fn flow_match(&self) -> FlowMatch {
+        let logs: Vec<(u32, &FlowLog)> = self.ranks.iter().map(|r| (r.rank, &r.flows)).collect();
+        match_flow_logs(&logs)
+    }
+
+    /// Adds this run to `timeline` as process `pid`: one track per rank
+    /// carrying that rank's spans, plus one flow arrow per matched halo
+    /// message (both requests and coefficient replies on the pull path).
+    pub fn add_to_timeline(&self, timeline: &mut Timeline, pid: u64, label: &str) {
+        timeline.add_process(pid, label);
+        for r in &self.ranks {
+            timeline.add_track(
+                pid,
+                r.rank as u64,
+                &format!("rank {}", r.rank),
+                r.spans.clone(),
+            );
+        }
+        for p in self.flow_match().pairs {
+            timeline.add_flow(
+                &format!("{} {}→{}", p.tag.label(), p.src, p.dst),
+                (pid, p.src as u64),
+                (pid, p.dst as u64),
+                p.send_ns,
+                p.recv_ns,
+            );
+        }
+    }
+
     /// Builds the `RunReport` record of this run: scheme `"dist"` with the
     /// aggregate plan shape attached and one comms ledger per rank.
     pub fn to_run_record(
@@ -111,6 +149,11 @@ impl DistPlanSolution {
         n_triangles: usize,
         device_sim: Option<SimReport>,
     ) -> RunRecord {
+        let critical_path_record = if self.ranks.iter().any(|r| !r.spans.is_empty()) {
+            Some((&critical_path(&self.rank_spans())).into())
+        } else {
+            None
+        };
         RunRecord {
             label: label.to_string(),
             scheme: SCHEME_LABEL.to_string(),
@@ -150,8 +193,12 @@ impl DistPlanSolution {
                     exchange_ns: r.exchange_ns,
                     eval_ns: r.eval_ns,
                     reduce_ns: r.reduce_ns,
+                    exposed_comms_ms: exposed_comms_ns(&r.spans) as f64 / 1e6,
+                    flow_sends: r.flows.sends.len() as u64,
+                    flow_recvs: r.flows.recvs.len() as u64,
                 })
                 .collect(),
+            critical_path: critical_path_record,
         }
     }
 }
@@ -171,6 +218,9 @@ struct PlanRankCtx {
     owners: Vec<u32>,
     link: LinkConfig,
     phase_timeout: std::time::Duration,
+    instrument: bool,
+    /// The run's shared time origin (see `runtime::RankCtx::epoch`).
+    epoch: Instant,
 }
 
 /// Compiles a rank's local plan: rows for its owned points, over the full
@@ -313,6 +363,11 @@ fn plan_rank_body<T: Transport>(
         eval_ns: solution.wall.as_nanos() as u64,
         reduce_ns: compile_ns,
         patches: solution.block_stats,
+        // Spans and flow points are snapshotted by the caller, which owns
+        // the tracer and the link.
+        spans: Vec::new(),
+        flow_sends: Vec::new(),
+        flow_recvs: Vec::new(),
     };
     Ok((solution.values, result))
 }
@@ -360,6 +415,7 @@ pub fn run_plan_dist_on<T: Transport>(
 
     let start = Instant::now();
     let tracer = Tracer::new(options.instrument);
+    let epoch = tracer.epoch();
     let n = options.n_ranks;
     let degree = field.degree();
     let k = options.smoothness.unwrap_or(degree);
@@ -405,6 +461,8 @@ pub fn run_plan_dist_on<T: Transport>(
                     .collect(),
                 link: options.link,
                 phase_timeout: options.gather_timeout,
+                instrument: options.instrument,
+                epoch,
             }
         })
         .collect();
@@ -414,18 +472,27 @@ pub fn run_plan_dist_on<T: Transport>(
     let ctx0 = ctxs.remove(0);
     let worker_inputs: Vec<(PlanRankCtx, T)> = ctxs.into_iter().zip(transports).collect();
 
-    let (rank_results, own_comm, spans) =
+    let (rank_results, own_comm, spans, own_flows) =
         std::thread::scope(|scope| -> Result<GatherOutcome, DistError> {
             for (ctx, transport) in worker_inputs {
                 scope.spawn(move || {
                     let mut link = ReliableLink::new(transport, ctx.link);
+                    let worker_tracer = Tracer::with_epoch(ctx.instrument, ctx.epoch);
+                    if ctx.instrument {
+                        link.instrument_flows(ctx.epoch);
+                    }
                     let mut pending = Vec::new();
-                    let disabled = Tracer::disabled();
-                    match plan_rank_body(ctx, &mut link, &mut pending, &disabled) {
+                    match plan_rank_body(ctx, &mut link, &mut pending, &worker_tracer) {
                         Ok((_, mut result)) => {
                             // Snapshot the counters *before* encoding: the
-                            // result message cannot count itself.
+                            // result message cannot count itself. Likewise
+                            // the flow log — which is why the result tag is
+                            // not flow-instrumented (see `link`).
                             result.comm = link.stats();
+                            let flows = link.flow_log().clone();
+                            result.spans = worker_tracer.into_records();
+                            result.flow_sends = flows.sends;
+                            result.flow_recvs = flows.recvs;
                             let payload = encode_rank_result(&result);
                             let _ = link.send_reliable(0, Tag::OwnedValues, payload);
                         }
@@ -438,6 +505,9 @@ pub fn run_plan_dist_on<T: Transport>(
             }
 
             let mut link = ReliableLink::new(transport0, options.link);
+            if options.instrument {
+                link.instrument_flows(epoch);
+            }
             let mut pending = Vec::new();
             let (_, own_result) = plan_rank_body(ctx0, &mut link, &mut pending, &tracer)?;
 
@@ -477,7 +547,12 @@ pub fn run_plan_dist_on<T: Transport>(
                     }
                 }
             }
-            Ok((rank_results, link.stats(), tracer.into_records()))
+            Ok((
+                rank_results,
+                link.stats(),
+                tracer.into_records(),
+                link.flow_log().clone(),
+            ))
         })?;
 
     let mut values = vec![0.0; grid.len()];
@@ -490,7 +565,13 @@ pub fn run_plan_dist_on<T: Transport>(
         let (result, reresolved) = match slot {
             Some(mut result) => {
                 if r == 0 {
+                    // Rank 0's ledgers keep accruing through the gather, so
+                    // its placeholder is patched here from the scope's
+                    // final snapshot.
                     result.comm = own_comm;
+                    result.spans = spans.clone();
+                    result.flow_sends = own_flows.sends.clone();
+                    result.flow_recvs = own_flows.recvs.clone();
                 }
                 (result, false)
             }
@@ -536,6 +617,9 @@ pub fn run_plan_dist_on<T: Transport>(
                         eval_ns: solution.wall.as_nanos() as u64,
                         reduce_ns: compile_ns,
                         patches: solution.block_stats,
+                        spans: Vec::new(),
+                        flow_sends: Vec::new(),
+                        flow_recvs: Vec::new(),
                     },
                     true,
                 )
@@ -565,6 +649,11 @@ pub fn run_plan_dist_on<T: Transport>(
             reduce_ns: result.reduce_ns,
             reresolved,
             patches: result.patches,
+            spans: result.spans,
+            flows: FlowLog {
+                sends: result.flow_sends,
+                recvs: result.flow_recvs,
+            },
         });
     }
 
@@ -653,5 +742,27 @@ mod tests {
         ] {
             assert!(names.contains(&phase), "missing span {phase}: {names:?}");
         }
+        // Every rank ships spans and flow points; the join is complete.
+        for r in &dist.ranks {
+            let rank_names: Vec<&str> = r.spans.iter().map(|s| s.name.as_str()).collect();
+            assert!(rank_names.contains(&"exchange.halo"), "rank {}", r.rank);
+            assert!(rank_names.contains(&"apply.spmv"), "rank {}", r.rank);
+            assert!(!r.flows.sends.is_empty(), "rank {} logged no sends", r.rank);
+        }
+        let matched = dist.flow_match();
+        assert!(!matched.pairs.is_empty());
+        assert!(matched.unmatched_sends.is_empty());
+        assert!(matched.unmatched_recvs.is_empty());
+        let cp = record.critical_path.as_ref().expect("critical path");
+        assert!(cp.total_ms > 0.0);
+        assert_eq!(cp.utilization.len(), 2);
+        for c in &record.comms {
+            assert!(c.exposed_comms_ms >= 0.0);
+            assert!(c.flow_sends > 0 && c.flow_recvs > 0, "rank {}", c.rank);
+        }
+        let mut timeline = Timeline::new();
+        dist.add_to_timeline(&mut timeline, 1, "plan@2ranks");
+        assert_eq!(timeline.tracks().len(), 2);
+        assert_eq!(timeline.flows().len(), matched.pairs.len());
     }
 }

@@ -14,7 +14,8 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// What the fabric did with one send.
+/// What the fabric did with one send (or, for [`Disposition::Received`],
+/// one receive).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Disposition {
     /// Placed in the destination mailbox.
@@ -24,6 +25,11 @@ pub enum Disposition {
     /// Parked by a Hold rule (a later `Delivered` record for the same
     /// `(from, seq, tag)` marks its release).
     Held,
+    /// Popped from the mailbox by the destination rank — the receive side
+    /// of the wire history, letting flow matching
+    /// ([`match_wire_log`](crate::flow::match_wire_log)) pair every send
+    /// with the receive that consumed it.
+    Received,
 }
 
 /// One line of the fabric's message log.
@@ -37,6 +43,8 @@ pub struct MessageRecord {
     pub tag: Tag,
     /// Sender sequence number.
     pub seq: u64,
+    /// Sender flow id (shared by retransmits of one logical message).
+    pub flow: u64,
     /// Header + payload bytes.
     pub wire_bytes: u64,
     /// What happened to the send.
@@ -61,6 +69,7 @@ fn record_of(msg: &Message, disposition: Disposition) -> MessageRecord {
         to: msg.to,
         tag: msg.tag,
         seq: msg.seq,
+        flow: msg.flow,
         wire_bytes: msg.wire_bytes(),
         disposition,
     }
@@ -168,6 +177,8 @@ impl Transport for RecordingEndpoint {
         let mut state = self.shared.state.lock().expect("fabric poisoned");
         loop {
             if let Some(msg) = state.mailboxes[self.rank as usize].pop_front() {
+                let rec = record_of(&msg, Disposition::Received);
+                state.log.push(rec);
                 return Ok(msg);
             }
             let now = Instant::now();
@@ -198,12 +209,13 @@ mod tests {
             to,
             tag,
             seq,
+            flow: seq,
             payload: vec![0u8; 8],
         }
     }
 
     #[test]
-    fn log_captures_drop_then_delivery() {
+    fn log_captures_drop_then_delivery_then_receive() {
         let plan = FaultPlan::none().with_rule(FaultRule::drop_first(0, Tag::HaloCoeffs, 1));
         let (fabric, mut eps) = RecordingFabric::with_faults(2, plan);
         let mut e1 = eps.pop().unwrap();
@@ -215,10 +227,11 @@ mod tests {
         let got = e1.recv_timeout(Duration::from_millis(100)).unwrap();
         assert_eq!(got.seq, 1);
         let log = fabric.log();
-        assert_eq!(log.len(), 2);
+        assert_eq!(log.len(), 3);
         assert_eq!(log[0].disposition, Disposition::Dropped);
         assert_eq!(log[1].disposition, Disposition::Delivered);
-        assert_eq!(log[0].seq, log[1].seq);
+        assert_eq!(log[2].disposition, Disposition::Received);
+        assert!(log.iter().all(|r| r.seq == 1 && r.flow == 1));
     }
 
     #[test]
@@ -240,6 +253,8 @@ mod tests {
                 (1, Disposition::Held),
                 (2, Disposition::Delivered),
                 (1, Disposition::Delivered),
+                (2, Disposition::Received),
+                (1, Disposition::Received),
             ]
         );
     }

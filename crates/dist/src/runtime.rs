@@ -32,6 +32,7 @@
 //! values are bitwise equal to the engine's per-element path.
 
 use crate::channel::ChannelFabric;
+use crate::flow::{match_flow_logs, FlowLog, FlowMatch};
 use crate::link::{DistError, LinkConfig, ReliableLink};
 use crate::shard::ShardPlan;
 use crate::transport::{Message, Tag, Transport};
@@ -52,7 +53,7 @@ use ustencil_mesh::{partition_subset, TriMesh};
 use ustencil_quadrature::TriangleRule;
 use ustencil_siac::Stencil2d;
 use ustencil_spatial::{hilbert_sort_elements, Boundary, PointGrid};
-use ustencil_trace::{CommStats, SpanRecord, Tracer};
+use ustencil_trace::{critical_path, exposed_comms_ns, CommStats, SpanRecord, Timeline, Tracer};
 
 /// The `"scheme"` label rank-sharded runs carry in `RunReport` JSON.
 pub const SCHEME_LABEL: &str = "dist";
@@ -76,9 +77,10 @@ pub struct DistOptions {
     /// fails a run on expiry, while the gather falls back to re-resolving
     /// the missing ranks' points locally (rank-failure recovery).
     pub gather_timeout: Duration,
-    /// Whether rank 0 records phase spans (other ranks report phase
-    /// nanoseconds through their result message instead — the tracer is
-    /// thread-local).
+    /// Whether every rank records phase spans and halo-flow points.
+    /// Workers measure against the run's shared epoch and ship their
+    /// records home inside the result message, so the whole run lands on
+    /// one time axis; off (the default) costs nothing on the hot path.
     pub instrument: bool,
     /// Traversal order of each rank's local element sweep (default
     /// [`Layout::Natural`]). Hilbert layouts sort the owned ∪ halo element
@@ -177,6 +179,12 @@ pub struct RankReport {
     pub reresolved: bool,
     /// Per-patch stats of the rank's evaluation.
     pub patches: Vec<BlockStats>,
+    /// The rank's phase spans, on the run's shared time axis (empty unless
+    /// instrumented; rank 0's also carry `build.shard_plan` and
+    /// `reduce.gather`).
+    pub spans: Vec<SpanRecord>,
+    /// The rank's halo-phase flow log (empty unless instrumented).
+    pub flows: FlowLog,
 }
 
 /// Result of a rank-sharded run.
@@ -244,16 +252,61 @@ impl DistSolution {
         )
     }
 
+    /// Per-rank span vectors in rank order — the input shape of
+    /// [`critical_path`].
+    pub fn rank_spans(&self) -> Vec<Vec<SpanRecord>> {
+        self.ranks.iter().map(|r| r.spans.clone()).collect()
+    }
+
+    /// Joins the per-rank flow logs into send→recv pairs (empty unless the
+    /// run was instrumented).
+    pub fn flow_match(&self) -> FlowMatch {
+        let logs: Vec<(u32, &FlowLog)> = self.ranks.iter().map(|r| (r.rank, &r.flows)).collect();
+        match_flow_logs(&logs)
+    }
+
+    /// Adds this run to `timeline` as process `pid`: one track per rank
+    /// carrying that rank's spans, plus one flow arrow per matched halo
+    /// message. No-op tracks still appear so the rank count is visible
+    /// even for uninstrumented runs.
+    pub fn add_to_timeline(&self, timeline: &mut Timeline, pid: u64, label: &str) {
+        timeline.add_process(pid, label);
+        for r in &self.ranks {
+            timeline.add_track(
+                pid,
+                r.rank as u64,
+                &format!("rank {}", r.rank),
+                r.spans.clone(),
+            );
+        }
+        for p in self.flow_match().pairs {
+            timeline.add_flow(
+                &format!("{} {}→{}", p.tag.label(), p.src, p.dst),
+                (pid, p.src as u64),
+                (pid, p.dst as u64),
+                p.send_ns,
+                p.recv_ns,
+            );
+        }
+    }
+
     /// Builds the `RunReport` record of this run: scheme `"dist"`, patches
-    /// flattened across ranks, one comms ledger per rank. Histograms stay
-    /// empty — distribution probes are rank-local diagnostics and are not
-    /// shipped through the transport.
+    /// flattened across ranks, one comms ledger per rank (with its exposed
+    /// communication time and flow counts), and — for instrumented runs —
+    /// the cross-rank critical path. Histograms stay empty — distribution
+    /// probes are rank-local diagnostics and are not shipped through the
+    /// transport.
     pub fn to_run_record(
         &self,
         label: &str,
         n_triangles: usize,
         device_sim: Option<SimReport>,
     ) -> RunRecord {
+        let critical_path_record = if self.ranks.iter().any(|r| !r.spans.is_empty()) {
+            Some((&critical_path(&self.rank_spans())).into())
+        } else {
+            None
+        };
         RunRecord {
             label: label.to_string(),
             scheme: SCHEME_LABEL.to_string(),
@@ -293,16 +346,20 @@ impl DistSolution {
                     exchange_ns: r.exchange_ns,
                     eval_ns: r.eval_ns,
                     reduce_ns: r.reduce_ns,
+                    exposed_comms_ms: exposed_comms_ns(&r.spans) as f64 / 1e6,
+                    flow_sends: r.flows.sends.len() as u64,
+                    flow_recvs: r.flows.recvs.len() as u64,
                 })
                 .collect(),
+            critical_path: critical_path_record,
         }
     }
 }
 
 /// What the coordinator's gather loop yields: one result slot per rank
-/// (None until that rank's result arrives), rank 0's own comm ledger, and
-/// rank 0's span records.
-pub(crate) type GatherOutcome = (Vec<Option<RankResult>>, CommStats, Vec<SpanRecord>);
+/// (None until that rank's result arrives), rank 0's own comm ledger,
+/// rank 0's span records, and rank 0's flow log.
+pub(crate) type GatherOutcome = (Vec<Option<RankResult>>, CommStats, Vec<SpanRecord>, FlowLog);
 
 /// Everything a rank needs, scattered at spawn. The mesh and shard plan
 /// are read-only problem geometry and are *replicated* per rank; owned
@@ -327,6 +384,12 @@ struct RankCtx {
     link: LinkConfig,
     phase_timeout: Duration,
     layout: Layout,
+    /// Whether this rank records spans and flow points.
+    instrument: bool,
+    /// The run's shared time origin: every rank's tracer and flow log
+    /// measures offsets from this one instant, so shipped records land on
+    /// the coordinator's time axis directly.
+    epoch: Instant,
 }
 
 /// Phase outputs of one rank's evaluation.
@@ -542,6 +605,7 @@ pub fn run_dist_on<T: Transport>(
 
     let start = Instant::now();
     let tracer = Tracer::new(options.instrument);
+    let epoch = tracer.epoch();
     let n = options.n_ranks;
     let degree = field.degree();
     let k = options.smoothness.unwrap_or(degree);
@@ -605,6 +669,8 @@ pub fn run_dist_on<T: Transport>(
                 link: options.link,
                 phase_timeout: options.gather_timeout,
                 layout: options.layout,
+                instrument: options.instrument,
+                epoch,
             }
         })
         .collect();
@@ -614,18 +680,24 @@ pub fn run_dist_on<T: Transport>(
     let ctx0 = ctxs.remove(0);
     let worker_inputs: Vec<(RankCtx, T)> = ctxs.into_iter().zip(transports).collect();
 
-    let (rank_results, own_comm, spans) =
+    let (rank_results, own_comm, spans, own_flows) =
         std::thread::scope(|scope| -> Result<GatherOutcome, DistError> {
             for (ctx, transport) in worker_inputs {
                 scope.spawn(move || {
                     let mut link = ReliableLink::new(transport, ctx.link);
+                    let worker_tracer = Tracer::with_epoch(ctx.instrument, ctx.epoch);
+                    if ctx.instrument {
+                        link.instrument_flows(ctx.epoch);
+                    }
                     let mut pending = Vec::new();
-                    let disabled = Tracer::disabled();
-                    let body = rank_body(ctx, &mut link, &mut pending, &disabled);
+                    let body = rank_body(ctx, &mut link, &mut pending, &worker_tracer);
                     match body {
                         Ok((values, work)) => {
                             // Snapshot the counters *before* encoding: the
-                            // result message cannot count itself.
+                            // result message cannot count itself. Likewise
+                            // the flow log — which is why the result tag is
+                            // not flow-instrumented (see `link`).
+                            let flows = link.flow_log().clone();
                             let result = RankResult {
                                 values,
                                 comm: link.stats(),
@@ -633,6 +705,9 @@ pub fn run_dist_on<T: Transport>(
                                 eval_ns: work.eval_ns,
                                 reduce_ns: work.reduce_ns,
                                 patches: work.patches,
+                                spans: worker_tracer.into_records(),
+                                flow_sends: flows.sends,
+                                flow_recvs: flows.recvs,
                             };
                             let payload = encode_rank_result(&result);
                             // A dead coordinator is unrecoverable from a
@@ -649,17 +724,25 @@ pub fn run_dist_on<T: Transport>(
             }
 
             let mut link = ReliableLink::new(transport0, options.link);
+            if options.instrument {
+                link.instrument_flows(epoch);
+            }
             let mut pending = Vec::new();
             let (own_values, own_work) = rank_body(ctx0, &mut link, &mut pending, &tracer)?;
 
             let mut rank_results: Vec<Option<RankResult>> = (0..n).map(|_| None).collect();
             rank_results[0] = Some(RankResult {
                 values: own_values,
-                comm: CommStats::default(), // patched after the gather completes
+                // Comm, spans, and flows are patched after the gather
+                // completes — they keep accruing until the run ends.
+                comm: CommStats::default(),
                 exchange_ns: own_work.exchange_ns,
                 eval_ns: own_work.eval_ns,
                 reduce_ns: own_work.reduce_ns,
                 patches: own_work.patches,
+                spans: Vec::new(),
+                flow_sends: Vec::new(),
+                flow_recvs: Vec::new(),
             });
             let mut missing = n - 1;
             let absorb = |msg: Message,
@@ -695,7 +778,12 @@ pub fn run_dist_on<T: Transport>(
                     }
                 }
             }
-            Ok((rank_results, link.stats(), tracer.into_records()))
+            Ok((
+                rank_results,
+                link.stats(),
+                tracer.into_records(),
+                link.flow_log().clone(),
+            ))
         })?;
 
     // Assemble: owned-point shards are disjoint, so the cross-rank stage
@@ -711,6 +799,9 @@ pub fn run_dist_on<T: Transport>(
             Some(mut result) => {
                 if r == 0 {
                     result.comm = own_comm;
+                    result.spans = spans.clone();
+                    result.flow_sends = own_flows.sends.clone();
+                    result.flow_recvs = own_flows.recvs.clone();
                 }
                 (result, false)
             }
@@ -745,6 +836,9 @@ pub fn run_dist_on<T: Transport>(
                         eval_ns: work.eval_ns,
                         reduce_ns: work.reduce_ns,
                         patches: work.patches,
+                        spans: Vec::new(),
+                        flow_sends: Vec::new(),
+                        flow_recvs: Vec::new(),
                     },
                     true,
                 )
@@ -772,6 +866,11 @@ pub fn run_dist_on<T: Transport>(
             reduce_ns: result.reduce_ns,
             reresolved,
             patches: result.patches,
+            spans: result.spans,
+            flows: FlowLog {
+                sends: result.flow_sends,
+                recvs: result.flow_recvs,
+            },
         });
     }
 
@@ -889,11 +988,49 @@ mod tests {
             assert!(!r.reresolved);
             assert!(r.comm.bytes_sent > 0);
             assert!(r.eval_ns > 0);
+            // Every rank shipped spans home on the shared axis.
+            let rank_names: Vec<&str> = r.spans.iter().map(|s| s.name.as_str()).collect();
+            assert!(rank_names.contains(&"exchange.halo"), "rank {}", r.rank);
+            assert!(rank_names.contains(&"eval.per_element"), "rank {}", r.rank);
+            assert!(!r.flows.sends.is_empty(), "rank {} logged no sends", r.rank);
+        }
+        // Flow logs join completely: every halo send matched to a recv.
+        let matched = sol.flow_match();
+        assert!(!matched.pairs.is_empty());
+        assert!(matched.unmatched_sends.is_empty());
+        assert!(matched.unmatched_recvs.is_empty());
+        for p in &matched.pairs {
+            assert!(p.send_ns <= p.recv_ns, "flow {} runs backwards", p.flow);
         }
         let record = sol.to_run_record("test/dist@2ranks", mesh.n_triangles(), None);
         assert_eq!(record.scheme, SCHEME_LABEL);
         assert_eq!(record.comms.len(), 2);
+        for c in &record.comms {
+            assert!(c.exposed_comms_ms >= 0.0);
+            assert!(c.flow_sends > 0 && c.flow_recvs > 0);
+        }
+        let cp = record.critical_path.as_ref().expect("critical path");
+        assert!(cp.total_ms > 0.0);
+        assert_eq!(cp.utilization.len(), 2);
+        // The run renders as a timeline: one track per rank, one arrow per
+        // matched flow.
+        let mut timeline = Timeline::new();
+        sol.add_to_timeline(&mut timeline, 1, "dist@2ranks");
+        assert_eq!(timeline.tracks().len(), 2);
+        assert_eq!(timeline.flows().len(), matched.pairs.len());
         let sim = sol.simulate(&DeviceConfig::default());
         assert!(sim.comms_ms > 0.0, "counted traffic must be charged");
+    }
+
+    #[test]
+    fn uninstrumented_run_ships_no_observability_payload() {
+        let (mesh, field, grid) = fixture(200, 1, 9);
+        let sol = run_dist(&mesh, &field, &grid, &DistOptions::new(2)).unwrap();
+        for r in &sol.ranks {
+            assert!(r.spans.is_empty());
+            assert!(r.flows.sends.is_empty() && r.flows.recvs.is_empty());
+        }
+        let record = sol.to_run_record("test/dist@2ranks", mesh.n_triangles(), None);
+        assert!(record.critical_path.is_none());
     }
 }

@@ -13,7 +13,7 @@ use std::time::Duration;
 
 /// What a message carries. The tag is part of the wire header; payload
 /// layouts per tag are defined in [`wire`](crate::wire).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Tag {
     /// Modal coefficients of a set of elements (halo push, or the response
     /// to a [`Tag::HaloRequest`]).
@@ -40,6 +40,16 @@ impl Tag {
         }
     }
 
+    /// Human-readable label (timeline flow names, diagnostics).
+    pub fn label(self) -> &'static str {
+        match self {
+            Tag::HaloCoeffs => "halo.coeffs",
+            Tag::HaloRequest => "halo.request",
+            Tag::OwnedValues => "owned.values",
+            Tag::Ack => "ack",
+        }
+    }
+
     /// Decodes a tag byte.
     pub fn from_byte(b: u8) -> Option<Tag> {
         match b {
@@ -52,9 +62,10 @@ impl Tag {
     }
 }
 
-/// Bytes of the fixed message header (`from` + `to` + tag + `seq`): the
-/// per-message overhead charged to the wire alongside the payload.
-pub const HEADER_BYTES: u64 = 4 + 4 + 1 + 8;
+/// Bytes of the fixed message header (`from` + `to` + tag + `seq` +
+/// `flow`): the per-message overhead charged to the wire alongside the
+/// payload.
+pub const HEADER_BYTES: u64 = 4 + 4 + 1 + 8 + 8;
 
 /// One serialized message between ranks. Cross-rank data exists *only* in
 /// this form — no shared references to field or solution data ever cross a
@@ -70,6 +81,12 @@ pub struct Message {
     /// Per-sender sequence number (the reliability layer's identity for
     /// deduplication and acknowledgement).
     pub seq: u64,
+    /// Per-sender monotone flow id, tagged once per *logical* payload
+    /// message: retransmits share their original's flow id, and an
+    /// acknowledgement carries the flow id of the message it acknowledges.
+    /// `(from, flow)` therefore names one send→recv arc in a trace
+    /// timeline. Purely observational — reliability keys on `seq`.
+    pub flow: u64,
     /// Serialized payload (see [`wire`](crate::wire)).
     pub payload: Vec<u8>,
 }
@@ -136,8 +153,11 @@ mod tests {
             to: 1,
             tag: Tag::HaloCoeffs,
             seq: 9,
+            flow: 9,
             payload: vec![0u8; 40],
         };
         assert_eq!(m.wire_bytes(), HEADER_BYTES + 40);
+        // from + to + tag + seq + flow.
+        assert_eq!(HEADER_BYTES, 4 + 4 + 1 + 8 + 8);
     }
 }

@@ -10,8 +10,10 @@
 //! * **rank result** — owned-point values in shard order plus the rank's
 //!   execution summary ([`Tag::OwnedValues`](crate::transport::Tag)).
 
+use crate::flow::FlowPoint;
+use crate::transport::Tag;
 use ustencil_core::{BlockStats, Metrics, Probe};
-use ustencil_trace::CommStats;
+use ustencil_trace::{CommStats, SpanRecord};
 
 /// A growable little-endian byte writer.
 #[derive(Debug, Default)]
@@ -38,6 +40,12 @@ impl WireWriter {
     /// Appends an `f64` (bit pattern, exact round-trip).
     pub fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
     }
 
     /// Finishes, returning the payload bytes.
@@ -85,6 +93,12 @@ impl<'a> WireReader<'a> {
         Ok(f64::from_bits(u64::from_le_bytes(
             self.take(8)?.try_into().unwrap(),
         )))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], String> {
+        let n = self.u32()? as usize;
+        self.take(n)
     }
 
     /// True when every byte has been consumed.
@@ -175,6 +189,73 @@ pub struct RankResult {
     /// Per-patch stats of the rank's evaluation (probes are not shipped —
     /// they are rank-local diagnostics).
     pub patches: Vec<BlockStats>,
+    /// The rank's tracer spans (empty when instrumentation is off). Start
+    /// offsets are measured from the run's shared epoch, so shipped spans
+    /// land on the coordinator's time axis directly.
+    pub spans: Vec<SpanRecord>,
+    /// Flow-log send points (halo-phase messages only; see
+    /// [`FlowLog`](crate::flow::FlowLog)).
+    pub flow_sends: Vec<FlowPoint>,
+    /// Flow-log receive points.
+    pub flow_recvs: Vec<FlowPoint>,
+}
+
+fn encode_spans(w: &mut WireWriter, spans: &[SpanRecord]) {
+    w.u32(spans.len() as u32);
+    for s in spans {
+        w.bytes(s.name.as_bytes());
+        w.u32(s.depth);
+        w.u64(s.start_ns);
+        w.u64(s.duration_ns);
+    }
+}
+
+fn decode_spans(r: &mut WireReader) -> Result<Vec<SpanRecord>, String> {
+    let n = r.u32()? as usize;
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = std::str::from_utf8(r.bytes()?)
+            .map_err(|_| "span name is not UTF-8".to_string())?
+            .to_string();
+        spans.push(SpanRecord {
+            name,
+            depth: r.u32()?,
+            start_ns: r.u64()?,
+            duration_ns: r.u64()?,
+        });
+    }
+    Ok(spans)
+}
+
+fn encode_flow_points(w: &mut WireWriter, points: &[FlowPoint]) {
+    w.u32(points.len() as u32);
+    for p in points {
+        w.u64(p.flow);
+        w.u32(p.peer);
+        w.u32(p.tag.to_byte() as u32);
+        w.u64(p.ts_ns);
+        w.u64(p.bytes);
+    }
+}
+
+fn decode_flow_points(r: &mut WireReader) -> Result<Vec<FlowPoint>, String> {
+    let n = r.u32()? as usize;
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let flow = r.u64()?;
+        let peer = r.u32()?;
+        let tag_byte = r.u32()?;
+        let tag = Tag::from_byte(tag_byte as u8)
+            .ok_or_else(|| format!("unknown flow-point tag byte {tag_byte}"))?;
+        points.push(FlowPoint {
+            flow,
+            peer,
+            tag,
+            ts_ns: r.u64()?,
+            bytes: r.u64()?,
+        });
+    }
+    Ok(points)
 }
 
 fn encode_metrics(w: &mut WireWriter, m: &Metrics) {
@@ -238,6 +319,9 @@ pub fn encode_rank_result(res: &RankResult) -> Vec<u8> {
         w.u64(p.points);
         encode_metrics(&mut w, &p.metrics);
     }
+    encode_spans(&mut w, &res.spans);
+    encode_flow_points(&mut w, &res.flow_sends);
+    encode_flow_points(&mut w, &res.flow_recvs);
     w.finish()
 }
 
@@ -275,6 +359,9 @@ pub fn decode_rank_result(payload: &[u8]) -> Result<RankResult, String> {
             probe: Probe::disabled(),
         });
     }
+    let spans = decode_spans(&mut r)?;
+    let flow_sends = decode_flow_points(&mut r)?;
+    let flow_recvs = decode_flow_points(&mut r)?;
     if !r.exhausted() {
         return Err("trailing bytes in rank-result payload".into());
     }
@@ -285,6 +372,9 @@ pub fn decode_rank_result(payload: &[u8]) -> Result<RankResult, String> {
         eval_ns,
         reduce_ns,
         patches,
+        spans,
+        flow_sends,
+        flow_recvs,
     })
 }
 
@@ -344,6 +434,34 @@ mod tests {
                 points: 7,
                 probe: Probe::disabled(),
             }],
+            spans: vec![
+                SpanRecord {
+                    name: "exchange.halo".into(),
+                    depth: 0,
+                    start_ns: 100,
+                    duration_ns: 50,
+                },
+                SpanRecord {
+                    name: "eval.per_element".into(),
+                    depth: 1,
+                    start_ns: 160,
+                    duration_ns: 40,
+                },
+            ],
+            flow_sends: vec![FlowPoint {
+                flow: 0,
+                peer: 1,
+                tag: Tag::HaloCoeffs,
+                ts_ns: 105,
+                bytes: 64,
+            }],
+            flow_recvs: vec![FlowPoint {
+                flow: 3,
+                peer: 2,
+                tag: Tag::HaloRequest,
+                ts_ns: 130,
+                bytes: 33,
+            }],
         };
         let decoded = decode_rank_result(&encode_rank_result(&res)).unwrap();
         assert_eq!(decoded.values, res.values);
@@ -351,6 +469,9 @@ mod tests {
         assert_eq!(decoded.patches.len(), 1);
         assert_eq!(decoded.patches[0].metrics, res.patches[0].metrics);
         assert_eq!(decoded.patches[0].wall_ns, 99);
+        assert_eq!(decoded.spans, res.spans);
+        assert_eq!(decoded.flow_sends, res.flow_sends);
+        assert_eq!(decoded.flow_recvs, res.flow_recvs);
     }
 
     #[test]

@@ -247,6 +247,74 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: every quantile is 0.
+        let empty = Hist64::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile_upper_bound(q), 0);
+        }
+        // q = 0.0 targets the first sample (rank at least 1, never 0).
+        let mut h = Hist64::new();
+        for v in [1u64, 100, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_upper_bound(0.0), 1);
+        // q = 1.0 reports exactly the observed maximum, clamped below the
+        // bucket's upper bound.
+        assert_eq!(h.quantile_upper_bound(1.0), 10_000);
+        // Out-of-range q values clamp instead of panicking.
+        assert_eq!(h.quantile_upper_bound(-0.5), h.quantile_upper_bound(0.0));
+        assert_eq!(h.quantile_upper_bound(1.5), h.quantile_upper_bound(1.0));
+    }
+
+    #[test]
+    fn single_bucket_quantiles_report_the_max() {
+        // All samples in one bucket (5, 6, 7 share bucket 3 = [4, 7]):
+        // every quantile must report the observed max, not the bucket
+        // bound.
+        let mut h = Hist64::new();
+        for v in [5u64, 6, 7, 5] {
+            h.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile_upper_bound(q), 7, "q = {q}");
+        }
+        // A single zero sample lives in the zero bucket.
+        let mut z = Hist64::new();
+        z.record(0);
+        assert_eq!(z.quantile_upper_bound(0.5), 0);
+        assert_eq!(z.quantile_upper_bound(1.0), 0);
+        assert_eq!(z.count(), 1);
+    }
+
+    #[test]
+    fn merge_then_quantile_matches_combined_recording() {
+        let mut a = Hist64::new();
+        let mut b = Hist64::new();
+        let mut combined = Hist64::new();
+        for v in 0..200u64 {
+            a.record(v * 5);
+            combined.record(v * 5);
+        }
+        for v in 0..77u64 {
+            b.record(v * v + 3);
+            combined.record(v * v + 3);
+        }
+        a.merge(&b);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                a.quantile_upper_bound(q),
+                combined.quantile_upper_bound(q),
+                "q = {q}"
+            );
+        }
+        // Merging an empty histogram changes nothing.
+        let before = a;
+        a.merge(&Hist64::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
     fn from_parts_round_trips() {
         let mut h = Hist64::new();
         for v in [3u64, 9, 9, 200, 0] {

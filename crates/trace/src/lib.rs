@@ -13,7 +13,11 @@
 //! * [`json`] — a hand-rolled JSON value type ([`Json`]) with writer *and*
 //!   parser, so run reports round-trip without external crates;
 //! * [`comm`] — per-endpoint communication counters ([`CommStats`]) for
-//!   the rank-sharded runtime's serialized transports.
+//!   the rank-sharded runtime's serialized transports;
+//! * [`timeline`] — multi-track Chrome trace-event timelines ([`Timeline`])
+//!   with send→recv flow arrows, loadable in Perfetto;
+//! * [`critical`] — timeline analysis: exposed communication time, the
+//!   cross-rank critical path, and per-rank utilization.
 //!
 //! The evaluation engine (`ustencil-core`) threads these through its
 //! per-patch runs and surfaces them as a `RunReport`; the `reproduce`
@@ -22,13 +26,17 @@
 #![deny(missing_docs)]
 
 pub mod comm;
+pub mod critical;
 pub mod hist;
 pub mod imbalance;
 pub mod json;
 pub mod span;
+pub mod timeline;
 
 pub use comm::CommStats;
+pub use critical::{critical_path, exposed_comms_ns, CriticalPath, PhaseCost};
 pub use hist::Hist64;
 pub use imbalance::ImbalanceSummary;
 pub use json::Json;
-pub use span::{SpanGuard, SpanRecord, Tracer};
+pub use span::{sort_records, SpanGuard, SpanRecord, Tracer};
+pub use timeline::{FlowArrow, Timeline, Track};

@@ -41,9 +41,17 @@ pub struct Tracer {
 impl Tracer {
     /// A tracer that records (`enabled = true`) or ignores everything.
     pub fn new(enabled: bool) -> Self {
+        Self::with_epoch(enabled, Instant::now())
+    }
+
+    /// A tracer whose span offsets are measured from a caller-supplied
+    /// epoch. Several tracers sharing one epoch (e.g. one per rank thread
+    /// in the distributed runtime) produce records on a common time axis,
+    /// so their spans can be merged into one multi-track timeline.
+    pub fn with_epoch(enabled: bool, epoch: Instant) -> Self {
         Self {
             enabled,
-            epoch: Instant::now(),
+            epoch,
             state: RefCell::new(TracerState {
                 records: Vec::new(),
                 depth: 0,
@@ -54,6 +62,11 @@ impl Tracer {
     /// A tracer that records nothing at (almost) no cost.
     pub fn disabled() -> Self {
         Self::new(false)
+    }
+
+    /// The instant span offsets are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
     }
 
     /// Whether spans are being recorded.
@@ -87,15 +100,35 @@ impl Tracer {
         }
     }
 
-    /// Snapshot of the recorded spans, in opening order.
+    /// Snapshot of the recorded spans, sorted by `(start_ns, name)`.
+    ///
+    /// The sort makes the record stream deterministic for serialization:
+    /// opening order and start order coincide on a single thread, but spans
+    /// merged from several tracers (or drained in worker-completion order)
+    /// would otherwise leak scheduling into report bytes. The sort is
+    /// stable, so full ties keep opening order.
     pub fn records(&self) -> Vec<SpanRecord> {
-        self.state.borrow().records.clone()
+        let mut records = self.state.borrow().records.clone();
+        sort_records(&mut records);
+        records
     }
 
-    /// Consumes the tracer, returning the recorded spans.
+    /// Consumes the tracer, returning the recorded spans sorted by
+    /// `(start_ns, name)` (see [`records`](Self::records)).
     pub fn into_records(self) -> Vec<SpanRecord> {
-        self.state.into_inner().records
+        let mut records = self.state.into_inner().records;
+        sort_records(&mut records);
+        records
     }
+}
+
+/// Sorts span records into the canonical `(start_ns, name)` emission order.
+pub fn sort_records(records: &mut [SpanRecord]) {
+    records.sort_by(|a, b| {
+        a.start_ns
+            .cmp(&b.start_ns)
+            .then_with(|| a.name.cmp(&b.name))
+    });
 }
 
 /// Closes its span on drop.
@@ -149,6 +182,49 @@ mod tests {
         }
         assert!(!t.enabled());
         assert!(t.into_records().is_empty());
+    }
+
+    #[test]
+    fn records_are_sorted_by_start_then_name() {
+        let mut records = vec![
+            SpanRecord {
+                name: "b".into(),
+                depth: 0,
+                start_ns: 50,
+                duration_ns: 1,
+            },
+            SpanRecord {
+                name: "a".into(),
+                depth: 0,
+                start_ns: 50,
+                duration_ns: 2,
+            },
+            SpanRecord {
+                name: "z".into(),
+                depth: 0,
+                start_ns: 10,
+                duration_ns: 3,
+            },
+        ];
+        sort_records(&mut records);
+        let names: Vec<&str> = records.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["z", "a", "b"]);
+    }
+
+    #[test]
+    fn shared_epoch_puts_tracers_on_one_axis() {
+        let epoch = Instant::now();
+        let a = Tracer::with_epoch(true, epoch);
+        let b = Tracer::with_epoch(true, epoch);
+        drop(a.span("first"));
+        std::thread::sleep(std::time::Duration::from_micros(200));
+        drop(b.span("second"));
+        let ra = a.into_records();
+        let rb = b.into_records();
+        assert!(
+            rb[0].start_ns > ra[0].start_ns,
+            "a later span on a sibling tracer must have a later offset"
+        );
     }
 
     #[test]

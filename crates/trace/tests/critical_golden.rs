@@ -1,0 +1,91 @@
+//! Golden test of the critical-path analysis: a recorded 4-rank run (the
+//! fixture JSON) must analyze to exactly the hand-computed bottlenecks,
+//! exposed-comms totals, and utilization ratios.
+
+use ustencil_trace::{critical_path, exposed_comms_ns, Json, SpanRecord};
+
+const FIXTURE: &str = include_str!("fixtures/critical_4rank.json");
+
+fn spans_from(json: &Json) -> Vec<SpanRecord> {
+    json.as_array()
+        .expect("rank spans are an array")
+        .iter()
+        .map(|s| SpanRecord {
+            name: s.get("name").and_then(Json::as_str).unwrap().to_string(),
+            depth: s.get("depth").and_then(Json::as_u64).unwrap() as u32,
+            start_ns: s.get("start_ns").and_then(Json::as_u64).unwrap(),
+            duration_ns: s.get("duration_ns").and_then(Json::as_u64).unwrap(),
+        })
+        .collect()
+}
+
+fn u64s_from(json: &Json) -> Vec<u64> {
+    json.as_array()
+        .expect("array of integers")
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect()
+}
+
+#[test]
+fn recorded_four_rank_run_matches_the_golden_analysis() {
+    let doc = Json::parse(FIXTURE).expect("fixture parses");
+    let rank_spans: Vec<Vec<SpanRecord>> = doc
+        .get("ranks")
+        .and_then(Json::as_array)
+        .expect("ranks array")
+        .iter()
+        .map(spans_from)
+        .collect();
+    assert_eq!(rank_spans.len(), 4);
+    let expected = doc.get("expected").expect("expected block");
+
+    let cp = critical_path(&rank_spans);
+    assert_eq!(
+        cp.total_ns,
+        expected.get("total_ns").and_then(Json::as_u64).unwrap()
+    );
+
+    let want_phases: Vec<(String, u64, u64)> = expected
+        .get("phases")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|p| {
+            (
+                p.get("name").and_then(Json::as_str).unwrap().to_string(),
+                p.get("rank").and_then(Json::as_u64).unwrap(),
+                p.get("duration_ns").and_then(Json::as_u64).unwrap(),
+            )
+        })
+        .collect();
+    let got_phases: Vec<(String, u64, u64)> = cp
+        .phases
+        .iter()
+        .map(|p| (p.name.clone(), p.rank, p.duration_ns))
+        .collect();
+    assert_eq!(got_phases, want_phases);
+
+    let exposed = u64s_from(expected.get("exposed_ns").unwrap());
+    for (r, want) in exposed.iter().enumerate() {
+        assert_eq!(
+            exposed_comms_ns(&rank_spans[r]),
+            *want,
+            "rank {r} exposed comms"
+        );
+    }
+
+    // Utilization is compute over the rank's active window; the fixture
+    // pins both operands so the expected ratio is exact.
+    let compute = u64s_from(expected.get("compute_ns").unwrap());
+    let window = u64s_from(expected.get("window_ns").unwrap());
+    assert_eq!(cp.utilization.len(), 4);
+    for r in 0..4 {
+        let want = compute[r] as f64 / window[r] as f64;
+        assert!(
+            (cp.utilization[r] - want).abs() < 1e-12,
+            "rank {r}: utilization {} != {want}",
+            cp.utilization[r]
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Comm-flow tracing end to end: flow ids on the wire, deterministic
+//! send→recv matching over the recording fabric, and orphan flagging
+//! under fault injection.
+
+use std::time::Duration;
+use ustencil_core::ComputationGrid;
+use ustencil_dg::{project_l2, DgField};
+use ustencil_dist::{
+    match_wire_log, run_dist_on, Disposition, DistOptions, FaultPlan, FaultRule, Message,
+    RecordingFabric, Tag, Transport,
+};
+use ustencil_mesh::{generate_mesh, MeshClass, TriMesh};
+
+fn fixture(n_tri: usize) -> (TriMesh, DgField, ComputationGrid) {
+    let mesh = generate_mesh(MeshClass::LowVariance, n_tri, 11);
+    let field = project_l2(&mesh, 1, |x, y| 0.3 + x - 0.5 * y + 0.2 * x * y, 2);
+    let grid = ComputationGrid::quadrature_points(&mesh, 1);
+    (mesh, field, grid)
+}
+
+/// The matched flow set over the recording fabric is a pure function of
+/// the workload: two identical runs deliver exactly the same `(from, to,
+/// flow, tag)` keys, with nothing orphaned, and the in-band flow logs
+/// agree with the wire's view.
+#[test]
+fn flow_matching_is_bit_deterministic_across_runs() {
+    let (mesh, field, grid) = fixture(300);
+    let opts = DistOptions::new(4).instrument(true);
+
+    let mut summaries = Vec::new();
+    let mut pair_keys: Vec<Vec<(u32, u32, u64, Tag)>> = Vec::new();
+    for _ in 0..2 {
+        let (fabric, endpoints) = RecordingFabric::new(4);
+        let sol = run_dist_on(&mesh, &field, &grid, &opts, endpoints).unwrap();
+        summaries.push(match_wire_log(&fabric.log()));
+        // Timestamps vary run to run; the matched key set must not.
+        pair_keys.push(
+            sol.flow_match()
+                .pairs
+                .iter()
+                .map(|p| (p.src, p.dst, p.flow, p.tag))
+                .collect(),
+        );
+    }
+    assert_eq!(summaries[0], summaries[1], "wire flow join must be stable");
+    assert_eq!(pair_keys[0], pair_keys[1], "link flow join must be stable");
+    assert!(!summaries[0].delivered.is_empty());
+    assert!(
+        summaries[0].orphaned.is_empty(),
+        "clean run orphaned flows: {:?}",
+        summaries[0].orphaned
+    );
+    // Every halo message the link-level logs matched is also delivered on
+    // the wire (the wire additionally sees OwnedValues result flows).
+    for key in &pair_keys[0] {
+        assert!(
+            summaries[0].delivered.contains(key),
+            "pair {key:?} missing from the wire's delivered set"
+        );
+    }
+}
+
+/// A dropped-then-retransmitted message keeps one flow id, so the flow
+/// still matches — fault recovery is invisible to the flow trace.
+#[test]
+fn dropped_then_retransmitted_flow_still_matches() {
+    let (mesh, field, grid) = fixture(300);
+    let faults = FaultPlan::none().with_rule(FaultRule::drop_first(1, Tag::HaloCoeffs, 1));
+    let (fabric, endpoints) = RecordingFabric::with_faults(2, faults);
+    let opts = DistOptions::new(2).instrument(true);
+    let sol = run_dist_on(&mesh, &field, &grid, &opts, endpoints).unwrap();
+    assert!(sol.ranks.iter().all(|r| !r.reresolved));
+
+    let log = fabric.log();
+    let dropped: Vec<_> = log
+        .iter()
+        .filter(|r| r.disposition == Disposition::Dropped)
+        .collect();
+    assert_eq!(dropped.len(), 1, "exactly the injected drop");
+    let summary = match_wire_log(&log);
+    assert!(
+        summary.orphaned.is_empty(),
+        "retransmit re-delivers the flow"
+    );
+    let key = (
+        dropped[0].from,
+        dropped[0].to,
+        dropped[0].flow,
+        dropped[0].tag,
+    );
+    assert!(
+        summary.delivered.contains(&key),
+        "dropped flow {key:?} must be delivered by its retransmit"
+    );
+}
+
+/// A flow whose every copy is lost is flagged as an orphan — analysis of
+/// a faulty run reports the loss instead of panicking.
+#[test]
+fn never_delivered_flow_is_flagged_not_fatal() {
+    let faults = FaultPlan::none().with_rule(FaultRule::drop_first(0, Tag::HaloCoeffs, 1));
+    let (fabric, mut endpoints) = RecordingFabric::with_faults(2, faults);
+    let mut ep1 = endpoints.pop().unwrap();
+    let mut ep0 = endpoints.pop().unwrap();
+    let msg = |flow: u64, payload: Vec<u8>| Message {
+        from: 0,
+        to: 1,
+        tag: Tag::HaloCoeffs,
+        seq: flow,
+        flow,
+        payload,
+    };
+    // Flow 0 is swallowed by the drop rule; flow 1 arrives and is read.
+    ep0.send(msg(0, vec![1, 2, 3])).unwrap();
+    ep0.send(msg(1, vec![4, 5])).unwrap();
+    let got = ep1.recv_timeout(Duration::from_secs(1)).unwrap();
+    assert_eq!(got.flow, 1);
+
+    let summary = match_wire_log(&fabric.log());
+    assert_eq!(summary.delivered, vec![(0, 1, 1, Tag::HaloCoeffs)]);
+    assert_eq!(summary.orphaned, vec![(0, 1, 0, Tag::HaloCoeffs)]);
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare two benchmark records written by `reproduce bench --record`.
+
+Usage: bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Walks the fixtures both records share and fails (exit 1) when any
+candidate wall exceeds the baseline by more than the threshold fraction.
+Deterministic shape metrics (nnz, wire bytes) that differ are reported as
+warnings: a metric drift means the workload itself changed, so the wall
+comparison may not be apples to apples.
+
+CI runs this with a generous threshold (wall clocks on shared runners are
+noisy); locally the 10% default is the intended gate.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema != SCHEMA_VERSION:
+        sys.exit(f"{path}: schema version {schema!r} is not supported "
+                 f"(this tool reads version {SCHEMA_VERSION}); re-record it")
+    entries = {e["name"]: e for e in doc.get("entries", [])}
+    if not entries:
+        sys.exit(f"{path}: record has no entries")
+    return doc, entries
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed fractional wall regression (default 0.10)")
+    args = ap.parse_args()
+
+    base_doc, base = load(args.baseline)
+    cand_doc, cand = load(args.candidate)
+    print(f"baseline  {args.baseline} (rev {base_doc.get('git_rev')}, "
+          f"min of {base_doc.get('reps')} reps)")
+    print(f"candidate {args.candidate} (rev {cand_doc.get('git_rev')}, "
+          f"min of {cand_doc.get('reps')} reps)")
+
+    shared = [n for n in base if n in cand]
+    if not shared:
+        sys.exit("no shared fixtures between the two records")
+    for name in set(base) - set(cand):
+        print(f"warning: fixture '{name}' is in the baseline only")
+    for name in set(cand) - set(base):
+        print(f"warning: fixture '{name}' is in the candidate only")
+
+    print(f"\n{'fixture':>28} {'base ms':>10} {'cand ms':>10} {'ratio':>7}")
+    regressions = []
+    for name in shared:
+        b, c = base[name]["wall_ms"], cand[name]["wall_ms"]
+        ratio = c / b if b > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  REGRESSION"
+            regressions.append((name, ratio))
+        print(f"{name:>28} {b:>10.3f} {c:>10.3f} {ratio:>7.2f}{flag}")
+        bm = base[name].get("metrics", {})
+        cm = cand[name].get("metrics", {})
+        for k in sorted(set(bm) | set(cm)):
+            if bm.get(k) != cm.get(k):
+                print(f"warning: '{name}' metric '{k}' drifted: "
+                      f"{bm.get(k)} -> {cm.get(k)} (workload changed?)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} fixture(s) regressed past "
+              f"{args.threshold:.0%}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x the baseline wall")
+        sys.exit(1)
+    print(f"\nok: {len(shared)} shared fixture(s) within {args.threshold:.0%}")
+
+
+if __name__ == "__main__":
+    main()
