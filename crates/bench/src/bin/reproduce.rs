@@ -19,6 +19,8 @@ use ustencil_core::prelude::*;
 use ustencil_dist::{run_dist, DistOptions, SCHEME_LABEL as DIST_SCHEME_LABEL};
 use ustencil_mesh::MeshClass;
 use ustencil_plan::{ApplyOptions, PlanExt, SCHEME_LABEL};
+use ustencil_serve::traffic::{self, TrafficConfig, TrafficOutcome};
+use ustencil_serve::SCHEME_LABEL as SERVE_SCHEME_LABEL;
 use ustencil_trace::Timeline;
 
 /// Largest default mesh size per polynomial degree (indexed by `p`).
@@ -389,6 +391,66 @@ fn plan_cmd(r: &mut Runner, sizes: &[usize], timesteps: usize) {
     println!("(amortization: a plan pays for itself after T* frames; see EXPERIMENTS.md)");
 }
 
+/// The `serve` subcommand: drive the multi-tenant plan-cache service with
+/// the seeded zipf traffic generator, then replay the identical request
+/// stream against a naive compile-per-request baseline, and print the
+/// side-by-side throughput and latency quantiles. Returns both run
+/// records for the `--json` report.
+fn serve_cmd(opts: &CliOptions) -> Vec<RunRecord> {
+    let cfg = TrafficConfig {
+        clients: opts.clients,
+        requests: opts.requests,
+        seed: opts.seed,
+        ..TrafficConfig::default()
+    };
+    println!("\n== Plan-cache service: {} ==", traffic::describe(&cfg));
+    eprintln!("  [driving the cached service...]");
+    let cached = traffic::run_cached(&cfg);
+    eprintln!("  [driving the naive compile-per-request baseline...]");
+    let naive = traffic::run_naive(&cfg);
+
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>7} {:>8}",
+        "mode", "wall ms", "req/s", "p50 us", "p99 us", "compiles", "hits", "batches"
+    );
+    for (mode, out) in [("cached", &cached), ("naive", &naive)] {
+        println!(
+            "{:>8} {:>10.1} {:>10.0} {:>10} {:>10} {:>9} {:>7} {:>8}",
+            mode,
+            out.wall_ms,
+            out.throughput_rps,
+            out.latency_us(0.50),
+            out.latency_us(0.99),
+            out.stats.compiles,
+            out.stats.hits,
+            out.stats.batches
+        );
+    }
+    let speedup = cached.throughput_rps / naive.throughput_rps;
+    println!(
+        "throughput: cached is {speedup:.1}x naive ({} compiles for {} requests; \
+         {} single-flight waits, {} coalesced batches)",
+        cached.stats.compiles,
+        cached.stats.requests,
+        cached.stats.single_flight_waits,
+        cached.stats.batches
+    );
+    println!("(compile-once/apply-many economics as a service: see DESIGN.md section 14)");
+    vec![cached.record, naive.record]
+}
+
+/// One timed serve fixture for `bench_cmd`: the cached service at the
+/// default traffic shape, reported via its deterministic shape metrics and
+/// its wall/p99 timings.
+fn serve_bench_fixture(opts: &CliOptions) -> (TrafficOutcome, TrafficConfig) {
+    let cfg = TrafficConfig {
+        seed: opts.seed,
+        ..TrafficConfig::default()
+    };
+    eprintln!("  [driving {}...]", traffic::describe(&cfg));
+    (traffic::run_cached(&cfg), cfg)
+}
+
 /// The `bench` subcommand: the standard fixtures of the performance
 /// observatory, timed as min-of-`--reps` walls and optionally written as a
 /// versioned [`BenchRecord`] for `tools/bench_diff.py` to gate on.
@@ -463,6 +525,21 @@ fn bench_cmd(opts: &CliOptions) {
         print_bench_row(&name, wall, &metrics);
         record.push(&name, wall, &metrics);
     }
+
+    // Fixture 4: the cached plan service under the default zipf traffic.
+    // The run repeats its requests internally, so one run is the sample;
+    // the shape metrics (requests, compiles, coalesced rows) are seed-
+    // deterministic, and the latency quantile is gated as a timing.
+    let (out, cfg) = serve_bench_fixture(opts);
+    let name = format!("serve.cached/{}x{}", cfg.clients, cfg.requests);
+    let metrics = [
+        ("requests", out.stats.requests as f64),
+        ("compiles", out.stats.compiles as f64),
+        ("batched_rows", out.stats.batched_rows as f64),
+        ("p99_us", out.latency_us(0.99) as f64),
+    ];
+    print_bench_row(&name, out.wall_ms, &metrics);
+    record.push(&name, out.wall_ms, &metrics);
 
     if let Some(path) = &opts.record {
         let text = record.to_pretty_string();
@@ -652,6 +729,7 @@ fn checkjson(path: &str) -> Result<(), String> {
         if Scheme::from_label(&run.scheme).is_none()
             && run.scheme != SCHEME_LABEL
             && run.scheme != DIST_SCHEME_LABEL
+            && run.scheme != SERVE_SCHEME_LABEL
         {
             return Err(format!("{ctx}: unknown scheme '{}'", run.scheme));
         }
@@ -714,6 +792,40 @@ fn checkjson(path: &str) -> Result<(), String> {
                         "{ctx}: flow trace is incomplete ({sends} sends, {recvs} recvs)"
                     ));
                 }
+            }
+        } else if run.scheme == SERVE_SCHEME_LABEL {
+            // Serve runs promise the multi-tenant service ledger: aggregate
+            // counters that add up, a latency histogram that saw every
+            // request, and one ledger per tenant.
+            let serve = run
+                .serve
+                .as_ref()
+                .ok_or_else(|| format!("{ctx}: serve run without serve stats"))?;
+            if serve.requests == 0 {
+                return Err(format!("{ctx}: serve run served no requests"));
+            }
+            if serve.misses != serve.compiles + serve.disk_loads {
+                return Err(format!(
+                    "{ctx}: {} misses but {} compiles + {} disk loads",
+                    serve.misses, serve.compiles, serve.disk_loads
+                ));
+            }
+            if serve.service_us.count() != serve.requests {
+                return Err(format!(
+                    "{ctx}: latency histogram saw {} of {} requests",
+                    serve.service_us.count(),
+                    serve.requests
+                ));
+            }
+            if serve.tenants.is_empty() {
+                return Err(format!("{ctx}: serve run without per-tenant ledgers"));
+            }
+            let tenant_requests: u64 = serve.tenants.iter().map(|t| t.requests).sum();
+            if tenant_requests != serve.requests {
+                return Err(format!(
+                    "{ctx}: tenant ledgers account for {tenant_requests} of {} requests",
+                    serve.requests
+                ));
             }
         } else {
             match run.histogram("candidates_per_query") {
@@ -795,6 +907,7 @@ fn main() {
         "profile" => profile(&mut r, &sizes),
         "plan" => plan_cmd(&mut r, &sizes, opts.timesteps),
         "bench" => bench_cmd(&opts),
+        "serve" => r.records.extend(serve_cmd(&opts)),
         "all" => {
             table1(&mut r, &sizes);
             fig8(&mut r, &sizes);

@@ -21,6 +21,10 @@ commands:
                       rank-sharded fig14, staged-vs-fused micro) and report
                       min-of-N walls; --record writes the versioned record
                       tools/bench_diff.py compares against a baseline
+  serve               drive the multi-tenant plan-cache service with seeded
+                      zipf traffic (--clients threads, --requests total) and
+                      report throughput and p50/p99 latency, cached vs a
+                      naive compile-per-request baseline
   checkjson <path>    validate a --json report file (used by CI)
 
 options:
@@ -35,6 +39,9 @@ options:
   --timesteps T       synthetic fields a `plan` run applies (default 8)
   --reps N            repetitions per `bench` fixture; the record keeps the
                       minimum wall (default 3)
+  --clients N         client threads a `serve` run spawns (default 8)
+  --requests M        total requests across a `serve` run's clients
+                      (default 200)
   --full              lift the size ladder and degree caps to paper scale
   --json <path>       also write the structured RunReport as JSON
   --record <path>     write the `bench` record as JSON (versioned schema)
@@ -43,7 +50,7 @@ options:
   --help, -h          print this message";
 
 /// Commands `reproduce` accepts.
-pub const COMMANDS: [&str; 12] = [
+pub const COMMANDS: [&str; 13] = [
     "table1",
     "fig8",
     "fig11",
@@ -54,6 +61,7 @@ pub const COMMANDS: [&str; 12] = [
     "profile",
     "plan",
     "bench",
+    "serve",
     "checkjson",
     "help",
 ];
@@ -73,6 +81,10 @@ pub struct CliOptions {
     pub timesteps: usize,
     /// Repetitions per `bench` fixture (the record keeps the min wall).
     pub reps: usize,
+    /// Client threads of a `serve` run.
+    pub clients: usize,
+    /// Total requests across a `serve` run's clients.
+    pub requests: usize,
     /// Whether `--full` was given.
     pub full: bool,
     /// `--json` output path, when given.
@@ -96,6 +108,8 @@ impl Default for CliOptions {
             seed: 2013,
             timesteps: 8,
             reps: 3,
+            clients: 8,
+            requests: 200,
             full: false,
             json: None,
             record: None,
@@ -165,6 +179,20 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
                     .ok()
                     .filter(|&r| r > 0)
                     .ok_or_else(|| format!("--reps value '{v}' is not a positive integer"))?;
+            }
+            "--clients" => {
+                let v = value_of(&mut it, "--clients")?;
+                opts.clients =
+                    v.parse::<usize>().ok().filter(|&c| c > 0).ok_or_else(|| {
+                        format!("--clients value '{v}' is not a positive integer")
+                    })?;
+            }
+            "--requests" => {
+                let v = value_of(&mut it, "--requests")?;
+                opts.requests =
+                    v.parse::<usize>().ok().filter(|&r| r > 0).ok_or_else(|| {
+                        format!("--requests value '{v}' is not a positive integer")
+                    })?;
             }
             "--json" => {
                 opts.json = Some(value_of(&mut it, "--json")?.to_string());
@@ -343,6 +371,37 @@ mod tests {
             .unwrap_err()
             .contains("positive integer"));
         assert!(parse(&["bench", "--record"])
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn serve_flags() {
+        let opts = parse(&[
+            "serve",
+            "--clients",
+            "12",
+            "--requests",
+            "400",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
+        assert_eq!(opts.command, "serve");
+        assert_eq!(opts.clients, 12);
+        assert_eq!(opts.requests, 400);
+        assert_eq!(opts.seed, 9);
+        // Defaults when the flags are absent.
+        let opts = parse(&["serve"]).unwrap();
+        assert_eq!(opts.clients, 8);
+        assert_eq!(opts.requests, 200);
+        assert!(parse(&["serve", "--clients", "0"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&["serve", "--requests", "x"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&["serve", "--clients"])
             .unwrap_err()
             .contains("needs a value"));
     }

@@ -57,7 +57,7 @@ pub use metrics::Metrics;
 pub use probe::{BlockStats, Probe};
 pub use report::{
     CriticalPathRecord, CriticalPhaseRecord, LocalityStats, PlanStats, RankCommRecord, RunRecord,
-    RunReport, REPORT_SCHEMA_VERSION,
+    RunReport, ServeStats, TenantLedger, REPORT_SCHEMA_VERSION,
 };
 
 /// One-stop imports for applications.
@@ -70,6 +70,6 @@ pub mod prelude {
     pub use crate::probe::{BlockStats, Probe};
     pub use crate::report::{
         CriticalPathRecord, CriticalPhaseRecord, LocalityStats, PlanStats, RankCommRecord,
-        RunRecord, RunReport, REPORT_SCHEMA_VERSION,
+        RunRecord, RunReport, ServeStats, TenantLedger, REPORT_SCHEMA_VERSION,
     };
 }

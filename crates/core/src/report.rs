@@ -23,8 +23,10 @@ use ustencil_trace::{CriticalPath, Hist64, ImbalanceSummary, Json, SpanRecord};
 ///
 /// History: v1 (implicit, no `"schema"` key) through PR 5; v2 adds the
 /// performance-observatory fields (`exposed_comms_ms`, `flow_sends`,
-/// `flow_recvs` per rank, and the run-level `critical_path`).
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+/// `flow_recvs` per rank, and the run-level `critical_path`); v3 adds the
+/// run-level `serve` object (plan-cache service counters, per-tenant
+/// ledgers, and queue-wait/service-latency histograms).
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
 
 /// Canonical histogram names, in emission order. These are the keys of the
 /// report's `"histograms"` object.
@@ -154,6 +156,70 @@ pub struct RankCommRecord {
     pub flow_recvs: u64,
 }
 
+/// One tenant's ledger in a plan-cache service run: everything the serve
+/// layer observed about this client's traffic. Latencies are microsecond
+/// [`Hist64`] histograms, so tail quantiles (p99) come from real
+/// distribution data rather than a mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantLedger {
+    /// Tenant (client) id, 0-based.
+    pub tenant: u64,
+    /// Requests the tenant submitted.
+    pub requests: u64,
+    /// Requests answered from a resident plan (memory or disk tier).
+    pub hits: u64,
+    /// Requests that found no usable plan anywhere.
+    pub misses: u64,
+    /// Compiles charged to this tenant (it was the single-flight leader).
+    pub compiles: u64,
+    /// Output rows evaluated for the tenant across all coalesced batches.
+    pub batched_rows: u64,
+    /// Microseconds each request waited between admission and the start of
+    /// its service batch.
+    pub queue_wait_us: Hist64,
+    /// Microseconds from admission to answer (wait + batch service).
+    pub service_us: Hist64,
+}
+
+/// Aggregate ledger of a plan-cache service run (`scheme = "serve"`): cache
+/// effectiveness, single-flight and coalescing behaviour, and the run-wide
+/// latency distributions, plus one [`TenantLedger`] per client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Client threads that generated traffic.
+    pub clients: u64,
+    /// Total requests served.
+    pub requests: u64,
+    /// Distinct meshes in the fixture catalog.
+    pub catalog: u64,
+    /// Requests answered from a resident compiled plan.
+    pub hits: u64,
+    /// Requests that had to produce a plan (compile or disk load).
+    pub misses: u64,
+    /// Plans actually compiled (≤ misses: single-flight followers and disk
+    /// warm-starts do not compile).
+    pub compiles: u64,
+    /// Requesters that blocked on another request's in-flight compile
+    /// instead of duplicating it.
+    pub single_flight_waits: u64,
+    /// Plans revived from the disk tier instead of recompiled.
+    pub disk_loads: u64,
+    /// Plans evicted from the memory tier under the byte budget.
+    pub evictions: u64,
+    /// Coalesced `apply_many` batches executed.
+    pub batches: u64,
+    /// Output rows evaluated across all batches.
+    pub batched_rows: u64,
+    /// Resident bytes of the memory tier when the run ended.
+    pub cache_bytes: u64,
+    /// Run-wide admission-to-service queue-wait distribution, microseconds.
+    pub queue_wait_us: Hist64,
+    /// Run-wide admission-to-answer latency distribution, microseconds.
+    pub service_us: Hist64,
+    /// Per-tenant ledgers, ordered by tenant id.
+    pub tenants: Vec<TenantLedger>,
+}
+
 /// One phase of the serialized critical path (see
 /// [`ustencil_trace::critical_path`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -231,6 +297,9 @@ pub struct RunRecord {
     /// Cross-rank critical path (present only for instrumented
     /// rank-sharded runs).
     pub critical_path: Option<CriticalPathRecord>,
+    /// Plan-cache service ledger (present only for `scheme = "serve"`
+    /// runs).
+    pub serve: Option<ServeStats>,
 }
 
 impl RunRecord {
@@ -282,6 +351,7 @@ impl RunRecord {
             locality: None,
             comms: Vec::new(),
             critical_path: None,
+            serve: None,
         }
     }
 
@@ -489,6 +559,41 @@ fn record_to_json(r: &RunRecord) -> Json {
             .set("mean_rows_per_tile", l.mean_rows_per_tile)
             .set("tile_fill", l.tile_fill),
     };
+    let serve = match &r.serve {
+        None => Json::Null,
+        Some(s) => Json::object()
+            .set("clients", s.clients)
+            .set("requests", s.requests)
+            .set("catalog", s.catalog)
+            .set("hits", s.hits)
+            .set("misses", s.misses)
+            .set("compiles", s.compiles)
+            .set("single_flight_waits", s.single_flight_waits)
+            .set("disk_loads", s.disk_loads)
+            .set("evictions", s.evictions)
+            .set("batches", s.batches)
+            .set("batched_rows", s.batched_rows)
+            .set("cache_bytes", s.cache_bytes)
+            .set("queue_wait_us", hist_to_json(&s.queue_wait_us))
+            .set("service_us", hist_to_json(&s.service_us))
+            .set(
+                "tenants",
+                s.tenants
+                    .iter()
+                    .map(|t| {
+                        Json::object()
+                            .set("tenant", t.tenant)
+                            .set("requests", t.requests)
+                            .set("hits", t.hits)
+                            .set("misses", t.misses)
+                            .set("compiles", t.compiles)
+                            .set("batched_rows", t.batched_rows)
+                            .set("queue_wait_us", hist_to_json(&t.queue_wait_us))
+                            .set("service_us", hist_to_json(&t.service_us))
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+    };
     Json::object()
         .set("label", r.label.as_str())
         .set("scheme", r.scheme.as_str())
@@ -505,6 +610,7 @@ fn record_to_json(r: &RunRecord) -> Json {
         .set("locality", locality)
         .set("comms", comms)
         .set("critical_path", critical_path)
+        .set("serve", serve)
 }
 
 fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
@@ -630,6 +736,42 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
             tile_fill: get_f64(l, "tile_fill")?,
         }),
     };
+    let serve = match get(doc, "serve")? {
+        Json::Null => None,
+        s => Some(ServeStats {
+            clients: get_u64(s, "clients")?,
+            requests: get_u64(s, "requests")?,
+            catalog: get_u64(s, "catalog")?,
+            hits: get_u64(s, "hits")?,
+            misses: get_u64(s, "misses")?,
+            compiles: get_u64(s, "compiles")?,
+            single_flight_waits: get_u64(s, "single_flight_waits")?,
+            disk_loads: get_u64(s, "disk_loads")?,
+            evictions: get_u64(s, "evictions")?,
+            batches: get_u64(s, "batches")?,
+            batched_rows: get_u64(s, "batched_rows")?,
+            cache_bytes: get_u64(s, "cache_bytes")?,
+            queue_wait_us: hist_from_json(get(s, "queue_wait_us")?)?,
+            service_us: hist_from_json(get(s, "service_us")?)?,
+            tenants: get(s, "tenants")?
+                .as_array()
+                .ok_or("'tenants' is not an array")?
+                .iter()
+                .map(|t| {
+                    Ok(TenantLedger {
+                        tenant: get_u64(t, "tenant")?,
+                        requests: get_u64(t, "requests")?,
+                        hits: get_u64(t, "hits")?,
+                        misses: get_u64(t, "misses")?,
+                        compiles: get_u64(t, "compiles")?,
+                        batched_rows: get_u64(t, "batched_rows")?,
+                        queue_wait_us: hist_from_json(get(t, "queue_wait_us")?)?,
+                        service_us: hist_from_json(get(t, "service_us")?)?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        }),
+    };
     Ok(RunRecord {
         label: get_str(doc, "label")?.to_string(),
         scheme: get_str(doc, "scheme")?.to_string(),
@@ -645,6 +787,7 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
         locality,
         comms,
         critical_path,
+        serve,
     })
 }
 
@@ -845,6 +988,7 @@ mod tests {
             locality: None,
             comms: vec![],
             critical_path: None,
+            serve: None,
         });
         // A valid minimal report still round-trips.
         let text = report.to_pretty_string();
@@ -881,6 +1025,78 @@ mod tests {
             err.contains(&REPORT_SCHEMA_VERSION.to_string()),
             "unhelpful error: {err}"
         );
+    }
+
+    #[test]
+    fn serve_stats_round_trip() {
+        let mut wait = Hist64::new();
+        let mut service = Hist64::new();
+        for us in [12u64, 48, 210, 3_500, 90] {
+            wait.record(us);
+            service.record(us * 3);
+        }
+        let tenants: Vec<TenantLedger> = (0..2)
+            .map(|t| TenantLedger {
+                tenant: t,
+                requests: 100 + t,
+                hits: 90 - t,
+                misses: 10 + 2 * t,
+                compiles: 3,
+                batched_rows: 40_000 + t,
+                queue_wait_us: wait,
+                service_us: service,
+            })
+            .collect();
+        let mut report = RunReport::new("serve", 42);
+        report.runs.push(RunRecord {
+            label: "serve/cached".into(),
+            scheme: "serve".into(),
+            n_triangles: 1000,
+            n_points: 3000,
+            wall_ms: 250.0,
+            metrics: Metrics::default(),
+            spans: vec![],
+            patches: vec![],
+            histograms: vec![],
+            device_sim: None,
+            plan: None,
+            locality: None,
+            comms: vec![],
+            critical_path: None,
+            serve: Some(ServeStats {
+                clients: 8,
+                requests: 200,
+                catalog: 6,
+                hits: 180,
+                misses: 20,
+                compiles: 6,
+                single_flight_waits: 9,
+                disk_loads: 4,
+                evictions: 3,
+                batches: 75,
+                batched_rows: 600_000,
+                cache_bytes: 4_500_000,
+                queue_wait_us: wait,
+                service_us: service,
+                tenants,
+            }),
+        });
+        let text = report.to_pretty_string();
+        let parsed = RunReport::from_json(&text).expect("serve report parses");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.to_pretty_string(), text);
+        // Tail quantiles survive: the p99 read back from the parsed
+        // histogram is the p99 of the data that went in.
+        let s = parsed.runs[0].serve.as_ref().unwrap();
+        assert_eq!(
+            s.service_us.quantile_upper_bound(0.99),
+            service.quantile_upper_bound(0.99)
+        );
+        // The serve object and its latency histograms are required keys.
+        for key in ["\"serve\"", "\"single_flight_waits\"", "\"queue_wait_us\""] {
+            let broken = text.replace(key, "\"zzz\"");
+            assert!(RunReport::from_json(&broken).is_err(), "corrupting {key}");
+        }
     }
 
     #[test]
@@ -923,6 +1139,7 @@ mod tests {
             }),
             comms: vec![],
             critical_path: None,
+            serve: None,
         });
         let text = report.to_pretty_string();
         let parsed = RunReport::from_json(&text).expect("plan report parses");
@@ -992,6 +1209,7 @@ mod tests {
                 ],
                 utilization: vec![0.8, 0.75],
             }),
+            serve: None,
         });
         let text = report.to_pretty_string();
         let parsed = RunReport::from_json(&text).expect("dist report parses");

@@ -199,6 +199,7 @@ impl DistPlanSolution {
                 })
                 .collect(),
             critical_path: critical_path_record,
+            serve: None,
         }
     }
 }

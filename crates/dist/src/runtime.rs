@@ -352,6 +352,7 @@ impl DistSolution {
                 })
                 .collect(),
             critical_path: critical_path_record,
+            serve: None,
         }
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::apply::{ApplyOptions, PlanSolution};
 use crate::compile::CompileOptions;
+use crate::key::PlanKey;
 use crate::plan::EvalPlan;
 use ustencil_core::{ComputationGrid, PostProcessor, ProcessorSettings};
 use ustencil_dg::DgField;
@@ -40,17 +41,25 @@ impl PlanExt for PostProcessor {
 /// A cached-plan runner: the drop-in "many timesteps" counterpart of
 /// [`PostProcessor::run`](ustencil_core::PostProcessor::run). The first
 /// [`run`](CachedPlan::run) compiles a plan; subsequent runs against the
-/// same mesh/grid/degree reuse it and pay only the SpMV.
+/// same problem reuse it and pay only the SpMV.
 ///
-/// Invalidation is by shape: the plan is recompiled when the element count,
-/// field degree, or grid size changes. Callers that mutate mesh geometry
-/// in place (same triangle count, moved vertices) must call
-/// [`invalidate`](CachedPlan::invalidate) themselves.
+/// Invalidation is by *content*, through [`PlanKey`]: each run hashes the
+/// mesh and grid buffers and compares the full key (content digests,
+/// degree, kernel, layout) against the cached plan's. A same-shape mesh
+/// with moved vertices therefore recompiles instead of silently reusing
+/// the stale operator — the hazard the former shape-only check
+/// (element count, degree, row count) could not see. In-place mutation is
+/// caught the same way, so [`invalidate`](CachedPlan::invalidate) is now
+/// only an optimization hint, not a correctness requirement.
 #[derive(Debug, Clone)]
 pub struct CachedPlan {
     compile: CompileOptions,
     apply: ApplyOptions,
     plan: Option<EvalPlan>,
+    /// Key of the cached plan. `None` while `plan` is `Some` marks an
+    /// externally seeded plan ([`set`](Self::set)) whose key is adopted on
+    /// its first shape-matching run.
+    key: Option<PlanKey>,
     rebuilds: usize,
 }
 
@@ -65,26 +74,44 @@ impl CachedPlan {
                 instrument: settings.instrument,
             },
             plan: None,
+            key: None,
             rebuilds: 0,
         }
     }
 
-    /// Whether the cached plan (if any) matches the given problem shape.
-    fn matches(&self, mesh: &TriMesh, field: &DgField, grid: &ComputationGrid) -> bool {
-        self.plan.as_ref().is_some_and(|p| {
-            p.n_elements() == mesh.n_triangles()
-                && p.degree() == field.degree()
-                && p.rows() == grid.len()
-        })
+    /// Whether the cached plan (if any) matches the given problem. Plans
+    /// this cache compiled match by full content key; an externally
+    /// [`set`](Self::set) plan (no key yet) matches by shape once, then
+    /// adopts the key it was accepted under.
+    fn matches(
+        &self,
+        key: &PlanKey,
+        mesh: &TriMesh,
+        field: &DgField,
+        grid: &ComputationGrid,
+    ) -> bool {
+        match (&self.plan, &self.key) {
+            (Some(_), Some(cached)) => cached == key,
+            (Some(p), None) => {
+                p.n_elements() == mesh.n_triangles()
+                    && p.degree() == field.degree()
+                    && p.rows() == grid.len()
+            }
+            (None, _) => false,
+        }
     }
 
     /// Applies the cached plan to `field`, compiling it first if the cache
-    /// is empty or the problem shape changed.
+    /// is empty or the problem content changed.
     pub fn run(&mut self, mesh: &TriMesh, field: &DgField, grid: &ComputationGrid) -> PlanSolution {
-        if !self.matches(mesh, field, grid) {
+        let key = PlanKey::new(mesh, grid, field.degree(), &self.compile);
+        if !self.matches(&key, mesh, field, grid) {
             self.plan = Some(EvalPlan::compile(mesh, grid, field.degree(), &self.compile));
             self.rebuilds += 1;
         }
+        // Compiled above, or a seeded plan accepted for this problem: in
+        // both cases the plan now answers exactly to `key`.
+        self.key = Some(key);
         self.plan
             .as_ref()
             .expect("plan compiled above")
@@ -96,19 +123,31 @@ impl CachedPlan {
         self.plan.as_ref()
     }
 
+    /// The cached plan's content key, once a [`run`](Self::run) has bound
+    /// one ([`set`](Self::set) plans have no key until their first run).
+    pub fn key(&self) -> Option<&PlanKey> {
+        self.key.as_ref()
+    }
+
     /// How many times [`run`](Self::run) had to (re)compile.
     pub fn rebuilds(&self) -> usize {
         self.rebuilds
     }
 
-    /// Drops the cached plan, forcing the next run to recompile (use after
-    /// in-place mesh mutation that shape checks cannot see).
+    /// Drops the cached plan, forcing the next run to recompile. With
+    /// content keys this is never needed for correctness; it remains for
+    /// callers that want to release the plan's memory eagerly.
     pub fn invalidate(&mut self) {
         self.plan = None;
+        self.key = None;
     }
 
     /// Seeds the cache with an externally built (e.g. deserialized) plan.
+    /// The caller asserts the plan is right for the problem it will be run
+    /// against: the first shape-matching run adopts it and binds its
+    /// content key.
     pub fn set(&mut self, plan: EvalPlan) {
         self.plan = Some(plan);
+        self.key = None;
     }
 }

@@ -33,13 +33,14 @@
 //! * [`PlanExt`] — compile straight from a configured
 //!   [`PostProcessor`](ustencil_core::PostProcessor);
 //! * [`CachedPlan`] — a front end that compiles lazily and recompiles only
-//!   when the mesh/grid/degree change.
+//!   when the problem content ([`PlanKey`]) changes.
 
 #![deny(missing_docs)]
 
 mod apply;
 mod cached;
 mod compile;
+mod key;
 mod plan;
 mod record;
 mod serial;
@@ -49,4 +50,5 @@ mod tests;
 pub use apply::{ApplyOptions, PlanSolution};
 pub use cached::{CachedPlan, PlanExt};
 pub use compile::CompileOptions;
+pub use key::{grid_content_hash, mesh_content_hash, PlanKey};
 pub use plan::{EvalPlan, SCHEME_LABEL};

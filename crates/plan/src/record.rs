@@ -61,6 +61,7 @@ impl EvalPlan {
             locality: Some(self.locality_stats()),
             comms: Vec::new(),
             critical_path: None,
+            serve: None,
         }
     }
 }

@@ -224,6 +224,48 @@ fn cached_plan_recompiles_only_on_shape_change() {
 }
 
 #[test]
+fn cached_plan_detects_same_shape_content_change() {
+    // Regression: the old shape-only check (element count, degree, rows)
+    // reused the stale operator when the mesh changed content at equal
+    // shape. Content keys must force the recompile.
+    let processor = PostProcessor::new(Scheme::PerPoint)
+        .h_factor(0.5)
+        .parallel(false);
+    let mesh_a = generate_mesh(MeshClass::LowVariance, 150, 1);
+    let mesh_b = generate_mesh(MeshClass::LowVariance, 150, 2);
+    assert_eq!(mesh_a.n_triangles(), mesh_b.n_triangles());
+    let field_a = project_l2(&mesh_a, 1, |x, y| x + 2.0 * y, 2);
+    let field_b = project_l2(&mesh_b, 1, |x, y| x + 2.0 * y, 2);
+    let grid_a = ComputationGrid::quadrature_points(&mesh_a, 1);
+    let grid_b = ComputationGrid::quadrature_points(&mesh_b, 1);
+    assert_eq!(grid_a.len(), grid_b.len());
+    let mut cached = processor.plan();
+    let _ = cached.run(&mesh_a, &field_a, &grid_a);
+    assert_eq!(cached.rebuilds(), 1);
+    let on_b = cached.run(&mesh_b, &field_b, &grid_b);
+    assert_eq!(
+        cached.rebuilds(),
+        2,
+        "same-shape different-content mesh must recompile"
+    );
+    // And the recompiled answer is the right one for mesh B.
+    let direct_b = processor.run(&mesh_b, &field_b, &grid_b);
+    assert!(on_b.max_abs_diff(&direct_b.values) <= 1e-12);
+    // Switching back is a content change again, not a cache hit.
+    let _ = cached.run(&mesh_a, &field_a, &grid_a);
+    assert_eq!(cached.rebuilds(), 3);
+    assert_eq!(
+        cached.key().copied(),
+        Some(crate::PlanKey::new(
+            &mesh_a,
+            &grid_a,
+            1,
+            &CompileOptions::from_settings(&processor.settings()),
+        ))
+    );
+}
+
+#[test]
 fn serialization_round_trip_is_bit_exact() {
     let (mesh, field, grid) = setup(120, 2, 6);
     let plan = EvalPlan::compile(&mesh, &grid, 2, &small_options());

@@ -1,0 +1,340 @@
+//! The concurrent plan cache: sharded by key digest, LRU-evicting under a
+//! byte budget, with single-flight compilation.
+//!
+//! # Single flight
+//!
+//! A cold key costs a full plan compile — the 27 s discovery pass at paper
+//! scale. When K requesters race on the same cold key, the first to insert
+//! the in-flight marker becomes the *leader* and compiles (or revives the
+//! plan from the [`DiskTier`]); the other K−1 become *followers* and block
+//! on the marker's condvar, outside any shard lock. Everyone receives the
+//! same `Arc<EvalPlan>`, so results are bitwise identical to a fresh
+//! compile by construction and the compile runs exactly once.
+//!
+//! # Sharding and eviction
+//!
+//! Keys map to one of N shards by `digest % N`; each shard is an
+//! independent mutex around a hash map, so lookups for different meshes
+//! never contend and the compile itself always runs unlocked. The byte
+//! budget (plan CSR bytes, the same accounting as
+//! [`PlanStats::bytes`](ustencil_core::PlanStats)) is split evenly across
+//! shards; when a shard exceeds its slice, least-recently-used *ready*
+//! entries are evicted — in-flight entries and the entry just produced are
+//! never victims, so a hot insert cannot evict itself. Evicted plans are
+//! spilled to the disk tier (when configured) before being dropped, which
+//! is what makes a later miss a cheap revive instead of a recompile.
+
+use crate::disk::DiskTier;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use ustencil_plan::{EvalPlan, PlanKey};
+
+/// Configuration of a [`PlanCache`].
+#[derive(Debug)]
+pub struct CacheConfig {
+    /// Number of independent shards (default 8; clamped to ≥ 1).
+    pub shards: usize,
+    /// Total resident-plan byte budget across all shards; 0 = unbounded.
+    pub byte_budget: u64,
+    /// Optional warm-start disk tier: misses try it before compiling, and
+    /// evictions spill to it.
+    pub disk: Option<DiskTier>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            byte_budget: 0,
+            disk: None,
+        }
+    }
+}
+
+/// How a [`PlanCache::get_or_compile`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The plan was resident in the memory tier.
+    Hit,
+    /// Another requester was already producing the plan; this call blocked
+    /// on the in-flight entry and shared its result.
+    Waited,
+    /// This call led the production and revived the plan from disk.
+    DiskLoad,
+    /// This call led the production and compiled the plan.
+    Compiled,
+}
+
+/// Monotone counters of a cache's lifetime, plus the current resident size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Lookups answered from the memory tier.
+    pub hits: u64,
+    /// Lookups that found no resident or in-flight plan (the leaders).
+    pub misses: u64,
+    /// Plans compiled (≤ misses).
+    pub compiles: u64,
+    /// Lookups that blocked on another requester's in-flight production.
+    pub single_flight_waits: u64,
+    /// Plans revived from the disk tier instead of compiled.
+    pub disk_loads: u64,
+    /// Plans evicted under the byte budget.
+    pub evictions: u64,
+    /// Bytes of plan CSR data currently resident.
+    pub resident_bytes: u64,
+}
+
+/// The in-flight marker a leader publishes while producing a plan.
+/// Followers block on the condvar; `complete` fills the slot and wakes them.
+struct Flight {
+    done: Mutex<Option<Arc<EvalPlan>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Self {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Arc<EvalPlan> {
+        let mut slot = self.done.lock().expect("flight poisoned");
+        while slot.is_none() {
+            slot = self.cv.wait(slot).expect("flight poisoned");
+        }
+        slot.as_ref().expect("checked above").clone()
+    }
+
+    fn complete(&self, plan: Arc<EvalPlan>) {
+        *self.done.lock().expect("flight poisoned") = Some(plan);
+        self.cv.notify_all();
+    }
+}
+
+enum Slot {
+    InFlight(Arc<Flight>),
+    Ready(Arc<EvalPlan>),
+}
+
+struct Entry {
+    slot: Slot,
+    /// Global LRU clock value of the last touch.
+    last_used: u64,
+    /// CSR bytes (0 while in flight).
+    bytes: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<PlanKey, Entry>,
+    resident_bytes: u64,
+}
+
+/// A sharded, byte-budgeted, single-flight cache of compiled plans. All
+/// methods take `&self`; the cache is meant to be shared across threads
+/// behind an `Arc`.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    budget_per_shard: u64,
+    disk: Option<DiskTier>,
+    /// Global LRU clock: every lookup ticks it once.
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compiles: AtomicU64,
+    waits: AtomicU64,
+    disk_loads: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("shards", &self.shards.len())
+            .field("budget_per_shard", &self.budget_per_shard)
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache under `config`.
+    pub fn new(config: CacheConfig) -> Self {
+        let n = config.shards.max(1);
+        Self {
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            // Integer split: a budget smaller than the shard count rounds to
+            // 0 per shard, which would read as "unbounded" — clamp up to 1
+            // so a tiny budget stays an aggressive evictor instead.
+            budget_per_shard: if config.byte_budget == 0 {
+                0
+            } else {
+                (config.byte_budget / n as u64).max(1)
+            },
+            disk: config.disk,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+            disk_loads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan for `key`, from (in preference order) the memory tier, an
+    /// in-flight production, the disk tier, or `compile`. At most one
+    /// caller per key runs `compile` at a time; concurrent requesters for
+    /// the same cold key block and share the leader's result.
+    ///
+    /// `compile` runs without any cache lock held, so long compiles never
+    /// stall lookups for other keys (or even other plans in this shard).
+    pub fn get_or_compile(
+        &self,
+        key: PlanKey,
+        compile: impl FnOnce() -> EvalPlan,
+    ) -> (Arc<EvalPlan>, Outcome) {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let shard = &self.shards[(key.digest() as usize) % self.shards.len()];
+        let flight = {
+            let mut guard = shard.lock().expect("shard poisoned");
+            match guard.map.get_mut(&key) {
+                Some(entry) => {
+                    entry.last_used = now;
+                    match &entry.slot {
+                        Slot::Ready(plan) => {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return (plan.clone(), Outcome::Hit);
+                        }
+                        Slot::InFlight(f) => f.clone(),
+                    }
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let f = Arc::new(Flight::new());
+                    guard.map.insert(
+                        key,
+                        Entry {
+                            slot: Slot::InFlight(f.clone()),
+                            last_used: now,
+                            bytes: 0,
+                        },
+                    );
+                    drop(guard);
+                    return self.produce(shard, key, f, compile);
+                }
+            }
+        };
+        // Follower path: block outside the shard lock until the leader
+        // publishes the plan.
+        self.waits.fetch_add(1, Ordering::Relaxed);
+        (flight.wait(), Outcome::Waited)
+    }
+
+    /// Leader path: revive from disk or compile, publish into the shard,
+    /// evict down to budget, wake followers.
+    fn produce(
+        &self,
+        shard: &Mutex<Shard>,
+        key: PlanKey,
+        flight: Arc<Flight>,
+        compile: impl FnOnce() -> EvalPlan,
+    ) -> (Arc<EvalPlan>, Outcome) {
+        let (plan, outcome) = match self.disk.as_ref().and_then(|d| d.load(&key)) {
+            Some(p) => {
+                self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                (Arc::new(p), Outcome::DiskLoad)
+            }
+            None => {
+                self.compiles.fetch_add(1, Ordering::Relaxed);
+                (Arc::new(compile()), Outcome::Compiled)
+            }
+        };
+        let bytes = plan.bytes() as u64;
+        {
+            let mut guard = shard.lock().expect("shard poisoned");
+            let entry = guard.map.get_mut(&key).expect("in-flight entry present");
+            entry.slot = Slot::Ready(plan.clone());
+            entry.bytes = bytes;
+            guard.resident_bytes += bytes;
+            self.evict_over_budget(&mut guard, &key);
+        }
+        // Publish only after the shard state is consistent; followers that
+        // wake will find a Ready entry on their next lookup too.
+        flight.complete(plan.clone());
+        (plan, outcome)
+    }
+
+    /// Evicts least-recently-used ready entries until the shard fits its
+    /// budget slice. `keep` (the entry just produced) and in-flight entries
+    /// are never victims, so the shard may transiently exceed the budget by
+    /// one resident plan — the alternative, evicting what was just
+    /// produced, would livelock a working set of one.
+    fn evict_over_budget(&self, shard: &mut Shard, keep: &PlanKey) {
+        if self.budget_per_shard == 0 {
+            return;
+        }
+        while shard.resident_bytes > self.budget_per_shard {
+            let victim = shard
+                .map
+                .iter()
+                .filter(|(k, e)| *k != keep && matches!(e.slot, Slot::Ready(_)))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            let entry = shard.map.remove(&victim).expect("victim just found");
+            shard.resident_bytes -= entry.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if let (Some(disk), Slot::Ready(plan)) = (self.disk.as_ref(), &entry.slot) {
+                // Spill-on-evict is best-effort: a failed write only costs
+                // a recompile later.
+                let _ = disk.store(&victim, plan);
+            }
+        }
+    }
+
+    /// Point-in-time counters and resident size.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            single_flight_waits: self.waits.load(Ordering::Relaxed),
+            disk_loads: self.disk_loads.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("shard poisoned").resident_bytes)
+                .sum(),
+        }
+    }
+
+    /// Number of resident (ready) plans across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("shard poisoned")
+                    .map
+                    .values()
+                    .filter(|e| matches!(e.slot, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether no plan is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured disk tier, if any.
+    pub fn disk(&self) -> Option<&DiskTier> {
+        self.disk.as_ref()
+    }
+}

@@ -1,0 +1,45 @@
+//! Multi-tenant plan-cache service: the serving layer over `ustencil-plan`.
+//!
+//! The paper's economics are compile-once/apply-many: an
+//! [`EvalPlan`](ustencil_plan::EvalPlan) costs seconds to compile and
+//! milliseconds to apply. A production deployment — many clients querying
+//! fields over a shared mesh catalog — therefore lives or dies on never
+//! compiling the same plan twice, and on batching the applies it does pay
+//! for. This crate is that layer, in three pieces:
+//!
+//! * [`PlanCache`] — a sharded concurrent cache keyed by
+//!   [`PlanKey`](ustencil_plan::PlanKey) (content hashes, so same-shape
+//!   different-content meshes can never alias). Cold keys compile under
+//!   **single flight**: one compile per key no matter how many requesters
+//!   race, the rest block and share the result. A byte budget drives LRU
+//!   eviction, and an optional [`DiskTier`] makes eviction a spill and the
+//!   next miss a cheap revive (`ustencil-plan/v2` JSON on disk).
+//! * [`PlanServer`] — worker threads behind a bounded submission queue
+//!   (blocking admission = backpressure). Queued requests against the same
+//!   plan coalesce into one
+//!   [`apply_many`](ustencil_plan::EvalPlan::apply_many) sweep. Every
+//!   request is timed into per-tenant [`Hist64`](ustencil_trace::Hist64)
+//!   ledgers surfaced as
+//!   [`ServeStats`](ustencil_core::ServeStats) in `RunRecord` JSON.
+//! * [`traffic`] — the deterministic zipf traffic generator behind
+//!   `reproduce serve`, driving cached and naive-per-request-compile modes
+//!   over the same seeded request stream for a side-by-side comparison.
+//!
+//! Correctness stance: batching and caching change *when* work happens,
+//! never *what* is computed — every requester of a key receives the same
+//! shared plan, and a coalesced `apply_many` is bit-identical to separate
+//! applies (unit-tested in `tests/single_flight.rs`).
+
+#![deny(missing_docs)]
+
+mod cache;
+mod disk;
+mod server;
+pub mod traffic;
+
+pub use cache::{CacheConfig, CacheSnapshot, Outcome, PlanCache};
+pub use disk::DiskTier;
+pub use server::{
+    PlanServer, Problem, Response, ServeLedgers, ServerClient, ServerConfig, Ticket, WorkerStat,
+};
+pub use traffic::{TrafficConfig, TrafficOutcome, SCHEME_LABEL};

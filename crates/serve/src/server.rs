@@ -1,0 +1,438 @@
+//! The request layer: a bounded submission queue, worker threads, and
+//! same-plan batch coalescing.
+//!
+//! Clients [`submit`](ServerClient::submit) field-evaluation requests and
+//! block on a [`Ticket`] for the answer. Workers pop the queue head and
+//! *coalesce*: every queued request against the same [`PlanKey`] (up to
+//! `max_batch`) joins the head's batch and is served by a single
+//! [`apply_many`](ustencil_plan::EvalPlan::apply_many) sweep — one pass
+//! over the plan's CSR serving many tenants' fields, which is where the
+//! compile-once/apply-many economics of the paper turn into service
+//! throughput.
+//!
+//! Admission is backpressured: the queue holds at most `queue_capacity`
+//! requests and `submit` blocks until space frees, so a burst slows
+//! producers instead of growing memory without bound.
+//!
+//! Every request is timed with two microsecond clocks — queue wait
+//! (admission → its batch starts) and service latency (admission → answer
+//! ready) — recorded into per-tenant [`Hist64`] ledgers and run-wide
+//! histograms, which is where the reported p50/p99 numbers come from.
+
+use crate::cache::{Outcome, PlanCache};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use ustencil_core::{ComputationGrid, Metrics, TenantLedger};
+use ustencil_dg::DgField;
+use ustencil_mesh::TriMesh;
+use ustencil_plan::{ApplyOptions, CompileOptions, EvalPlan, PlanKey};
+use ustencil_trace::Hist64;
+
+/// Configuration of a [`PlanServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the queue (default 2; clamped to ≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity; `submit` blocks when full (default 64).
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one apply batch (default 32).
+    pub max_batch: usize,
+    /// Compile options for cache misses (also part of every request's
+    /// [`PlanKey`], so two servers with different kernels never share
+    /// plans by accident).
+    pub compile: CompileOptions,
+    /// Apply options for the batched SpMV sweeps.
+    pub apply: ApplyOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 32,
+            compile: CompileOptions::default(),
+            apply: ApplyOptions::default(),
+        }
+    }
+}
+
+/// A shared evaluation problem: the mesh and grid a tenant's fields live
+/// on. Wrapped in `Arc`s so a popular catalog entry is shared, not cloned,
+/// across requests.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// The mesh.
+    pub mesh: Arc<TriMesh>,
+    /// The evaluation grid.
+    pub grid: Arc<ComputationGrid>,
+    /// Field polynomial degree.
+    pub degree: usize,
+}
+
+/// The answer to one request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Post-processed value at each grid point.
+    pub values: Vec<f64>,
+    /// Microseconds between admission and the start of the serving batch.
+    pub queue_wait_us: u64,
+    /// Microseconds between admission and this response being ready.
+    pub service_us: u64,
+    /// How the serving batch's plan lookup was satisfied (batch followers
+    /// report [`Outcome::Hit`]: they rode an already-resolved plan).
+    pub outcome: Outcome,
+    /// Requests served by the same batch (1 = no coalescing happened).
+    pub batch_size: usize,
+}
+
+/// A pending answer; [`wait`](Ticket::wait) blocks until the serving
+/// worker replies.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    ///
+    /// # Panics
+    /// Panics if the server shut down without answering (a bug: shutdown
+    /// drains the queue first).
+    pub fn wait(self) -> Response {
+        self.rx.recv().expect("server dropped a pending request")
+    }
+}
+
+struct Pending {
+    tenant: usize,
+    key: PlanKey,
+    problem: Arc<Problem>,
+    field: DgField,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+struct QueueState {
+    queue: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// Per-tenant accumulator, converted to [`TenantLedger`] at shutdown.
+#[derive(Debug, Clone, Copy)]
+struct LedgerAcc {
+    requests: u64,
+    hits: u64,
+    misses: u64,
+    compiles: u64,
+    batched_rows: u64,
+    queue_wait_us: Hist64,
+    service_us: Hist64,
+}
+
+impl LedgerAcc {
+    fn new() -> Self {
+        Self {
+            requests: 0,
+            hits: 0,
+            misses: 0,
+            compiles: 0,
+            batched_rows: 0,
+            queue_wait_us: Hist64::new(),
+            service_us: Hist64::new(),
+        }
+    }
+}
+
+/// One worker's service totals, surfaced as a `RunRecord` patch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStat {
+    /// Nanoseconds the worker spent serving batches (not idle waiting).
+    pub busy_ns: u64,
+    /// Batches the worker executed.
+    pub batches: u64,
+    /// Output rows the worker evaluated.
+    pub rows: u64,
+    /// Summed apply metrics of the worker's batches.
+    pub metrics: Metrics,
+}
+
+/// Everything the server observed, returned by
+/// [`shutdown`](PlanServer::shutdown).
+#[derive(Debug, Clone)]
+pub struct ServeLedgers {
+    /// Per-tenant ledgers, ordered by tenant id.
+    pub tenants: Vec<TenantLedger>,
+    /// Per-worker service totals.
+    pub workers: Vec<WorkerStat>,
+    /// Final cache counters and resident size.
+    pub cache: crate::cache::CacheSnapshot,
+    /// Coalesced batches executed.
+    pub batches: u64,
+    /// Output rows evaluated across all batches.
+    pub batched_rows: u64,
+    /// Submissions that had to block on a full queue (backpressure events).
+    pub blocked_submits: u64,
+    /// Run-wide queue-wait distribution, microseconds.
+    pub queue_wait_us: Hist64,
+    /// Run-wide service-latency distribution, microseconds.
+    pub service_us: Hist64,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signals workers that work arrived (or the queue closed).
+    work: Condvar,
+    /// Signals submitters that queue space freed.
+    space: Condvar,
+    capacity: usize,
+    max_batch: usize,
+    cache: PlanCache,
+    compile: CompileOptions,
+    apply: ApplyOptions,
+    ledgers: Mutex<Vec<LedgerAcc>>,
+    global_hists: Mutex<(Hist64, Hist64)>,
+    worker_stats: Mutex<Vec<WorkerStat>>,
+    blocked_submits: AtomicU64,
+}
+
+/// The running service: a [`PlanCache`] fronted by worker threads and a
+/// bounded, coalescing submission queue.
+#[derive(Debug)]
+pub struct PlanServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("capacity", &self.capacity)
+            .field("max_batch", &self.max_batch)
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+/// A cloneable submission handle.
+#[derive(Debug, Clone)]
+pub struct ServerClient {
+    shared: Arc<Shared>,
+}
+
+impl PlanServer {
+    /// Starts `config.workers` worker threads over `cache`, tracking
+    /// `n_tenants` ledgers.
+    pub fn start(cache: PlanCache, config: ServerConfig, n_tenants: usize) -> Self {
+        let n_workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            max_batch: config.max_batch.max(1),
+            cache,
+            compile: config.compile,
+            apply: config.apply,
+            ledgers: Mutex::new(vec![LedgerAcc::new(); n_tenants]),
+            global_hists: Mutex::new((Hist64::new(), Hist64::new())),
+            worker_stats: Mutex::new(vec![WorkerStat::default(); n_workers]),
+            blocked_submits: AtomicU64::new(0),
+        });
+        let workers = (0..n_workers)
+            .map(|w| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// A cloneable handle for submitting requests.
+    pub fn client(&self) -> ServerClient {
+        ServerClient {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// The underlying cache's counters right now.
+    pub fn cache_snapshot(&self) -> crate::cache::CacheSnapshot {
+        self.shared.cache.snapshot()
+    }
+
+    /// Closes the queue, drains remaining requests, joins the workers, and
+    /// returns every ledger the run accumulated.
+    pub fn shutdown(self) -> ServeLedgers {
+        {
+            let mut state = self.shared.state.lock().expect("queue poisoned");
+            state.closed = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        for w in self.workers {
+            w.join().expect("serve worker panicked");
+        }
+        let shared = &self.shared;
+        let tenants = shared
+            .ledgers
+            .lock()
+            .expect("ledgers poisoned")
+            .iter()
+            .enumerate()
+            .map(|(t, l)| TenantLedger {
+                tenant: t as u64,
+                requests: l.requests,
+                hits: l.hits,
+                misses: l.misses,
+                compiles: l.compiles,
+                batched_rows: l.batched_rows,
+                queue_wait_us: l.queue_wait_us,
+                service_us: l.service_us,
+            })
+            .collect();
+        let workers = shared.worker_stats.lock().expect("stats poisoned").clone();
+        let (queue_wait_us, service_us) = *shared.global_hists.lock().expect("hists poisoned");
+        ServeLedgers {
+            tenants,
+            batches: workers.iter().map(|w: &WorkerStat| w.batches).sum(),
+            batched_rows: workers.iter().map(|w: &WorkerStat| w.rows).sum(),
+            workers,
+            cache: shared.cache.snapshot(),
+            blocked_submits: shared.blocked_submits.load(Ordering::Relaxed),
+            queue_wait_us,
+            service_us,
+        }
+    }
+}
+
+impl ServerClient {
+    /// Submits `field` for evaluation on `problem`, blocking while the
+    /// queue is full (backpressure). Returns a [`Ticket`] to wait on.
+    ///
+    /// # Panics
+    /// Panics when called after [`PlanServer::shutdown`].
+    pub fn submit(&self, tenant: usize, problem: &Arc<Problem>, field: DgField) -> Ticket {
+        let key = PlanKey::new(
+            &problem.mesh,
+            &problem.grid,
+            problem.degree,
+            &self.shared.compile,
+        );
+        let (tx, rx) = mpsc::channel();
+        let pending = Pending {
+            tenant,
+            key,
+            problem: problem.clone(),
+            field,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        let mut state = self.shared.state.lock().expect("queue poisoned");
+        while state.queue.len() >= self.shared.capacity && !state.closed {
+            self.shared.blocked_submits.fetch_add(1, Ordering::Relaxed);
+            state = self.shared.space.wait(state).expect("queue poisoned");
+        }
+        assert!(!state.closed, "submit after server shutdown");
+        state.queue.push_back(pending);
+        drop(state);
+        self.shared.work.notify_one();
+        Ticket { rx }
+    }
+}
+
+/// Pops the queue head plus every same-key request (up to `max_batch`), or
+/// `None` when the queue is closed and drained.
+fn next_batch(shared: &Shared) -> Option<Vec<Pending>> {
+    let mut state = shared.state.lock().expect("queue poisoned");
+    loop {
+        if let Some(head) = state.queue.pop_front() {
+            let key = head.key;
+            let mut batch = vec![head];
+            let mut i = 0;
+            while i < state.queue.len() && batch.len() < shared.max_batch {
+                if state.queue[i].key == key {
+                    batch.push(state.queue.remove(i).expect("index in bounds"));
+                } else {
+                    i += 1;
+                }
+            }
+            shared.space.notify_all();
+            return Some(batch);
+        }
+        if state.closed {
+            return None;
+        }
+        state = shared.work.wait(state).expect("queue poisoned");
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    while let Some(batch) = next_batch(shared) {
+        let started = Instant::now();
+        let leader = &batch[0];
+        let problem = leader.problem.clone();
+        let compile_opts = shared.compile;
+        let (plan, outcome) = shared.cache.get_or_compile(leader.key, || {
+            EvalPlan::compile(&problem.mesh, &problem.grid, problem.degree, &compile_opts)
+        });
+        let fields: Vec<DgField> = batch.iter().map(|p| p.field.clone()).collect();
+        let solutions = plan.apply_many(&fields, &shared.apply);
+        let batch_size = batch.len();
+        let mut batch_metrics = Metrics::default();
+        let mut batch_rows = 0u64;
+        {
+            let mut ledgers = shared.ledgers.lock().expect("ledgers poisoned");
+            let mut hists = shared.global_hists.lock().expect("hists poisoned");
+            for (i, (pending, solution)) in batch.iter().zip(solutions).enumerate() {
+                let queue_wait_us = (started - pending.enqueued).as_micros() as u64;
+                let service_us = pending.enqueued.elapsed().as_micros() as u64;
+                // The lookup outcome belongs to the batch leader; coalesced
+                // followers rode a plan that was resolved for them.
+                let outcome_i = if i == 0 { outcome } else { Outcome::Hit };
+                let rows = solution.values.len() as u64;
+                batch_rows += rows;
+                batch_metrics.merge(&solution.metrics);
+                if let Some(ledger) = ledgers.get_mut(pending.tenant) {
+                    ledger.requests += 1;
+                    ledger.batched_rows += rows;
+                    match outcome_i {
+                        Outcome::Compiled => {
+                            ledger.misses += 1;
+                            ledger.compiles += 1;
+                        }
+                        // Disk revives and single-flight rides answer from
+                        // a plan the tenant did not pay to compile.
+                        Outcome::Hit | Outcome::Waited | Outcome::DiskLoad => ledger.hits += 1,
+                    }
+                    ledger.queue_wait_us.record(queue_wait_us);
+                    ledger.service_us.record(service_us);
+                }
+                hists.0.record(queue_wait_us);
+                hists.1.record(service_us);
+                // A dropped ticket just means the client stopped caring.
+                let _ = pending.reply.send(Response {
+                    values: solution.values,
+                    queue_wait_us,
+                    service_us,
+                    outcome: outcome_i,
+                    batch_size,
+                });
+            }
+        }
+        let mut stats = shared.worker_stats.lock().expect("stats poisoned");
+        let stat = &mut stats[worker];
+        stat.busy_ns += started.elapsed().as_nanos() as u64;
+        stat.batches += 1;
+        stat.rows += batch_rows;
+        stat.metrics.merge(&batch_metrics);
+    }
+}

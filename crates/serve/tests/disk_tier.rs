@@ -1,0 +1,188 @@
+//! Disk-tier round-trip tests: evict → spill → reload → apply must be
+//! bitwise identical, and corrupt or old-version files must degrade to a
+//! recompile — never a panic.
+
+use std::fs;
+use std::path::PathBuf;
+use ustencil_core::ComputationGrid;
+use ustencil_dg::project_l2;
+use ustencil_mesh::{generate_mesh, MeshClass, TriMesh};
+use ustencil_plan::{CompileOptions, EvalPlan, PlanKey};
+use ustencil_serve::{CacheConfig, DiskTier, Outcome, PlanCache};
+
+/// A unique, pre-cleaned scratch directory per test (no tempfile crate in
+/// the offline build).
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ustencil-serve-{}-{test}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fixture(seed: u64) -> (TriMesh, ComputationGrid, CompileOptions) {
+    let mesh = generate_mesh(MeshClass::LowVariance, 140, seed);
+    let grid = ComputationGrid::quadrature_points(&mesh, 1);
+    let options = CompileOptions {
+        h_factor: 0.5,
+        parallel: false,
+        ..CompileOptions::default()
+    };
+    (mesh, grid, options)
+}
+
+fn apply_bits(plan: &EvalPlan, mesh: &TriMesh) -> Vec<u64> {
+    let field = project_l2(mesh, 1, |x, y| (x - 0.3) * y + 0.75, 2);
+    plan.apply(&field)
+        .values
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+#[test]
+fn evict_spill_reload_apply_is_bitwise_equal() {
+    let dir = scratch("roundtrip");
+    let (mesh_a, grid_a, options) = fixture(31);
+    let (mesh_b, grid_b, _) = fixture(32);
+    let key_a = PlanKey::new(&mesh_a, &grid_a, 1, &options);
+    let key_b = PlanKey::new(&mesh_b, &grid_b, 1, &options);
+
+    // One shard + a 1-byte budget: every insert evicts the previous
+    // resident plan, spilling it to disk.
+    let cache = PlanCache::new(CacheConfig {
+        shards: 1,
+        byte_budget: 1,
+        disk: Some(DiskTier::new(&dir).expect("create disk tier")),
+    });
+
+    let (plan_a, outcome) =
+        cache.get_or_compile(key_a, || EvalPlan::compile(&mesh_a, &grid_a, 1, &options));
+    assert_eq!(outcome, Outcome::Compiled);
+    let fresh_bits = apply_bits(&plan_a, &mesh_a);
+
+    // Compiling B evicts A (the only other resident plan) to disk.
+    let (_, outcome) =
+        cache.get_or_compile(key_b, || EvalPlan::compile(&mesh_b, &grid_b, 1, &options));
+    assert_eq!(outcome, Outcome::Compiled);
+    let snap = cache.snapshot();
+    assert_eq!(snap.evictions, 1, "budget of 1 byte must evict: {snap:?}");
+    assert_eq!(cache.disk().expect("disk configured").len(), 1);
+
+    // Re-requesting A revives it from disk — no recompile...
+    let (revived, outcome) = cache.get_or_compile(key_a, || {
+        panic!("disk revive must not recompile");
+    });
+    assert_eq!(outcome, Outcome::DiskLoad);
+    // ...and the revived plan is operationally bitwise the original.
+    assert_eq!(revived.rows(), plan_a.rows());
+    assert_eq!(revived.cols(), plan_a.cols());
+    assert!(revived.weights_bits().eq(plan_a.weights_bits()));
+    assert_eq!(apply_bits(&revived, &mesh_a), fresh_bits);
+
+    let snap = cache.snapshot();
+    assert_eq!(snap.compiles, 2);
+    assert_eq!(snap.disk_loads, 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_disk_file_degrades_to_recompile() {
+    let dir = scratch("corrupt");
+    let (mesh, grid, options) = fixture(41);
+    let key = PlanKey::new(&mesh, &grid, 1, &options);
+    let tier = DiskTier::new(&dir).expect("create disk tier");
+
+    // Plant garbage where the plan would live.
+    fs::write(tier.path_of(&key), b"{ not json at all").expect("write corrupt file");
+
+    let cache = PlanCache::new(CacheConfig {
+        shards: 1,
+        byte_budget: 0,
+        disk: Some(tier),
+    });
+    let (plan, outcome) =
+        cache.get_or_compile(key, || EvalPlan::compile(&mesh, &grid, 1, &options));
+    assert_eq!(outcome, Outcome::Compiled, "corrupt file must not satisfy");
+    assert_eq!(plan.rows(), grid.len());
+    // The unreadable file was removed so a later spill starts clean.
+    assert_eq!(cache.disk().expect("disk configured").len(), 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn old_version_disk_file_degrades_to_recompile() {
+    let dir = scratch("oldversion");
+    let (mesh, grid, options) = fixture(43);
+    let key = PlanKey::new(&mesh, &grid, 1, &options);
+    let tier = DiskTier::new(&dir).expect("create disk tier");
+
+    // A structurally valid document from a previous serialization era:
+    // current-format JSON with the format tag rewound to v1.
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &options);
+    tier.store(&key, &plan).expect("store plan");
+    let path = tier.path_of(&key);
+    let text = fs::read_to_string(&path).expect("read stored plan");
+    assert!(text.contains("ustencil-plan/v2"), "format tag moved?");
+    fs::write(&path, text.replace("ustencil-plan/v2", "ustencil-plan/v1"))
+        .expect("write old-version file");
+
+    let cache = PlanCache::new(CacheConfig {
+        shards: 1,
+        byte_budget: 0,
+        disk: Some(tier),
+    });
+    let (plan, outcome) =
+        cache.get_or_compile(key, || EvalPlan::compile(&mesh, &grid, 1, &options));
+    assert_eq!(outcome, Outcome::Compiled, "v1 file must not satisfy");
+    assert_eq!(plan.rows(), grid.len());
+    assert_eq!(cache.disk().expect("disk configured").len(), 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_disk_file_degrades_to_recompile() {
+    let dir = scratch("truncated");
+    let (mesh, grid, options) = fixture(47);
+    let key = PlanKey::new(&mesh, &grid, 1, &options);
+    let tier = DiskTier::new(&dir).expect("create disk tier");
+
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &options);
+    tier.store(&key, &plan).expect("store plan");
+    let path = tier.path_of(&key);
+    let text = fs::read_to_string(&path).expect("read stored plan");
+    fs::write(&path, &text[..text.len() / 2]).expect("write truncated file");
+
+    let cache = PlanCache::new(CacheConfig {
+        shards: 1,
+        byte_budget: 0,
+        disk: Some(tier),
+    });
+    let (_, outcome) = cache.get_or_compile(key, || EvalPlan::compile(&mesh, &grid, 1, &options));
+    assert_eq!(
+        outcome,
+        Outcome::Compiled,
+        "truncated file must not satisfy"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn direct_disk_round_trip_preserves_weights() {
+    let dir = scratch("direct");
+    let (mesh, grid, options) = fixture(53);
+    let key = PlanKey::new(&mesh, &grid, 1, &options);
+    let tier = DiskTier::new(&dir).expect("create disk tier");
+    assert!(tier.is_empty());
+
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &options);
+    tier.store(&key, &plan).expect("store plan");
+    assert_eq!(tier.len(), 1);
+    let loaded = tier.load(&key).expect("load stored plan");
+    assert!(loaded.weights_bits().eq(plan.weights_bits()));
+    assert_eq!(apply_bits(&loaded, &mesh), apply_bits(&plan, &mesh));
+
+    // A key never stored is simply absent.
+    let (mesh2, grid2, _) = fixture(54);
+    let other = PlanKey::new(&mesh2, &grid2, 1, &options);
+    assert!(tier.load(&other).is_none());
+    let _ = fs::remove_dir_all(&dir);
+}

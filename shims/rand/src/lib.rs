@@ -36,6 +36,125 @@ pub trait RngExt {
     }
 }
 
+/// Seedable distributions (subset of `rand_distr`).
+pub mod distributions {
+    use super::RngExt;
+
+    /// ln 2, used by both deterministic transcendental kernels below.
+    const LN_2: f64 = std::f64::consts::LN_2;
+
+    /// Deterministic natural log for finite `x > 0`.
+    ///
+    /// `std`'s `f64::ln` routes through the platform libm, whose last-bit
+    /// rounding differs across OS/arch — enough to flip a CDF binary search
+    /// and desynchronize "identical" seeded traffic between CI and a dev
+    /// laptop. This version uses only IEEE-exact operations (bit-level
+    /// exponent split, then `+ - * /`, each correctly rounded by the
+    /// standard), so every platform computes the same bits.
+    fn det_ln(x: f64) -> f64 {
+        debug_assert!(x.is_finite() && x > 0.0);
+        // Split x = m · 2^e with m ∈ [1, 2). All inputs here are ≥ 1
+        // (element ranks), so the biased exponent path is enough.
+        let bits = x.to_bits();
+        let e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        let m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+        // ln m = 2·atanh(t), t = (m-1)/(m+1) ∈ [0, 1/3): the series
+        // 2t·(1 + t²/3 + t⁴/5 + …) converges fast and monotonically.
+        let t = (m - 1.0) / (m + 1.0);
+        let t2 = t * t;
+        let mut term = t;
+        let mut sum = 0.0;
+        let mut k = 1.0;
+        while sum + term / k != sum {
+            sum += term / k;
+            term *= t2;
+            k += 2.0;
+        }
+        e as f64 * LN_2 + 2.0 * sum
+    }
+
+    /// Deterministic `e^x` for the modest negative exponents the zipf
+    /// weights need (|x| ≲ 50). Same portability rationale as [`det_ln`]:
+    /// range-reduce by exact powers of two, then a Taylor sum in
+    /// correctly-rounded arithmetic.
+    fn det_exp(x: f64) -> f64 {
+        debug_assert!(x.is_finite() && x.abs() < 700.0);
+        // x = k·ln2 + r, |r| ≤ ln2/2; e^x = 2^k · e^r.
+        let k = (x / LN_2 + if x >= 0.0 { 0.5 } else { -0.5 }) as i64;
+        let r = x - k as f64 * LN_2;
+        let mut term = 1.0;
+        let mut sum = 1.0;
+        let mut n = 1.0;
+        loop {
+            term *= r / n;
+            let next = sum + term;
+            if next == sum {
+                break;
+            }
+            sum = next;
+            n += 1.0;
+        }
+        // 2^k as an exact bit pattern (k stays far inside normal range).
+        sum * f64::from_bits(((1023 + k) as u64) << 52)
+    }
+
+    /// A zipf (discrete power-law) sampler over ranks `0..n`: rank `k`
+    /// (0-based) is drawn with probability proportional to `(k+1)^-s`.
+    /// Built for the serve-layer traffic generator, where a handful of hot
+    /// meshes should dominate a long cold tail the way real multi-tenant
+    /// catalogs do.
+    ///
+    /// Sampling inverts a precomputed CDF by binary search; one `next_u64`
+    /// per draw. The CDF is computed with the deterministic ln/exp kernels
+    /// above, so a given `(n, s, seed)` replays the same rank sequence on
+    /// every platform.
+    #[derive(Debug, Clone)]
+    pub struct Zipf {
+        cdf: Vec<f64>,
+    }
+
+    impl Zipf {
+        /// A sampler over `n` ranks with exponent `s ≥ 0` (`s = 0` is
+        /// uniform; larger `s` concentrates mass on low ranks).
+        ///
+        /// # Panics
+        /// Panics when `n == 0` or `s` is negative/non-finite.
+        pub fn new(n: usize, s: f64) -> Self {
+            assert!(n > 0, "zipf needs at least one rank");
+            assert!(
+                s >= 0.0 && s.is_finite(),
+                "zipf exponent must be finite and >= 0"
+            );
+            let mut cdf = Vec::with_capacity(n);
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += det_exp(-s * det_ln((k + 1) as f64));
+                cdf.push(acc);
+            }
+            let total = acc;
+            for c in &mut cdf {
+                *c /= total;
+            }
+            // Guard the binary search against the last partial sum rounding
+            // below a unit draw.
+            *cdf.last_mut().expect("n > 0") = 1.0;
+            Self { cdf }
+        }
+
+        /// Number of ranks.
+        pub fn n(&self) -> usize {
+            self.cdf.len()
+        }
+
+        /// Draws a 0-based rank in `0..n`.
+        pub fn sample<R: RngExt>(&self, rng: &mut R) -> usize {
+            // Same 53-bit construction as `random_range`: uniform in [0, 1).
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.cdf.partition_point(|&c| c <= u)
+        }
+    }
+}
+
 /// Concrete generators (subset of `rand::rngs`).
 pub mod rngs {
     use super::{RngExt, SeedableRng};
@@ -82,6 +201,7 @@ pub mod rngs {
 
 #[cfg(test)]
 mod tests {
+    use super::distributions::Zipf;
     use super::rngs::StdRng;
     use super::{RngExt, SeedableRng};
 
@@ -118,5 +238,62 @@ mod tests {
     fn empty_range_panics() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = rng.random_range(1.0..1.0);
+    }
+
+    #[test]
+    fn zipf_pins_its_first_draws() {
+        // The serve traffic generator's replayability rests on this exact
+        // sequence: (n=8, s=1.1, seed=42) must draw these 32 ranks on every
+        // platform. If this test breaks, seeded workloads stop being
+        // comparable across machines — do not just re-pin without a reason.
+        let zipf = Zipf::new(8, 1.1);
+        let mut rng = StdRng::seed_from_u64(42);
+        let draws: Vec<usize> = (0..32).map(|_| zipf.sample(&mut rng)).collect();
+        assert_eq!(
+            draws,
+            vec![
+                0, 0, 2, 6, 7, 3, 3, 4, 3, 1, 2, 0, 4, 0, 3, 5, 2, 4, 3, 3, 0, 0, 1, 2, 0, 1, 1, 3,
+                2, 0, 1, 2
+            ],
+        );
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let zipf = Zipf::new(16, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 16];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 dominates, and the head outweighs the tail heavily.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[4]);
+        let head: u32 = counts[..4].iter().sum();
+        let tail: u32 = counts[4..].iter().sum();
+        // Analytically head/tail ≈ 1.88 at (n=16, s=1.1); assert well
+        // above uniform's 1/3 without hugging the exact ratio.
+        assert!(head > tail + tail / 2, "head {head} vs tail {tail}");
+        // Every rank is reachable.
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty_catalog() {
+        let _ = Zipf::new(0, 1.0);
     }
 }

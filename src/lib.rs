@@ -20,6 +20,9 @@
 //! * [`dist`] — the rank-sharded execution runtime: explicit halo
 //!   exchange over serialized transports, deterministic fault injection,
 //!   and per-rank comms accounting (see DESIGN.md §11),
+//! * [`serve`] — the multi-tenant plan-cache service: sharded concurrent
+//!   cache with single-flight compilation, a disk warm-start tier, and a
+//!   coalescing request queue with per-tenant ledgers (see DESIGN.md §14),
 //! * [`trace`] — phase spans, streaming histograms, imbalance summaries and
 //!   the JSON run reports (see DESIGN.md, "Observability").
 //!
@@ -36,10 +39,12 @@ pub use ustencil_geometry as geometry;
 pub use ustencil_mesh as mesh;
 pub use ustencil_plan as plan;
 pub use ustencil_quadrature as quadrature;
+pub use ustencil_serve as serve;
 pub use ustencil_siac as siac;
 pub use ustencil_spatial as spatial;
 pub use ustencil_trace as trace;
 
 pub use ustencil_core::prelude::*;
 pub use ustencil_dist::{run_dist, run_plan_dist, DistOptions, DistPlanSolution, DistSolution};
-pub use ustencil_plan::{CachedPlan, EvalPlan, PlanExt};
+pub use ustencil_plan::{CachedPlan, EvalPlan, PlanExt, PlanKey};
+pub use ustencil_serve::{PlanCache, PlanServer};

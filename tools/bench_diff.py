@@ -5,9 +5,11 @@ Usage: bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
 
 Walks the fixtures both records share and fails (exit 1) when any
 candidate wall exceeds the baseline by more than the threshold fraction.
-Deterministic shape metrics (nnz, wire bytes) that differ are reported as
-warnings: a metric drift means the workload itself changed, so the wall
-comparison may not be apples to apples.
+Metrics whose names end in `_ms` or `_us` (e.g. a service fixture's
+`p99_us`) are timings too and are gated with the same threshold.
+Deterministic shape metrics (nnz, wire bytes, request counts) that differ
+are reported as warnings: a metric drift means the workload itself
+changed, so the wall comparison may not be apples to apples.
 
 CI runs this with a generous threshold (wall clocks on shared runners are
 noisy); locally the 10% default is the intended gate.
@@ -69,7 +71,19 @@ def main():
         bm = base[name].get("metrics", {})
         cm = cand[name].get("metrics", {})
         for k in sorted(set(bm) | set(cm)):
-            if bm.get(k) != cm.get(k):
+            if k.endswith(("_ms", "_us")):
+                # A timing metric: gate it like a wall instead of warning.
+                kb, kc = bm.get(k), cm.get(k)
+                if kb is None or kc is None:
+                    print(f"warning: timing metric '{name}/{k}' is only in "
+                          f"one record")
+                    continue
+                kratio = kc / kb if kb > 0 else float("inf")
+                if kratio > 1.0 + args.threshold:
+                    regressions.append((f"{name}/{k}", kratio))
+                    print(f"{name + '/' + k:>28} {kb:>10.3f} {kc:>10.3f} "
+                          f"{kratio:>7.2f}  REGRESSION")
+            elif bm.get(k) != cm.get(k):
                 print(f"warning: '{name}' metric '{k}' drifted: "
                       f"{bm.get(k)} -> {cm.get(k)} (workload changed?)")
 
