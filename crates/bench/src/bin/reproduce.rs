@@ -238,10 +238,18 @@ fn fig14(r: &mut Runner, sizes: &[usize]) {
 /// traffic rather than an estimate. Each rank count is validated against
 /// the in-process per-element reference before being reported.
 fn fig14_ranks(r: &mut Runner, sizes: &[usize], ranks: &[usize], timeline_path: Option<&str>) {
-    println!("\n== Figure 14 (rank-sharded): per-element with explicit halo exchange, linear polynomials ==");
+    println!("\n== Figure 14 (rank-sharded): per-element with interior-first overlap, linear polynomials ==");
     println!(
-        "{:>8} {:>6} {:>12} {:>10} {:>10} {:>12} {:>10}",
-        "mesh", "ranks", "sim ms", "halo elems", "msgs", "wire KiB", "max diff"
+        "{:>8} {:>6} {:>12} {:>12} {:>11} {:>10} {:>10} {:>12} {:>10}",
+        "mesh",
+        "ranks",
+        "sim ms",
+        "barrier ms",
+        "exposed ms",
+        "halo elems",
+        "msgs",
+        "wire KiB",
+        "max diff"
     );
     let mut timeline = Timeline::new();
     let mut next_pid = 1u64;
@@ -273,13 +281,33 @@ fn fig14_ranks(r: &mut Runner, sizes: &[usize], ranks: &[usize], timeline_path: 
                 ..Default::default()
             };
             let sim = sol.simulate(&cfg);
+            // The phase-barrier baseline: the same counted traffic with
+            // nothing hidden behind the interior sweep.
+            let barrier_traffic: Vec<RankTraffic> = sol
+                .traffic()
+                .into_iter()
+                .map(|t| RankTraffic {
+                    exposed_fraction: 1.0,
+                    ..t
+                })
+                .collect();
+            let barrier = simulate_ranks(
+                Scheme::PerElement,
+                &sol.rank_block_metrics(),
+                &barrier_traffic,
+                &cfg,
+            );
+            let exposed_ms =
+                sol.ranks.iter().map(|rr| rr.exchange_ns).max().unwrap_or(0) as f64 / 1e6;
             let comm = sol.total_comm();
             let halo: u64 = sol.ranks.iter().map(|rr| rr.halo_elements).sum();
             println!(
-                "{:>8} {:>6} {:>12.2} {:>10} {:>10} {:>12.1} {:>10.1e}",
+                "{:>8} {:>6} {:>12.2} {:>12.2} {:>11.3} {:>10} {:>10} {:>12.1} {:>10.1e}",
                 size_label(n),
                 n_ranks,
                 sim.total_ms,
+                barrier.total_ms,
+                exposed_ms,
                 halo,
                 comm.msgs_sent,
                 comm.bytes_sent as f64 / 1024.0,
@@ -304,7 +332,9 @@ fn fig14_ranks(r: &mut Runner, sizes: &[usize], ranks: &[usize], timeline_path: 
         );
     }
     println!(
-        "(log-log in ranks x size: compute shrinks per rank while counted halo traffic grows)"
+        "(log-log in ranks x size: compute shrinks per rank while counted halo traffic grows; \
+         'sim ms' charges only the exposed slice of the exchange, 'barrier ms' the \
+         stop-and-wait baseline on the same traffic)"
     );
 }
 
@@ -456,8 +486,9 @@ fn serve_bench_fixture(opts: &CliOptions) -> (TrafficOutcome, TrafficConfig) {
 /// versioned [`BenchRecord`] for `tools/bench_diff.py` to gate on.
 ///
 /// Fixtures: plan apply at the ladder's large size, the rank-sharded
-/// fig14 exchange at the medium size across the rank ladder, and the
-/// staged-vs-fused integration micro-kernel. Each entry also pins a few
+/// fig14 exchange at the medium size across the rank ladder, the
+/// instrumented overlap run at 4 ranks (gating the exposed-comms slice),
+/// and the staged-vs-fused integration micro-kernel. Each entry also pins a few
 /// deterministic shape metrics (nnz, counted wire bytes) so a diff can
 /// distinguish "the machine got slower" from "the workload changed".
 fn bench_cmd(opts: &CliOptions) {
@@ -514,6 +545,38 @@ fn bench_cmd(opts: &CliOptions) {
         let metrics = [
             ("bytes_sent", comm.bytes_sent as f64),
             ("msgs_sent", comm.msgs_sent as f64),
+        ];
+        print_bench_row(&name, wall, &metrics);
+        record.push(&name, wall, &metrics);
+    }
+
+    // Fixture 2b: the interior-first overlap at 4 ranks, instrumented so
+    // the exposed slice of the exchange is measured. `exposed_ms` is
+    // gated as a timing by bench_diff; interior/frontier pin the
+    // schedule's work partition as shape metrics.
+    {
+        let n_ranks = 4usize;
+        eprintln!(
+            "  [running {} triangles on {} rank(s), instrumented...]",
+            dist_size, n_ranks
+        );
+        let dist_opts = DistOptions::new(n_ranks)
+            .h_factor(w.safe_h_factor())
+            .instrument(true);
+        let (wall, sol) = min_of(reps, || {
+            run_dist(&w.mesh, &w.field, &w.grid, &dist_opts).unwrap_or_else(|e| {
+                eprintln!("bench overlap run failed at {n_ranks} ranks: {e}");
+                std::process::exit(1);
+            })
+        });
+        let exposed_ms = sol.ranks.iter().map(|r| r.exchange_ns).max().unwrap_or(0) as f64 / 1e6;
+        let interior: u64 = sol.ranks.iter().map(|r| r.interior).sum();
+        let frontier: u64 = sol.ranks.iter().map(|r| r.frontier).sum();
+        let name = format!("dist.overlap/{}@{}ranks", size_label(dist_size), n_ranks);
+        let metrics = [
+            ("exposed_ms", exposed_ms),
+            ("interior", interior as f64),
+            ("frontier", frontier as f64),
         ];
         print_bench_row(&name, wall, &metrics);
         record.push(&name, wall, &metrics);
@@ -751,7 +814,14 @@ fn checkjson(path: &str) -> Result<(), String> {
             if run.comms.is_empty() {
                 return Err(format!("{ctx}: dist run without per-rank comms ledgers"));
             }
-            for phase in ["exchange.halo", "reduce.gather"] {
+            for phase in [
+                "exchange.post",
+                "eval.interior",
+                "exchange.drain",
+                "eval.frontier",
+                "exchange.flush",
+                "reduce.gather",
+            ] {
                 if !run.spans.iter().any(|s| s.name == phase) {
                     return Err(format!("{ctx}: dist run missing the '{phase}' span"));
                 }
@@ -759,6 +829,9 @@ fn checkjson(path: &str) -> Result<(), String> {
             if run.comms.len() > 1 && !run.comms.iter().any(|c| c.bytes_sent > 0) {
                 return Err(format!("{ctx}: multi-rank run counted no wire traffic"));
             }
+            // The coordinator's phase timeline bounds every rank's exposed
+            // exchange: ranks finish draining before the gather completes.
+            let run_ms: f64 = run.spans.iter().map(|s| s.duration_ns as f64 / 1e6).sum();
             for c in &run.comms {
                 if c.exposed_comms_ms.is_nan() || c.exposed_comms_ms < 0.0 {
                     return Err(format!(
@@ -766,6 +839,35 @@ fn checkjson(path: &str) -> Result<(), String> {
                         c.rank, c.exposed_comms_ms
                     ));
                 }
+                // Small slack for untraced gaps between the coordinator's
+                // spans (the ranks' clocks are not the coordinator's).
+                if c.exposed_comms_ms > run_ms * 1.1 + 0.5 {
+                    return Err(format!(
+                        "{ctx}: rank {} exposed {}ms but the whole run spans {run_ms}ms",
+                        c.rank, c.exposed_comms_ms
+                    ));
+                }
+                // Interior and frontier must partition the rank's owned
+                // work: elements on the push path, plan rows on the pull
+                // path.
+                let split = c.interior + c.frontier;
+                if split != c.owned_elements && split != c.owned_points {
+                    return Err(format!(
+                        "{ctx}: rank {} interior {} + frontier {} covers neither \
+                         {} owned elements nor {} owned points",
+                        c.rank, c.interior, c.frontier, c.owned_elements, c.owned_points
+                    ));
+                }
+            }
+            // Every duplicate a receiver discarded implies an extra send of
+            // the same frame, so the fleet-wide counters must conserve.
+            let retransmits: u64 = run.comms.iter().map(|c| c.retransmits).sum();
+            let dup_payloads: u64 = run.comms.iter().map(|c| c.dup_payloads).sum();
+            if dup_payloads > retransmits {
+                return Err(format!(
+                    "{ctx}: {dup_payloads} duplicate frames discarded but only \
+                     {retransmits} retransmits sent"
+                ));
             }
             if run.comms.len() > 1 {
                 // Instrumented multi-rank runs promise the exposed-comms

@@ -25,8 +25,11 @@ use ustencil_trace::{CriticalPath, Hist64, ImbalanceSummary, Json, SpanRecord};
 /// performance-observatory fields (`exposed_comms_ms`, `flow_sends`,
 /// `flow_recvs` per rank, and the run-level `critical_path`); v3 adds the
 /// run-level `serve` object (plan-cache service counters, per-tenant
-/// ledgers, and queue-wait/service-latency histograms).
-pub const REPORT_SCHEMA_VERSION: u64 = 3;
+/// ledgers, and queue-wait/service-latency histograms); v4 adds the
+/// overlap fields to each rank's comms ledger (`interior`/`frontier`
+/// owned-work partition and the `dup_payloads`/`coalesced` sliding-window
+/// counters, with `exchange_ns` now meaning *exposed* exchange time).
+pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// Canonical histogram names, in emission order. These are the keys of the
 /// report's `"histograms"` object.
@@ -130,6 +133,12 @@ pub struct RankCommRecord {
     pub halo_elements: u64,
     /// Grid points the rank resolves.
     pub owned_points: u64,
+    /// Owned work units evaluated while halo messages were in flight
+    /// (elements for the push runtime, plan rows for the plan path).
+    /// `interior + frontier` partitions the rank's owned work.
+    pub interior: u64,
+    /// Owned work units that waited for the exchange drain.
+    pub frontier: u64,
     /// Messages the rank handed to the transport.
     pub msgs_sent: u64,
     /// Wire bytes the rank handed to the transport.
@@ -140,7 +149,12 @@ pub struct RankCommRecord {
     pub bytes_recv: u64,
     /// Payload messages the reliability layer sent more than once.
     pub retransmits: u64,
-    /// Nanoseconds in the halo-exchange phase.
+    /// Duplicate frames the receive side discarded (retransmit overlap).
+    pub dup_payloads: u64,
+    /// Messages that rode a coalesced bundle frame instead of their own.
+    pub coalesced: u64,
+    /// Nanoseconds of exposed exchange (post + drain; the overlapped
+    /// in-flight time is excluded).
     pub exchange_ns: u64,
     /// Nanoseconds in the local evaluation phase.
     pub eval_ns: u64,
@@ -499,11 +513,15 @@ fn record_to_json(r: &RunRecord) -> Json {
                 .set("owned_elements", c.owned_elements)
                 .set("halo_elements", c.halo_elements)
                 .set("owned_points", c.owned_points)
+                .set("interior", c.interior)
+                .set("frontier", c.frontier)
                 .set("msgs_sent", c.msgs_sent)
                 .set("bytes_sent", c.bytes_sent)
                 .set("msgs_recv", c.msgs_recv)
                 .set("bytes_recv", c.bytes_recv)
                 .set("retransmits", c.retransmits)
+                .set("dup_payloads", c.dup_payloads)
+                .set("coalesced", c.coalesced)
                 .set("exchange_ns", c.exchange_ns)
                 .set("eval_ns", c.eval_ns)
                 .set("reduce_ns", c.reduce_ns)
@@ -673,11 +691,15 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
                 owned_elements: get_u64(c, "owned_elements")?,
                 halo_elements: get_u64(c, "halo_elements")?,
                 owned_points: get_u64(c, "owned_points")?,
+                interior: get_u64(c, "interior")?,
+                frontier: get_u64(c, "frontier")?,
                 msgs_sent: get_u64(c, "msgs_sent")?,
                 bytes_sent: get_u64(c, "bytes_sent")?,
                 msgs_recv: get_u64(c, "msgs_recv")?,
                 bytes_recv: get_u64(c, "bytes_recv")?,
                 retransmits: get_u64(c, "retransmits")?,
+                dup_payloads: get_u64(c, "dup_payloads")?,
+                coalesced: get_u64(c, "coalesced")?,
                 exchange_ns: get_u64(c, "exchange_ns")?,
                 eval_ns: get_u64(c, "eval_ns")?,
                 reduce_ns: get_u64(c, "reduce_ns")?,
@@ -1175,11 +1197,15 @@ mod tests {
                     owned_elements: 500,
                     halo_elements: 120 + r,
                     owned_points: 2000,
+                    interior: 410 - r,
+                    frontier: 90 + r,
                     msgs_sent: 6,
                     bytes_sent: 48_000 + r,
                     msgs_recv: 6,
                     bytes_recv: 48_100 - r,
                     retransmits: r,
+                    dup_payloads: r,
+                    coalesced: 2 * r,
                     exchange_ns: 1_000_000,
                     eval_ns: 9_000_000,
                     reduce_ns: 500_000,
@@ -1217,7 +1243,15 @@ mod tests {
         assert_eq!(parsed.to_pretty_string(), text);
         // The comms array is a required key, and so are the
         // per-rank observability fields and the critical path.
-        for key in ["\"comms\"", "\"exposed_comms_ms\"", "\"critical_path\""] {
+        for key in [
+            "\"comms\"",
+            "\"exposed_comms_ms\"",
+            "\"critical_path\"",
+            "\"interior\"",
+            "\"frontier\"",
+            "\"dup_payloads\"",
+            "\"coalesced\"",
+        ] {
             let broken = text.replace(key, "\"zzz\"");
             assert!(RunReport::from_json(&broken).is_err(), "corrupting {key}");
         }

@@ -95,9 +95,9 @@ impl Transport for ChannelEndpoint {
                     return Ok(());
                 }
                 Some(FaultAction::Drop) => (action, Vec::new()),
-                None => {
+                Some(FaultAction::Duplicate) | None => {
                     let flush = shared.held.remove(&msg.to).unwrap_or_default();
-                    (None, flush)
+                    (action, flush)
                 }
             }
         };
@@ -105,6 +105,9 @@ impl Transport for ChannelEndpoint {
             Some(FaultAction::Drop) => Ok(()),
             _ => {
                 let to = msg.to;
+                if action == Some(FaultAction::Duplicate) {
+                    self.deliver(msg.clone())?;
+                }
                 self.deliver(msg)?;
                 // Held messages ride out *behind* the newer message —
                 // the reorder the Hold rule exists to produce. Dropped

@@ -17,6 +17,10 @@ pub enum FaultAction {
     /// Park the message; it is delivered after the *next* message to the
     /// same destination goes through — an out-of-order delivery.
     Hold,
+    /// Deliver the message twice, back to back — the wire-level duplicate
+    /// a crossed retransmit produces (the receiver's sequence dedup must
+    /// discard the copy).
+    Duplicate,
 }
 
 /// One fault rule. `None` fields match anything; `first_n` bounds how many
@@ -57,6 +61,17 @@ impl FaultRule {
             tag: None,
             first_n: n,
             action: FaultAction::Hold,
+        }
+    }
+
+    /// Duplicates the first `n` payload sends from `from` with `tag`.
+    pub fn dup_first(from: u32, tag: Tag, n: u32) -> Self {
+        Self {
+            from: Some(from),
+            to: None,
+            tag: Some(tag),
+            first_n: n,
+            action: FaultAction::Duplicate,
         }
     }
 

@@ -133,14 +133,16 @@ pub struct WireFlowSummary {
 }
 
 /// Joins a [`RecordingFabric`](crate::record::RecordingFabric) log on
-/// `(from, flow)`, ignoring acknowledgements. A flow counts as delivered
-/// when any of its copies was popped by the receiver
+/// `(from, flow)`, ignoring acknowledgements and bundle frames (a bundle's
+/// sub-messages are endpoint-level events, invisible at the wire layer; the
+/// link-side [`FlowLog`] is the right place to account for them). A flow
+/// counts as delivered when any of its copies was popped by the receiver
 /// ([`Disposition::Received`]); a flow whose every copy was dropped, held
 /// forever, or left unread is an orphan.
 pub fn match_wire_log(log: &[MessageRecord]) -> WireFlowSummary {
     let mut flows: BTreeMap<(u32, u32, u64, Tag), bool> = BTreeMap::new();
     for r in log {
-        if r.tag == Tag::Ack {
+        if r.tag == Tag::Ack || r.tag == Tag::Bundle {
             continue;
         }
         let received = flows.entry((r.from, r.to, r.flow, r.tag)).or_insert(false);

@@ -24,17 +24,22 @@
 //!   per-sender monotone flow id; instrumented links log send/recv points
 //!   and a deterministic join pairs them into the arcs a trace timeline
 //!   draws (lost flows are flagged, never fatal);
-//! * [`link`] — stop-and-wait acknowledgement with bounded retry on top
-//!   of any transport: at-least-once on the wire, exactly-once to the
-//!   application, with every payload and ack byte counted;
-//! * [`shard`] — who owns which elements and points, and the push sets a
-//!   halo exchange must move;
-//! * [`runtime`] — the sharded direct per-element scheme: push-based
-//!   coefficient exchange, local patch evaluation, two-stage reduction,
-//!   and rank-failure recovery by coordinator re-resolve;
+//! * [`link`] — sliding-window acknowledgement with bounded retry on top
+//!   of any transport: posted sends ride the wire while the rank computes,
+//!   cumulative acks cover whole sequence ranges, same-destination
+//!   overflow coalesces into bundle frames — at-least-once on the wire,
+//!   exactly-once to the application, every payload and ack byte counted;
+//! * [`shard`] — who owns which elements and points, the push sets a halo
+//!   exchange must move, and the interior/frontier split of each rank's
+//!   owned work by stencil footprint;
+//! * [`runtime`] — the sharded direct per-element scheme: posted push
+//!   exchange, interior evaluation overlapped with the wire, frontier
+//!   evaluation after the drain, two-stage reduction, and rank-failure
+//!   recovery by coordinator re-resolve;
 //! * [`plan_dist`] — the sharded plan path: per-rank CSR compile of owned
-//!   rows, pull-based exchange of exactly the columns the plan stored,
-//!   local SpMV, bitwise equal to a global plan apply.
+//!   rows, pull-based exchange of exactly the columns the plan stored
+//!   overlapped with interior-row SpMV, bitwise equal to a global plan
+//!   apply.
 //!
 //! Work counters partition exactly (see the module docs of [`runtime`] and
 //! [`plan_dist`] for which components are bit-identical to a single-rank

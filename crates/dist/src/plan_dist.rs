@@ -1,14 +1,26 @@
 //! Rank-sharded plan compile and apply: each rank compiles the CSR rows of
 //! its owned grid points, then applies them as a local SpMV over owned +
-//! pulled halo coefficients.
+//! pulled halo coefficients, with the pull overlapped behind the rows
+//! that never needed it.
 //!
 //! The exchange here is *pull*-based, unlike the push-based coefficient
 //! scatter of the direct runtime: a compiled plan knows exactly which
 //! element columns its rows reference, so each rank requests precisely
 //! those columns from their owners ([`Tag::HaloRequest`]) and gets back
-//! one [`Tag::HaloCoeffs`] reply per peer. No geometric halo estimate is
+//! chunked [`Tag::HaloCoeffs`] replies. No geometric halo estimate is
 //! involved on the wire — the requested set is the support the plan
 //! actually stored.
+//!
+//! ## Overlapped schedule
+//!
+//! Requests are *posted* (`exchange.post`), then the rank applies its
+//! *interior rows* — rows whose every stored column is locally owned —
+//! while the requests and replies ride the wire (`eval.interior`). The
+//! drain (`exchange.drain`) serves peers' requests and receives this
+//! rank's replies; the remaining *frontier rows*, which reference pulled
+//! columns, run last (`eval.frontier`), and the rank's own window is
+//! settled afterwards (`exchange.flush`). The post, the drain, and the
+//! flush are the exposed communication.
 //!
 //! ## Numerical contract
 //!
@@ -16,9 +28,11 @@
 //! walks the full mesh replica through the same `TriangleGrid`), so the
 //! per-rank rows are *bit-identical* to the corresponding rows of a
 //! single-rank plan, and each output value is produced by the same
-//! entry-order dot product. Sharded plan application is therefore bitwise
-//! equal to a global [`EvalPlan::apply`], for any rank count, and the
-//! row-partitioned apply counters sum exactly.
+//! entry-order dot product — the interior/frontier split changes which
+//! pass writes a row, never the dot product behind it. Sharded plan
+//! application is therefore bitwise equal to a global
+//! [`EvalPlan::apply`], for any rank count, and the row-partitioned apply
+//! counters sum exactly.
 
 use crate::channel::ChannelFabric;
 use crate::flow::{match_flow_logs, FlowLog, FlowMatch};
@@ -82,13 +96,24 @@ impl DistPlanSolution {
         CommStats::sum(&stats)
     }
 
-    /// Counted per-rank wire traffic, in the cost model's shape.
+    /// Counted per-rank wire traffic, in the cost model's shape. The
+    /// exposed fraction charges only the post + drain share of each
+    /// rank's busy time (see
+    /// [`DistSolution::traffic`](crate::runtime::DistSolution::traffic)).
     pub fn traffic(&self) -> Vec<RankTraffic> {
         self.ranks
             .iter()
-            .map(|r| RankTraffic {
-                bytes_sent: r.comm.bytes_sent,
-                msgs_sent: r.comm.msgs_sent,
+            .map(|r| {
+                let busy = r.exchange_ns + r.eval_ns;
+                RankTraffic {
+                    bytes_sent: r.comm.bytes_sent,
+                    msgs_sent: r.comm.msgs_sent,
+                    exposed_fraction: if busy == 0 {
+                        1.0
+                    } else {
+                        r.exchange_ns as f64 / busy as f64
+                    },
+                }
             })
             .collect()
     }
@@ -185,11 +210,15 @@ impl DistPlanSolution {
                     owned_elements: r.owned_elements,
                     halo_elements: r.halo_elements,
                     owned_points: r.owned_points,
+                    interior: r.interior,
+                    frontier: r.frontier,
                     msgs_sent: r.comm.msgs_sent,
                     bytes_sent: r.comm.bytes_sent,
                     msgs_recv: r.comm.msgs_recv,
                     bytes_recv: r.comm.bytes_recv,
                     retransmits: r.comm.retransmits,
+                    dup_payloads: r.comm.dup_payloads,
+                    coalesced: r.comm.coalesced,
                     exchange_ns: r.exchange_ns,
                     eval_ns: r.eval_ns,
                     reduce_ns: r.reduce_ns,
@@ -219,6 +248,7 @@ struct PlanRankCtx {
     owners: Vec<u32>,
     link: LinkConfig,
     phase_timeout: std::time::Duration,
+    chunk_elems: usize,
     instrument: bool,
     /// The run's shared time origin (see `runtime::RankCtx::epoch`).
     epoch: Instant,
@@ -271,7 +301,19 @@ fn pull_sets(plan: &ShardPlan, local: &EvalPlan, rank: usize) -> Vec<Vec<u32>> {
     per_peer
 }
 
-/// One rank's run: local compile, pull-based halo exchange, local SpMV.
+/// Messages a reply for `len` requested columns splits into (always at
+/// least one, so an empty pull still sends one empty chunk and the drain
+/// count stays a pure function of the request).
+fn chunks_for(len: usize, chunk: usize) -> usize {
+    if len == 0 {
+        1
+    } else {
+        len.div_ceil(chunk)
+    }
+}
+
+/// One rank's overlapped run: local compile, posted pull requests,
+/// interior rows while the wire works, drain, frontier rows.
 fn plan_rank_body<T: Transport>(
     ctx: PlanRankCtx,
     link: &mut ReliableLink<T>,
@@ -307,20 +349,64 @@ fn plan_rank_body<T: Transport>(
             .copy_from_slice(&ctx.owned_coeffs[i * nm..(i + 1) * nm]);
     }
 
-    let exchange_start = Instant::now();
+    // --- exchange.post: queue one pull request per peer without waiting.
+    let wanted = pull_sets(&ctx.plan, &local_plan, rank);
+    let post_start = Instant::now();
     {
-        let _span = tracer.span("exchange.halo");
-        let wanted = pull_sets(&ctx.plan, &local_plan, rank);
-        // One request to every peer (possibly empty) and one reply from
-        // every peer: the fixed message count terminates the service loop
-        // without negotiation.
+        let _span = tracer.span("exchange.post");
         for peer in (0..n).filter(|&q| q != rank) {
-            link.send_reliable(peer as u32, Tag::HaloRequest, encode_ids(&wanted[peer]))?;
+            link.post(peer as u32, Tag::HaloRequest, encode_ids(&wanted[peer]))?;
         }
+    }
+    let post_ns = post_start.elapsed().as_nanos() as u64;
+
+    // Interior rows reference only locally-owned columns, so they can run
+    // against the halo-incomplete coefficient vector; frontier rows wait
+    // for the drain. The split is exact: every row lands in one list.
+    let (rows_interior, rows_frontier): (Vec<u32>, Vec<u32>) = (0..local_plan.rows() as u32)
+        .partition(|&r| {
+            local_plan
+                .row_cols(r as usize)
+                .iter()
+                .all(|&c| ctx.plan.owner_of(c) == rank as u32)
+        });
+
+    let mut out = vec![0.0; local_plan.rows()];
+    let mut patches = Vec::new();
+    let mut eval_ns = 0u64;
+
+    // --- eval.interior: rows whose support is fully owned.
+    {
+        let _span = tracer.span("eval.interior");
+        if !rows_interior.is_empty() {
+            let eval_start = Instant::now();
+            let field =
+                DgField::from_coefficients(ctx.degree, ctx.mesh.n_triangles(), coeffs.clone());
+            patches.extend(local_plan.apply_rows_into(
+                &rows_interior,
+                &field,
+                &mut out,
+                ctx.sm_patches,
+            ));
+            eval_ns += eval_start.elapsed().as_nanos() as u64;
+        }
+    }
+
+    // --- exchange.drain: serve peers' requests (chunked replies, posted
+    // not awaited) and receive exactly the reply chunks this rank's own
+    // requests produce. The ack-flush is deferred past the frontier rows
+    // (peers ack only when they drain; see the push runtime).
+    let drain_start = Instant::now();
+    {
+        let _span = tracer.span("exchange.drain");
+        let expected: usize = (0..n)
+            .filter(|&q| q != rank)
+            .map(|peer| chunks_for(wanted[peer].len(), ctx.chunk_elems))
+            .sum();
         let mut served = 0;
         let mut received = 0;
         let deadline = Instant::now() + ctx.phase_timeout;
-        while served < n - 1 || received < n - 1 {
+        while served < n - 1 || received < expected {
             let now = Instant::now();
             if now >= deadline {
                 return Err(DistError::Timeout);
@@ -329,8 +415,17 @@ fn plan_rank_body<T: Transport>(
             match msg.tag {
                 Tag::HaloRequest => {
                     let ids = decode_ids(&msg.payload).map_err(DistError::Protocol)?;
-                    let reply = encode_coeffs(&ids, &coeffs, nm);
-                    link.send_reliable(msg.from, Tag::HaloCoeffs, reply)?;
+                    if ids.is_empty() {
+                        link.post(msg.from, Tag::HaloCoeffs, encode_coeffs(&[], &coeffs, nm))?;
+                    } else {
+                        for chunk in ids.chunks(ctx.chunk_elems) {
+                            link.post(
+                                msg.from,
+                                Tag::HaloCoeffs,
+                                encode_coeffs(chunk, &coeffs, nm),
+                            )?;
+                        }
+                    }
                     served += 1;
                 }
                 Tag::HaloCoeffs => {
@@ -342,35 +437,49 @@ fn plan_rank_body<T: Transport>(
             }
         }
     }
-    let exchange_ns = exchange_start.elapsed().as_nanos() as u64;
+    let drain_ns = drain_start.elapsed().as_nanos() as u64;
 
-    let field = DgField::from_coefficients(ctx.degree, ctx.mesh.n_triangles(), coeffs);
-    let solution = {
-        let _span = tracer.span("apply.spmv");
-        local_plan.apply_with(
-            &field,
-            &ApplyOptions {
-                n_blocks: ctx.sm_patches,
-                parallel: false,
-                instrument: false,
-            },
-        )
-    };
+    // --- eval.frontier: rows that reference pulled columns.
+    {
+        let _span = tracer.span("eval.frontier");
+        if !rows_frontier.is_empty() {
+            let eval_start = Instant::now();
+            let field = DgField::from_coefficients(ctx.degree, ctx.mesh.n_triangles(), coeffs);
+            patches.extend(local_plan.apply_rows_into(
+                &rows_frontier,
+                &field,
+                &mut out,
+                ctx.sm_patches,
+            ));
+            eval_ns += eval_start.elapsed().as_nanos() as u64;
+        }
+    }
+
+    // --- exchange.flush: settle this rank's window (normally instant —
+    // every peer has drained and acked by now).
+    let flush_start = Instant::now();
+    {
+        let _span = tracer.span("exchange.flush");
+        link.flush()?;
+    }
+    let flush_ns = flush_start.elapsed().as_nanos() as u64;
 
     let result = RankResult {
-        values: solution.values.clone(),
+        values: out.clone(),
         comm: link.stats(),
-        exchange_ns,
-        eval_ns: solution.wall.as_nanos() as u64,
+        interior: rows_interior.len() as u64,
+        frontier: rows_frontier.len() as u64,
+        exchange_ns: post_ns + drain_ns + flush_ns,
+        eval_ns,
         reduce_ns: compile_ns,
-        patches: solution.block_stats,
+        patches,
         // Spans and flow points are snapshotted by the caller, which owns
         // the tracer and the link.
         spans: Vec::new(),
         flow_sends: Vec::new(),
         flow_recvs: Vec::new(),
     };
-    Ok((solution.values, result))
+    Ok((out, result))
 }
 
 /// Runs the rank-sharded plan compile + apply over the in-process channel
@@ -462,6 +571,7 @@ pub fn run_plan_dist_on<T: Transport>(
                     .collect(),
                 link: options.link,
                 phase_timeout: options.gather_timeout,
+                chunk_elems: options.chunk_elems,
                 instrument: options.instrument,
                 epoch,
             }
@@ -602,6 +712,19 @@ pub fn run_plan_dist_on<T: Transport>(
                     options.sm_patches,
                 );
                 let compile_ns = compile_start.elapsed().as_nanos() as u64;
+                // The same interior/frontier row partition the rank would
+                // have reported (the values are computed in one pass —
+                // rows are independent dot products, so the counts are
+                // bookkeeping, not a numerical choice).
+                let interior_rows = (0..local_plan.rows())
+                    .filter(|&row| {
+                        local_plan
+                            .row_cols(row)
+                            .iter()
+                            .all(|&c| plan.owner_of(c) == r as u32)
+                    })
+                    .count() as u64;
+                let frontier_rows = local_plan.rows() as u64 - interior_rows;
                 let solution = local_plan.apply_with(
                     field,
                     &ApplyOptions {
@@ -614,6 +737,8 @@ pub fn run_plan_dist_on<T: Transport>(
                     RankResult {
                         values: solution.values,
                         comm: CommStats::default(),
+                        interior: interior_rows,
+                        frontier: frontier_rows,
                         exchange_ns: 0,
                         eval_ns: solution.wall.as_nanos() as u64,
                         reduce_ns: compile_ns,
@@ -645,6 +770,8 @@ pub fn run_plan_dist_on<T: Transport>(
             halo_elements: shard.halo_elements.len() as u64,
             owned_points: shard.owned_points.len() as u64,
             comm: result.comm,
+            interior: result.interior,
+            frontier: result.frontier,
             exchange_ns: result.exchange_ns,
             eval_ns: result.eval_ns,
             reduce_ns: result.reduce_ns,
@@ -737,8 +864,11 @@ mod tests {
         let names: Vec<&str> = dist.spans.iter().map(|s| s.name.as_str()).collect();
         for phase in [
             "compile.plan",
-            "exchange.halo",
-            "apply.spmv",
+            "exchange.post",
+            "eval.interior",
+            "exchange.drain",
+            "eval.frontier",
+            "exchange.flush",
             "reduce.gather",
         ] {
             assert!(names.contains(&phase), "missing span {phase}: {names:?}");
@@ -746,9 +876,18 @@ mod tests {
         // Every rank ships spans and flow points; the join is complete.
         for r in &dist.ranks {
             let rank_names: Vec<&str> = r.spans.iter().map(|s| s.name.as_str()).collect();
-            assert!(rank_names.contains(&"exchange.halo"), "rank {}", r.rank);
-            assert!(rank_names.contains(&"apply.spmv"), "rank {}", r.rank);
+            for phase in [
+                "exchange.post",
+                "eval.interior",
+                "exchange.drain",
+                "exchange.flush",
+            ] {
+                assert!(rank_names.contains(&phase), "rank {} lacks {phase}", r.rank);
+            }
             assert!(!r.flows.sends.is_empty(), "rank {} logged no sends", r.rank);
+            // Interior + frontier rows partition the rank's owned points
+            // (one plan row per owned grid point).
+            assert_eq!(r.interior + r.frontier, r.owned_points, "rank {}", r.rank);
         }
         let matched = dist.flow_match();
         assert!(!matched.pairs.is_empty());

@@ -154,11 +154,16 @@ impl Transport for RecordingEndpoint {
                 state.log.push(rec);
                 state.held.entry(msg.to).or_default().push(msg);
             }
-            None => {
+            dup @ (Some(FaultAction::Duplicate) | None) => {
                 let to = msg.to;
-                let rec = record_of(&msg, Disposition::Delivered);
-                state.log.push(rec);
-                state.mailboxes[to as usize].push_back(msg);
+                // A Duplicate rule enqueues the frame twice back to back;
+                // each copy gets its own Delivered log line.
+                let copies = if dup.is_some() { 2 } else { 1 };
+                for _ in 0..copies {
+                    let rec = record_of(&msg, Disposition::Delivered);
+                    state.log.push(rec);
+                    state.mailboxes[to as usize].push_back(msg.clone());
+                }
                 // Release anything held for this destination behind the
                 // newer message — the reorder the Hold rule encodes.
                 for held in state.held.remove(&to).unwrap_or_default() {

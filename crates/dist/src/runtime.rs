@@ -1,13 +1,35 @@
 //! The rank-sharded per-element runtime: real threads, explicit halo
-//! exchange, comms accounting.
+//! exchange overlapped with interior evaluation, comms accounting.
 //!
 //! Each rank owns a contiguous shard of mesh elements (recursive
 //! bisection) and resolves exactly the grid points that live on its owned
 //! elements. The only data that crosses ranks after the initial static
 //! scatter are serialized messages: boundary dG coefficients during the
 //! halo exchange, and each rank's finished owned-point values during the
-//! gather — both through the [`Transport`] boundary with stop-and-wait
+//! gather — both through the [`Transport`] boundary with sliding-window
 //! reliability.
+//!
+//! ## Overlapped schedule
+//!
+//! A rank's schedule hides the exchange behind compute instead of
+//! waiting out a phase barrier:
+//!
+//! 1. `exchange.post` — chunked halo pushes are *posted* (queued into the
+//!    sliding window) without waiting for delivery;
+//! 2. `eval.interior` — owned elements whose stencil footprint cannot
+//!    reach the ghost ring (see
+//!    [`ShardPlan::split_interior`](crate::shard::ShardPlan::split_interior))
+//!    are evaluated while the messages ride the wire;
+//! 3. `exchange.drain` — the rank receives the chunks its ring needs;
+//! 4. `eval.frontier` — the remaining owned elements, whose footprints
+//!    touch the ring, are evaluated against the completed coefficient set;
+//! 5. `exchange.flush` — the rank's own window is settled (acks
+//!    collected, lost frames retransmitted). Deferred past the frontier
+//!    sweep because peers ack only when they drain — flushing inside the
+//!    drain would stall the fastest rank on the slowest peer's interior.
+//!
+//! Phases 1, 3 and 5 are *exposed* communication; `exchange_ns` (and the
+//! cost model's per-rank `exposed_fraction`) charge exactly those.
 //!
 //! ## Numerical contract
 //!
@@ -91,6 +113,11 @@ pub struct DistOptions {
     /// changes patch composition and therefore floating-point summation
     /// order, nothing else (values agree to rounding).
     pub layout: Layout,
+    /// Elements per halo-push message (default 48). Smaller chunks start
+    /// flowing sooner and interleave across peers; both sides compute the
+    /// chunk count from the shared plan replica, so the drain knows
+    /// exactly how many messages to expect without negotiation.
+    pub chunk_elems: usize,
 }
 
 impl DistOptions {
@@ -106,6 +133,7 @@ impl DistOptions {
             gather_timeout: Duration::from_secs(120),
             instrument: false,
             layout: Layout::Natural,
+            chunk_elems: 48,
         }
     }
 
@@ -152,6 +180,13 @@ impl DistOptions {
         self.layout = layout;
         self
     }
+
+    /// Sets the halo-push chunk size (elements per message).
+    pub fn chunk_elems(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one element per chunk");
+        self.chunk_elems = n;
+        self
+    }
 }
 
 /// One rank's ledger in a finished run.
@@ -168,7 +203,14 @@ pub struct RankReport {
     /// Transport counters (zero when the rank failed and its points were
     /// re-resolved by the coordinator).
     pub comm: CommStats,
-    /// Nanoseconds in the halo-exchange phase.
+    /// Owned elements evaluated while halo messages were in flight
+    /// (stencil footprint clear of the ghost ring).
+    pub interior: u64,
+    /// Owned elements that had to wait for the drain (footprint touches
+    /// the ring). `interior + frontier == owned_elements`.
+    pub frontier: u64,
+    /// Nanoseconds of *exposed* communication: the post plus the drain,
+    /// excluding the interior evaluation the wire time was hidden behind.
     pub exchange_ns: u64,
     /// Nanoseconds evaluating local patches.
     pub eval_ns: u64,
@@ -222,13 +264,25 @@ impl DistSolution {
         CommStats::sum(&stats)
     }
 
-    /// Counted per-rank wire traffic, in the cost model's shape.
+    /// Counted per-rank wire traffic, in the cost model's shape. The
+    /// exposed fraction is measured, not modeled: the share of the rank's
+    /// busy time that was exchange (post + drain) rather than evaluation —
+    /// the cost model charges only that slice of the wire time, because
+    /// the rest was hidden behind the interior sweep.
     pub fn traffic(&self) -> Vec<RankTraffic> {
         self.ranks
             .iter()
-            .map(|r| RankTraffic {
-                bytes_sent: r.comm.bytes_sent,
-                msgs_sent: r.comm.msgs_sent,
+            .map(|r| {
+                let busy = r.exchange_ns + r.eval_ns;
+                RankTraffic {
+                    bytes_sent: r.comm.bytes_sent,
+                    msgs_sent: r.comm.msgs_sent,
+                    exposed_fraction: if busy == 0 {
+                        1.0
+                    } else {
+                        r.exchange_ns as f64 / busy as f64
+                    },
+                }
             })
             .collect()
     }
@@ -338,11 +392,15 @@ impl DistSolution {
                     owned_elements: r.owned_elements,
                     halo_elements: r.halo_elements,
                     owned_points: r.owned_points,
+                    interior: r.interior,
+                    frontier: r.frontier,
                     msgs_sent: r.comm.msgs_sent,
                     bytes_sent: r.comm.bytes_sent,
                     msgs_recv: r.comm.msgs_recv,
                     bytes_recv: r.comm.bytes_recv,
                     retransmits: r.comm.retransmits,
+                    dup_payloads: r.comm.dup_payloads,
+                    coalesced: r.comm.coalesced,
                     exchange_ns: r.exchange_ns,
                     eval_ns: r.eval_ns,
                     reduce_ns: r.reduce_ns,
@@ -385,6 +443,7 @@ struct RankCtx {
     link: LinkConfig,
     phase_timeout: Duration,
     layout: Layout,
+    chunk_elems: usize,
     /// Whether this rank records spans and flow points.
     instrument: bool,
     /// The run's shared time origin: every rank's tracer and flow log
@@ -399,6 +458,41 @@ struct RankWork {
     eval_ns: u64,
     reduce_ns: u64,
     patches: Vec<BlockStats>,
+    interior: u64,
+    frontier: u64,
+}
+
+/// One evaluation pass (interior or frontier) over a subset of elements.
+struct EvalOut {
+    values: Vec<f64>,
+    eval_ns: u64,
+    reduce_ns: u64,
+    patches: Vec<BlockStats>,
+}
+
+/// Messages a push set of `len` elements splits into: always at least one
+/// (an empty set still sends one empty message so the receive count stays
+/// a pure function of the plan).
+fn chunks_for(len: usize, chunk: usize) -> usize {
+    if len == 0 {
+        1
+    } else {
+        len.div_ceil(chunk)
+    }
+}
+
+/// Folds one evaluation pass's values into the rank accumulator. The
+/// first pass *moves* its vector in — a single-pass rank (one rank, or an
+/// empty frontier) keeps its values bit-for-bit untouched.
+fn accumulate(acc: &mut Option<Vec<f64>>, vals: Vec<f64>) {
+    match acc {
+        None => *acc = Some(vals),
+        Some(a) => {
+            for (x, v) in a.iter_mut().zip(&vals) {
+                *x += v;
+            }
+        }
+    }
 }
 
 fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
@@ -434,7 +528,7 @@ fn eval_shard(
     rule: &TriangleRule,
     sm_patches: usize,
     layout: Layout,
-) -> (Vec<f64>, RankWork) {
+) -> EvalOut {
     let eval_start = Instant::now();
     // Hilbert layouts sweep the local elements in curve order so each
     // patch walks a spatially compact run; the reorder is sweep-local and
@@ -474,18 +568,51 @@ fn eval_shard(
     }
     let reduce_ns = reduce_start.elapsed().as_nanos() as u64;
 
-    (
+    EvalOut {
         values,
-        RankWork {
-            exchange_ns: 0,
-            eval_ns,
-            reduce_ns,
-            patches,
-        },
-    )
+        eval_ns,
+        reduce_ns,
+        patches,
+    }
 }
 
-/// One rank's run: halo exchange, local evaluation, local reduce.
+/// The two-phase (interior, then frontier ∪ halo) evaluation of one
+/// shard against `field`, accumulated into one owned-point value vector.
+/// Used by the coordinator's re-resolve path: the interior sweep reads
+/// only the swept elements' coefficients, so evaluating it from the full
+/// field is bitwise what the failed rank computed from its
+/// halo-incomplete coefficient vector.
+#[allow(clippy::too_many_arguments)]
+fn eval_split(
+    mesh: &TriMesh,
+    field: &DgField,
+    interior: &[u32],
+    frontier_halo: &[u32],
+    grid: &ComputationGrid,
+    stencil: &Stencil2d,
+    rule: &TriangleRule,
+    sm_patches: usize,
+    layout: Layout,
+) -> (Vec<f64>, u64, u64, Vec<BlockStats>) {
+    let mut acc: Option<Vec<f64>> = None;
+    let (mut eval_ns, mut reduce_ns) = (0u64, 0u64);
+    let mut patches = Vec::new();
+    for subset in [interior, frontier_halo] {
+        if subset.is_empty() {
+            continue;
+        }
+        let out = eval_shard(mesh, field, subset, grid, stencil, rule, sm_patches, layout);
+        eval_ns += out.eval_ns;
+        reduce_ns += out.reduce_ns;
+        patches.extend(out.patches);
+        accumulate(&mut acc, out.values);
+    }
+    let values = acc.unwrap_or_else(|| vec![0.0; grid.len()]);
+    (values, eval_ns, reduce_ns, patches)
+}
+
+/// One rank's overlapped run: post the halo pushes, evaluate the interior
+/// while they ride the wire, drain the ring, evaluate the frontier.
 /// Messages with tags the current phase does not expect (a fast peer's
 /// result reaching the coordinator mid-exchange) are stashed in `pending`.
 fn rank_body<T: Transport>(
@@ -499,28 +626,93 @@ fn rank_body<T: Transport>(
     let shard = ctx.plan.shard(rank).clone();
     let nm = ctx.n_modes;
 
-    // --- Halo exchange: push owned boundary coefficients to every peer
-    // whose ghost ring needs them, receive this rank's own ring.
-    let exchange_start = Instant::now();
     let mut coeffs = vec![0.0; ctx.mesh.n_triangles() * nm];
     for (i, &e) in shard.owned_elements.iter().enumerate() {
         coeffs[e as usize * nm..(e as usize + 1) * nm]
             .copy_from_slice(&ctx.owned_coeffs[i * nm..(i + 1) * nm]);
     }
+
+    // --- exchange.post: queue chunked halo pushes to every peer without
+    // waiting for delivery. Both sides compute the push sets and chunk
+    // counts from their plan replica, so the fixed message count makes
+    // the drain terminate without a negotiation round. An empty push set
+    // still sends one empty chunk.
+    let post_start = Instant::now();
     {
-        let _span = tracer.span("exchange.halo");
-        // Every rank sends exactly one (possibly empty) message to every
-        // peer — both sides compute the push set from their plan replica,
-        // and the fixed message count makes the receive loop terminate
-        // without a negotiation round.
+        let _span = tracer.span("exchange.post");
         for peer in (0..n).filter(|&q| q != rank) {
             let ids = ctx.plan.push_set(rank, peer);
-            let payload = encode_coeffs(&ids, &coeffs, nm);
-            link.send_reliable(peer as u32, Tag::HaloCoeffs, payload)?;
+            if ids.is_empty() {
+                link.post(
+                    peer as u32,
+                    Tag::HaloCoeffs,
+                    encode_coeffs(&[], &coeffs, nm),
+                )?;
+            } else {
+                for chunk in ids.chunks(ctx.chunk_elems) {
+                    link.post(
+                        peer as u32,
+                        Tag::HaloCoeffs,
+                        encode_coeffs(chunk, &coeffs, nm),
+                    )?;
+                }
+            }
         }
+    }
+    let post_ns = post_start.elapsed().as_nanos() as u64;
+
+    // --- eval.interior: owned elements whose stencil footprint cannot
+    // reach the ghost ring are evaluated from a coefficient vector whose
+    // halo slots are still zero — the per-element sweep reads only the
+    // swept elements' own coefficients, so the zeros are never touched.
+    let (interior, frontier) = ctx.plan.split_interior(&ctx.mesh, rank);
+    let stencil = Stencil2d::symmetric(ctx.smoothness, ctx.h);
+    let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(
+        ctx.smoothness,
+        ctx.degree,
+    ));
+    let grid = ComputationGrid::from_points(ctx.points, ctx.owners);
+    let mut acc: Option<Vec<f64>> = None;
+    let (mut eval_ns, mut reduce_ns) = (0u64, 0u64);
+    let mut patches = Vec::new();
+    {
+        let _span = tracer.span("eval.interior");
+        if !interior.is_empty() {
+            let field =
+                DgField::from_coefficients(ctx.degree, ctx.mesh.n_triangles(), coeffs.clone());
+            let out = eval_shard(
+                &ctx.mesh,
+                &field,
+                &interior,
+                &grid,
+                &stencil,
+                &rule,
+                ctx.sm_patches,
+                ctx.layout,
+            );
+            eval_ns += out.eval_ns;
+            reduce_ns += out.reduce_ns;
+            patches.extend(out.patches);
+            accumulate(&mut acc, out.values);
+        }
+    }
+
+    // --- exchange.drain: receive exactly the chunk count the plan says
+    // peers owe this rank's ring. Receiving also pumps the retransmit
+    // timers, so lost frames from this rank's own window recover here.
+    // The ack-flush of this rank's outgoing frames is NOT here: peers
+    // only ack when they reach their own drains, so flushing now would
+    // make the fastest rank wait out the slowest peer's interior sweep.
+    let drain_start = Instant::now();
+    {
+        let _span = tracer.span("exchange.drain");
+        let expected: usize = (0..n)
+            .filter(|&q| q != rank)
+            .map(|peer| chunks_for(ctx.plan.push_set(peer, rank).len(), ctx.chunk_elems))
+            .sum();
         let mut received = 0;
         let deadline = Instant::now() + ctx.phase_timeout;
-        while received < n - 1 {
+        while received < expected {
             let now = Instant::now();
             if now >= deadline {
                 return Err(DistError::Timeout);
@@ -534,32 +726,54 @@ fn rank_body<T: Transport>(
             }
         }
     }
-    let exchange_ns = exchange_start.elapsed().as_nanos() as u64;
+    let drain_ns = drain_start.elapsed().as_nanos() as u64;
 
-    // --- Local evaluation + reduce over owned ∪ halo elements.
-    let field = DgField::from_coefficients(ctx.degree, ctx.mesh.n_triangles(), coeffs);
-    let stencil = Stencil2d::symmetric(ctx.smoothness, ctx.h);
-    let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(
-        ctx.smoothness,
-        ctx.degree,
-    ));
-    let grid = ComputationGrid::from_points(ctx.points, ctx.owners);
-    let local = merge_sorted(&shard.owned_elements, &shard.halo_elements);
-    let (values, mut work) = {
-        let _span = tracer.span("eval.per_element");
-        eval_shard(
-            &ctx.mesh,
-            &field,
-            &local,
-            &grid,
-            &stencil,
-            &rule,
-            ctx.sm_patches,
-            ctx.layout,
-        )
-    };
-    work.exchange_ns = exchange_ns;
-    Ok((values, work))
+    // --- eval.frontier: the owned elements that had to wait for the
+    // ring, plus the ring itself, against the completed coefficients.
+    {
+        let _span = tracer.span("eval.frontier");
+        let frontier_halo = merge_sorted(&frontier, &shard.halo_elements);
+        if !frontier_halo.is_empty() {
+            let field = DgField::from_coefficients(ctx.degree, ctx.mesh.n_triangles(), coeffs);
+            let out = eval_shard(
+                &ctx.mesh,
+                &field,
+                &frontier_halo,
+                &grid,
+                &stencil,
+                &rule,
+                ctx.sm_patches,
+                ctx.layout,
+            );
+            eval_ns += out.eval_ns;
+            reduce_ns += out.reduce_ns;
+            patches.extend(out.patches);
+            accumulate(&mut acc, out.values);
+        }
+    }
+
+    // --- exchange.flush: settle this rank's own window. By now every
+    // peer has drained and acked, so this normally returns immediately;
+    // it only waits (and retransmits) when frames were actually lost.
+    let flush_start = Instant::now();
+    {
+        let _span = tracer.span("exchange.flush");
+        link.flush()?;
+    }
+    let flush_ns = flush_start.elapsed().as_nanos() as u64;
+
+    let values = acc.unwrap_or_else(|| vec![0.0; grid.len()]);
+    Ok((
+        values,
+        RankWork {
+            exchange_ns: post_ns + drain_ns + flush_ns,
+            eval_ns,
+            reduce_ns,
+            patches,
+            interior: interior.len() as u64,
+            frontier: frontier.len() as u64,
+        },
+    ))
 }
 
 /// Runs the rank-sharded per-element scheme over the in-process channel
@@ -670,6 +884,7 @@ pub fn run_dist_on<T: Transport>(
                 link: options.link,
                 phase_timeout: options.gather_timeout,
                 layout: options.layout,
+                chunk_elems: options.chunk_elems,
                 instrument: options.instrument,
                 epoch,
             }
@@ -702,6 +917,8 @@ pub fn run_dist_on<T: Transport>(
                             let result = RankResult {
                                 values,
                                 comm: link.stats(),
+                                interior: work.interior,
+                                frontier: work.frontier,
                                 exchange_ns: work.exchange_ns,
                                 eval_ns: work.eval_ns,
                                 reduce_ns: work.reduce_ns,
@@ -737,6 +954,8 @@ pub fn run_dist_on<T: Transport>(
                 // Comm, spans, and flows are patched after the gather
                 // completes — they keep accruing until the run ends.
                 comm: CommStats::default(),
+                interior: own_work.interior,
+                frontier: own_work.frontier,
                 exchange_ns: own_work.exchange_ns,
                 eval_ns: own_work.eval_ns,
                 reduce_ns: own_work.reduce_ns,
@@ -818,11 +1037,16 @@ pub fn run_dist_on<T: Transport>(
                     .map(|&i| grid.owners()[i as usize])
                     .collect();
                 let lgrid = ComputationGrid::from_points(pts, owners);
-                let local = merge_sorted(&shard.owned_elements, &shard.halo_elements);
-                let (vals, work) = eval_shard(
+                // Mirror the rank's interior/frontier schedule so the
+                // recovered values and patch shapes are bitwise what the
+                // failed rank would have produced.
+                let (interior, frontier) = plan.split_interior(mesh, r);
+                let frontier_halo = merge_sorted(&frontier, &shard.halo_elements);
+                let (vals, eval_ns, reduce_ns, patches) = eval_split(
                     mesh,
                     field,
-                    &local,
+                    &interior,
+                    &frontier_halo,
                     &lgrid,
                     &stencil,
                     &rule,
@@ -833,10 +1057,12 @@ pub fn run_dist_on<T: Transport>(
                     RankResult {
                         values: vals,
                         comm: CommStats::default(),
+                        interior: interior.len() as u64,
+                        frontier: frontier.len() as u64,
                         exchange_ns: 0,
-                        eval_ns: work.eval_ns,
-                        reduce_ns: work.reduce_ns,
-                        patches: work.patches,
+                        eval_ns,
+                        reduce_ns,
+                        patches,
                         spans: Vec::new(),
                         flow_sends: Vec::new(),
                         flow_recvs: Vec::new(),
@@ -862,6 +1088,8 @@ pub fn run_dist_on<T: Transport>(
             halo_elements: shard.halo_elements.len() as u64,
             owned_points: shard.owned_points.len() as u64,
             comm: result.comm,
+            interior: result.interior,
+            frontier: result.frontier,
             exchange_ns: result.exchange_ns,
             eval_ns: result.eval_ns,
             reduce_ns: result.reduce_ns,
@@ -978,8 +1206,11 @@ mod tests {
         let names: Vec<&str> = sol.spans.iter().map(|s| s.name.as_str()).collect();
         for phase in [
             "build.shard_plan",
-            "exchange.halo",
-            "eval.per_element",
+            "exchange.post",
+            "eval.interior",
+            "exchange.drain",
+            "eval.frontier",
+            "exchange.flush",
             "reduce.gather",
         ] {
             assert!(names.contains(&phase), "missing span {phase}: {names:?}");
@@ -989,10 +1220,20 @@ mod tests {
             assert!(!r.reresolved);
             assert!(r.comm.bytes_sent > 0);
             assert!(r.eval_ns > 0);
+            // Interior + frontier partition the rank's owned work.
+            assert_eq!(r.interior + r.frontier, r.owned_elements, "rank {}", r.rank);
+            assert!(r.frontier > 0, "multi-rank shard must have a frontier");
             // Every rank shipped spans home on the shared axis.
             let rank_names: Vec<&str> = r.spans.iter().map(|s| s.name.as_str()).collect();
-            assert!(rank_names.contains(&"exchange.halo"), "rank {}", r.rank);
-            assert!(rank_names.contains(&"eval.per_element"), "rank {}", r.rank);
+            for phase in [
+                "exchange.post",
+                "eval.interior",
+                "exchange.drain",
+                "eval.frontier",
+                "exchange.flush",
+            ] {
+                assert!(rank_names.contains(&phase), "rank {} lacks {phase}", r.rank);
+            }
             assert!(!r.flows.sends.is_empty(), "rank {} logged no sends", r.rank);
         }
         // Flow logs join completely: every halo send matched to a recv.

@@ -24,9 +24,14 @@ pub enum Tag {
     /// A rank's finished owned-point values plus its execution summary,
     /// sent to the coordinator.
     OwnedValues,
-    /// Reliability-layer acknowledgement; `seq` names the acknowledged
-    /// message.
+    /// Reliability-layer cumulative acknowledgement; `seq` names the next
+    /// sequence number the receiver expects from this direction (every
+    /// earlier seq is acknowledged).
     Ack,
+    /// A coalesced frame carrying several logical messages for the same
+    /// destination, each keeping its own tag and flow id (layout in
+    /// [`wire`](crate::wire)). One window slot, one ack.
+    Bundle,
 }
 
 impl Tag {
@@ -37,6 +42,7 @@ impl Tag {
             Tag::HaloRequest => 1,
             Tag::OwnedValues => 2,
             Tag::Ack => 3,
+            Tag::Bundle => 4,
         }
     }
 
@@ -47,6 +53,7 @@ impl Tag {
             Tag::HaloRequest => "halo.request",
             Tag::OwnedValues => "owned.values",
             Tag::Ack => "ack",
+            Tag::Bundle => "bundle",
         }
     }
 
@@ -57,6 +64,7 @@ impl Tag {
             1 => Some(Tag::HaloRequest),
             2 => Some(Tag::OwnedValues),
             3 => Some(Tag::Ack),
+            4 => Some(Tag::Bundle),
             _ => None,
         }
     }
@@ -82,8 +90,10 @@ pub struct Message {
     /// deduplication and acknowledgement).
     pub seq: u64,
     /// Per-sender monotone flow id, tagged once per *logical* payload
-    /// message: retransmits share their original's flow id, and an
-    /// acknowledgement carries the flow id of the message it acknowledges.
+    /// message: retransmits share their original's flow id, and sub-
+    /// messages inside a [`Tag::Bundle`] frame keep their own (the frame
+    /// header carries the first part's). Cumulative [`Tag::Ack`] frames
+    /// acknowledge sequence ranges, not messages, and carry flow 0.
     /// `(from, flow)` therefore names one send→recv arc in a trace
     /// timeline. Purely observational — reliability keys on `seq`.
     pub flow: u64,
@@ -140,6 +150,7 @@ mod tests {
             Tag::HaloRequest,
             Tag::OwnedValues,
             Tag::Ack,
+            Tag::Bundle,
         ] {
             assert_eq!(Tag::from_byte(tag.to_byte()), Some(tag));
         }

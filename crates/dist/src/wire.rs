@@ -8,7 +8,11 @@
 //! * **ids** — `u32 count` + `count × u32` element ids
 //!   ([`Tag::HaloRequest`](crate::transport::Tag));
 //! * **rank result** — owned-point values in shard order plus the rank's
-//!   execution summary ([`Tag::OwnedValues`](crate::transport::Tag)).
+//!   execution summary ([`Tag::OwnedValues`](crate::transport::Tag));
+//! * **bundle** — `u32 count`, then per logical message `u8 tag` +
+//!   `u64 flow` + length-prefixed payload bytes: several same-destination
+//!   messages coalesced into one [`Tag::Bundle`](crate::transport::Tag)
+//!   frame by the sliding-window link.
 
 use crate::flow::FlowPoint;
 use crate::transport::Tag;
@@ -171,6 +175,44 @@ pub fn decode_ids(payload: &[u8]) -> Result<Vec<u32>, String> {
     Ok(ids)
 }
 
+/// Encodes several logical messages — `(tag, flow, payload)` each — into
+/// one bundle-frame payload.
+pub fn encode_bundle(parts: &[(Tag, u64, Vec<u8>)]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u32(parts.len() as u32);
+    for (tag, flow, payload) in parts {
+        w.buf.push(tag.to_byte());
+        w.u64(*flow);
+        w.bytes(payload);
+    }
+    w.finish()
+}
+
+/// Decodes a bundle-frame payload back into its logical messages.
+pub fn decode_bundle(payload: &[u8]) -> Result<Vec<(Tag, u64, Vec<u8>)>, String> {
+    let mut r = WireReader::new(payload);
+    let count = r.u32()? as usize;
+    let mut parts = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag_byte = r.take(1)?[0];
+        let tag = Tag::from_byte(tag_byte)
+            .ok_or_else(|| format!("unknown bundle tag byte {tag_byte}"))?;
+        if tag == Tag::Ack || tag == Tag::Bundle {
+            return Err(format!(
+                "tag {} may not travel inside a bundle",
+                tag.label()
+            ));
+        }
+        let flow = r.u64()?;
+        let bytes = r.bytes()?.to_vec();
+        parts.push((tag, flow, bytes));
+    }
+    if !r.exhausted() {
+        return Err("trailing bytes in bundle payload".into());
+    }
+    Ok(parts)
+}
+
 /// One rank's finished contribution: owned-point values (in the shard
 /// plan's owned-point order, ids implicit) plus its execution summary.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,12 +222,21 @@ pub struct RankResult {
     /// Transport counters snapshotted *before* this message was sent (the
     /// message carrying the snapshot is necessarily excluded from it).
     pub comm: CommStats,
-    /// Nanoseconds in the halo-exchange phase.
+    /// Nanoseconds of *exposed* communication: the post + drain spans
+    /// where the rank had nothing to compute (overlapped wire time hides
+    /// under `eval_ns` and is deliberately not charged here).
     pub exchange_ns: u64,
-    /// Nanoseconds in the local evaluation phase.
+    /// Nanoseconds in the local evaluation phases (interior + frontier).
     pub eval_ns: u64,
     /// Nanoseconds in the local reduce phase.
     pub reduce_ns: u64,
+    /// Owned work units whose stencil footprint stays inside owned
+    /// territory, evaluated while halo messages were in flight (elements
+    /// for the push runtime, plan rows for the sharded plan path).
+    pub interior: u64,
+    /// Owned work units whose footprint touches a halo ring, evaluated
+    /// after the drain. `interior + frontier` partitions the owned work.
+    pub frontier: u64,
     /// Per-patch stats of the rank's evaluation (probes are not shipped —
     /// they are rank-local diagnostics).
     pub patches: Vec<BlockStats>,
@@ -306,9 +357,13 @@ pub fn encode_rank_result(res: &RankResult) -> Vec<u8> {
         res.comm.bytes_recv,
         res.comm.retransmits,
         res.comm.timeouts,
+        res.comm.dup_payloads,
+        res.comm.coalesced,
         res.exchange_ns,
         res.eval_ns,
         res.reduce_ns,
+        res.interior,
+        res.frontier,
     ] {
         w.u64(v);
     }
@@ -340,10 +395,14 @@ pub fn decode_rank_result(payload: &[u8]) -> Result<RankResult, String> {
         bytes_recv: r.u64()?,
         retransmits: r.u64()?,
         timeouts: r.u64()?,
+        dup_payloads: r.u64()?,
+        coalesced: r.u64()?,
     };
     let exchange_ns = r.u64()?;
     let eval_ns = r.u64()?;
     let reduce_ns = r.u64()?;
+    let interior = r.u64()?;
+    let frontier = r.u64()?;
     let n_patches = r.u32()? as usize;
     let mut patches = Vec::with_capacity(n_patches);
     for _ in 0..n_patches {
@@ -371,6 +430,8 @@ pub fn decode_rank_result(payload: &[u8]) -> Result<RankResult, String> {
         exchange_ns,
         eval_ns,
         reduce_ns,
+        interior,
+        frontier,
         patches,
         spans,
         flow_sends,
@@ -419,10 +480,14 @@ mod tests {
                 bytes_recv: 700,
                 retransmits: 1,
                 timeouts: 1,
+                dup_payloads: 1,
+                coalesced: 2,
             },
             exchange_ns: 123,
             eval_ns: 456,
             reduce_ns: 789,
+            interior: 40,
+            frontier: 9,
             patches: vec![BlockStats {
                 metrics: Metrics {
                     flops: 10,
@@ -466,12 +531,38 @@ mod tests {
         let decoded = decode_rank_result(&encode_rank_result(&res)).unwrap();
         assert_eq!(decoded.values, res.values);
         assert_eq!(decoded.comm, res.comm);
+        assert_eq!((decoded.interior, decoded.frontier), (40, 9));
         assert_eq!(decoded.patches.len(), 1);
         assert_eq!(decoded.patches[0].metrics, res.patches[0].metrics);
         assert_eq!(decoded.patches[0].wall_ns, 99);
         assert_eq!(decoded.spans, res.spans);
         assert_eq!(decoded.flow_sends, res.flow_sends);
         assert_eq!(decoded.flow_recvs, res.flow_recvs);
+    }
+
+    #[test]
+    fn bundle_round_trip_preserves_tags_and_flows() {
+        let parts = vec![
+            (Tag::HaloCoeffs, 7u64, vec![1, 2, 3]),
+            (Tag::HaloRequest, 9u64, vec![]),
+            (Tag::HaloCoeffs, 12u64, vec![255; 17]),
+        ];
+        let decoded = decode_bundle(&encode_bundle(&parts)).unwrap();
+        assert_eq!(decoded, parts);
+        assert_eq!(decode_bundle(&encode_bundle(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bundle_rejects_nested_or_truncated_frames() {
+        let nested = encode_bundle(&[(Tag::Bundle, 0, vec![])]);
+        assert!(decode_bundle(&nested).is_err());
+        let ack = encode_bundle(&[(Tag::Ack, 0, vec![])]);
+        assert!(decode_bundle(&ack).is_err());
+        let good = encode_bundle(&[(Tag::HaloCoeffs, 1, vec![4, 5])]);
+        assert!(decode_bundle(&good[..good.len() - 1]).is_err());
+        let mut extended = good.clone();
+        extended.push(0);
+        assert!(decode_bundle(&extended).is_err());
     }
 
     #[test]

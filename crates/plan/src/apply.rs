@@ -204,6 +204,65 @@ impl EvalPlan {
         }
     }
 
+    /// Applies only the named rows of a natural-layout plan, writing row
+    /// `r`'s value into `out[r]` and leaving every other slot untouched.
+    /// Each named row runs the same per-row dot product as a full
+    /// apply, so a partition of the rows into subset calls reproduces
+    /// `apply_with`'s values *bitwise* — the property the distributed
+    /// runtime's interior/frontier overlap split rests on. Rows are swept
+    /// in the order given, chunked into at most `n_blocks` uniform blocks
+    /// for per-block stats; counters sum exactly across a row partition.
+    ///
+    /// # Panics
+    /// Panics when the field does not match the plan, the plan's layout
+    /// permutes rows (subset slots would be ambiguous), or `out` is not
+    /// exactly [`rows`](EvalPlan::rows) long.
+    pub fn apply_rows_into(
+        &self,
+        rows: &[u32],
+        field: &DgField,
+        out: &mut [f64],
+        n_blocks: usize,
+    ) -> Vec<BlockStats> {
+        self.check_field(field);
+        assert!(
+            !self.layout.reorders(),
+            "row-subset apply requires a layout that keeps natural row order"
+        );
+        assert_eq!(out.len(), self.rows(), "output buffer/plan row mismatch");
+        let coeffs = field.coefficients();
+        let n = rows.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let nm = self.n_modes;
+        let n_blocks = n_blocks.clamp(1, n);
+        (0..n_blocks)
+            .map(|b| (b * n / n_blocks, (b + 1) * n / n_blocks))
+            .map(|(s, e)| {
+                let block_start = Instant::now();
+                let mut metrics = Metrics::default();
+                for &r in &rows[s..e] {
+                    let r = r as usize;
+                    out[r] = self.row_dot(r, coeffs);
+                    let (lo, hi) = self.row_range(r);
+                    metrics.solution_writes += 1;
+                    let entries = (hi - lo) as u64;
+                    metrics.elem_data_loads += entries * nm as u64;
+                    metrics.flops += 2 * entries * nm as u64;
+                }
+                metrics.partial_slots += (e - s) as u64;
+                BlockStats {
+                    metrics,
+                    wall_ns: block_start.elapsed().as_nanos() as u64,
+                    elements: 0,
+                    points: (e - s) as u64,
+                    probe: Probe::disabled(),
+                }
+            })
+            .collect()
+    }
+
     /// Copies `coeffs` (element-major, original numbering) into permuted
     /// element slots: slot `c` receives element `col_perm[c]`'s modes.
     fn gather_coeffs(&self, coeffs: &[f64]) -> Vec<f64> {

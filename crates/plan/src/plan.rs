@@ -167,6 +167,15 @@ impl EvalPlan {
         (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize)
     }
 
+    /// The element columns row `r` reads, in stored (execution) order.
+    /// For natural-layout plans these are global element ids — the basis
+    /// of the sharded runtime's interior/frontier row classification.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        let (lo, hi) = self.row_range(r);
+        &self.cols[lo..hi]
+    }
+
     /// Wall-clock time spent compiling (zero for deserialized plans).
     #[inline]
     pub fn build_wall(&self) -> Duration {

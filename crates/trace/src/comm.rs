@@ -30,6 +30,12 @@ pub struct CommStats {
     pub retransmits: u64,
     /// Acknowledgement waits that expired and triggered a retry.
     pub timeouts: u64,
+    /// Payload messages received more than once and discarded by the
+    /// reliability layer's dedup (the receive side of a retransmit).
+    pub dup_payloads: u64,
+    /// Logical messages that travelled inside a coalesced bundle frame
+    /// instead of their own wire message.
+    pub coalesced: u64,
 }
 
 impl CommStats {
@@ -41,6 +47,8 @@ impl CommStats {
         self.bytes_recv = self.bytes_recv.saturating_add(other.bytes_recv);
         self.retransmits = self.retransmits.saturating_add(other.retransmits);
         self.timeouts = self.timeouts.saturating_add(other.timeouts);
+        self.dup_payloads = self.dup_payloads.saturating_add(other.dup_payloads);
+        self.coalesced = self.coalesced.saturating_add(other.coalesced);
     }
 
     /// Sums an iterator of counters.
@@ -85,12 +93,16 @@ mod tests {
         let mut b = CommStats {
             retransmits: 3,
             timeouts: 1,
+            dup_payloads: 2,
+            coalesced: 4,
             ..Default::default()
         };
         b.merge(&a);
         assert_eq!(b.msgs_sent, 2);
         assert_eq!(b.bytes_sent, 150);
         assert_eq!(b.retransmits, 3);
+        assert_eq!(b.dup_payloads, 2);
+        assert_eq!(b.coalesced, 4);
 
         let total = CommStats::sum([&a, &b]);
         assert_eq!(total.msgs_sent, 4);

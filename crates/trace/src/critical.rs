@@ -14,9 +14,10 @@
 //! **Exposed** communication is the part of a rank's communication
 //! intervals not covered by any of its computation intervals — the wait
 //! the run actually paid, as opposed to traffic hidden behind local work.
-//! With today's strict phase barrier the exchange is fully exposed; this
-//! module is the instrument that makes an overlap optimization measurable
-//! rather than the optimization itself.
+//! The dist runtime's interior-first schedule (post → interior eval →
+//! drain → frontier eval → flush) exists to shrink exactly this number:
+//! this module is the instrument that shows how much of the exchange the
+//! overlap actually hid.
 
 use crate::span::SpanRecord;
 

@@ -124,6 +124,7 @@ fn dropped_halo_messages_are_retried_without_changing_results() {
     let opts = DistOptions::new(4).h_factor(h).link(LinkConfig {
         ack_timeout: Duration::from_millis(50),
         max_retries: 6,
+        ..LinkConfig::default()
     });
     let faulty = run_dist_on(&mesh, &field, &grid, &opts, endpoints).unwrap();
 
@@ -209,6 +210,7 @@ fn failed_rank_is_reresolved_by_the_coordinator() {
         .link(LinkConfig {
             ack_timeout: Duration::from_millis(20),
             max_retries: 2,
+            ..LinkConfig::default()
         })
         .gather_timeout(Duration::from_millis(500));
     let recovered = run_dist_on(&mesh, &field, &grid, &opts, endpoints).unwrap();

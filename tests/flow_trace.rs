@@ -6,8 +6,8 @@ use std::time::Duration;
 use ustencil_core::ComputationGrid;
 use ustencil_dg::{project_l2, DgField};
 use ustencil_dist::{
-    match_wire_log, run_dist_on, Disposition, DistOptions, FaultPlan, FaultRule, Message,
-    RecordingFabric, Tag, Transport,
+    match_wire_log, run_dist_on, Disposition, DistOptions, FaultPlan, FaultRule, LinkConfig,
+    Message, RecordingFabric, Tag, Transport,
 };
 use ustencil_mesh::{generate_mesh, MeshClass, TriMesh};
 
@@ -92,6 +92,121 @@ fn dropped_then_retransmitted_flow_still_matches() {
         summary.delivered.contains(&key),
         "dropped flow {key:?} must be delivered by its retransmit"
     );
+}
+
+/// The sliding-window fault matrix, end to end at a 2-frame window:
+/// drops filling the whole window (recovery purely from the retransmit
+/// timer), duplicates straddling the window edge (receiver dedup), and a
+/// held frame (out-of-order arrival) — all at once. Results stay
+/// bit-identical, every retransmit reuses its original flow id, and the
+/// flow trace joins completely.
+#[test]
+fn window_edge_fault_matrix_preserves_results_and_flows() {
+    let (mesh, field, grid) = fixture(300);
+    // Small chunks force several frames per peer, so posts genuinely
+    // straddle the 2-frame window.
+    let opts = DistOptions::new(4)
+        .instrument(true)
+        .chunk_elems(8)
+        .link(LinkConfig {
+            ack_timeout: Duration::from_millis(40),
+            max_retries: 8,
+            window: 2,
+        });
+    let (_, clean_eps) = RecordingFabric::new(4);
+    let clean = run_dist_on(&mesh, &field, &grid, &opts, clean_eps).unwrap();
+
+    let faults = FaultPlan::none()
+        // Rank 1 loses its first two halo frames — the entire window, so
+        // no later send can open a slot; only the timer recovers.
+        .with_rule(FaultRule::drop_first(1, Tag::HaloCoeffs, 2))
+        // Rank 2's first three halo frames are duplicated: two inside the
+        // window, the third as the window slides past its edge.
+        .with_rule(FaultRule::dup_first(2, Tag::HaloCoeffs, 3))
+        // Rank 3's first frame to rank 0 arrives out of order.
+        .with_rule(FaultRule::hold_first(3, 0, 1));
+    let (fabric, endpoints) = RecordingFabric::with_faults(4, faults);
+    let sol = run_dist_on(&mesh, &field, &grid, &opts, endpoints).unwrap();
+
+    assert_eq!(
+        sol.values, clean.values,
+        "drops, duplicates, and reorders must leave values bit-identical"
+    );
+    assert!(sol.ranks.iter().all(|r| !r.reresolved));
+    let total = sol.total_comm();
+    assert!(
+        total.retransmits >= 2,
+        "both dropped window frames must be retransmitted, got {}",
+        total.retransmits
+    );
+    assert!(
+        total.dup_payloads >= 3,
+        "each duplicated frame must be discarded once by the dedup, got {}",
+        total.dup_payloads
+    );
+
+    let log = fabric.log();
+    let dropped: Vec<_> = log
+        .iter()
+        .filter(|r| r.disposition == Disposition::Dropped)
+        .collect();
+    assert_eq!(dropped.len(), 2, "exactly the two injected drops");
+    for d in &dropped {
+        assert!(
+            log.iter().any(|r| r.disposition == Disposition::Delivered
+                && r.from == d.from
+                && r.to == d.to
+                && r.flow == d.flow
+                && r.tag == d.tag
+                && r.seq == d.seq),
+            "retransmit of {:?} must reuse flow {} and seq {}",
+            d.tag,
+            d.flow,
+            d.seq
+        );
+    }
+    let summary = match_wire_log(&log);
+    assert!(
+        summary.orphaned.is_empty(),
+        "every faulted flow must still be delivered: {:?}",
+        summary.orphaned
+    );
+}
+
+/// Duplicate frames are invisible above the link: the deduplicated run's
+/// matched flow key set is exactly the clean run's (the wire saw more
+/// frames, the flow join did not).
+#[test]
+fn duplicated_frames_do_not_change_the_matched_flow_set() {
+    let (mesh, field, grid) = fixture(300);
+    let opts = DistOptions::new(2)
+        .instrument(true)
+        .chunk_elems(8)
+        .link(LinkConfig {
+            window: 2,
+            ..LinkConfig::default()
+        });
+    let keys = |sol: &ustencil_dist::DistSolution| -> Vec<(u32, u32, u64, Tag)> {
+        sol.flow_match()
+            .pairs
+            .iter()
+            .map(|p| (p.src, p.dst, p.flow, p.tag))
+            .collect()
+    };
+    let (_, clean_eps) = RecordingFabric::new(2);
+    let clean = run_dist_on(&mesh, &field, &grid, &opts, clean_eps).unwrap();
+
+    let faults = FaultPlan::none().with_rule(FaultRule::dup_first(1, Tag::HaloCoeffs, 2));
+    let (_, endpoints) = RecordingFabric::with_faults(2, faults);
+    let sol = run_dist_on(&mesh, &field, &grid, &opts, endpoints).unwrap();
+
+    assert_eq!(sol.values, clean.values);
+    assert_eq!(
+        keys(&sol),
+        keys(&clean),
+        "dedup must keep duplicates out of the flow join"
+    );
+    assert!(sol.total_comm().dup_payloads >= 2);
 }
 
 /// A flow whose every copy is lost is flagged as an orphan — analysis of

@@ -6,7 +6,12 @@ Usage: bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
 Walks the fixtures both records share and fails (exit 1) when any
 candidate wall exceeds the baseline by more than the threshold fraction.
 Metrics whose names end in `_ms` or `_us` (e.g. a service fixture's
-`p99_us`) are timings too and are gated with the same threshold.
+`p99_us`, or the overlap fixture's `exposed_ms`) are timings too and are
+gated with the same threshold. `exposed_ms` — the exposed slice of the
+halo exchange, the quantity the interior-first overlap exists to
+shrink — is additionally reported in both directions even when it stays
+inside the threshold, so an overlap win or an erosion of one is visible
+in every diff.
 Deterministic shape metrics (nnz, wire bytes, request counts) that differ
 are reported as warnings: a metric drift means the workload itself
 changed, so the wall comparison may not be apples to apples.
@@ -83,6 +88,13 @@ def main():
                     regressions.append((f"{name}/{k}", kratio))
                     print(f"{name + '/' + k:>28} {kb:>10.3f} {kc:>10.3f} "
                           f"{kratio:>7.2f}  REGRESSION")
+                elif k == "exposed_ms":
+                    # The overlap headline: report exposed-comms drift in
+                    # both directions, threshold or not.
+                    note = "exposed-comms improved" if kratio < 1.0 \
+                        else "exposed-comms drift"
+                    print(f"{name + '/' + k:>28} {kb:>10.3f} {kc:>10.3f} "
+                          f"{kratio:>7.2f}  {note}")
             elif bm.get(k) != cm.get(k):
                 print(f"warning: '{name}' metric '{k}' drifted: "
                       f"{bm.get(k)} -> {cm.get(k)} (workload changed?)")
