@@ -18,7 +18,7 @@ use ustencil_core::per_element::memory_overhead;
 use ustencil_core::prelude::*;
 use ustencil_dist::{run_dist, DistOptions, SCHEME_LABEL as DIST_SCHEME_LABEL};
 use ustencil_mesh::MeshClass;
-use ustencil_plan::{ApplyOptions, PlanExt, SCHEME_LABEL};
+use ustencil_plan::{ApplyOptions, PlanExt, PATCH_SCHEME_LABEL, SCHEME_LABEL};
 use ustencil_serve::traffic::{self, TrafficConfig, TrafficOutcome};
 use ustencil_serve::SCHEME_LABEL as SERVE_SCHEME_LABEL;
 use ustencil_trace::Timeline;
@@ -421,6 +421,152 @@ fn plan_cmd(r: &mut Runner, sizes: &[usize], timesteps: usize) {
     println!("(amortization: a plan pays for itself after T* frames; see EXPERIMENTS.md)");
 }
 
+/// The `amr` subcommand: a dG field under a moving refinement front.
+/// Frame 0 compiles the evaluation plan; every later frame derives its
+/// mesh from the base (midpoint-refining the band under the front's
+/// position), diffs it against the previous frame's mesh
+/// ([`DirtySet::diff`](ustencil_plan::DirtySet::diff)) and revalidates the
+/// plan by incremental patch
+/// ([`EvalPlan::patched`](ustencil_plan::EvalPlan::patched)) — only the
+/// rows whose stencil footprint touches the front pay recompilation, so
+/// each frame costs delta-compile time instead of a full rebuild.
+fn amr_cmd(r: &mut Runner, sizes: &[usize], frames: usize) {
+    use ustencil_bench::test_function;
+    use ustencil_dg::project_l2;
+    use ustencil_mesh::{elements_on_longest_edge, refine_elements};
+    use ustencil_plan::{CompileOptions, DirtySet, EvalPlan};
+
+    /// Width of the refined band in domain units; elements whose centroid
+    /// falls under the front are split 1 → 4.
+    const FRONT_WIDTH: f64 = 0.004;
+    /// How far the front advances per frame. A real tracking front moves a
+    /// couple of band widths per frame, so consecutive frames share most of
+    /// their footprint closure and the diff stays a small fraction of the
+    /// mesh — the regime the patch engine is built for.
+    const FRONT_STEP: f64 = 0.008;
+
+    println!(
+        "\n== AMR moving front: {} frame(s), incremental patch vs full compile; low-variance, p=1 ==",
+        frames
+    );
+    println!(
+        "{:>8} {:>6} {:>8} {:>10} {:>10} {:>12} {:>12} {:>7}",
+        "mesh", "frame", "dirty", "respliced", "rows", "patch ms", "full ms", "ratio"
+    );
+    for &n in sizes {
+        // Kernel scaled to the *refined* elements: the front splits edges in
+        // half, and SIAC wants h to track the local element size, so the
+        // moving-front scenario post-processes at half the coarse-mesh scale.
+        let (base_mesh, h_factor) = {
+            let w = r.workload(MeshClass::LowVariance, n, 1);
+            (w.mesh.clone(), 0.5 * w.safe_h_factor())
+        };
+        let options = CompileOptions {
+            h_factor,
+            n_blocks: 16,
+            parallel: true,
+            instrument: true,
+            ..CompileOptions::default()
+        };
+        let apply_opts = ApplyOptions {
+            n_blocks: 16,
+            parallel: true,
+            instrument: true,
+        };
+        // The front never refines an element owning the longest edge:
+        // that would change the kernel scale h and force a full rebuild.
+        let pinned = elements_on_longest_edge(&base_mesh);
+
+        // Each frame's mesh derives from the *base* mesh (the front moves,
+        // it does not accumulate); the diff runs between consecutive
+        // frames, so de-refinement behind the front is exercised too.
+        let frame_mesh = |t: usize| {
+            let front = (0.25 + t as f64 * FRONT_STEP).fract();
+            let band: Vec<u32> = (0..base_mesh.n_triangles() as u32)
+                .filter(|&e| {
+                    let c = base_mesh.centroid(e as usize);
+                    !pinned[e as usize] && (c.x - front).abs() <= FRONT_WIDTH / 2.0
+                })
+                .collect();
+            refine_elements(&base_mesh, &band)
+        };
+
+        eprintln!("  [amr {}: compiling frame 0...]", size_label(n));
+        let mut mesh = frame_mesh(0);
+        let mut grid = ComputationGrid::quadrature_points(&mesh, 1);
+        let mut plan = EvalPlan::compile(&mesh, &grid, 1, &options);
+        let full_ms = plan.build_wall().as_secs_f64() * 1e3;
+        {
+            let field = project_l2(&mesh, 1, test_function, 4);
+            let sol = plan.apply_with(&field, &apply_opts);
+            let label = format!("low-variance/{}/p1/amr-frame0", size_label(n));
+            r.records
+                .push(plan.to_run_record(&label, mesh.n_triangles(), &sol));
+        }
+        println!(
+            "{:>8} {:>6} {:>8} {:>10} {:>10} {:>12} {:>12.1} {:>7}",
+            size_label(n),
+            0,
+            "-",
+            "-",
+            grid.len(),
+            "-",
+            full_ms,
+            "-"
+        );
+
+        for t in 1..frames {
+            let next_mesh = frame_mesh(t);
+            let next_grid = ComputationGrid::quadrature_points(&next_mesh, 1);
+            let dirty = DirtySet::diff(&mesh, &grid, &next_mesh, &next_grid);
+            let (next_plan, delta) = plan
+                .patched(&next_mesh, &next_grid, &dirty, &options)
+                .unwrap_or_else(|e| {
+                    eprintln!("amr frame {t} at {n} triangles cannot patch: {e}");
+                    std::process::exit(1);
+                });
+            // At smoke scale, cross-check the patched plan against an
+            // independent fresh compile: bit-identical CSR content.
+            if n <= 4_000 {
+                let fresh = EvalPlan::compile(&next_mesh, &next_grid, 1, &options);
+                assert_eq!(
+                    next_plan.cols(),
+                    fresh.cols(),
+                    "frame {t}: patched cols differ"
+                );
+                assert!(
+                    next_plan.weights_bits().eq(fresh.weights_bits()),
+                    "frame {t}: patched weights differ from fresh compile"
+                );
+            }
+            let field = project_l2(&next_mesh, 1, test_function, 4);
+            let sol = next_plan.apply_with(&field, &apply_opts);
+            let label = format!("low-variance/{}/p1/amr-frame{}", size_label(n), t);
+            r.records.push(next_plan.to_run_record_patched(
+                &label,
+                next_mesh.n_triangles(),
+                &sol,
+                &delta,
+            ));
+            println!(
+                "{:>8} {:>6} {:>8} {:>10} {:>10} {:>12.2} {:>12.1} {:>6.1}%",
+                size_label(n),
+                t,
+                delta.dirty_elements,
+                delta.respliced_rows,
+                next_grid.len(),
+                delta.patch_ms,
+                delta.full_build_ms,
+                100.0 * delta.patch_ms / delta.full_build_ms
+            );
+            (mesh, grid, plan) = (next_mesh, next_grid, next_plan);
+        }
+    }
+    println!(
+        "(a moving front revalidates the plan at delta cost per frame; see DESIGN.md section 16)"
+    );
+}
+
 /// The `serve` subcommand: drive the multi-tenant plan-cache service with
 /// the seeded zipf traffic generator, then replay the identical request
 /// stream against a naive compile-per-request baseline, and print the
@@ -525,6 +671,40 @@ fn bench_cmd(opts: &CliOptions) {
     ];
     print_bench_row(&name, wall, &metrics);
     record.push(&name, wall, &metrics);
+
+    // Fixture 1b: incremental plan patch after a mesh edit, reusing
+    // fixture 1's plan as the base. A band displacement dirties ~5% of the
+    // elements; the timed unit is diff + patch (the whole revalidation a
+    // cache pays), and the respliced row count pins the closure's size as
+    // a shape metric.
+    {
+        use ustencil_mesh::displace_band;
+        use ustencil_plan::{CompileOptions, DirtySet};
+        let moved = displace_band(&w.mesh, 0.475, 0.525, 0.2, opts.seed);
+        let moved_grid = ComputationGrid::quadrature_points(&moved, w.p);
+        let patch_options = CompileOptions {
+            h_factor: w.safe_h_factor(),
+            n_blocks: 16,
+            parallel: true,
+            ..CompileOptions::default()
+        };
+        eprintln!("  [patching the plan after a band displacement...]");
+        let (wall, (_, delta)) = min_of(reps, || {
+            let dirty = DirtySet::diff(&w.mesh, &w.grid, &moved, &moved_grid);
+            plan.patched(&moved, &moved_grid, &dirty, &patch_options)
+                .unwrap_or_else(|e| {
+                    eprintln!("bench plan.patch fixture cannot patch: {e}");
+                    std::process::exit(1);
+                })
+        });
+        let name = format!("plan.patch/{}", size_label(plan_size));
+        let metrics = [
+            ("dirty_elements", delta.dirty_elements as f64),
+            ("respliced_rows", delta.respliced_rows as f64),
+        ];
+        print_bench_row(&name, wall, &metrics);
+        record.push(&name, wall, &metrics);
+    }
 
     // Fixture 2: the rank-sharded halo exchange at each rank count.
     let w = Workload::build(MeshClass::LowVariance, dist_size, 1, opts.seed);
@@ -791,13 +971,70 @@ fn checkjson(path: &str) -> Result<(), String> {
         let ctx = &run.label;
         if Scheme::from_label(&run.scheme).is_none()
             && run.scheme != SCHEME_LABEL
+            && run.scheme != PATCH_SCHEME_LABEL
             && run.scheme != DIST_SCHEME_LABEL
             && run.scheme != SERVE_SCHEME_LABEL
         {
             return Err(format!("{ctx}: unknown scheme '{}'", run.scheme));
         }
-        if run.scheme == SCHEME_LABEL && run.plan.is_none() {
+        if (run.scheme == SCHEME_LABEL || run.scheme == PATCH_SCHEME_LABEL) && run.plan.is_none() {
             return Err(format!("{ctx}: plan run without plan stats"));
+        }
+        // Schema v5: the `delta` object is present exactly on plan+patch
+        // runs, its row/nnz counts are conserved against the plan, and the
+        // patch pays at most a constant floor plus work proportional to
+        // the respliced fraction of a full rebuild.
+        if let Some(plan) = &run.plan {
+            match (&plan.delta, run.scheme == PATCH_SCHEME_LABEL) {
+                (None, true) => {
+                    return Err(format!("{ctx}: plan+patch run without delta stats"));
+                }
+                (Some(_), false) => {
+                    return Err(format!(
+                        "{ctx}: delta stats on a '{}' run (expected only on '{}')",
+                        run.scheme, PATCH_SCHEME_LABEL
+                    ));
+                }
+                (Some(delta), true) => {
+                    if delta.respliced_rows > plan.rows {
+                        return Err(format!(
+                            "{ctx}: {} respliced rows exceed the plan's {} rows",
+                            delta.respliced_rows, plan.rows
+                        ));
+                    }
+                    if delta.respliced_nnz > plan.nnz {
+                        return Err(format!(
+                            "{ctx}: {} respliced nnz exceed the plan's {} nnz",
+                            delta.respliced_nnz, plan.nnz
+                        ));
+                    }
+                    if delta.dirty_elements == 0 {
+                        return Err(format!("{ctx}: plan+patch run with an empty dirty set"));
+                    }
+                    let timings_positive = delta.patch_ms > 0.0 && delta.full_build_ms > 0.0;
+                    if !timings_positive {
+                        return Err(format!(
+                            "{ctx}: non-positive patch timing ({} ms patch, {} ms full)",
+                            delta.patch_ms, delta.full_build_ms
+                        ));
+                    }
+                    // Work-proportional amortization bound: a patch that
+                    // resplices fraction f of the rows may cost at most
+                    // 25% + 150%·f of the full compile (the constant floor
+                    // absorbs diff/splice overhead at smoke scale, where
+                    // the closure is a large fraction of a tiny mesh).
+                    let f = delta.respliced_rows as f64 / plan.rows.max(1) as f64;
+                    let bound = delta.full_build_ms * (0.25 + 1.5 * f);
+                    if delta.patch_ms > bound {
+                        return Err(format!(
+                            "{ctx}: patch took {:.2} ms, over the {:.2} ms bound \
+                             (full {:.2} ms, respliced fraction {:.3})",
+                            delta.patch_ms, bound, delta.full_build_ms, f
+                        ));
+                    }
+                }
+                (None, false) => {}
+            }
         }
         if run.spans.is_empty() {
             return Err(format!("{ctx}: no phase spans"));
@@ -906,10 +1143,10 @@ fn checkjson(path: &str) -> Result<(), String> {
             if serve.requests == 0 {
                 return Err(format!("{ctx}: serve run served no requests"));
             }
-            if serve.misses != serve.compiles + serve.disk_loads {
+            if serve.misses != serve.compiles + serve.disk_loads + serve.patches {
                 return Err(format!(
-                    "{ctx}: {} misses but {} compiles + {} disk loads",
-                    serve.misses, serve.compiles, serve.disk_loads
+                    "{ctx}: {} misses but {} compiles + {} disk loads + {} patches",
+                    serve.misses, serve.compiles, serve.disk_loads, serve.patches
                 ));
             }
             if serve.service_us.count() != serve.requests {
@@ -1010,6 +1247,7 @@ fn main() {
         "plan" => plan_cmd(&mut r, &sizes, opts.timesteps),
         "bench" => bench_cmd(&opts),
         "serve" => r.records.extend(serve_cmd(&opts)),
+        "amr" => amr_cmd(&mut r, &sizes, opts.frames),
         "all" => {
             table1(&mut r, &sizes);
             fig8(&mut r, &sizes);

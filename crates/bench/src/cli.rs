@@ -25,6 +25,10 @@ commands:
                       zipf traffic (--clients threads, --requests total) and
                       report throughput and p50/p99 latency, cached vs a
                       naive compile-per-request baseline
+  amr                 run a dG field with a moving refinement/displacement
+                      front for --frames frames: frame 0 compiles the plan,
+                      every later frame revalidates it by incremental patch
+                      and reports patch-vs-full-compile cost
   checkjson <path>    validate a --json report file (used by CI)
 
 options:
@@ -42,6 +46,8 @@ options:
   --clients N         client threads a `serve` run spawns (default 8)
   --requests M        total requests across a `serve` run's clients
                       (default 200)
+  --frames F          frames an `amr` run advances the moving front
+                      (default 4)
   --full              lift the size ladder and degree caps to paper scale
   --json <path>       also write the structured RunReport as JSON
   --record <path>     write the `bench` record as JSON (versioned schema)
@@ -50,7 +56,7 @@ options:
   --help, -h          print this message";
 
 /// Commands `reproduce` accepts.
-pub const COMMANDS: [&str; 13] = [
+pub const COMMANDS: [&str; 14] = [
     "table1",
     "fig8",
     "fig11",
@@ -62,6 +68,7 @@ pub const COMMANDS: [&str; 13] = [
     "plan",
     "bench",
     "serve",
+    "amr",
     "checkjson",
     "help",
 ];
@@ -85,6 +92,8 @@ pub struct CliOptions {
     pub clients: usize,
     /// Total requests across a `serve` run's clients.
     pub requests: usize,
+    /// Frames an `amr` run advances the moving front.
+    pub frames: usize,
     /// Whether `--full` was given.
     pub full: bool,
     /// `--json` output path, when given.
@@ -110,6 +119,7 @@ impl Default for CliOptions {
             reps: 3,
             clients: 8,
             requests: 200,
+            frames: 4,
             full: false,
             json: None,
             record: None,
@@ -193,6 +203,14 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
                     v.parse::<usize>().ok().filter(|&r| r > 0).ok_or_else(|| {
                         format!("--requests value '{v}' is not a positive integer")
                     })?;
+            }
+            "--frames" => {
+                let v = value_of(&mut it, "--frames")?;
+                opts.frames = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&f| f > 0)
+                    .ok_or_else(|| format!("--frames value '{v}' is not a positive integer"))?;
             }
             "--json" => {
                 opts.json = Some(value_of(&mut it, "--json")?.to_string());
@@ -402,6 +420,25 @@ mod tests {
             .unwrap_err()
             .contains("positive integer"));
         assert!(parse(&["serve", "--clients"])
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn amr_flags() {
+        let opts = parse(&["amr", "--frames", "6", "--sizes", "4000"]).unwrap();
+        assert_eq!(opts.command, "amr");
+        assert_eq!(opts.frames, 6);
+        assert_eq!(opts.sizes, Some(vec![4000]));
+        // Defaults when the flags are absent.
+        assert_eq!(parse(&["amr"]).unwrap().frames, 4);
+        assert!(parse(&["amr", "--frames", "0"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&["amr", "--frames", "x"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&["amr", "--frames"])
             .unwrap_err()
             .contains("needs a value"));
     }

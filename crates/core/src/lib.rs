@@ -56,8 +56,8 @@ pub use layout::Layout;
 pub use metrics::Metrics;
 pub use probe::{BlockStats, Probe};
 pub use report::{
-    CriticalPathRecord, CriticalPhaseRecord, LocalityStats, PlanStats, RankCommRecord, RunRecord,
-    RunReport, ServeStats, TenantLedger, REPORT_SCHEMA_VERSION,
+    CriticalPathRecord, CriticalPhaseRecord, DeltaStats, LocalityStats, PlanStats, RankCommRecord,
+    RunRecord, RunReport, ServeStats, TenantLedger, REPORT_SCHEMA_VERSION,
 };
 
 /// One-stop imports for applications.
@@ -69,7 +69,7 @@ pub mod prelude {
     pub use crate::metrics::Metrics;
     pub use crate::probe::{BlockStats, Probe};
     pub use crate::report::{
-        CriticalPathRecord, CriticalPhaseRecord, LocalityStats, PlanStats, RankCommRecord,
-        RunRecord, RunReport, ServeStats, TenantLedger, REPORT_SCHEMA_VERSION,
+        CriticalPathRecord, CriticalPhaseRecord, DeltaStats, LocalityStats, PlanStats,
+        RankCommRecord, RunRecord, RunReport, ServeStats, TenantLedger, REPORT_SCHEMA_VERSION,
     };
 }

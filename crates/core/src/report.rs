@@ -28,8 +28,12 @@ use ustencil_trace::{CriticalPath, Hist64, ImbalanceSummary, Json, SpanRecord};
 /// ledgers, and queue-wait/service-latency histograms); v4 adds the
 /// overlap fields to each rank's comms ledger (`interior`/`frontier`
 /// owned-work partition and the `dup_payloads`/`coalesced` sliding-window
-/// counters, with `exchange_ns` now meaning *exposed* exchange time).
-pub const REPORT_SCHEMA_VERSION: u64 = 4;
+/// counters, with `exchange_ns` now meaning *exposed* exchange time); v5
+/// adds the optional plan `delta` object (incremental-recompilation stats:
+/// dirty elements, respliced rows/nnz, patch vs full-compile wall) and the
+/// serve `patches` counter (cache entries revalidated by delta instead of
+/// evicted).
+pub const REPORT_SCHEMA_VERSION: u64 = 5;
 
 /// Canonical histogram names, in emission order. These are the keys of the
 /// report's `"histograms"` object.
@@ -83,6 +87,31 @@ pub struct PlanStats {
     pub build_ms: f64,
     /// Wall-clock milliseconds of one apply (the amortized unit).
     pub apply_ms: f64,
+    /// Incremental-recompilation stats when the plan was produced by
+    /// patching an existing plan (`scheme = "plan+patch"`) instead of a
+    /// fresh compile; `None` on the full-compile path.
+    pub delta: Option<DeltaStats>,
+}
+
+/// Cost and shape of one incremental plan patch: how much of the operator a
+/// dirty mesh region actually invalidated after inflating it by the
+/// `(3k+1)h` stencil footprint, and what the splice cost relative to the
+/// full compile it avoided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaStats {
+    /// Mesh elements in the dirty set (changed plus vanished).
+    pub dirty_elements: u64,
+    /// Plan rows recomputed and spliced (the footprint closure of the dirty
+    /// set, plus rows of newly created grid points).
+    pub respliced_rows: u64,
+    /// CSR non-zeros in the respliced rows.
+    pub respliced_nnz: u64,
+    /// Wall-clock milliseconds of the patch (closure + row recompute +
+    /// splice).
+    pub patch_ms: f64,
+    /// Wall-clock milliseconds of the full compile the patch stands in for
+    /// (the base plan's build wall, carried across chained patches).
+    pub full_build_ms: f64,
 }
 
 /// Memory-locality profile of a compiled plan's CSR structure, emitted when
@@ -218,6 +247,9 @@ pub struct ServeStats {
     pub single_flight_waits: u64,
     /// Plans revived from the disk tier instead of recompiled.
     pub disk_loads: u64,
+    /// Plans produced by patching a resident sibling plan (delta
+    /// revalidation) instead of compiling from scratch.
+    pub patches: u64,
     /// Plans evicted from the memory tier under the byte budget.
     pub evictions: u64,
     /// Coalesced `apply_many` batches executed.
@@ -556,13 +588,25 @@ fn record_to_json(r: &RunRecord) -> Json {
     };
     let plan = match &r.plan {
         None => Json::Null,
-        Some(p) => Json::object()
-            .set("rows", p.rows)
-            .set("nnz", p.nnz)
-            .set("n_modes", p.n_modes)
-            .set("bytes", p.bytes)
-            .set("build_ms", p.build_ms)
-            .set("apply_ms", p.apply_ms),
+        Some(p) => {
+            let delta = match &p.delta {
+                None => Json::Null,
+                Some(d) => Json::object()
+                    .set("dirty_elements", d.dirty_elements)
+                    .set("respliced_rows", d.respliced_rows)
+                    .set("respliced_nnz", d.respliced_nnz)
+                    .set("patch_ms", d.patch_ms)
+                    .set("full_build_ms", d.full_build_ms),
+            };
+            Json::object()
+                .set("rows", p.rows)
+                .set("nnz", p.nnz)
+                .set("n_modes", p.n_modes)
+                .set("bytes", p.bytes)
+                .set("build_ms", p.build_ms)
+                .set("apply_ms", p.apply_ms)
+                .set("delta", delta)
+        }
     };
     let locality = match &r.locality {
         None => Json::Null,
@@ -588,6 +632,7 @@ fn record_to_json(r: &RunRecord) -> Json {
             .set("compiles", s.compiles)
             .set("single_flight_waits", s.single_flight_waits)
             .set("disk_loads", s.disk_loads)
+            .set("patches", s.patches)
             .set("evictions", s.evictions)
             .set("batches", s.batches)
             .set("batched_rows", s.batched_rows)
@@ -742,6 +787,16 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
             bytes: get_u64(p, "bytes")?,
             build_ms: get_f64(p, "build_ms")?,
             apply_ms: get_f64(p, "apply_ms")?,
+            delta: match get(p, "delta")? {
+                Json::Null => None,
+                d => Some(DeltaStats {
+                    dirty_elements: get_u64(d, "dirty_elements")?,
+                    respliced_rows: get_u64(d, "respliced_rows")?,
+                    respliced_nnz: get_u64(d, "respliced_nnz")?,
+                    patch_ms: get_f64(d, "patch_ms")?,
+                    full_build_ms: get_f64(d, "full_build_ms")?,
+                }),
+            },
         }),
     };
     let locality = match get(doc, "locality")? {
@@ -769,6 +824,7 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
             compiles: get_u64(s, "compiles")?,
             single_flight_waits: get_u64(s, "single_flight_waits")?,
             disk_loads: get_u64(s, "disk_loads")?,
+            patches: get_u64(s, "patches")?,
             evictions: get_u64(s, "evictions")?,
             batches: get_u64(s, "batches")?,
             batched_rows: get_u64(s, "batched_rows")?,
@@ -1094,6 +1150,7 @@ mod tests {
                 compiles: 6,
                 single_flight_waits: 9,
                 disk_loads: 4,
+                patches: 2,
                 evictions: 3,
                 batches: 75,
                 batched_rows: 600_000,
@@ -1147,6 +1204,13 @@ mod tests {
                 bytes: 9_000_000,
                 build_ms: 480.5,
                 apply_ms: 3.75,
+                delta: Some(DeltaStats {
+                    dirty_elements: 120,
+                    respliced_rows: 900,
+                    respliced_nnz: 18000,
+                    patch_ms: 12.5,
+                    full_build_ms: 480.5,
+                }),
             }),
             locality: Some(LocalityStats {
                 layout: "hilbert-blocked".into(),

@@ -797,6 +797,7 @@ pub fn run_plan_dist_on<T: Transport>(
         bytes: nnz * (4 + 8 * nm as u64) + (rows + 1) * 8,
         build_ms: max_compile_ns as f64 / 1e6,
         apply_ms: max_apply_ns as f64 / 1e6,
+        delta: None,
     };
 
     Ok(DistPlanSolution {

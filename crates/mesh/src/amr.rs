@@ -1,0 +1,295 @@
+//! Deterministic mesh edits for adaptive/moving-mesh workloads: midpoint
+//! refinement and band-limited vertex displacement.
+//!
+//! These are the mesh-side half of the incremental-recompilation scenario
+//! (`ustencil-plan`'s `PlanDelta`): each edit produces a *new* [`TriMesh`]
+//! that shares most of its geometry bit-for-bit with the old one, so the
+//! plan patcher's content diff can match the untouched region exactly.
+//! Both edits are careful to preserve the mesh's longest edge — the
+//! characteristic length `s` that scales the stencil (`h = h_factor · s`)
+//! and the spatial grids — because a changed `s` invalidates *every*
+//! compiled weight, not just the edited region's.
+//!
+//! Refinement is 1→4 midpoint subdivision. The hanging nodes it creates on
+//! the refinement-front boundary are fine for this repo's purposes: dG
+//! fields carry no inter-element continuity, [`TriMesh::validate`] keys
+//! edges by vertex pairs (a child half-edge is a different key than the
+//! neighbor's full edge), and the stencil traversal treats elements as an
+//! unstructured soup of triangles.
+
+use crate::trimesh::TriMesh;
+use ustencil_geometry::Point2;
+
+/// Flags the elements that own (a share of) a longest edge. Refining or
+/// displacing these would change `max_edge_length` and with it the kernel
+/// scale `h`, forcing a full plan recompile — AMR drivers exclude them from
+/// the dirty set they generate.
+pub fn elements_on_longest_edge(mesh: &TriMesh) -> Vec<bool> {
+    let s = mesh.max_edge_length();
+    let vs = mesh.vertices();
+    mesh.triangle_indices()
+        .iter()
+        .map(|tri| {
+            (0..3).any(|k| {
+                let a = vs[tri[k] as usize];
+                let b = vs[tri[(k + 1) % 3] as usize];
+                a.distance(b) == s
+            })
+        })
+        .collect()
+}
+
+/// Midpoint-refines the given elements (1 → 4): each refined triangle
+/// `(v0, v1, v2)` is replaced *in place* by its corner child
+/// `(v0, m01, m20)` and the remaining three children are appended at the
+/// tail, grouped by parent in ascending order. Midpoints are deduplicated
+/// across refined elements sharing an edge. Unrefined elements keep their
+/// indices, so the old → new element correspondence is monotone — exactly
+/// the shape `DirtySet::diff`'s order-preserving matcher recovers.
+///
+/// Refining an element that owns a longest edge (see
+/// [`elements_on_longest_edge`]) is allowed but changes
+/// [`TriMesh::max_edge_length`] once no surviving element carries that
+/// edge.
+///
+/// # Panics
+/// Panics when an element index is out of bounds or repeated.
+pub fn refine_elements(mesh: &TriMesh, elements: &[u32]) -> TriMesh {
+    let mut vertices = mesh.vertices().to_vec();
+    let mut triangles = mesh.triangle_indices().to_vec();
+    let mut refined = vec![false; mesh.n_triangles()];
+    for &e in elements {
+        assert!(
+            (e as usize) < mesh.n_triangles(),
+            "refine_elements: element {e} out of bounds"
+        );
+        assert!(
+            !refined[e as usize],
+            "refine_elements: element {e} repeated"
+        );
+        refined[e as usize] = true;
+    }
+
+    // Midpoint vertices, deduplicated by (sorted) parent-edge vertex pair.
+    let mut midpoints: std::collections::HashMap<(u32, u32), u32> =
+        std::collections::HashMap::new();
+    let mut tail: Vec<[u32; 3]> = Vec::with_capacity(3 * elements.len());
+    let mut order: Vec<u32> = elements.to_vec();
+    order.sort_unstable();
+    for &e in &order {
+        let [v0, v1, v2] = triangles[e as usize];
+        let mut mid = |a: u32, b: u32, vertices: &mut Vec<Point2>| -> u32 {
+            let key = (a.min(b), a.max(b));
+            *midpoints.entry(key).or_insert_with(|| {
+                let pa = vertices[a as usize];
+                let pb = vertices[b as usize];
+                vertices.push(Point2::new(0.5 * (pa.x + pb.x), 0.5 * (pa.y + pb.y)));
+                (vertices.len() - 1) as u32
+            })
+        };
+        let m01 = mid(v0, v1, &mut vertices);
+        let m12 = mid(v1, v2, &mut vertices);
+        let m20 = mid(v2, v0, &mut vertices);
+        // Corner child at the parent's slot; the other corners and the
+        // medial triangle go to the tail. All four inherit the parent's
+        // counter-clockwise orientation.
+        triangles[e as usize] = [v0, m01, m20];
+        tail.push([m01, v1, m12]);
+        tail.push([m20, m12, v2]);
+        tail.push([m01, m12, m20]);
+    }
+    triangles.extend_from_slice(&tail);
+    TriMesh::from_raw(vertices, triangles)
+}
+
+/// splitmix64 — the repo's standard deterministic hash-RNG step.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Uniform in `[-1, 1)` from a hash.
+fn unit_jitter(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 52) as f64 * 2.0 - 1.0
+}
+
+/// Displaces interior vertices inside the vertical band
+/// `x ∈ [x_lo, x_hi]` by a deterministic pseudo-random jitter of up to
+/// `amplitude` times the vertex's shortest incident edge. Element count and
+/// connectivity are unchanged — only coordinates move — so this models a
+/// moving-mesh (r-adaptivity) step.
+///
+/// Displacements that would grow any incident edge to the current longest
+/// edge or beyond, flip an incident triangle's orientation, or push the
+/// vertex outside the open unit square are skipped, and endpoints of a
+/// longest edge plus domain-boundary vertices are pinned. Consequently
+/// [`TriMesh::max_edge_length`] keeps its exact bit pattern and a compiled
+/// plan for the old mesh can be patched rather than recompiled.
+pub fn displace_band(mesh: &TriMesh, x_lo: f64, x_hi: f64, amplitude: f64, seed: u64) -> TriMesh {
+    let s = mesh.max_edge_length();
+    let n_vertices = mesh.n_vertices();
+    let mut vertices = mesh.vertices().to_vec();
+    let triangles = mesh.triangle_indices();
+
+    // Incident triangles per vertex (CSR), for the orientation and edge
+    // checks; pin longest-edge endpoints while scanning edges.
+    let mut counts = vec![0u32; n_vertices];
+    let mut pinned = vec![false; n_vertices];
+    for tri in triangles {
+        for k in 0..3 {
+            counts[tri[k] as usize] += 1;
+            let a = tri[k] as usize;
+            let b = tri[(k + 1) % 3] as usize;
+            if vertices[a].distance(vertices[b]) == s {
+                pinned[a] = true;
+                pinned[b] = true;
+            }
+        }
+    }
+    let mut offsets = vec![0u32; n_vertices + 1];
+    for v in 0..n_vertices {
+        offsets[v + 1] = offsets[v] + counts[v];
+    }
+    let mut cursor = offsets[..n_vertices].to_vec();
+    let mut incident = vec![0u32; triangles.len() * 3];
+    for (t, tri) in triangles.iter().enumerate() {
+        for &v in tri {
+            incident[cursor[v as usize] as usize] = t as u32;
+            cursor[v as usize] += 1;
+        }
+    }
+
+    let signed_area = |a: Point2, b: Point2, c: Point2| -> f64 {
+        0.5 * ((b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y))
+    };
+
+    for v in 0..n_vertices {
+        let p = vertices[v];
+        if p.x < x_lo || p.x > x_hi || pinned[v] {
+            continue;
+        }
+        if p.x == 0.0 || p.x == 1.0 || p.y == 0.0 || p.y == 1.0 {
+            continue;
+        }
+        // Jitter scale: the shortest incident edge keeps the move local.
+        let mut min_edge = f64::INFINITY;
+        let tris = &incident[offsets[v] as usize..offsets[v + 1] as usize];
+        for &t in tris {
+            let tri = triangles[t as usize];
+            for k in 0..3 {
+                if tri[k] as usize == v {
+                    for other in [tri[(k + 1) % 3], tri[(k + 2) % 3]] {
+                        min_edge = min_edge.min(p.distance(vertices[other as usize]));
+                    }
+                }
+            }
+        }
+        let h1 = splitmix64(seed ^ (v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let h2 = splitmix64(h1);
+        let cand = Point2::new(
+            p.x + amplitude * min_edge * unit_jitter(h1),
+            p.y + amplitude * min_edge * unit_jitter(h2),
+        );
+        if cand.x <= 0.0 || cand.x >= 1.0 || cand.y <= 0.0 || cand.y >= 1.0 {
+            continue;
+        }
+        // Accept only if every incident triangle stays counter-clockwise
+        // and every incident edge stays strictly shorter than the longest.
+        let ok = tris.iter().all(|&t| {
+            let tri = triangles[t as usize];
+            let at = |i: u32| -> Point2 {
+                if i as usize == v {
+                    cand
+                } else {
+                    vertices[i as usize]
+                }
+            };
+            let (a, b, c) = (at(tri[0]), at(tri[1]), at(tri[2]));
+            if signed_area(a, b, c) <= 0.0 {
+                return false;
+            }
+            (0..3).all(|k| {
+                let (x, y) = (tri[k], tri[(k + 1) % 3]);
+                x as usize != v && y as usize != v || at(x).distance(at(y)) < s
+            })
+        });
+        if ok {
+            vertices[v] = cand;
+        }
+    }
+    TriMesh::from_raw(vertices, mesh.triangle_indices().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_mesh, MeshClass};
+
+    #[test]
+    fn refinement_preserves_area_and_orientation() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 200, 5);
+        let on_longest = elements_on_longest_edge(&mesh);
+        let targets: Vec<u32> = (0..mesh.n_triangles() as u32)
+            .filter(|&e| !on_longest[e as usize])
+            .take(20)
+            .collect();
+        let refined = refine_elements(&mesh, &targets);
+        assert_eq!(
+            refined.n_triangles(),
+            mesh.n_triangles() + 3 * targets.len()
+        );
+        assert!((refined.total_area() - mesh.total_area()).abs() < 1e-12);
+        // Hanging nodes are expected; orientation and manifoldness hold.
+        refined.validate().expect("refined mesh validates");
+        // The longest edge survived refinement away from it.
+        assert_eq!(
+            refined.max_edge_length().to_bits(),
+            mesh.max_edge_length().to_bits()
+        );
+    }
+
+    #[test]
+    fn refining_shared_edges_dedups_midpoints() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 100, 9);
+        let all: Vec<u32> = (0..mesh.n_triangles() as u32).collect();
+        let refined = refine_elements(&mesh, &all);
+        refined.validate().expect("fully refined mesh validates");
+        assert_eq!(refined.n_triangles(), 4 * mesh.n_triangles());
+        // Interior edges shared by two refined parents contribute one
+        // midpoint, not two: strictly fewer than 3 new vertices per parent.
+        assert!(refined.n_vertices() < mesh.n_vertices() + 3 * mesh.n_triangles());
+    }
+
+    #[test]
+    fn displacement_moves_band_only_and_keeps_longest_edge() {
+        let mesh = generate_mesh(MeshClass::LowVariance, 300, 11);
+        let moved = displace_band(&mesh, 0.3, 0.6, 0.2, 42);
+        moved.validate().expect("displaced mesh validates");
+        assert_eq!(moved.n_triangles(), mesh.n_triangles());
+        assert_eq!(
+            moved.max_edge_length().to_bits(),
+            mesh.max_edge_length().to_bits()
+        );
+        let mut n_moved = 0;
+        for (a, b) in mesh.vertices().iter().zip(moved.vertices()) {
+            if a.x.to_bits() != b.x.to_bits() || a.y.to_bits() != b.y.to_bits() {
+                assert!(a.x >= 0.3 && a.x <= 0.6, "moved vertex outside band");
+                n_moved += 1;
+            }
+        }
+        assert!(n_moved > 0, "band displacement moved nothing");
+    }
+
+    #[test]
+    fn displacement_is_deterministic() {
+        let mesh = generate_mesh(MeshClass::HighVariance, 250, 3);
+        let a = displace_band(&mesh, 0.0, 1.0, 0.15, 7);
+        let b = displace_band(&mesh, 0.0, 1.0, 0.15, 7);
+        for (pa, pb) in a.vertices().iter().zip(b.vertices()) {
+            assert_eq!(pa.x.to_bits(), pb.x.to_bits());
+            assert_eq!(pa.y.to_bits(), pb.y.to_bits());
+        }
+    }
+}

@@ -13,10 +13,13 @@
 //! * [`partition`] — the recursive-bisection patch partitioner used by the
 //!   overlapped tiling scheme (Section 4),
 //! * [`periodic`] — helpers for the periodic unit-square domain,
-//! * [`stats`] — element-size statistics (the "variance" classification).
+//! * [`stats`] — element-size statistics (the "variance" classification),
+//! * [`amr`] — deterministic mesh edits (midpoint refinement, band
+//!   displacement) driving the incremental plan-recompilation workload.
 
 #![deny(missing_docs)]
 
+pub mod amr;
 pub mod delaunay;
 pub mod generate;
 pub mod partition;
@@ -24,6 +27,7 @@ pub mod periodic;
 pub mod stats;
 pub mod trimesh;
 
+pub use amr::{displace_band, elements_on_longest_edge, refine_elements};
 pub use delaunay::delaunay_triangulate;
 pub use generate::{generate_mesh, MeshClass};
 pub use partition::{halo_elements, partition_recursive_bisection, partition_subset, Partition};

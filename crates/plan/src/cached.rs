@@ -3,9 +3,10 @@
 
 use crate::apply::{ApplyOptions, PlanSolution};
 use crate::compile::CompileOptions;
+use crate::delta::DirtySet;
 use crate::key::PlanKey;
 use crate::plan::EvalPlan;
-use ustencil_core::{ComputationGrid, PostProcessor, ProcessorSettings};
+use ustencil_core::{ComputationGrid, DeltaStats, PostProcessor, ProcessorSettings};
 use ustencil_dg::DgField;
 use ustencil_mesh::TriMesh;
 
@@ -51,6 +52,15 @@ impl PlanExt for PostProcessor {
 /// (element count, degree, row count) could not see. In-place mutation is
 /// caught the same way, so [`invalidate`](CachedPlan::invalidate) is now
 /// only an optimization hint, not a correctness requirement.
+///
+/// When the key mismatch is a *mesh edit* — only the content hashes differ,
+/// the kernel/degree/layout half of the key is unchanged — the cache does
+/// not throw the plan away: it diffs the old and new problem
+/// ([`DirtySet::diff`]) and patches the plan ([`EvalPlan::patched`]),
+/// recompiling only the dirty footprint closure. Patches that cannot apply
+/// (e.g. the longest edge, and with it `h`, changed) fall back to a full
+/// compile. [`patches`](Self::patches) and [`last_delta`](Self::last_delta)
+/// expose what happened.
 #[derive(Debug, Clone)]
 pub struct CachedPlan {
     compile: CompileOptions,
@@ -60,7 +70,13 @@ pub struct CachedPlan {
     /// externally seeded plan ([`set`](Self::set)) whose key is adopted on
     /// its first shape-matching run.
     key: Option<PlanKey>,
+    /// The problem the cached plan was built for, retained so a later mesh
+    /// edit can be diffed against it. `None` for seeded plans until a run
+    /// binds them.
+    problem: Option<(TriMesh, ComputationGrid)>,
     rebuilds: usize,
+    patches: usize,
+    last_delta: Option<DeltaStats>,
 }
 
 impl CachedPlan {
@@ -75,7 +91,10 @@ impl CachedPlan {
             },
             plan: None,
             key: None,
+            problem: None,
             rebuilds: 0,
+            patches: 0,
+            last_delta: None,
         }
     }
 
@@ -101,21 +120,67 @@ impl CachedPlan {
         }
     }
 
+    /// Whether `key` differs from the cached key *only* in the mesh/grid
+    /// content hashes — the signature of a mesh edit, where an incremental
+    /// patch can stand in for the recompile.
+    fn is_content_only_change(&self, key: &PlanKey) -> bool {
+        self.key.as_ref().is_some_and(|cached| {
+            cached.degree == key.degree
+                && cached.smoothness == key.smoothness
+                && cached.h_factor_bits == key.h_factor_bits
+                && cached.layout == key.layout
+        })
+    }
+
     /// Applies the cached plan to `field`, compiling it first if the cache
-    /// is empty or the problem content changed.
+    /// is empty or the problem content changed. Mesh edits (content-only
+    /// key changes) take the incremental patch path when possible.
     pub fn run(&mut self, mesh: &TriMesh, field: &DgField, grid: &ComputationGrid) -> PlanSolution {
         let key = PlanKey::new(mesh, grid, field.degree(), &self.compile);
         if !self.matches(&key, mesh, field, grid) {
-            self.plan = Some(EvalPlan::compile(mesh, grid, field.degree(), &self.compile));
-            self.rebuilds += 1;
+            self.last_delta = None;
+            let patched = if self.is_content_only_change(&key) {
+                self.try_patch(mesh, grid)
+            } else {
+                false
+            };
+            if !patched {
+                self.plan = Some(EvalPlan::compile(mesh, grid, field.degree(), &self.compile));
+                self.problem = Some((mesh.clone(), grid.clone()));
+                self.rebuilds += 1;
+            }
+        } else if self.problem.is_none() {
+            // Seeded plan accepted by shape: retain its problem so later
+            // edits can be diffed.
+            self.problem = Some((mesh.clone(), grid.clone()));
         }
-        // Compiled above, or a seeded plan accepted for this problem: in
-        // both cases the plan now answers exactly to `key`.
+        // Compiled or patched above, or a seeded plan accepted for this
+        // problem: in all cases the plan now answers exactly to `key`.
         self.key = Some(key);
         self.plan
             .as_ref()
             .expect("plan compiled above")
             .apply_with(field, &self.apply)
+    }
+
+    /// Attempts the delta path against the retained problem; on success the
+    /// cached plan and problem are replaced. `false` means the caller must
+    /// full-compile (no retained problem, or the edit changed the kernel).
+    fn try_patch(&mut self, mesh: &TriMesh, grid: &ComputationGrid) -> bool {
+        let (Some(plan), Some((old_mesh, old_grid))) = (&self.plan, &self.problem) else {
+            return false;
+        };
+        let dirty = DirtySet::diff(old_mesh, old_grid, mesh, grid);
+        match plan.patched(mesh, grid, &dirty, &self.compile) {
+            Ok((patched, delta)) => {
+                self.plan = Some(patched);
+                self.problem = Some((mesh.clone(), grid.clone()));
+                self.patches += 1;
+                self.last_delta = Some(delta);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// The cached plan, when one has been compiled.
@@ -129,9 +194,22 @@ impl CachedPlan {
         self.key.as_ref()
     }
 
-    /// How many times [`run`](Self::run) had to (re)compile.
+    /// How many times [`run`](Self::run) had to full-compile (patched runs
+    /// are counted by [`patches`](Self::patches), not here).
     pub fn rebuilds(&self) -> usize {
         self.rebuilds
+    }
+
+    /// How many times [`run`](Self::run) revalidated the plan by
+    /// incremental patch instead of recompiling.
+    pub fn patches(&self) -> usize {
+        self.patches
+    }
+
+    /// The delta stats of the most recent run, when that run went through
+    /// the patch path (`None` after a full compile or a plain hit).
+    pub fn last_delta(&self) -> Option<&DeltaStats> {
+        self.last_delta.as_ref()
     }
 
     /// Drops the cached plan, forcing the next run to recompile. With
@@ -140,6 +218,8 @@ impl CachedPlan {
     pub fn invalidate(&mut self) {
         self.plan = None;
         self.key = None;
+        self.problem = None;
+        self.last_delta = None;
     }
 
     /// Seeds the cache with an externally built (e.g. deserialized) plan.
@@ -149,5 +229,7 @@ impl CachedPlan {
     pub fn set(&mut self, plan: EvalPlan) {
         self.plan = Some(plan);
         self.key = None;
+        self.problem = None;
+        self.last_delta = None;
     }
 }

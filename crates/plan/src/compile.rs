@@ -83,13 +83,17 @@ impl CompileOptions {
     }
 }
 
-/// One block's share of the CSR arrays, concatenated after the join.
-struct BlockOut {
+/// One block's share of the CSR arrays, concatenated after the join. Also
+/// the unit of row recompilation in the incremental patch path
+/// (`crate::delta`), which compiles explicit point lists through the same
+/// [`compile_block`] the full compile uses — identical per-row call
+/// sequence, hence bit-identical rows.
+pub(crate) struct BlockOut {
     /// Entries per row, for the row-pointer prefix sum.
-    row_counts: Vec<u32>,
-    cols: Vec<u32>,
-    weights: Vec<f64>,
-    stats: BlockStats,
+    pub(crate) row_counts: Vec<u32>,
+    pub(crate) cols: Vec<u32>,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) stats: BlockStats,
 }
 
 impl EvalPlan {
@@ -152,12 +156,24 @@ impl EvalPlan {
             .map(|b| (b * n / n_blocks, (b + 1) * n / n_blocks))
             .collect();
 
-        let row_order = perms.as_ref().map(|(pp, _)| pp.forward());
+        // Row emission order as explicit grid point ids: natural order, or
+        // the Hilbert point permutation for reordered layouts.
+        let order: Vec<u32> = match perms.as_ref() {
+            Some((pp, _)) => pp.forward().to_vec(),
+            None => (0..n as u32).collect(),
+        };
         let block = |s: usize, e: usize| -> BlockOut {
             let block_start = Instant::now();
             let mut probe = Probe::new(options.instrument);
             let mut out = compile_block(
-                mesh, grid, &basis, &stencil, &rule, &tri_grid, s, e, row_order, &mut probe,
+                mesh,
+                grid,
+                &basis,
+                &stencil,
+                &rule,
+                &tri_grid,
+                &order[s..e],
+                &mut probe,
             );
             if let Some((_, ep)) = &perms {
                 // Renumber columns to permuted element slots (values only;
@@ -230,32 +246,32 @@ impl EvalPlan {
     }
 }
 
-/// Compiles rows `[start, end)`, returning the block's CSR slices. When
-/// `row_order` is given, row `i` evaluates grid point `row_order[i]`
-/// instead of point `i` (the Hilbert row permutation).
+/// Compiles one CSR row per entry of `points` (grid point ids, in row
+/// emission order), returning the block's CSR slices. Both the full compile
+/// and the incremental patch path (`crate::delta`) funnel through this
+/// function, so a recompiled row replays exactly the call sequence of its
+/// fresh-compile counterpart — the basis of the patch path's bitwise
+/// guarantee.
 #[allow(clippy::too_many_arguments)]
-fn compile_block(
+pub(crate) fn compile_block(
     mesh: &TriMesh,
     grid: &ComputationGrid,
     basis: &DubinerBasis,
     stencil: &Stencil2d,
     rule: &TriangleRule,
     tri_grid: &TriangleGrid,
-    start: usize,
-    end: usize,
-    row_order: Option<&[u32]>,
+    points: &[u32],
     probe: &mut Probe,
 ) -> BlockOut {
     let mut metrics = Metrics::default();
     let n_modes = basis.n_modes();
     let trav = StencilTraversal::new(stencil, rule, basis.monomial_exponents(), n_modes);
-    let mut row_counts = Vec::with_capacity(end - start);
+    let mut row_counts = Vec::with_capacity(points.len());
     let mut scratch = Scratch::new();
     let mut sink = AccumulateWeights::new(basis);
 
-    for i in start..end {
-        let point = row_order.map_or(i, |o| o[i] as usize);
-        let center = grid.points()[point];
+    for &point in points {
+        let center = grid.points()[point as usize];
         sink.begin_row();
         // Same traversal as a direct per-point query, but the weights sink
         // keeps the quadrature symbolic; no element coefficients are read
@@ -273,7 +289,7 @@ fn compile_block(
         row_counts.push(sink.row_entries());
         metrics.solution_writes += 1;
     }
-    metrics.partial_slots += (end - start) as u64;
+    metrics.partial_slots += points.len() as u64;
 
     let (cols, weights) = sink.into_csr();
     BlockOut {

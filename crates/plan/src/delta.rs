@@ -1,0 +1,753 @@
+//! Incremental plan recompilation: patch a compiled [`EvalPlan`] after a
+//! mesh change instead of recompiling from scratch.
+//!
+//! A mesh edit (refinement, coarsening, vertex displacement) invalidates
+//! only the rows whose stencil support touches the edited region: row `r`
+//! at point `x_r` integrates over the `(3k+1)h` support square centered at
+//! `x_r`, so an element that kept its exact geometry contributes the exact
+//! same weights as before. The patch path exploits that in three steps:
+//!
+//! 1. **Diff** ([`DirtySet::diff`]): match elements and grid points of the
+//!    old and new problem by coordinate *bit patterns* (the same currency
+//!    as [`PlanKey`](crate::PlanKey)). Unmatched old elements leave stale
+//!    AABBs behind; unmatched new elements are the changed set.
+//! 2. **Closure** ([`EvalPlan::patch`]): inflate every dirty box by the
+//!    kernel support — the catch box of dirty box `B` is
+//!    `[B.min - hi·h, B.max - lo·h]`, where `(lo, hi)` is the 1D kernel
+//!    support in units of `h` — under all periodic shifts (the same
+//!    shift-enumeration geometry `ShardPlan::split_interior` uses for halo
+//!    rings), and collect the grid points inside any catch box. Those rows,
+//!    plus rows of grid points that did not exist before, are recompiled
+//!    through the very [`compile_block`] the full compile runs.
+//! 3. **Splice** ([`PlanDelta::splice`]): rebuild the CSR by copying kept
+//!    rows (with columns renumbered old → new element ids) and inserting
+//!    the recompiled fragments; for reordered layouts the row/column
+//!    permutations are repaired by compaction (vanished slots removed, new
+//!    elements appended) and blocked layouts re-derive their row tiles.
+//!
+//! **Bitwise guarantee.** A patched plan is bit-identical to a fresh
+//! compile of the new problem (same options, natural layout) row for row:
+//! kept rows because every element with positive-area overlap against
+//! their support is matched with identical bits, the candidate order of the
+//! new [`TriangleGrid`] preserves the relative order of matched elements
+//! (monotone matching + identical cell geometry, since the grid's cell
+//! size derives from the unchanged longest edge), and non-contributing
+//! candidates emit nothing; recompiled rows because they replay the exact
+//! fresh-compile call sequence. The property suite
+//! (`tests/plan_patch_prop.rs`) asserts this equality directly.
+//!
+//! The patch refuses (with [`PatchError`]) when the change alters the
+//! kernel itself — `h = h_factor · max_edge` must keep its bit pattern —
+//! or the options disagree with the plan; callers fall back to a full
+//! compile.
+
+use crate::compile::{compile_block, CompileOptions};
+use crate::key::Fnv1a;
+use crate::plan::EvalPlan;
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::time::Instant;
+use ustencil_core::integrate::IntegrationCtx;
+use ustencil_core::{ComputationGrid, DeltaStats, Metrics, Probe};
+use ustencil_dg::DubinerBasis;
+use ustencil_geometry::{Aabb, Point2};
+use ustencil_mesh::{TriMesh, PERIODIC_SHIFTS};
+use ustencil_quadrature::TriangleRule;
+use ustencil_siac::Stencil2d;
+use ustencil_spatial::{Boundary, TriangleGrid};
+use ustencil_trace::{SpanRecord, Tracer};
+
+/// The `"scheme"` string carried by runs whose plan came from the patch
+/// path rather than a fresh compile (see [`SCHEME_LABEL`](crate::SCHEME_LABEL)).
+pub const PATCH_SCHEME_LABEL: &str = "plan+patch";
+
+/// Sentinel for "no counterpart" in the diff maps.
+const NONE: u32 = u32::MAX;
+
+/// Why a plan could not be patched for a given `(mesh, grid, options)`;
+/// callers should fall back to [`EvalPlan::compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchError {
+    /// The realized kernel scale `h = h_factor · max_edge` changed its bit
+    /// pattern, so *every* stored weight is stale, not just the dirty
+    /// region's.
+    KernelChanged,
+    /// The compile options (degree-independent ones: smoothness, layout)
+    /// disagree with what the plan was compiled with.
+    OptionsMismatch,
+    /// The dirty set was diffed against a different problem than the one
+    /// being patched (element/row counts disagree).
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for PatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatchError::KernelChanged => {
+                write!(f, "kernel scale h changed; all weights are stale")
+            }
+            PatchError::OptionsMismatch => {
+                write!(f, "compile options disagree with the plan's")
+            }
+            PatchError::ShapeMismatch => {
+                write!(f, "dirty set does not describe this plan's problem")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// The diff between an old `(mesh, grid)` and a new one: which elements and
+/// grid points survived bit-identically, which are new, and the stale boxes
+/// vanished elements left behind. Built once per mesh edit with
+/// [`DirtySet::diff`] and consumed by [`EvalPlan::patch`].
+#[derive(Debug, Clone)]
+pub struct DirtySet {
+    /// Element count of the old mesh.
+    old_elements: usize,
+    /// Element count of the new mesh.
+    new_elements: usize,
+    /// Old element → bit-identical new element, or [`NONE`]. Matched
+    /// entries are strictly increasing, so renumbering preserves the
+    /// relative order of surviving elements.
+    elem_map: Vec<u32>,
+    /// New element ids with no bit-identical old counterpart, ascending.
+    changed: Vec<u32>,
+    /// AABBs of old elements that vanished or changed — the stale region a
+    /// kept row must not overlap.
+    stale_boxes: Vec<Aabb>,
+    /// Old grid row → bit-identical new grid row, or [`NONE`].
+    row_map: Vec<u32>,
+    /// New grid row → bit-identical old grid row, or [`NONE`].
+    row_source: Vec<u32>,
+}
+
+impl DirtySet {
+    /// Diffs two problems by content: elements (and grid points, paired
+    /// through their owner elements) match iff their coordinate bit
+    /// patterns are identical and the matching preserves storage order.
+    /// One hashing pass over each side, `O(n)` in elements + points.
+    ///
+    /// The matching is deliberately monotone — an old element only matches
+    /// a new element *after* the previous match — because the splice's
+    /// bitwise claim needs surviving elements to keep their relative order
+    /// in the new mesh's spatial-grid cells. Renumberings that reorder
+    /// surviving elements are therefore treated as changes (conservative:
+    /// a bigger dirty set, never a wrong one).
+    pub fn diff(
+        old_mesh: &TriMesh,
+        old_grid: &ComputationGrid,
+        new_mesh: &TriMesh,
+        new_grid: &ComputationGrid,
+    ) -> DirtySet {
+        let old_n = old_mesh.n_triangles();
+        let new_n = new_mesh.n_triangles();
+
+        // Bucket new elements by coordinate hash; cursors enforce the
+        // monotone greedy matching.
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        for e in 0..new_n {
+            buckets
+                .entry(elem_hash(&elem_bits(new_mesh, e)))
+                .or_default()
+                .push(e as u32);
+        }
+        let mut cursors: HashMap<u64, usize> = HashMap::new();
+        let mut elem_map = vec![NONE; old_n];
+        let mut matched_new = vec![false; new_n];
+        let mut last: i64 = -1;
+        for (e, slot) in elem_map.iter_mut().enumerate() {
+            let bits = elem_bits(old_mesh, e);
+            let h = elem_hash(&bits);
+            let Some(cands) = buckets.get(&h) else {
+                continue;
+            };
+            let cur = cursors.entry(h).or_insert(0);
+            while *cur < cands.len() && (cands[*cur] as i64) <= last {
+                *cur += 1;
+            }
+            // Scan forward for the first order-respecting bit-equal twin;
+            // hash collisions make this loop run more than once, which is
+            // vanishingly rare.
+            let mut j = *cur;
+            while j < cands.len() {
+                let c = cands[j] as usize;
+                if !matched_new[c] && elem_bits(new_mesh, c) == bits {
+                    *slot = c as u32;
+                    matched_new[c] = true;
+                    last = c as i64;
+                    *cur = j + 1;
+                    break;
+                }
+                j += 1;
+            }
+        }
+        let changed: Vec<u32> = (0..new_n as u32)
+            .filter(|&e| !matched_new[e as usize])
+            .collect();
+        let stale_boxes: Vec<Aabb> = (0..old_n)
+            .filter(|&e| elem_map[e] == NONE)
+            .map(|e| elem_aabb(old_mesh, e))
+            .collect();
+
+        // Pair grid points through matched owner elements, k-th with k-th,
+        // still requiring exact coordinate bits.
+        let old_by_owner = points_by_owner(old_grid, old_n);
+        let new_by_owner = points_by_owner(new_grid, new_n);
+        let mut row_map = vec![NONE; old_grid.len()];
+        let mut row_source = vec![NONE; new_grid.len()];
+        for (e, &ne) in elem_map.iter().enumerate() {
+            if ne == NONE {
+                continue;
+            }
+            let po = old_by_owner.items(e);
+            let pn = new_by_owner.items(ne as usize);
+            for (&o, &n) in po.iter().zip(pn.iter()) {
+                let a = old_grid.points()[o as usize];
+                let b = new_grid.points()[n as usize];
+                if a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits() {
+                    row_map[o as usize] = n;
+                    row_source[n as usize] = o;
+                }
+            }
+        }
+
+        DirtySet {
+            old_elements: old_n,
+            new_elements: new_n,
+            elem_map,
+            changed,
+            stale_boxes,
+            row_map,
+            row_source,
+        }
+    }
+
+    /// New element ids with no bit-identical old counterpart, ascending.
+    pub fn changed(&self) -> &[u32] {
+        &self.changed
+    }
+
+    /// Elements in the dirty set: changed new elements plus vanished old
+    /// ones (an in-place edit counts twice — its old and new incarnation).
+    pub fn dirty_elements(&self) -> u64 {
+        (self.changed.len() + self.stale_boxes.len()) as u64
+    }
+
+    /// True when nothing changed: every element and grid point of the new
+    /// problem has a bit-identical counterpart and vice versa. Patching a
+    /// clean set reproduces the base plan bit for bit without touching the
+    /// traversal machinery.
+    pub fn is_clean(&self) -> bool {
+        self.changed.is_empty()
+            && self.stale_boxes.is_empty()
+            && self.row_source.iter().all(|&s| s != NONE)
+            && self.row_map.iter().all(|&m| m != NONE)
+    }
+}
+
+/// Per-element coordinate bit patterns (three vertices × two coordinates),
+/// the diff's equality currency.
+#[inline]
+fn elem_bits(mesh: &TriMesh, e: usize) -> [u64; 6] {
+    let idx = mesh.triangle_indices()[e];
+    let vs = mesh.vertices();
+    let mut out = [0u64; 6];
+    for (k, &vi) in idx.iter().enumerate() {
+        let p = vs[vi as usize];
+        out[2 * k] = p.x.to_bits();
+        out[2 * k + 1] = p.y.to_bits();
+    }
+    out
+}
+
+fn elem_hash(bits: &[u64; 6]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &b in bits {
+        h.write_u64(b);
+    }
+    h.finish()
+}
+
+fn elem_aabb(mesh: &TriMesh, e: usize) -> Aabb {
+    let idx = mesh.triangle_indices()[e];
+    Aabb::from_points(idx.iter().map(|&vi| mesh.vertices()[vi as usize]))
+}
+
+/// Grid point ids grouped by owner element, CSR-style (counting sort, so
+/// each element's points keep their storage order).
+struct PointsByOwner {
+    offsets: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl PointsByOwner {
+    fn items(&self, e: usize) -> &[u32] {
+        &self.items[self.offsets[e] as usize..self.offsets[e + 1] as usize]
+    }
+}
+
+fn points_by_owner(grid: &ComputationGrid, n_elements: usize) -> PointsByOwner {
+    let mut counts = vec![0u32; n_elements];
+    for &o in grid.owners() {
+        counts[o as usize] += 1;
+    }
+    let mut offsets = vec![0u32; n_elements + 1];
+    for e in 0..n_elements {
+        offsets[e + 1] = offsets[e] + counts[e];
+    }
+    let mut cursor = offsets[..n_elements].to_vec();
+    let mut items = vec![0u32; grid.len()];
+    for (p, &o) in grid.owners().iter().enumerate() {
+        items[cursor[o as usize] as usize] = p as u32;
+        cursor[o as usize] += 1;
+    }
+    PointsByOwner { offsets, items }
+}
+
+/// A uniform bin grid over the shifted catch boxes, so the closure test is
+/// a cell lookup instead of a scan over every dirty box.
+struct CatchGrid {
+    n: usize,
+    boxes: Vec<Aabb>,
+    cells: Vec<Vec<u32>>,
+}
+
+impl CatchGrid {
+    fn build(catch_boxes: Vec<Aabb>, stencil_width: f64) -> CatchGrid {
+        let n = ((1.0 / stencil_width.max(1e-9)).floor() as usize).clamp(1, 128);
+        let mut cells = vec![Vec::new(); n * n];
+        let span = |lo: f64, hi: f64| -> Option<(usize, usize)> {
+            if hi < 0.0 || lo > 1.0 {
+                return None;
+            }
+            let i0 = ((lo.max(0.0) * n as f64) as usize).min(n - 1);
+            let i1 = ((hi.min(1.0) * n as f64) as usize).min(n - 1);
+            Some((i0, i1))
+        };
+        for (id, b) in catch_boxes.iter().enumerate() {
+            let (Some((x0, x1)), Some((y0, y1))) = (span(b.min.x, b.max.x), span(b.min.y, b.max.y))
+            else {
+                continue;
+            };
+            for iy in y0..=y1 {
+                for ix in x0..=x1 {
+                    cells[iy * n + ix].push(id as u32);
+                }
+            }
+        }
+        CatchGrid {
+            n,
+            boxes: catch_boxes,
+            cells,
+        }
+    }
+
+    fn hits(&self, p: Point2) -> bool {
+        let ix = ((p.x.clamp(0.0, 1.0) * self.n as f64) as usize).min(self.n - 1);
+        let iy = ((p.y.clamp(0.0, 1.0) * self.n as f64) as usize).min(self.n - 1);
+        self.cells[iy * self.n + ix]
+            .iter()
+            .any(|&id| self.boxes[id as usize].contains(p))
+    }
+}
+
+/// The computed patch: recompiled CSR fragments for the dirty closure plus
+/// the renumbering maps, ready to be spliced into the base plan. Produced
+/// by [`EvalPlan::patch`]; independent of the base plan's storage, so one
+/// delta can be spliced into any clone of the base.
+#[derive(Debug, Clone)]
+pub struct PlanDelta {
+    new_rows: usize,
+    new_elements: usize,
+    /// Natural new grid point ids whose rows were recompiled, ascending.
+    frag_rows: Vec<u32>,
+    frag_row_ptr: Vec<u64>,
+    /// Natural new element ids (renumbered to slots at splice time).
+    frag_cols: Vec<u32>,
+    frag_weights: Vec<f64>,
+    row_source: Vec<u32>,
+    row_map: Vec<u32>,
+    elem_map: Vec<u32>,
+    changed: Vec<u32>,
+    dirty_elements: u64,
+    discover_ms: f64,
+    metrics: Metrics,
+    spans: Vec<SpanRecord>,
+}
+
+impl PlanDelta {
+    /// Rows the patch recompiled (the footprint closure of the dirty set
+    /// plus rows of newly created grid points).
+    pub fn respliced_rows(&self) -> usize {
+        self.frag_rows.len()
+    }
+
+    /// CSR entries in the recompiled rows.
+    pub fn respliced_nnz(&self) -> usize {
+        self.frag_cols.len()
+    }
+
+    /// Elements in the dirty set the patch was computed for.
+    pub fn dirty_elements(&self) -> u64 {
+        self.dirty_elements
+    }
+
+    /// Work counters of the recompilation pass (closure rows only).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Stats in the report's shape; `patch_ms` covers the closure and row
+    /// recompute ([`EvalPlan::patched`] re-times it to include the splice).
+    pub fn stats(&self, base: &EvalPlan) -> DeltaStats {
+        DeltaStats {
+            dirty_elements: self.dirty_elements,
+            respliced_rows: self.respliced_rows() as u64,
+            respliced_nnz: self.respliced_nnz() as u64,
+            patch_ms: self.discover_ms,
+            full_build_ms: base.build_wall().as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Splices the delta into `base`, producing the patched plan: kept rows
+    /// are copied with columns renumbered, recompiled fragments replace the
+    /// dirty rows, vanished rows/columns are compacted out and new ones
+    /// appended. Reordered layouts keep their (repaired) permutations;
+    /// blocked layouts re-derive row tiles under the cache budget.
+    ///
+    /// # Panics
+    /// Panics when a kept row references a vanished element — that would
+    /// mean the footprint closure missed a dependency, which the property
+    /// suite asserts never happens.
+    pub fn splice(&self, base: &EvalPlan) -> EvalPlan {
+        let nm = base.n_modes;
+        // Fragment lookup by natural new point id.
+        let mut frag_of = vec![NONE; self.new_rows];
+        for (i, &p) in self.frag_rows.iter().enumerate() {
+            frag_of[p as usize] = i as u32;
+        }
+
+        // Column renumbering and the repaired permutations.
+        let (col_perm, slot_of_elem, slot_map) = if base.layout.reorders() {
+            // Compact surviving slots in order, then append changed
+            // elements as fresh trailing slots.
+            let mut slot_map = vec![NONE; base.col_perm.len()];
+            let mut col_perm = Vec::with_capacity(self.new_elements);
+            for (c, &old_e) in base.col_perm.iter().enumerate() {
+                let ne = self.elem_map[old_e as usize];
+                if ne != NONE {
+                    slot_map[c] = col_perm.len() as u32;
+                    col_perm.push(ne);
+                }
+            }
+            col_perm.extend_from_slice(&self.changed);
+            let mut slot_of_elem = vec![NONE; self.new_elements];
+            for (s, &e) in col_perm.iter().enumerate() {
+                slot_of_elem[e as usize] = s as u32;
+            }
+            (col_perm, slot_of_elem, slot_map)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+
+        let nnz_guess = base.cols.len() + self.frag_cols.len();
+        let mut row_ptr: Vec<u64> = Vec::with_capacity(self.new_rows + 1);
+        let mut cols: Vec<u32> = Vec::with_capacity(nnz_guess);
+        let mut weights: Vec<f64> = Vec::with_capacity(nnz_guess * nm);
+        row_ptr.push(0);
+
+        let push_fragment = |f: usize, cols: &mut Vec<u32>, weights: &mut Vec<f64>| {
+            let (lo, hi) = (
+                self.frag_row_ptr[f] as usize,
+                self.frag_row_ptr[f + 1] as usize,
+            );
+            if base.layout.reorders() {
+                cols.extend(
+                    self.frag_cols[lo..hi]
+                        .iter()
+                        .map(|&e| slot_of_elem[e as usize]),
+                );
+            } else {
+                cols.extend_from_slice(&self.frag_cols[lo..hi]);
+            }
+            weights.extend_from_slice(&self.frag_weights[lo * nm..hi * nm]);
+        };
+        let push_kept = |old_row: usize, cols: &mut Vec<u32>, weights: &mut Vec<f64>| {
+            let (lo, hi) = base.row_range(old_row);
+            for &c in &base.cols[lo..hi] {
+                let nc = if base.layout.reorders() {
+                    slot_map[c as usize]
+                } else {
+                    self.elem_map[c as usize]
+                };
+                assert!(
+                    nc != NONE,
+                    "kept row {old_row} references a vanished element: \
+                     the dirty closure missed a dependency"
+                );
+                cols.push(nc);
+            }
+            weights.extend_from_slice(&base.weights[lo * nm..hi * nm]);
+        };
+
+        let row_perm: Vec<u32> = if base.layout.reorders() {
+            // Keep the base's row order (in-place replacement preserves the
+            // Hilbert locality the layout paid for), dropping vanished rows
+            // and appending rows of brand-new points at the tail.
+            let mut row_perm = Vec::with_capacity(self.new_rows);
+            for (r, &old_pt) in base.row_perm.iter().enumerate() {
+                let new_pt = self.row_map[old_pt as usize];
+                if new_pt == NONE {
+                    continue;
+                }
+                let f = frag_of[new_pt as usize];
+                if f != NONE {
+                    push_fragment(f as usize, &mut cols, &mut weights);
+                } else {
+                    let src = self.row_source[new_pt as usize];
+                    debug_assert_eq!(src, old_pt);
+                    push_kept(r, &mut cols, &mut weights);
+                }
+                row_ptr.push(cols.len() as u64);
+                row_perm.push(new_pt);
+            }
+            for &p in &self.frag_rows {
+                if self.row_source[p as usize] == NONE {
+                    push_fragment(frag_of[p as usize] as usize, &mut cols, &mut weights);
+                    row_ptr.push(cols.len() as u64);
+                    row_perm.push(p);
+                }
+            }
+            row_perm
+        } else {
+            // Natural layout: row r is grid point r.
+            for (r, &f) in frag_of.iter().enumerate().take(self.new_rows) {
+                if f != NONE {
+                    push_fragment(f as usize, &mut cols, &mut weights);
+                } else {
+                    let src = self.row_source[r];
+                    debug_assert!(src != NONE, "unsourced row {r} missing from fragments");
+                    push_kept(src as usize, &mut cols, &mut weights);
+                }
+                row_ptr.push(cols.len() as u64);
+            }
+            Vec::new()
+        };
+
+        let mut plan = EvalPlan {
+            degree: base.degree,
+            smoothness: base.smoothness,
+            n_modes: nm,
+            n_elements: self.new_elements,
+            h: base.h,
+            row_ptr,
+            cols,
+            weights,
+            build_wall: base.build_wall,
+            build_spans: self.spans.clone(),
+            build_metrics: base.build_metrics,
+            layout: base.layout,
+            row_perm,
+            col_perm,
+            tiles: Vec::new(),
+        };
+        if base.layout.blocked() {
+            plan.tiles = plan.build_tiles();
+        }
+        plan
+    }
+}
+
+impl EvalPlan {
+    /// Computes the patch for a mesh edit: the footprint closure of the
+    /// dirty set and the recompiled rows inside it. Pure discovery — splice
+    /// the result with [`PlanDelta::splice`], or use [`EvalPlan::patched`]
+    /// for the one-call version.
+    ///
+    /// `options` must describe the same kernel/layout the plan was compiled
+    /// with; `mesh`/`grid` are the *new* problem, `dirty` the diff from the
+    /// plan's problem to the new one.
+    pub fn patch(
+        &self,
+        mesh: &TriMesh,
+        grid: &ComputationGrid,
+        dirty: &DirtySet,
+        options: &CompileOptions,
+    ) -> Result<PlanDelta, PatchError> {
+        let started = Instant::now();
+        if options.smoothness.unwrap_or(self.degree) != self.smoothness
+            || options.layout != self.layout
+        {
+            return Err(PatchError::OptionsMismatch);
+        }
+        if dirty.old_elements != self.n_elements
+            || dirty.row_map.len() != self.rows()
+            || dirty.new_elements != mesh.n_triangles()
+            || dirty.row_source.len() != grid.len()
+        {
+            return Err(PatchError::ShapeMismatch);
+        }
+        let h = options.h_factor * mesh.max_edge_length();
+        if h.to_bits() != self.h.to_bits() {
+            return Err(PatchError::KernelChanged);
+        }
+
+        let tracer = Tracer::new(options.instrument);
+        let n = grid.len();
+
+        // Closure: rows whose support rect intersects a dirty box under
+        // any periodic shift, plus rows of points with no old counterpart.
+        let mut recompute = vec![false; n];
+        let mut any = false;
+        for (r, &src) in dirty.row_source.iter().enumerate() {
+            if src == NONE {
+                recompute[r] = true;
+                any = true;
+            }
+        }
+        if !dirty.changed.is_empty() || !dirty.stale_boxes.is_empty() {
+            let _span = tracer.span("patch.closure");
+            let stencil = Stencil2d::symmetric(self.smoothness, h);
+            let (lo, hi) = stencil.kernel().support();
+            let (lo_h, hi_h) = (lo * h, hi * h);
+            let dirty_boxes = dirty
+                .stale_boxes
+                .iter()
+                .copied()
+                .chain(dirty.changed.iter().map(|&e| elem_aabb(mesh, e as usize)));
+            let mut catch_boxes = Vec::new();
+            for b in dirty_boxes {
+                let catch = Aabb::new(
+                    Point2::new(b.min.x - hi_h, b.min.y - hi_h),
+                    Point2::new(b.max.x - lo_h, b.max.y - lo_h),
+                );
+                for &s in PERIODIC_SHIFTS.iter() {
+                    catch_boxes.push(catch.translate(s));
+                }
+            }
+            let catch = CatchGrid::build(catch_boxes, stencil.width());
+            for (r, p) in grid.points().iter().enumerate() {
+                if !recompute[r] && catch.hits(*p) {
+                    recompute[r] = true;
+                    any = true;
+                }
+            }
+        }
+
+        let frag_rows: Vec<u32> = if any {
+            (0..n as u32).filter(|&r| recompute[r as usize]).collect()
+        } else {
+            Vec::new()
+        };
+
+        // Recompile the closure through the full compile's row machinery
+        // (same basis/stencil/rule/grid construction, same per-row calls).
+        let (frag_row_ptr, frag_cols, frag_weights, metrics) = if frag_rows.is_empty() {
+            (vec![0u64], Vec::new(), Vec::new(), Metrics::default())
+        } else {
+            let _span = tracer.span("patch.recompute");
+            let basis = DubinerBasis::new(self.degree);
+            let stencil = Stencil2d::symmetric(self.smoothness, h);
+            let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(
+                self.smoothness,
+                self.degree,
+            ));
+            let tri_grid = TriangleGrid::build(mesh, Boundary::Periodic);
+            let n_blocks = options.n_blocks.clamp(1, frag_rows.len());
+            let bounds: Vec<(usize, usize)> = (0..n_blocks)
+                .map(|b| {
+                    (
+                        b * frag_rows.len() / n_blocks,
+                        (b + 1) * frag_rows.len() / n_blocks,
+                    )
+                })
+                .collect();
+            let block = |s: usize, e: usize| {
+                let mut probe = Probe::new(false);
+                compile_block(
+                    mesh,
+                    grid,
+                    &basis,
+                    &stencil,
+                    &rule,
+                    &tri_grid,
+                    &frag_rows[s..e],
+                    &mut probe,
+                )
+            };
+            let blocks: Vec<_> = if options.parallel {
+                bounds.par_iter().map(|&(s, e)| block(s, e)).collect()
+            } else {
+                bounds.iter().map(|&(s, e)| block(s, e)).collect()
+            };
+            let mut row_ptr = vec![0u64];
+            let mut cols = Vec::new();
+            let mut weights = Vec::new();
+            let mut acc = 0u64;
+            for b in &blocks {
+                for &c in &b.row_counts {
+                    acc += c as u64;
+                    row_ptr.push(acc);
+                }
+                cols.extend_from_slice(&b.cols);
+                weights.extend_from_slice(&b.weights);
+            }
+            let metrics = Metrics::sum(blocks.iter().map(|b| &b.stats.metrics));
+            (row_ptr, cols, weights, metrics)
+        };
+
+        Ok(PlanDelta {
+            new_rows: n,
+            new_elements: mesh.n_triangles(),
+            frag_rows,
+            frag_row_ptr,
+            frag_cols,
+            frag_weights,
+            row_source: dirty.row_source.clone(),
+            row_map: dirty.row_map.clone(),
+            elem_map: dirty.elem_map.clone(),
+            changed: dirty.changed.clone(),
+            dirty_elements: dirty.dirty_elements(),
+            discover_ms: started.elapsed().as_secs_f64() * 1e3,
+            metrics,
+            spans: tracer.into_records(),
+        })
+    }
+
+    /// Patches the plan in one call: [`EvalPlan::patch`] followed by
+    /// [`PlanDelta::splice`], returning the patched plan and the measured
+    /// delta stats (`patch_ms` covers closure, recompute, and splice; the
+    /// `full_build_ms` reference is the base plan's compile wall, carried
+    /// across chained patches so amortization stays honest).
+    pub fn patched(
+        &self,
+        mesh: &TriMesh,
+        grid: &ComputationGrid,
+        dirty: &DirtySet,
+        options: &CompileOptions,
+    ) -> Result<(EvalPlan, DeltaStats), PatchError> {
+        let started = Instant::now();
+        let delta = self.patch(mesh, grid, dirty, options)?;
+        let splice_started = Instant::now();
+        let mut plan = delta.splice(self);
+        if options.instrument {
+            let start_ns = plan
+                .build_spans
+                .iter()
+                .map(|s| s.start_ns + s.duration_ns)
+                .max()
+                .unwrap_or(0);
+            plan.build_spans.push(SpanRecord {
+                name: "patch.splice".to_string(),
+                depth: 0,
+                start_ns,
+                duration_ns: splice_started.elapsed().as_nanos() as u64,
+            });
+        }
+        let mut stats = delta.stats(self);
+        stats.patch_ms = started.elapsed().as_secs_f64() * 1e3;
+        Ok((plan, stats))
+    }
+}

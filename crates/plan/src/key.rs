@@ -29,15 +29,15 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 /// cryptographic — it only needs to make distinct meshes collide with
 /// probability ~2^-64 and to be cheap enough to run per cache lookup.
 #[derive(Debug, Clone, Copy)]
-struct Fnv1a(u64);
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self(FNV_OFFSET)
     }
 
     #[inline]
-    fn write_u64(&mut self, v: u64) {
+    pub(crate) fn write_u64(&mut self, v: u64) {
         for byte in v.to_le_bytes() {
             self.0 ^= byte as u64;
             self.0 = self.0.wrapping_mul(FNV_PRIME);
@@ -45,13 +45,13 @@ impl Fnv1a {
     }
 
     #[inline]
-    fn write_f64(&mut self, v: f64) {
+    pub(crate) fn write_f64(&mut self, v: f64) {
         // Bit pattern, not value: -0.0 and 0.0 produce different meshes as
         // far as bit-exact plan reuse is concerned, so hash them apart.
         self.write_u64(v.to_bits());
     }
 
-    fn finish(self) -> u64 {
+    pub(crate) fn finish(self) -> u64 {
         self.0
     }
 }

@@ -33,13 +33,20 @@
 //! * [`PlanExt`] — compile straight from a configured
 //!   [`PostProcessor`](ustencil_core::PostProcessor);
 //! * [`CachedPlan`] — a front end that compiles lazily and recompiles only
-//!   when the problem content ([`PlanKey`]) changes.
+//!   when the problem content ([`PlanKey`]) changes, patching incrementally
+//!   when the change is a mesh edit;
+//! * [`EvalPlan::patch`] / [`EvalPlan::patched`] — after a mesh edit,
+//!   recompile only the rows whose `(3k+1)h` stencil footprint touches the
+//!   dirty region ([`DirtySet::diff`]) and splice them into the existing
+//!   CSR ([`PlanDelta`]), at a fraction of full-compile cost (DESIGN.md
+//!   §16).
 
 #![deny(missing_docs)]
 
 mod apply;
 mod cached;
 mod compile;
+mod delta;
 mod key;
 mod plan;
 mod record;
@@ -50,5 +57,6 @@ mod tests;
 pub use apply::{ApplyOptions, PlanSolution};
 pub use cached::{CachedPlan, PlanExt};
 pub use compile::CompileOptions;
+pub use delta::{DirtySet, PatchError, PlanDelta, PATCH_SCHEME_LABEL};
 pub use key::{grid_content_hash, mesh_content_hash, PlanKey};
 pub use plan::{EvalPlan, SCHEME_LABEL};

@@ -205,6 +205,7 @@ impl EvalPlan {
             bytes: self.bytes() as u64,
             build_ms: self.build_wall.as_secs_f64() * 1e3,
             apply_ms: 0.0,
+            delta: None,
         }
     }
 

@@ -1,9 +1,10 @@
 //! Bridging plan runs into the `RunReport` schema.
 
 use crate::apply::PlanSolution;
+use crate::delta::PATCH_SCHEME_LABEL;
 use crate::plan::{EvalPlan, SCHEME_LABEL};
 use ustencil_core::report::HISTOGRAM_NAMES;
-use ustencil_core::{BlockStats, PlanStats, RunRecord};
+use ustencil_core::{BlockStats, DeltaStats, PlanStats, RunRecord};
 
 impl EvalPlan {
     /// Builds a [`RunRecord`] for one measured apply of this plan, in the
@@ -63,5 +64,24 @@ impl EvalPlan {
             critical_path: None,
             serve: None,
         }
+    }
+
+    /// Like [`EvalPlan::to_run_record`], but for a plan produced by the
+    /// incremental patch path: `scheme` is [`PATCH_SCHEME_LABEL`] and the
+    /// `plan` stats carry the measured [`DeltaStats`] (schema v5's `delta`
+    /// object), so `checkjson` can assert the patch-vs-full amortization.
+    pub fn to_run_record_patched(
+        &self,
+        label: &str,
+        n_triangles: usize,
+        apply: &PlanSolution,
+        delta: &DeltaStats,
+    ) -> RunRecord {
+        let mut record = self.to_run_record(label, n_triangles, apply);
+        record.scheme = PATCH_SCHEME_LABEL.to_string();
+        if let Some(plan) = record.plan.as_mut() {
+            plan.delta = Some(*delta);
+        }
+        record
     }
 }

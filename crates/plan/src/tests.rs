@@ -2,7 +2,9 @@
 //! serialization (cross-scheme equivalence properties live in the
 //! workspace-level `tests/plan_equivalence_prop.rs`).
 
-use crate::{ApplyOptions, CachedPlan, CompileOptions, EvalPlan, PlanExt, SCHEME_LABEL};
+use crate::{
+    ApplyOptions, CachedPlan, CompileOptions, DirtySet, EvalPlan, PatchError, PlanExt, SCHEME_LABEL,
+};
 use ustencil_core::{ComputationGrid, Layout, PostProcessor, Scheme};
 use ustencil_dg::project_l2;
 use ustencil_mesh::{generate_mesh, MeshClass, TriMesh};
@@ -516,6 +518,219 @@ fn reordered_serialization_round_trip_is_bit_exact() {
         .iter()
         .zip(&b.values)
         .all(|(x, y)| x.to_bits() == y.to_bits()));
+}
+
+#[test]
+fn clean_diff_patches_to_the_identical_plan() {
+    let (mesh, _, grid) = setup(150, 1, 23);
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &small_options());
+    let dirty = DirtySet::diff(&mesh, &grid, &mesh, &grid);
+    assert!(dirty.is_clean());
+    assert_eq!(dirty.dirty_elements(), 0);
+    let (patched, delta) = plan
+        .patched(&mesh, &grid, &dirty, &small_options())
+        .expect("clean patch applies");
+    assert_eq!(delta.respliced_rows, 0);
+    assert_eq!(delta.respliced_nnz, 0);
+    assert_eq!(patched.row_ptr, plan.row_ptr);
+    assert_eq!(patched.cols, plan.cols);
+    assert!(patched
+        .weights
+        .iter()
+        .zip(&plan.weights)
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+}
+
+#[test]
+fn patched_plan_matches_fresh_compile_after_displacement() {
+    let (mesh, _, grid) = setup(300, 2, 29);
+    let plan = EvalPlan::compile(&mesh, &grid, 2, &small_options());
+    // Keep the band narrow: its `(3k+1)h` closure must stay a strict
+    // subset of the rows for the subset assertion below to be meaningful.
+    let moved = ustencil_mesh::displace_band(&mesh, 0.48, 0.52, 0.2, 5);
+    assert_eq!(
+        moved.max_edge_length().to_bits(),
+        mesh.max_edge_length().to_bits()
+    );
+    let moved_grid = ComputationGrid::quadrature_points(&moved, 2);
+    let dirty = DirtySet::diff(&mesh, &grid, &moved, &moved_grid);
+    assert!(!dirty.is_clean());
+    assert!(dirty.dirty_elements() > 0);
+    let (patched, delta) = plan
+        .patched(&moved, &moved_grid, &dirty, &small_options())
+        .expect("displacement patch applies");
+    // A band edit re-splices a strict subset of the rows…
+    assert!(delta.respliced_rows > 0);
+    assert!((delta.respliced_rows as usize) < plan.rows());
+    // …and the result is bit-for-bit the fresh compile: kept rows reuse
+    // identical CSR content, recomputed rows replay the same block kernel.
+    let fresh = EvalPlan::compile(&moved, &moved_grid, 2, &small_options());
+    assert_eq!(patched.row_ptr, fresh.row_ptr);
+    assert_eq!(patched.cols, fresh.cols);
+    assert!(patched
+        .weights
+        .iter()
+        .zip(&fresh.weights)
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+}
+
+#[test]
+fn patched_plan_matches_fresh_compile_after_refinement() {
+    let (mesh, _, grid) = setup(180, 1, 31);
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &small_options());
+    // Refine a band of elements, keeping the longest edge (and with it h)
+    // intact.
+    let on_longest = ustencil_mesh::elements_on_longest_edge(&mesh);
+    let targets: Vec<u32> = (0..mesh.n_triangles() as u32)
+        .filter(|&e| {
+            let c = mesh.centroid(e as usize);
+            !on_longest[e as usize] && c.x > 0.4 && c.x < 0.6
+        })
+        .collect();
+    assert!(!targets.is_empty());
+    let refined = ustencil_mesh::refine_elements(&mesh, &targets);
+    assert_eq!(
+        refined.max_edge_length().to_bits(),
+        mesh.max_edge_length().to_bits()
+    );
+    let refined_grid = ComputationGrid::quadrature_points(&refined, 1);
+    let dirty = DirtySet::diff(&mesh, &grid, &refined, &refined_grid);
+    let (patched, delta) = plan
+        .patched(&refined, &refined_grid, &dirty, &small_options())
+        .expect("refinement patch applies");
+    assert!(delta.dirty_elements >= targets.len() as u64);
+    let fresh = EvalPlan::compile(&refined, &refined_grid, 1, &small_options());
+    assert_eq!(patched.rows(), fresh.rows());
+    assert_eq!(patched.n_elements(), refined.n_triangles());
+    assert_eq!(patched.row_ptr, fresh.row_ptr);
+    assert_eq!(patched.cols, fresh.cols);
+    assert!(patched
+        .weights
+        .iter()
+        .zip(&fresh.weights)
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+}
+
+#[test]
+fn patched_v2_layouts_stay_valid_and_agree() {
+    let (mesh, _, grid) = setup(220, 1, 37);
+    let moved = ustencil_mesh::displace_band(&mesh, 0.3, 0.7, 0.2, 9);
+    let moved_grid = ComputationGrid::quadrature_points(&moved, 1);
+    let fresh_nat = EvalPlan::compile(&moved, &moved_grid, 1, &small_options());
+    let field = project_l2(&moved, 1, |x, y| 0.3 + x * y - y, 2);
+    let reference = fresh_nat.apply(&field);
+    for layout in [Layout::Hilbert, Layout::HilbertBlocked] {
+        let opts = CompileOptions {
+            layout,
+            ..small_options()
+        };
+        let plan = EvalPlan::compile(&mesh, &grid, 1, &opts);
+        let dirty = DirtySet::diff(&mesh, &grid, &moved, &moved_grid);
+        let (patched, _) = plan
+            .patched(&moved, &moved_grid, &dirty, &opts)
+            .expect("v2 patch applies");
+        // The spliced permutations are real permutations of the new
+        // problem's rows and elements.
+        let mut seen_rows = vec![false; patched.rows()];
+        for &p in patched.row_perm() {
+            assert!(!seen_rows[p as usize], "row_perm repeats {p}");
+            seen_rows[p as usize] = true;
+        }
+        assert!(seen_rows.iter().all(|&s| s));
+        let mut seen_cols = vec![false; moved.n_triangles()];
+        for &e in patched.col_perm() {
+            assert!(!seen_cols[e as usize], "col_perm repeats {e}");
+            seen_cols[e as usize] = true;
+        }
+        assert!(seen_cols.iter().all(|&s| s));
+        if layout.blocked() {
+            let tiles = patched.tiles();
+            assert_eq!(tiles.first(), Some(&0));
+            assert_eq!(*tiles.last().unwrap() as usize, patched.rows());
+            assert!(tiles.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Row content is bitwise the fresh natural row for the same point,
+        // so the apply scatters to bit-identical values.
+        let sol = patched.apply(&field);
+        assert!(sol
+            .values
+            .iter()
+            .zip(&reference.values)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}
+
+#[test]
+fn cached_plan_patches_on_mesh_edit() {
+    let processor = PostProcessor::new(Scheme::PerPoint)
+        .h_factor(0.5)
+        .parallel(false);
+    let (mesh, field, grid) = setup(200, 1, 41);
+    let mut cached = processor.plan();
+    let _ = cached.run(&mesh, &field, &grid);
+    assert_eq!((cached.rebuilds(), cached.patches()), (1, 0));
+    assert!(cached.last_delta().is_none());
+    // A mesh edit at unchanged kernel/degree/layout takes the patch path.
+    let moved = ustencil_mesh::displace_band(&mesh, 0.2, 0.8, 0.15, 13);
+    let moved_field = project_l2(&moved, 1, |x, y| 0.2 + x - 0.5 * y + x * y, 2);
+    let moved_grid = ComputationGrid::quadrature_points(&moved, 1);
+    let sol = cached.run(&moved, &moved_field, &moved_grid);
+    assert_eq!((cached.rebuilds(), cached.patches()), (1, 1));
+    let delta = cached.last_delta().expect("patched run records a delta");
+    assert!(delta.respliced_rows > 0);
+    let direct = processor.run(&moved, &moved_field, &moved_grid);
+    assert!(sol.max_abs_diff(&direct.values) <= 1e-12);
+    // A plain re-run is a hit: no rebuild, no patch, delta cleared.
+    let _ = cached.run(&moved, &moved_field, &moved_grid);
+    assert_eq!((cached.rebuilds(), cached.patches()), (1, 1));
+    // A degree change is not content-only: full recompile.
+    let field2 = project_l2(&moved, 2, |x, y| x + y, 0);
+    let grid2 = ComputationGrid::quadrature_points(&moved, 2);
+    let _ = cached.run(&moved, &field2, &grid2);
+    assert_eq!((cached.rebuilds(), cached.patches()), (2, 1));
+    assert!(cached.last_delta().is_none());
+}
+
+#[test]
+fn patch_rejects_kernel_and_shape_mismatches() {
+    let (mesh, _, grid) = setup(150, 1, 43);
+    let plan = EvalPlan::compile(&mesh, &grid, 1, &small_options());
+    let moved = ustencil_mesh::displace_band(&mesh, 0.3, 0.7, 0.2, 3);
+    let moved_grid = ComputationGrid::quadrature_points(&moved, 1);
+    let dirty = DirtySet::diff(&mesh, &grid, &moved, &moved_grid);
+    // A different h_factor means every weight changes: KernelChanged.
+    let err = plan
+        .patch(
+            &moved,
+            &moved_grid,
+            &dirty,
+            &CompileOptions {
+                h_factor: 0.45,
+                ..small_options()
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err, PatchError::KernelChanged);
+    // A different layout cannot be spliced into this plan.
+    let err = plan
+        .patch(
+            &moved,
+            &moved_grid,
+            &dirty,
+            &CompileOptions {
+                layout: Layout::Hilbert,
+                ..small_options()
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err, PatchError::OptionsMismatch);
+    // A dirty set diffed against a different problem is rejected.
+    let (other, _, other_grid) = setup(100, 1, 44);
+    let stale = DirtySet::diff(&other, &other_grid, &moved, &moved_grid);
+    let err = plan
+        .patch(&moved, &moved_grid, &stale, &small_options())
+        .unwrap_err();
+    assert_eq!(err, PatchError::ShapeMismatch);
 }
 
 #[test]

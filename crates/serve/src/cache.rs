@@ -23,12 +23,27 @@
 //! never victims, so a hot insert cannot evict itself. Evicted plans are
 //! spilled to the disk tier (when configured) before being dropped, which
 //! is what makes a later miss a cheap revive instead of a recompile.
+//!
+//! # Delta revalidation
+//!
+//! A mesh edit changes the [`PlanKey`] content hashes, so the edited
+//! problem is a *miss* — but most of the old plan's rows are still exactly
+//! right. [`PlanCache::get_or_patch`] exploits that: each produced entry
+//! retains its [`Origin`] (the mesh/grid `Arc`s it was compiled for), and
+//! a leader that misses first looks for a resident *sibling* — same
+//! kernel, degree, and layout, different content — diffs the two problems
+//! ([`DirtySet::diff`]) and splices in only the dirty-footprint rows
+//! ([`EvalPlan::patched`]). The cache entry is revalidated at delta cost
+//! instead of evict-and-recompile cost; followers blocked on the flight
+//! share the patched plan like any other.
 
 use crate::disk::DiskTier;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use ustencil_plan::{EvalPlan, PlanKey};
+use ustencil_core::ComputationGrid;
+use ustencil_mesh::TriMesh;
+use ustencil_plan::{CompileOptions, DirtySet, EvalPlan, PlanKey};
 
 /// Configuration of a [`PlanCache`].
 #[derive(Debug)]
@@ -52,7 +67,8 @@ impl Default for CacheConfig {
     }
 }
 
-/// How a [`PlanCache::get_or_compile`] call was satisfied.
+/// How a [`PlanCache::get_or_compile`] / [`PlanCache::get_or_patch`] call
+/// was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
     /// The plan was resident in the memory tier.
@@ -62,8 +78,24 @@ pub enum Outcome {
     Waited,
     /// This call led the production and revived the plan from disk.
     DiskLoad,
+    /// This call led the production and patched a resident sibling plan
+    /// (same kernel/degree/layout, edited mesh) instead of compiling.
+    Patched,
     /// This call led the production and compiled the plan.
     Compiled,
+}
+
+/// The problem a resident plan was compiled for, retained alongside the
+/// plan so a later request for an *edited* mesh at the same kernel can be
+/// served by [`EvalPlan::patched`] instead of a full compile. The `Arc`s
+/// come straight from the request's catalog entry, so retention costs two
+/// reference counts, not a mesh copy.
+#[derive(Debug, Clone)]
+pub struct Origin {
+    /// The mesh the plan was compiled over.
+    pub mesh: Arc<TriMesh>,
+    /// The grid the plan's rows evaluate at.
+    pub grid: Arc<ComputationGrid>,
 }
 
 /// Monotone counters of a cache's lifetime, plus the current resident size.
@@ -79,6 +111,9 @@ pub struct CacheSnapshot {
     pub single_flight_waits: u64,
     /// Plans revived from the disk tier instead of compiled.
     pub disk_loads: u64,
+    /// Plans produced by patching a resident sibling (an edited-mesh
+    /// revalidation) instead of compiling.
+    pub patches: u64,
     /// Plans evicted under the byte budget.
     pub evictions: u64,
     /// Bytes of plan CSR data currently resident.
@@ -119,12 +154,26 @@ enum Slot {
     Ready(Arc<EvalPlan>),
 }
 
+/// What the lookup front half resolved to.
+enum Lookup {
+    /// Resident plan: a hit.
+    Ready(Arc<EvalPlan>),
+    /// Someone else is producing it: block on their flight.
+    Follow(Arc<Flight>),
+    /// This caller inserted the in-flight marker and must produce.
+    Lead(Arc<Flight>),
+}
+
 struct Entry {
     slot: Slot,
     /// Global LRU clock value of the last touch.
     last_used: u64,
     /// CSR bytes (0 while in flight).
     bytes: u64,
+    /// The problem the plan was compiled for, when the producer supplied
+    /// it ([`PlanCache::get_or_patch`]); `None` entries can serve hits but
+    /// never act as a patch base.
+    origin: Option<Arc<Origin>>,
 }
 
 #[derive(Default)]
@@ -147,6 +196,7 @@ pub struct PlanCache {
     compiles: AtomicU64,
     waits: AtomicU64,
     disk_loads: AtomicU64,
+    patches: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -181,6 +231,7 @@ impl PlanCache {
             compiles: AtomicU64::new(0),
             waits: AtomicU64::new(0),
             disk_loads: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
@@ -197,51 +248,102 @@ impl PlanCache {
         key: PlanKey,
         compile: impl FnOnce() -> EvalPlan,
     ) -> (Arc<EvalPlan>, Outcome) {
+        match self.lookup_or_lead(&key) {
+            Lookup::Ready(plan) => (plan, Outcome::Hit),
+            Lookup::Follow(flight) => self.follow(&flight),
+            Lookup::Lead(flight) => {
+                self.produce(key, flight, None, || (compile(), Outcome::Compiled))
+            }
+        }
+    }
+
+    /// Delta-aware variant of [`get_or_compile`](Self::get_or_compile): the
+    /// leader first tries to *patch* a resident sibling plan — one compiled
+    /// at the same kernel/degree/layout for an earlier revision of the mesh
+    /// ([`EvalPlan::patched`]) — and only compiles from scratch when no
+    /// sibling exists or the edit changed the kernel scale. Either way the
+    /// produced entry retains `(mesh, grid)` as its [`Origin`], so it can
+    /// serve as the patch base for the *next* edit. Followers share the
+    /// patched plan exactly as they share a compiled one.
+    ///
+    /// Lookup order: memory tier, in-flight production, disk tier, sibling
+    /// patch, `compile`.
+    pub fn get_or_patch(
+        &self,
+        key: PlanKey,
+        mesh: &Arc<TriMesh>,
+        grid: &Arc<ComputationGrid>,
+        options: &CompileOptions,
+        compile: impl FnOnce() -> EvalPlan,
+    ) -> (Arc<EvalPlan>, Outcome) {
+        match self.lookup_or_lead(&key) {
+            Lookup::Ready(plan) => (plan, Outcome::Hit),
+            Lookup::Follow(flight) => self.follow(&flight),
+            Lookup::Lead(flight) => {
+                let origin = Arc::new(Origin {
+                    mesh: mesh.clone(),
+                    grid: grid.clone(),
+                });
+                self.produce(key, flight, Some(origin), || {
+                    match self.patch_from_sibling(&key, mesh, grid, options) {
+                        Some(plan) => (plan, Outcome::Patched),
+                        None => (compile(), Outcome::Compiled),
+                    }
+                })
+            }
+        }
+    }
+
+    /// The shared lookup front half: hit, follow an in-flight leader, or
+    /// become the leader by publishing an in-flight marker.
+    fn lookup_or_lead(&self, key: &PlanKey) -> Lookup {
         let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let shard = &self.shards[(key.digest() as usize) % self.shards.len()];
-        let flight = {
-            let mut guard = shard.lock().expect("shard poisoned");
-            match guard.map.get_mut(&key) {
-                Some(entry) => {
-                    entry.last_used = now;
-                    match &entry.slot {
-                        Slot::Ready(plan) => {
-                            self.hits.fetch_add(1, Ordering::Relaxed);
-                            return (plan.clone(), Outcome::Hit);
-                        }
-                        Slot::InFlight(f) => f.clone(),
+        let mut guard = shard.lock().expect("shard poisoned");
+        match guard.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = now;
+                match &entry.slot {
+                    Slot::Ready(plan) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        Lookup::Ready(plan.clone())
                     }
-                }
-                None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    let f = Arc::new(Flight::new());
-                    guard.map.insert(
-                        key,
-                        Entry {
-                            slot: Slot::InFlight(f.clone()),
-                            last_used: now,
-                            bytes: 0,
-                        },
-                    );
-                    drop(guard);
-                    return self.produce(shard, key, f, compile);
+                    Slot::InFlight(f) => Lookup::Follow(f.clone()),
                 }
             }
-        };
-        // Follower path: block outside the shard lock until the leader
-        // publishes the plan.
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let f = Arc::new(Flight::new());
+                guard.map.insert(
+                    *key,
+                    Entry {
+                        slot: Slot::InFlight(f.clone()),
+                        last_used: now,
+                        bytes: 0,
+                        origin: None,
+                    },
+                );
+                Lookup::Lead(f)
+            }
+        }
+    }
+
+    /// Follower path: block outside the shard lock until the leader
+    /// publishes the plan.
+    fn follow(&self, flight: &Flight) -> (Arc<EvalPlan>, Outcome) {
         self.waits.fetch_add(1, Ordering::Relaxed);
         (flight.wait(), Outcome::Waited)
     }
 
-    /// Leader path: revive from disk or compile, publish into the shard,
-    /// evict down to budget, wake followers.
+    /// Leader path: revive from disk or run `make` (compile, or sibling
+    /// patch then compile), publish into the shard with its origin, evict
+    /// down to budget, wake followers. `make` runs without any lock held.
     fn produce(
         &self,
-        shard: &Mutex<Shard>,
         key: PlanKey,
         flight: Arc<Flight>,
-        compile: impl FnOnce() -> EvalPlan,
+        origin: Option<Arc<Origin>>,
+        make: impl FnOnce() -> (EvalPlan, Outcome),
     ) -> (Arc<EvalPlan>, Outcome) {
         let (plan, outcome) = match self.disk.as_ref().and_then(|d| d.load(&key)) {
             Some(p) => {
@@ -249,16 +351,22 @@ impl PlanCache {
                 (Arc::new(p), Outcome::DiskLoad)
             }
             None => {
-                self.compiles.fetch_add(1, Ordering::Relaxed);
-                (Arc::new(compile()), Outcome::Compiled)
+                let (plan, outcome) = make();
+                match outcome {
+                    Outcome::Patched => self.patches.fetch_add(1, Ordering::Relaxed),
+                    _ => self.compiles.fetch_add(1, Ordering::Relaxed),
+                };
+                (Arc::new(plan), outcome)
             }
         };
         let bytes = plan.bytes() as u64;
         {
+            let shard = &self.shards[(key.digest() as usize) % self.shards.len()];
             let mut guard = shard.lock().expect("shard poisoned");
             let entry = guard.map.get_mut(&key).expect("in-flight entry present");
             entry.slot = Slot::Ready(plan.clone());
             entry.bytes = bytes;
+            entry.origin = origin;
             guard.resident_bytes += bytes;
             self.evict_over_budget(&mut guard, &key);
         }
@@ -266,6 +374,47 @@ impl PlanCache {
         // wake will find a Ready entry on their next lookup too.
         flight.complete(plan.clone());
         (plan, outcome)
+    }
+
+    /// Scans for the most recently used resident plan that shares `key`'s
+    /// kernel half (degree, smoothness, `h_factor`, layout) and retained
+    /// its origin, diffs that origin against the requested problem, and
+    /// patches. `None` when no such sibling exists or the patch is
+    /// rejected (e.g. the edit changed the longest edge and with it `h`) —
+    /// the caller falls back to a full compile.
+    fn patch_from_sibling(
+        &self,
+        key: &PlanKey,
+        mesh: &TriMesh,
+        grid: &ComputationGrid,
+        options: &CompileOptions,
+    ) -> Option<EvalPlan> {
+        let mut best: Option<(u64, Arc<EvalPlan>, Arc<Origin>)> = None;
+        for shard in &self.shards {
+            let guard = shard.lock().expect("shard poisoned");
+            for (k, entry) in &guard.map {
+                let kernel_match = k.degree == key.degree
+                    && k.smoothness == key.smoothness
+                    && k.h_factor_bits == key.h_factor_bits
+                    && k.layout == key.layout
+                    && k != key;
+                if !kernel_match {
+                    continue;
+                }
+                if let (Slot::Ready(plan), Some(origin)) = (&entry.slot, &entry.origin) {
+                    if best.as_ref().is_none_or(|(lu, _, _)| entry.last_used > *lu) {
+                        best = Some((entry.last_used, plan.clone(), origin.clone()));
+                    }
+                }
+            }
+        }
+        // Diff and patch outside every shard lock: only the two Arcs were
+        // taken from the scan.
+        let (_, base, origin) = best?;
+        let dirty = DirtySet::diff(&origin.mesh, &origin.grid, mesh, grid);
+        base.patched(mesh, grid, &dirty, options)
+            .ok()
+            .map(|(plan, _)| plan)
     }
 
     /// Evicts least-recently-used ready entries until the shard fits its
@@ -304,6 +453,7 @@ impl PlanCache {
             compiles: self.compiles.load(Ordering::Relaxed),
             single_flight_waits: self.waits.load(Ordering::Relaxed),
             disk_loads: self.disk_loads.load(Ordering::Relaxed),
+            patches: self.patches.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             resident_bytes: self
                 .shards

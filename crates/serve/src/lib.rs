@@ -37,7 +37,7 @@ mod disk;
 mod server;
 pub mod traffic;
 
-pub use cache::{CacheConfig, CacheSnapshot, Outcome, PlanCache};
+pub use cache::{CacheConfig, CacheSnapshot, Origin, Outcome, PlanCache};
 pub use disk::DiskTier;
 pub use server::{
     PlanServer, Problem, Response, ServeLedgers, ServerClient, ServerConfig, Ticket, WorkerStat,

@@ -381,9 +381,15 @@ fn worker_loop(shared: &Shared, worker: usize) {
         let leader = &batch[0];
         let problem = leader.problem.clone();
         let compile_opts = shared.compile;
-        let (plan, outcome) = shared.cache.get_or_compile(leader.key, || {
-            EvalPlan::compile(&problem.mesh, &problem.grid, problem.degree, &compile_opts)
-        });
+        // Delta-aware lookup: a mesh-edit miss patches the resident
+        // sibling plan instead of recompiling from scratch.
+        let (plan, outcome) = shared.cache.get_or_patch(
+            leader.key,
+            &problem.mesh,
+            &problem.grid,
+            &compile_opts,
+            || EvalPlan::compile(&problem.mesh, &problem.grid, problem.degree, &compile_opts),
+        );
         let fields: Vec<DgField> = batch.iter().map(|p| p.field.clone()).collect();
         let solutions = plan.apply_many(&fields, &shared.apply);
         let batch_size = batch.len();
@@ -409,9 +415,12 @@ fn worker_loop(shared: &Shared, worker: usize) {
                             ledger.misses += 1;
                             ledger.compiles += 1;
                         }
-                        // Disk revives and single-flight rides answer from
-                        // a plan the tenant did not pay to compile.
-                        Outcome::Hit | Outcome::Waited | Outcome::DiskLoad => ledger.hits += 1,
+                        // Disk revives, sibling patches, and single-flight
+                        // rides answer from a plan the tenant did not pay
+                        // a full compile for.
+                        Outcome::Hit | Outcome::Waited | Outcome::DiskLoad | Outcome::Patched => {
+                            ledger.hits += 1
+                        }
                     }
                     ledger.queue_wait_us.record(queue_wait_us);
                     ledger.service_us.record(service_us);

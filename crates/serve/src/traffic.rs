@@ -251,6 +251,7 @@ pub fn run_cached(cfg: &TrafficConfig) -> TrafficOutcome {
         compiles: ledgers.cache.compiles,
         single_flight_waits: ledgers.cache.single_flight_waits,
         disk_loads: ledgers.cache.disk_loads,
+        patches: ledgers.cache.patches,
         evictions: ledgers.cache.evictions,
         batches: ledgers.batches,
         batched_rows: ledgers.batched_rows,
@@ -359,6 +360,7 @@ pub fn run_naive(cfg: &TrafficConfig) -> TrafficOutcome {
         compiles: requests,
         single_flight_waits: 0,
         disk_loads: 0,
+        patches: 0,
         evictions: 0,
         batches: workers.iter().map(|w| w.batches).sum(),
         batched_rows: workers.iter().map(|w| w.rows).sum(),

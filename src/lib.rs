@@ -16,7 +16,8 @@
 //!   tiling and the streaming-device model,
 //! * [`plan`] — the evaluation-plan compiler: precompute the stencil
 //!   geometry once, apply it to many fields as a sparse operator
-//!   (see DESIGN.md §9),
+//!   (see DESIGN.md §9), plus the incremental patch engine that
+//!   revalidates a compiled plan after a mesh edit (see DESIGN.md §16),
 //! * [`dist`] — the rank-sharded execution runtime: explicit halo
 //!   exchange over serialized transports, deterministic fault injection,
 //!   and per-rank comms accounting (see DESIGN.md §11),
@@ -46,5 +47,5 @@ pub use ustencil_trace as trace;
 
 pub use ustencil_core::prelude::*;
 pub use ustencil_dist::{run_dist, run_plan_dist, DistOptions, DistPlanSolution, DistSolution};
-pub use ustencil_plan::{CachedPlan, EvalPlan, PlanExt, PlanKey};
+pub use ustencil_plan::{CachedPlan, DirtySet, EvalPlan, PatchError, PlanDelta, PlanExt, PlanKey};
 pub use ustencil_serve::{PlanCache, PlanServer};

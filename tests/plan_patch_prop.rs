@@ -1,0 +1,207 @@
+//! Property-based tests of the incremental patch engine: for random meshes,
+//! kernel smoothness k in {1, 2, 3}, and random mesh edits — refinement of a
+//! random element subset (including the empty and the everything-eligible
+//! subset) or vertex displacement — a patched plan is *bitwise* the plan a
+//! fresh compile of the edited problem would build, and v2 layouts come out
+//! of the splice with valid permutations and tiles. Case counts are small
+//! because every case compiles at least two plans.
+
+use proptest::prelude::*;
+use ustencil::engine::prelude::*;
+use ustencil::engine::Layout;
+use ustencil::mesh::{displace_band, elements_on_longest_edge, generate_mesh, MeshClass, TriMesh};
+use ustencil::plan::CompileOptions;
+use ustencil::{DirtySet, EvalPlan};
+
+fn build(n: usize, k: usize, seed: u64) -> (TriMesh, ComputationGrid, CompileOptions) {
+    let mesh = generate_mesh(MeshClass::LowVariance, n, seed);
+    let grid = ComputationGrid::quadrature_points(&mesh, 1);
+    // Keep the (3k+1)h support inside the periodic unit square.
+    let h_factor = (0.9 / ((3 * k + 1) as f64 * mesh.max_edge_length())).min(1.0);
+    let options = CompileOptions {
+        smoothness: Some(k),
+        h_factor,
+        parallel: false,
+        ..CompileOptions::default()
+    };
+    (mesh, grid, options)
+}
+
+/// A random h-preserving edit: refine a pseudo-random subset of the eligible
+/// elements (`frac` of them; 0 → no edit, 1 → all of them), or displace a
+/// vertex band. Either way the longest edge — and with it the kernel scale —
+/// survives bit-identically, which the patch path requires.
+fn edit(mesh: &TriMesh, frac: f64, displace: bool, seed: u64) -> TriMesh {
+    if displace {
+        let lo = 0.5 - 0.4 * frac;
+        return displace_band(mesh, lo, lo + 0.1, 0.2, seed);
+    }
+    let pinned = elements_on_longest_edge(mesh);
+    let eligible: Vec<u32> = (0..mesh.n_triangles() as u32)
+        .filter(|&e| !pinned[e as usize])
+        .collect();
+    // A seeded scatter filter keeps ~frac of the eligible elements without
+    // an RNG dep; exact at both extremes (frac 0 → none, frac 1 → all).
+    let pct = (frac * 100.0).round() as usize;
+    let stride = (seed % 7 + 3) as usize;
+    let picked: Vec<u32> = eligible
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i.wrapping_mul(stride).wrapping_add(seed as usize) % 100 < pct)
+        .map(|(_, &e)| e)
+        .collect();
+    refine_sorted(mesh, &picked)
+}
+
+fn refine_sorted(mesh: &TriMesh, picked: &[u32]) -> TriMesh {
+    if picked.is_empty() {
+        mesh.clone()
+    } else {
+        ustencil::mesh::refine_elements(mesh, picked)
+    }
+}
+
+/// Bitwise CSR equality: same structure, same weight bits.
+fn assert_bitwise(a: &EvalPlan, b: &EvalPlan, ctx: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.rows(), b.rows(), "{}: row count", ctx);
+    prop_assert_eq!(a.nnz(), b.nnz(), "{}: entry count", ctx);
+    prop_assert_eq!(a.cols(), b.cols(), "{}: columns", ctx);
+    prop_assert!(
+        a.weights_bits().eq(b.weights_bits()),
+        "{}: weight bits differ",
+        ctx
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `patch` + `splice` reproduces a fresh compile of the edited problem
+    /// bit for bit — for empty edits (the identity patch), partial edits,
+    /// and the all-eligible-elements edit where everything is dirty.
+    #[test]
+    fn patched_plan_is_bitwise_a_fresh_compile(
+        seed in 0u64..1000,
+        n in 80usize..200,
+        k in 1usize..=3,
+        frac_pct in 0u32..=100,
+        displace in proptest::bool::ANY,
+    ) {
+        // Snap the tails so the identity patch and the everything-dirty
+        // patch keep showing up (the deterministic tests below pin both).
+        let frac_pct = if frac_pct < 15 { 0 } else if frac_pct > 85 { 100 } else { frac_pct };
+        let (mesh, grid, options) = build(n, k, seed);
+        let base = EvalPlan::compile(&mesh, &grid, 1, &options);
+
+        let edited = edit(&mesh, frac_pct as f64 / 100.0, displace, seed.wrapping_add(11));
+        prop_assert_eq!(
+            edited.max_edge_length().to_bits(),
+            mesh.max_edge_length().to_bits(),
+            "edit must preserve h"
+        );
+        let new_grid = ComputationGrid::quadrature_points(&edited, 1);
+        let dirty = DirtySet::diff(&mesh, &grid, &edited, &new_grid);
+        let (patched, stats) = base
+            .patched(&edited, &new_grid, &dirty, &options)
+            .expect("same-kernel edit must patch");
+
+        prop_assert!(stats.respliced_rows as usize <= patched.rows());
+        if dirty.is_clean() {
+            prop_assert_eq!(stats.respliced_rows, 0, "clean diff resplices nothing");
+            assert_bitwise(&patched, &base, "identity patch")?;
+        }
+        let fresh = EvalPlan::compile(&edited, &new_grid, 1, &options);
+        assert_bitwise(&patched, &fresh, "patched vs fresh")?;
+    }
+
+    /// Splicing a v2 layout (Hilbert / HilbertBlocked) leaves valid
+    /// permutations and monotone tiles, and the patched apply is bitwise
+    /// the fresh compile's apply.
+    #[test]
+    fn spliced_v2_layouts_stay_valid(
+        seed in 0u64..1000,
+        n in 80usize..160,
+        k in 1usize..=2,
+        blocked in proptest::bool::ANY,
+    ) {
+        let layout = if blocked { Layout::HilbertBlocked } else { Layout::Hilbert };
+        let (mesh, grid, mut options) = build(n, k, seed);
+        options.layout = layout;
+        let base = EvalPlan::compile(&mesh, &grid, 1, &options);
+
+        let edited = edit(&mesh, 0.3, seed % 2 == 0, seed.wrapping_add(29));
+        let new_grid = ComputationGrid::quadrature_points(&edited, 1);
+        let dirty = DirtySet::diff(&mesh, &grid, &edited, &new_grid);
+        let (patched, _) = base
+            .patched(&edited, &new_grid, &dirty, &options)
+            .expect("same-kernel edit must patch");
+
+        // Permutations must be permutations of the new shapes.
+        for (perm, len, what) in [
+            (patched.row_perm(), patched.rows(), "row_perm"),
+            (patched.col_perm(), patched.cols().iter().map(|&c| c as usize + 1).max().unwrap_or(0), "col_perm"),
+        ] {
+            let mut seen = vec![false; perm.len()];
+            prop_assert!(perm.len() >= len, "{} too short", what);
+            for &p in perm {
+                prop_assert!(!seen[p as usize], "{} repeats {}", what, p);
+                seen[p as usize] = true;
+            }
+        }
+        if layout.blocked() {
+            let tiles = patched.tiles();
+            prop_assert!(tiles.first() == Some(&0), "tiles start at row 0");
+            prop_assert!(tiles.windows(2).all(|w| w[0] < w[1]), "tiles monotone");
+            prop_assert_eq!(*tiles.last().unwrap() as usize, patched.rows());
+        }
+
+        // And the permuted storage still computes the right answer: bitwise
+        // the fresh compile of the same layout.
+        let fresh = EvalPlan::compile(&edited, &new_grid, 1, &options);
+        let field = ustencil::dg::project_l2(&edited, 1, |x, y| (x * 3.3).sin() + y, 2);
+        let a = patched.apply(&field);
+        let b = fresh.apply(&field);
+        prop_assert!(
+            a.values.iter().zip(&b.values).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "patched v2 apply differs from fresh"
+        );
+    }
+}
+
+/// The empty dirty set: diffing a problem against itself patches to the
+/// identity without touching a single row.
+#[test]
+fn empty_edit_patches_to_the_identity() {
+    let (mesh, grid, options) = build(140, 2, 7);
+    let base = EvalPlan::compile(&mesh, &grid, 1, &options);
+    let dirty = DirtySet::diff(&mesh, &grid, &mesh, &grid);
+    assert!(dirty.is_clean());
+    let (patched, stats) = base.patched(&mesh, &grid, &dirty, &options).unwrap();
+    assert_eq!(stats.respliced_rows, 0);
+    assert_eq!(patched.cols(), base.cols());
+    assert!(patched.weights_bits().eq(base.weights_bits()));
+}
+
+/// The all-dirty extreme: refining every eligible element leaves no kept
+/// row, and the patch degenerates to (bitwise) a fresh compile.
+#[test]
+fn all_eligible_refined_patches_bitwise() {
+    let (mesh, grid, options) = build(100, 1, 13);
+    let base = EvalPlan::compile(&mesh, &grid, 1, &options);
+    let edited = edit(&mesh, 1.0, false, 17);
+    assert!(
+        edited.n_triangles() > 2 * mesh.n_triangles(),
+        "most of the mesh refined"
+    );
+    let new_grid = ComputationGrid::quadrature_points(&edited, 1);
+    let dirty = DirtySet::diff(&mesh, &grid, &edited, &new_grid);
+    let (patched, stats) = base.patched(&edited, &new_grid, &dirty, &options).unwrap();
+    assert!(
+        stats.respliced_rows as usize == patched.rows(),
+        "everything respliced"
+    );
+    let fresh = EvalPlan::compile(&edited, &new_grid, 1, &options);
+    assert_eq!(patched.cols(), fresh.cols());
+    assert!(patched.weights_bits().eq(fresh.weights_bits()));
+}
