@@ -26,6 +26,7 @@ fn bench_reduction(c: &mut Criterion) {
         stencil: &stencil,
         point_grid: &pgrid,
         rule: &rule,
+        simd: ustencil_core::SimdPolicy::Auto.resolve(),
     };
     let partition = partition_recursive_bisection(&w.mesh, 16);
     let results: Vec<_> = partition.patches().map(|p| run.run_patch(p)).collect();

@@ -173,93 +173,105 @@ fn bench_probe_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-/// The two element-image integration strategies head to head, over one
-/// realistic stencil query's worth of elements: the pre-refactor fused
-/// evaluation (kernel × full basis expansion at every quadrature point,
-/// reconstructed here from the public primitives) vs the staged SoA
-/// cells-then-modes path that the shared traversal driver now uses in
-/// every scheme.
+/// The element-image integration strategies head to head, over one
+/// realistic stencil query's worth of elements per polynomial degree
+/// `k in {1, 2, 3}` (the mode count — 3, 6, 10 — is what the lane
+/// kernels batch over, so the staged/SIMD win must be measured where it
+/// differs): the pre-refactor fused evaluation (kernel × full basis
+/// expansion at every quadrature point, reconstructed here from the
+/// public primitives), the staged SoA cells-then-modes path with the
+/// vector reduction forced off, and the same staged path on the widest
+/// ISA the host supports.
 fn bench_integration_kernel(c: &mut Criterion) {
     use ustencil_core::integrate::{ElementData, IntegrationCtx};
     use ustencil_core::kernel::{AccumulateSolution, QuadStage, StencilTraversal};
-    use ustencil_core::Metrics;
+    use ustencil_core::{Metrics, SimdIsa, SimdPolicy};
     use ustencil_geometry::{fan_triangulate, Vec2, GEOM_EPS};
 
     let mesh = generate_mesh(MeshClass::LowVariance, 200, 7);
-    let field = project_l2(&mesh, 2, |x, y| (x * 3.0).sin() + y * y - 0.3 * x * y, 1);
-    let basis = field.basis().clone();
-    let stencil = Stencil2d::symmetric(2, mesh.max_edge_length());
-    let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(2, 2));
-    let exps = basis.monomial_exponents();
-    let center = Point2::new(0.5, 0.5);
-    let support = stencil.support_rect(center);
-    // The elements one central query actually touches, gathered up front so
-    // both variants measure pure integration.
-    let elems: Vec<ElementData> = (0..mesh.n_triangles())
-        .map(|e| ElementData::gather(&mesh, &field, &basis, e))
-        .filter(|ed| support.intersects_aabb(&ed.bbox))
-        .collect();
-    assert!(!elems.is_empty());
+    for k in [1usize, 2, 3] {
+        let field = project_l2(&mesh, k, |x, y| (x * 3.0).sin() + y * y - 0.3 * x * y, 1);
+        let basis = field.basis().clone();
+        let stencil = Stencil2d::symmetric(k, mesh.max_edge_length());
+        let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(k, k));
+        let exps = basis.monomial_exponents();
+        let center = Point2::new(0.5, 0.5);
+        let support = stencil.support_rect(center);
+        // The elements one central query actually touches, gathered up
+        // front so every variant measures pure integration.
+        let elems: Vec<ElementData> = (0..mesh.n_triangles())
+            .map(|e| ElementData::gather(&mesh, &field, &basis, e))
+            .filter(|ed| support.intersects_aabb(&ed.bbox))
+            .collect();
+        assert!(!elems.is_empty());
 
-    let mut group = c.benchmark_group("integration_kernel");
-    group.bench_function("fused_closure", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for ed in &elems {
-                let h = stencil.h();
-                let n_cells = stencil.cells_per_side();
-                let (lo, _) = stencil.kernel().support();
-                let x_base = center.x + lo * h;
-                let y_base = center.y + lo * h;
-                let bbox = &ed.bbox;
-                let i0 = (((bbox.min.x - x_base) / h).floor().max(0.0)) as usize;
-                let j0 = (((bbox.min.y - y_base) / h).floor().max(0.0)) as usize;
-                if i0 >= n_cells || j0 >= n_cells || bbox.max.x < x_base || bbox.max.y < y_base {
-                    continue;
-                }
-                let i1 = ((((bbox.max.x - x_base) / h).floor()) as usize).min(n_cells - 1);
-                let j1 = ((((bbox.max.y - y_base) / h).floor()) as usize).min(n_cells - 1);
-                for j in j0..=j1 {
-                    for i in i0..=i1 {
-                        let cell = stencil.cell_rect(black_box(center), i, j);
-                        let poly = clip_triangle_rect(&ed.tri, &cell);
-                        if poly.is_degenerate(GEOM_EPS) {
-                            continue;
-                        }
-                        for sub in fan_triangulate(&poly) {
-                            total += rule.integrate_physical(&sub, |x, y| {
-                                let p = Point2::new(x, y);
-                                stencil.eval(center, p) * ed.eval(p, exps)
-                            });
+        let mut group = c.benchmark_group(&format!("integration_kernel_k{k}"));
+        group.bench_function("fused_closure", |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for ed in &elems {
+                    let h = stencil.h();
+                    let n_cells = stencil.cells_per_side();
+                    let (lo, _) = stencil.kernel().support();
+                    let x_base = center.x + lo * h;
+                    let y_base = center.y + lo * h;
+                    let bbox = &ed.bbox;
+                    let i0 = (((bbox.min.x - x_base) / h).floor().max(0.0)) as usize;
+                    let j0 = (((bbox.min.y - y_base) / h).floor().max(0.0)) as usize;
+                    if i0 >= n_cells || j0 >= n_cells || bbox.max.x < x_base || bbox.max.y < y_base
+                    {
+                        continue;
+                    }
+                    let i1 = ((((bbox.max.x - x_base) / h).floor()) as usize).min(n_cells - 1);
+                    let j1 = ((((bbox.max.y - y_base) / h).floor()) as usize).min(n_cells - 1);
+                    for j in j0..=j1 {
+                        for i in i0..=i1 {
+                            let cell = stencil.cell_rect(black_box(center), i, j);
+                            let poly = clip_triangle_rect(&ed.tri, &cell);
+                            if poly.is_degenerate(GEOM_EPS) {
+                                continue;
+                            }
+                            for sub in fan_triangulate(&poly) {
+                                total += rule.integrate_physical(&sub, |x, y| {
+                                    let p = Point2::new(x, y);
+                                    stencil.eval(center, p) * ed.eval(p, exps)
+                                });
+                            }
                         }
                     }
                 }
-            }
-            total
-        })
-    });
-    group.bench_function("staged_soa", |b| {
-        let trav = StencilTraversal::new(&stencil, &rule, exps, basis.n_modes());
-        let mut stage = QuadStage::default();
-        let mut metrics = Metrics::default();
-        let mut sink = AccumulateSolution::new();
-        b.iter(|| {
-            let mut total = 0.0;
-            for ed in &elems {
-                trav.integrate_image(
-                    black_box(center),
-                    ed,
-                    Vec2::ZERO,
-                    &mut stage,
-                    &mut sink,
-                    &mut metrics,
-                );
-                total += sink.take();
-            }
-            total
-        })
-    });
-    group.finish();
+                total
+            })
+        });
+        for (variant, isa) in [
+            ("staged_scalar", SimdIsa::Scalar),
+            ("staged_simd", SimdPolicy::Auto.resolve()),
+        ] {
+            group.bench_function(variant, |b| {
+                let trav =
+                    StencilTraversal::new(&stencil, &rule, exps, basis.n_modes()).with_simd(isa);
+                let mut stage = QuadStage::default();
+                let mut metrics = Metrics::default();
+                let mut sink = AccumulateSolution::new();
+                b.iter(|| {
+                    let mut total = 0.0;
+                    for ed in &elems {
+                        trav.integrate_image(
+                            black_box(center),
+                            ed,
+                            Vec2::ZERO,
+                            &mut stage,
+                            &mut sink,
+                            &mut metrics,
+                        );
+                        total += sink.take();
+                    }
+                    total
+                })
+            });
+        }
+        group.finish();
+    }
 }
 
 criterion_group!(

@@ -40,15 +40,17 @@ fn degree_caps(full: bool) -> [usize; 4] {
 /// the raw material of the `--json` report.
 struct Runner {
     seed: u64,
+    simd: SimdPolicy,
     workloads: HashMap<(MeshClass, usize, usize), Workload>,
     runs: HashMap<(MeshClass, usize, usize, &'static str), Solution>,
     records: Vec<RunRecord>,
 }
 
 impl Runner {
-    fn new(seed: u64) -> Self {
+    fn new(seed: u64, simd: SimdPolicy) -> Self {
         Self {
             seed,
+            simd,
             workloads: HashMap::new(),
             runs: HashMap::new(),
             records: Vec::new(),
@@ -74,7 +76,7 @@ impl Runner {
                 p,
                 scheme.label()
             );
-            let sol = w.run_instrumented(scheme, 16);
+            let sol = w.run_instrumented(scheme, 16, self.simd);
             let label = format!(
                 "{}/{}/p{}/{}",
                 class.label(),
@@ -208,6 +210,7 @@ fn fig14(r: &mut Runner, sizes: &[usize]) {
                 .blocks(16 * n_gpu)
                 .h_factor(w.safe_h_factor())
                 .instrument(true)
+                .simd(r.simd)
                 .run(&w.mesh, &w.field, &w.grid);
             let cfg = DeviceConfig {
                 n_devices: n_gpu,
@@ -259,11 +262,13 @@ fn fig14_ranks(r: &mut Runner, sizes: &[usize], ranks: &[usize], timeline_path: 
             .values
             .clone();
         for &n_ranks in ranks {
+            let simd = r.simd;
             let w = r.workload(MeshClass::LowVariance, n, 1);
             eprintln!("  [running {} triangles on {} rank(s)...]", n, n_ranks);
             let opts = DistOptions::new(n_ranks)
                 .h_factor(w.safe_h_factor())
-                .instrument(true);
+                .instrument(true)
+                .simd(simd);
             let sol = match run_dist(&w.mesh, &w.field, &w.grid, &opts) {
                 Ok(sol) => sol,
                 Err(e) => {
@@ -358,11 +363,13 @@ fn plan_cmd(r: &mut Runner, sizes: &[usize], timesteps: usize) {
         let direct_ms = direct.wall.as_secs_f64() * 1e3;
         let direct_values = direct.values.clone();
 
+        let simd = r.simd;
         let w = r.workload(MeshClass::LowVariance, n, 1);
         let processor = PostProcessor::new(Scheme::PerElement)
             .blocks(16)
             .h_factor(w.safe_h_factor())
-            .instrument(true);
+            .instrument(true)
+            .simd(simd);
         eprintln!("  [compiling plan for {} triangles...]", n);
         let plan = processor.compile_plan(&w.mesh, w.p, &w.grid);
         let build_ms = plan.build_wall().as_secs_f64() * 1e3;
@@ -373,6 +380,7 @@ fn plan_cmd(r: &mut Runner, sizes: &[usize], timesteps: usize) {
             n_blocks: 16,
             parallel: true,
             instrument: true,
+            simd,
         };
         let mut apply_ms_sum = 0.0;
         let mut last = None;
@@ -466,12 +474,14 @@ fn amr_cmd(r: &mut Runner, sizes: &[usize], frames: usize) {
             n_blocks: 16,
             parallel: true,
             instrument: true,
+            simd: r.simd,
             ..CompileOptions::default()
         };
         let apply_opts = ApplyOptions {
             n_blocks: 16,
             parallel: true,
             instrument: true,
+            simd: r.simd,
         };
         // The front never refines an element owning the longest edge:
         // that would change the kernel scale h and force a full rebuild.
@@ -656,12 +666,14 @@ fn bench_cmd(opts: &CliOptions) {
     eprintln!("  [compiling plan for {} triangles...]", plan_size);
     let processor = PostProcessor::new(Scheme::PerElement)
         .blocks(16)
-        .h_factor(w.safe_h_factor());
+        .h_factor(w.safe_h_factor())
+        .simd(opts.simd);
     let plan = processor.compile_plan(&w.mesh, w.p, &w.grid);
     let apply_opts = ApplyOptions {
         n_blocks: 16,
         parallel: true,
         instrument: false,
+        simd: opts.simd,
     };
     let (wall, sol) = min_of(reps, || plan.apply_with(&w.field, &apply_opts));
     let name = format!("plan.apply/{}", size_label(plan_size));
@@ -682,10 +694,13 @@ fn bench_cmd(opts: &CliOptions) {
         use ustencil_plan::{CompileOptions, DirtySet};
         let moved = displace_band(&w.mesh, 0.475, 0.525, 0.2, opts.seed);
         let moved_grid = ComputationGrid::quadrature_points(&moved, w.p);
+        // Same policy the base plan compiled under: patched rows must
+        // reduce on the same ISA as the rows they splice into.
         let patch_options = CompileOptions {
             h_factor: w.safe_h_factor(),
             n_blocks: 16,
             parallel: true,
+            simd: opts.simd,
             ..CompileOptions::default()
         };
         eprintln!("  [patching the plan after a band displacement...]");
@@ -706,6 +721,29 @@ fn bench_cmd(opts: &CliOptions) {
         record.push(&name, wall, &metrics);
     }
 
+    // Fixture 1c: the SIMD dispatch ladder on the same plan's row kernel,
+    // scalar vs auto. The names are stable but the dispatched lane width
+    // is pinned as a shape metric, so a host (or a feature-detection
+    // regression) that resolves `auto` to a different ISA shows up in
+    // bench_diff as a workload change rather than a silent timing swing.
+    for policy in [SimdPolicy::Scalar, SimdPolicy::Auto] {
+        let simd_opts = ApplyOptions {
+            n_blocks: 16,
+            parallel: true,
+            instrument: false,
+            simd: policy,
+        };
+        eprintln!("  [applying the plan with simd={}...]", policy.label());
+        let (wall, sol) = min_of(reps, || plan.apply_with(&w.field, &simd_opts));
+        let name = format!("kernel.simd/{}", policy.label());
+        let metrics = [
+            ("lanes", sol.simd.lanes as f64),
+            ("rows", sol.values.len() as f64),
+        ];
+        print_bench_row(&name, wall, &metrics);
+        record.push(&name, wall, &metrics);
+    }
+
     // Fixture 2: the rank-sharded halo exchange at each rank count.
     let w = Workload::build(MeshClass::LowVariance, dist_size, 1, opts.seed);
     for &n_ranks in &ranks {
@@ -713,7 +751,9 @@ fn bench_cmd(opts: &CliOptions) {
             "  [running {} triangles on {} rank(s)...]",
             dist_size, n_ranks
         );
-        let dist_opts = DistOptions::new(n_ranks).h_factor(w.safe_h_factor());
+        let dist_opts = DistOptions::new(n_ranks)
+            .h_factor(w.safe_h_factor())
+            .simd(opts.simd);
         let (wall, sol) = min_of(reps, || {
             run_dist(&w.mesh, &w.field, &w.grid, &dist_opts).unwrap_or_else(|e| {
                 eprintln!("bench dist run failed at {n_ranks} ranks: {e}");
@@ -742,7 +782,8 @@ fn bench_cmd(opts: &CliOptions) {
         );
         let dist_opts = DistOptions::new(n_ranks)
             .h_factor(w.safe_h_factor())
-            .instrument(true);
+            .instrument(true)
+            .simd(opts.simd);
         let (wall, sol) = min_of(reps, || {
             run_dist(&w.mesh, &w.field, &w.grid, &dist_opts).unwrap_or_else(|e| {
                 eprintln!("bench overlap run failed at {n_ranks} ranks: {e}");
@@ -802,12 +843,15 @@ fn print_bench_row(name: &str, wall: f64, metrics: &[(&str, f64)]) {
     println!("{:>28} {:>12.3}  {}", name, wall, m.join(" "));
 }
 
-/// The staged-vs-fused integration micro: one realistic stencil query's
-/// worth of element images, integrated through the shared traversal
-/// driver's staged SoA path and through a fused closure over the same
-/// public primitives. Returns `(name, wall_ms, n_elements)` per variant.
-/// (The Criterion twin lives in `benches/micro_kernels.rs`; this one is
-/// cheap enough to gate CI on.)
+/// The staged-vs-fused integration micro, per polynomial degree
+/// `p in {1, 2, 3}`: one realistic stencil query's worth of element
+/// images, integrated through a fused closure over the public geometry
+/// primitives, through the shared traversal driver's staged SoA path
+/// with the vector reduction forced off (`staged-scalar`), and through
+/// the same staged path on the host's widest ISA (`staged`). Returns
+/// `(name, wall_ms, n_elements)` per variant. (The Criterion twin lives
+/// in `benches/micro_kernels.rs`; this one is cheap enough to gate CI
+/// on.)
 fn micro_integration(reps: usize) -> Vec<(String, f64, usize)> {
     use ustencil_core::integrate::{ElementData, IntegrationCtx};
     use ustencil_core::kernel::{AccumulateSolution, QuadStage, StencilTraversal};
@@ -818,85 +862,100 @@ fn micro_integration(reps: usize) -> Vec<(String, f64, usize)> {
     use ustencil_siac::Stencil2d;
 
     let mesh = generate_mesh(MeshClass::LowVariance, 200, 7);
-    let field = project_l2(&mesh, 2, |x, y| (x * 3.0).sin() + y * y - 0.3 * x * y, 1);
-    let basis = field.basis().clone();
-    let stencil = Stencil2d::symmetric(2, mesh.max_edge_length());
-    let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(2, 2));
-    let exps = basis.monomial_exponents();
-    let center = Point2::new(0.5, 0.5);
-    let support = stencil.support_rect(center);
-    let elems: Vec<ElementData> = (0..mesh.n_triangles())
-        .map(|e| ElementData::gather(&mesh, &field, &basis, e))
-        .filter(|ed| support.intersects_aabb(&ed.bbox))
-        .collect();
-    assert!(!elems.is_empty());
     // Enough sweeps per repetition for a wall resolvable above timer noise.
     const SWEEPS: usize = 20;
+    let mut rows = Vec::new();
 
-    let (fused_wall, _) = min_of(reps, || {
-        let mut total = 0.0;
-        for _ in 0..SWEEPS {
-            for ed in &elems {
-                let h = stencil.h();
-                let n_cells = stencil.cells_per_side();
-                let (lo, _) = stencil.kernel().support();
-                let x_base = center.x + lo * h;
-                let y_base = center.y + lo * h;
-                let bbox = &ed.bbox;
-                let i0 = (((bbox.min.x - x_base) / h).floor().max(0.0)) as usize;
-                let j0 = (((bbox.min.y - y_base) / h).floor().max(0.0)) as usize;
-                if i0 >= n_cells || j0 >= n_cells || bbox.max.x < x_base || bbox.max.y < y_base {
-                    continue;
-                }
-                let i1 = ((((bbox.max.x - x_base) / h).floor()) as usize).min(n_cells - 1);
-                let j1 = ((((bbox.max.y - y_base) / h).floor()) as usize).min(n_cells - 1);
-                for j in j0..=j1 {
-                    for i in i0..=i1 {
-                        let cell = stencil.cell_rect(center, i, j);
-                        let poly = clip_triangle_rect(&ed.tri, &cell);
-                        if poly.is_degenerate(GEOM_EPS) {
-                            continue;
-                        }
-                        for sub in fan_triangulate(&poly) {
-                            total += rule.integrate_physical(&sub, |x, y| {
-                                let p = Point2::new(x, y);
-                                stencil.eval(center, p) * ed.eval(p, exps)
-                            });
+    for p in [1usize, 2, 3] {
+        let field = project_l2(&mesh, p, |x, y| (x * 3.0).sin() + y * y - 0.3 * x * y, 1);
+        let basis = field.basis().clone();
+        let stencil = Stencil2d::symmetric(p, mesh.max_edge_length());
+        let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(p, p));
+        let exps = basis.monomial_exponents();
+        let center = Point2::new(0.5, 0.5);
+        let support = stencil.support_rect(center);
+        let elems: Vec<ElementData> = (0..mesh.n_triangles())
+            .map(|e| ElementData::gather(&mesh, &field, &basis, e))
+            .filter(|ed| support.intersects_aabb(&ed.bbox))
+            .collect();
+        assert!(!elems.is_empty());
+
+        let (fused_wall, _) = min_of(reps, || {
+            let mut total = 0.0;
+            for _ in 0..SWEEPS {
+                for ed in &elems {
+                    let h = stencil.h();
+                    let n_cells = stencil.cells_per_side();
+                    let (lo, _) = stencil.kernel().support();
+                    let x_base = center.x + lo * h;
+                    let y_base = center.y + lo * h;
+                    let bbox = &ed.bbox;
+                    let i0 = (((bbox.min.x - x_base) / h).floor().max(0.0)) as usize;
+                    let j0 = (((bbox.min.y - y_base) / h).floor().max(0.0)) as usize;
+                    if i0 >= n_cells || j0 >= n_cells || bbox.max.x < x_base || bbox.max.y < y_base
+                    {
+                        continue;
+                    }
+                    let i1 = ((((bbox.max.x - x_base) / h).floor()) as usize).min(n_cells - 1);
+                    let j1 = ((((bbox.max.y - y_base) / h).floor()) as usize).min(n_cells - 1);
+                    for j in j0..=j1 {
+                        for i in i0..=i1 {
+                            let cell = stencil.cell_rect(center, i, j);
+                            let poly = clip_triangle_rect(&ed.tri, &cell);
+                            if poly.is_degenerate(GEOM_EPS) {
+                                continue;
+                            }
+                            for sub in fan_triangulate(&poly) {
+                                total += rule.integrate_physical(&sub, |x, y| {
+                                    let pt = Point2::new(x, y);
+                                    stencil.eval(center, pt) * ed.eval(pt, exps)
+                                });
+                            }
                         }
                     }
                 }
             }
-        }
-        total
-    });
-
-    let trav = StencilTraversal::new(&stencil, &rule, exps, basis.n_modes());
-    let mut stage = QuadStage::default();
-    let mut metrics = Metrics::default();
-    let mut sink = AccumulateSolution::new();
-    let (staged_wall, _) = min_of(reps, || {
-        let mut total = 0.0;
-        for _ in 0..SWEEPS {
-            for ed in &elems {
-                trav.integrate_image(center, ed, Vec2::ZERO, &mut stage, &mut sink, &mut metrics);
-                total += sink.take();
-            }
-        }
-        total
-    });
-
-    vec![
-        (
-            "micro.integration/fused".to_string(),
+            total
+        });
+        rows.push((
+            format!("micro.integration/fused/p{p}"),
             fused_wall,
             elems.len(),
-        ),
-        (
-            "micro.integration/staged".to_string(),
-            staged_wall,
-            elems.len(),
-        ),
-    ]
+        ));
+
+        for (variant, isa) in [
+            ("staged-scalar", SimdIsa::Scalar),
+            ("staged", SimdPolicy::Auto.resolve()),
+        ] {
+            let trav = StencilTraversal::new(&stencil, &rule, exps, basis.n_modes()).with_simd(isa);
+            let mut stage = QuadStage::default();
+            let mut metrics = Metrics::default();
+            let mut sink = AccumulateSolution::new();
+            let (wall, _) = min_of(reps, || {
+                let mut total = 0.0;
+                for _ in 0..SWEEPS {
+                    for ed in &elems {
+                        trav.integrate_image(
+                            center,
+                            ed,
+                            Vec2::ZERO,
+                            &mut stage,
+                            &mut sink,
+                            &mut metrics,
+                        );
+                        total += sink.take();
+                    }
+                }
+                total
+            });
+            rows.push((
+                format!("micro.integration/{variant}/p{p}"),
+                wall,
+                elems.len(),
+            ));
+        }
+    }
+    rows
 }
 
 /// The `profile` subcommand: run both schemes on the smallest configured
@@ -979,6 +1038,50 @@ fn checkjson(path: &str) -> Result<(), String> {
         }
         if (run.scheme == SCHEME_LABEL || run.scheme == PATCH_SCHEME_LABEL) && run.plan.is_none() {
             return Err(format!("{ctx}: plan run without plan stats"));
+        }
+        // Schema v6: every evaluation run (direct schemes, plan apply,
+        // plan patch, the rank-sharded runtime) reports which SIMD ISA its
+        // reduction dispatched to and the throughput it achieved; serve
+        // records aggregate applies of heterogeneous plans and carry none.
+        if run.scheme == SERVE_SCHEME_LABEL {
+            if run.simd.is_some() {
+                return Err(format!(
+                    "{ctx}: serve run with a simd record (serve aggregates \
+                     heterogeneous applies)"
+                ));
+            }
+        } else {
+            let simd = run
+                .simd
+                .as_ref()
+                .ok_or_else(|| format!("{ctx}: run without a simd record"))?;
+            if SimdPolicy::from_label(&simd.policy).is_none() {
+                return Err(format!("{ctx}: unknown simd policy '{}'", simd.policy));
+            }
+            let lanes_match_isa = matches!(
+                (simd.isa.as_str(), simd.lanes),
+                ("scalar", 1) | ("avx2", 4) | ("avx512", 8)
+            );
+            if !lanes_match_isa {
+                return Err(format!(
+                    "{ctx}: simd isa '{}' reporting {} lane(s)",
+                    simd.isa, simd.lanes
+                ));
+            }
+            if !simd.gflops.is_finite() || simd.gflops <= 0.0 {
+                return Err(format!(
+                    "{ctx}: simd record with non-positive throughput {} GFLOP/s",
+                    simd.gflops
+                ));
+            }
+            // No upper bound: the denominator is the *single-core* nominal
+            // peak, and a parallel apply may legitimately exceed it.
+            if !simd.fraction_of_peak.is_finite() || simd.fraction_of_peak <= 0.0 {
+                return Err(format!(
+                    "{ctx}: non-positive fraction_of_peak {}",
+                    simd.fraction_of_peak
+                ));
+            }
         }
         // Schema v5: the `delta` object is present exactly on plan+patch
         // runs, its row/nnz counts are conserved against the plan, and the
@@ -1219,7 +1322,7 @@ fn main() {
         .clone()
         .unwrap_or_else(|| mesh_sizes(opts.full).to_vec());
     let caps = degree_caps(opts.full);
-    let mut r = Runner::new(opts.seed);
+    let mut r = Runner::new(opts.seed, opts.simd);
 
     match opts.command.as_str() {
         "table1" => table1(&mut r, &sizes),

@@ -5,6 +5,8 @@
 //! defaults, and flags that need values fail loudly when the value is
 //! missing or malformed.
 
+use ustencil_core::SimdPolicy;
+
 /// Usage text printed on parse errors and `--help`.
 pub const USAGE: &str = "\
 usage: reproduce <command> [options]
@@ -48,6 +50,11 @@ options:
                       (default 200)
   --frames F          frames an `amr` run advances the moving front
                       (default 4)
+  --simd P            SIMD dispatch policy of the evaluation kernels:
+                      auto (widest ISA the host supports, the default),
+                      scalar (the bitwise-reproducible fallback), f64x4
+                      (force AVX2+FMA), f64x8 (force AVX-512); a forced
+                      width falls back to scalar when the host lacks it
   --full              lift the size ladder and degree caps to paper scale
   --json <path>       also write the structured RunReport as JSON
   --record <path>     write the `bench` record as JSON (versioned schema)
@@ -94,6 +101,8 @@ pub struct CliOptions {
     pub requests: usize,
     /// Frames an `amr` run advances the moving front.
     pub frames: usize,
+    /// SIMD dispatch policy of the evaluation kernels (`--simd`).
+    pub simd: SimdPolicy,
     /// Whether `--full` was given.
     pub full: bool,
     /// `--json` output path, when given.
@@ -120,6 +129,7 @@ impl Default for CliOptions {
             clients: 8,
             requests: 200,
             frames: 4,
+            simd: SimdPolicy::Auto,
             full: false,
             json: None,
             record: None,
@@ -211,6 +221,12 @@ pub fn parse_cli(args: &[String]) -> Result<CliOptions, String> {
                     .ok()
                     .filter(|&f| f > 0)
                     .ok_or_else(|| format!("--frames value '{v}' is not a positive integer"))?;
+            }
+            "--simd" => {
+                let v = value_of(&mut it, "--simd")?;
+                opts.simd = SimdPolicy::from_label(v).ok_or_else(|| {
+                    format!("--simd value '{v}' is not one of auto, scalar, f64x4, f64x8")
+                })?;
             }
             "--json" => {
                 opts.json = Some(value_of(&mut it, "--json")?.to_string());
@@ -439,6 +455,26 @@ mod tests {
             .unwrap_err()
             .contains("positive integer"));
         assert!(parse(&["amr", "--frames"])
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn simd_flag() {
+        use ustencil_core::SimdWidth;
+        // Every label round-trips through the flag...
+        for policy in SimdPolicy::ALL {
+            let opts = parse(&["bench", "--simd", policy.label()]).unwrap();
+            assert_eq!(opts.simd, policy);
+        }
+        let opts = parse(&["plan", "--simd", "f64x4"]).unwrap();
+        assert_eq!(opts.simd, SimdPolicy::Forced(SimdWidth::F64x4));
+        // ...the default is auto, and junk fails loudly.
+        assert_eq!(parse(&["bench"]).unwrap().simd, SimdPolicy::Auto);
+        assert!(parse(&["bench", "--simd", "avx99"])
+            .unwrap_err()
+            .contains("not one of"));
+        assert!(parse(&["bench", "--simd"])
             .unwrap_err()
             .contains("needs a value"));
     }

@@ -9,6 +9,8 @@ use crate::metrics::Metrics;
 use crate::per_element::{reduce_patches, PerElementRun};
 use crate::per_point::PerPointRun;
 use crate::probe::BlockStats;
+use crate::report::SimdRecord;
+use crate::simd::SimdPolicy;
 use std::time::{Duration, Instant};
 use ustencil_dg::DgField;
 use ustencil_mesh::{partition_recursive_bisection, TriMesh};
@@ -72,6 +74,8 @@ pub struct ProcessorSettings {
     pub instrument: bool,
     /// Traversal/storage order for points and elements.
     pub layout: Layout,
+    /// SIMD dispatch policy of the evaluation kernels.
+    pub simd: SimdPolicy,
 }
 
 /// Configured SIAC post-processor.
@@ -106,6 +110,7 @@ pub struct PostProcessor {
     parallel: bool,
     instrument: bool,
     layout: Layout,
+    simd: SimdPolicy,
 }
 
 impl PostProcessor {
@@ -121,6 +126,7 @@ impl PostProcessor {
             parallel: true,
             instrument: false,
             layout: Layout::Natural,
+            simd: SimdPolicy::Auto,
         }
     }
 
@@ -177,6 +183,18 @@ impl PostProcessor {
         self
     }
 
+    /// Sets the SIMD dispatch policy of the evaluation kernels (default
+    /// [`SimdPolicy::Auto`]: the widest ISA this host supports).
+    ///
+    /// [`SimdPolicy::Scalar`] runs the bit-exact pre-SIMD loops; vector
+    /// ISAs agree with scalar to ≤1e-12 (the reductions are reassociated
+    /// and FMA-contracted). For a fixed policy on a fixed CPU, results are
+    /// deterministic.
+    pub fn simd(mut self, policy: SimdPolicy) -> Self {
+        self.simd = policy;
+        self
+    }
+
     /// The configured scheme.
     pub fn scheme(&self) -> Scheme {
         self.scheme
@@ -193,6 +211,7 @@ impl PostProcessor {
             parallel: self.parallel,
             instrument: self.instrument,
             layout: self.layout,
+            simd: self.simd,
         }
     }
 
@@ -254,6 +273,7 @@ impl PostProcessor {
             (stencil, rule)
         };
 
+        let simd_isa = self.simd.resolve();
         let start = Instant::now();
         let (values, block_stats) = match self.scheme {
             Scheme::PerPoint => {
@@ -268,6 +288,7 @@ impl PostProcessor {
                     stencil: &stencil,
                     tri_grid: &tri_grid,
                     rule: &rule,
+                    simd: simd_isa,
                 };
                 let _span = tracer.span("eval.per_point");
                 run.run_instrumented(self.n_blocks, self.parallel, self.instrument)
@@ -288,6 +309,7 @@ impl PostProcessor {
                     stencil: &stencil,
                     point_grid: &point_grid,
                     rule: &rule,
+                    simd: simd_isa,
                 };
                 let (results, stats) = {
                     let _span = tracer.span("eval.per_element");
@@ -309,16 +331,19 @@ impl PostProcessor {
         };
         let wall = start.elapsed();
         let block_metrics = BlockStats::metrics_of(&block_stats);
+        let metrics = Metrics::sum(&block_metrics);
+        let simd = SimdRecord::measured(self.simd, simd_isa, metrics.flops, wall.as_secs_f64());
 
         Solution {
             values,
-            metrics: Metrics::sum(&block_metrics),
+            metrics,
             block_metrics,
             block_stats,
             spans: tracer.records(),
             wall,
             stencil_width: stencil.width(),
             scheme: self.scheme,
+            simd,
         }
     }
 }
@@ -344,6 +369,9 @@ pub struct Solution {
     pub stencil_width: f64,
     /// The scheme that produced this solution.
     pub scheme: Scheme,
+    /// SIMD dispatch summary: requested policy, resolved ISA, and achieved
+    /// fraction of nominal peak.
+    pub simd: SimdRecord,
 }
 
 impl Solution {
@@ -572,7 +600,8 @@ mod tests {
             .blocks(7)
             .parallel(false)
             .instrument(true)
-            .layout(Layout::Hilbert);
+            .layout(Layout::Hilbert)
+            .simd(SimdPolicy::Scalar);
         let s = pp.settings();
         assert_eq!(s.scheme, Scheme::PerElement);
         assert_eq!(s.smoothness, Some(2));
@@ -581,6 +610,7 @@ mod tests {
         assert!(!s.parallel);
         assert!(s.instrument);
         assert_eq!(s.layout, Layout::Hilbert);
+        assert_eq!(s.simd, SimdPolicy::Scalar);
         // Defaults: no smoothness override, paper defaults elsewhere.
         let d = PostProcessor::new(Scheme::PerPoint).settings();
         assert_eq!(d.smoothness, None);
@@ -589,6 +619,48 @@ mod tests {
         assert!(d.parallel);
         assert!(!d.instrument);
         assert_eq!(d.layout, Layout::Natural);
+        assert_eq!(d.simd, SimdPolicy::Auto);
+    }
+
+    #[test]
+    fn simd_policies_agree_across_schemes_and_meshes() {
+        // Auto (widest vector ISA), every forced width, and scalar must
+        // agree ≤1e-12 on random meshes under both direct schemes; the
+        // record must name the resolved ISA and its lane width.
+        for (seed, class) in [
+            (31u64, MeshClass::LowVariance),
+            (77, MeshClass::HighVariance),
+        ] {
+            let mesh = generate_mesh(class, 160, seed);
+            let field = project_l2(
+                &mesh,
+                2,
+                |x, y| (TAU * x).sin() - 0.6 * y * y,
+                seed as usize,
+            );
+            let grid = ComputationGrid::quadrature_points(&mesh, 2);
+            for scheme in Scheme::ALL {
+                let scalar = PostProcessor::new(scheme)
+                    .h_factor(0.25)
+                    .parallel(false)
+                    .simd(SimdPolicy::Scalar)
+                    .run(&mesh, &field, &grid);
+                assert_eq!(scalar.simd.isa, "scalar");
+                assert_eq!(scalar.simd.lanes, 1);
+                for policy in SimdPolicy::ALL {
+                    let sol = PostProcessor::new(scheme)
+                        .h_factor(0.25)
+                        .parallel(false)
+                        .simd(policy)
+                        .run(&mesh, &field, &grid);
+                    let diff = sol.max_abs_diff(&scalar);
+                    assert!(diff <= 1e-12, "{scheme:?}/{policy:?}: diff {diff}");
+                    // Work counters model the traversal, not the ISA.
+                    assert_eq!(sol.metrics, scalar.metrics, "{scheme:?}/{policy:?}");
+                    assert_eq!(sol.simd.policy, policy.label());
+                }
+            }
+        }
     }
 
     #[test]

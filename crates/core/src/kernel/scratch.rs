@@ -3,19 +3,57 @@
 //! Every buffer the hot loop needs lives here, owned by one worker and
 //! reused across queries: the candidate id list of the current hash-grid
 //! query, a direct-mapped [`ElementData`] cache that removes repeated
-//! gathers of the same element, and the SoA quadrature staging buffers the
+//! gathers of the same element, and the sub-triangle staging buffer the
 //! cells-then-modes integration loop consumes. After the first few queries
 //! warm the buffers up to their steady-state capacity, the per-query path
 //! performs no heap allocation (see [`ScratchCapacity`] and the purity
 //! tests).
 
 use crate::integrate::{ElementData, MAX_MODES};
+use crate::simd::SimdIsa;
+use ustencil_geometry::{Point2, Triangle, Vec2};
+use ustencil_quadrature::TriangleRule;
+use ustencil_siac::Kernel1d;
 
 /// Slots of the direct-mapped element cache (power of two). Sized so the
 /// cache covers the working set of one stencil query (tens of candidates)
 /// plus the overlap between neighbouring queries, while keeping the
 /// per-worker footprint bounded (~56 KiB of `ElementData`).
 const ELEM_CACHE_SLOTS: usize = 256;
+
+/// Zero-padded SoA copy of a quadrature rule's nodes and weights,
+/// precomputed once per run (the rule never changes across a traversal) so
+/// the vector reductions load whole blocks without masking: lanes past the
+/// rule's length carry zero weight and therefore contribute exactly
+/// nothing to any mode.
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+#[derive(Debug, Clone)]
+pub(crate) struct RuleSoa {
+    /// Unit-triangle `u` per node, padded with zeros to a multiple of 8.
+    pub(crate) u: Vec<f64>,
+    /// Unit-triangle `v` per node, padded likewise.
+    pub(crate) v: Vec<f64>,
+    /// Rule weight per node, padded with zeros (the annihilator).
+    pub(crate) w: Vec<f64>,
+    /// True (unpadded) node count.
+    pub(crate) nq: usize,
+}
+
+impl RuleSoa {
+    pub(crate) fn new(rule: &TriangleRule) -> Self {
+        let nq = rule.len();
+        let padded = nq.div_ceil(8) * 8;
+        let mut u = vec![0.0; padded];
+        let mut v = vec![0.0; padded];
+        let mut w = vec![0.0; padded];
+        for (q, (&(pu, pv), &pw)) in rule.points().iter().zip(rule.weights()).enumerate() {
+            u[q] = pu;
+            v[q] = pv;
+            w[q] = pw;
+        }
+        Self { u, v, w, nq }
+    }
+}
 
 /// Direct-mapped cache of gathered [`ElementData`], keyed by element id.
 ///
@@ -59,89 +97,631 @@ impl ElemCache {
     }
 }
 
-/// SoA staging buffers for the quadrature points of one element-image
+/// Everything the staged mode reduction needs beyond the sub-triangles
+/// themselves — the quadrature rule, the compiled SIAC kernel, and the
+/// affine frames (stencil center / periodic shift / element reference map)
+/// that turn a unit-triangle quadrature node into kernel- and
+/// element-frame coordinates.
+pub(crate) struct ReduceCtx<'a> {
+    /// Monomial exponent table of the element basis.
+    pub(crate) exps: &'a [(usize, usize)],
+    /// Number of leading `exps` slots to reduce.
+    pub(crate) n_modes: usize,
+    /// Resolved ISA to dispatch on.
+    pub(crate) isa: SimdIsa,
+    /// The 1-D SIAC kernel (its compiled piecewise table feeds the
+    /// lane-parallel evaluation).
+    pub(crate) kernel: &'a Kernel1d,
+    /// Quadrature rule applied to every staged sub-triangle.
+    pub(crate) rule: &'a TriangleRule,
+    /// Padded SoA copy of `rule` the vector arms batch from.
+    pub(crate) soa: &'a RuleSoa,
+    /// Reciprocal stencil scaling `1/h`.
+    pub(crate) inv_h: f64,
+    /// Stencil center (kernel frame origin).
+    pub(crate) center: Point2,
+    /// Periodic shift applied to the element image.
+    pub(crate) shift: Vec2,
+    /// Element reference-map origin.
+    pub(crate) origin: Point2,
+    /// Element reference-map inverse (row-major 2×2).
+    pub(crate) inv: [f64; 4],
+}
+
+/// Staging buffer holding the surviving sub-triangles of one element-image
 /// integration.
 ///
-/// The traversal driver clips and fan-triangulates first, streaming every
-/// surviving quadrature point into these parallel arrays (kernel-scaled
-/// weight plus the element-frame coordinate powers), then evaluates all
-/// modes over the staged batch — the cells-then-modes loop order that keeps
-/// the innermost loop a branch-free multiply-accumulate over contiguous
-/// `f64` slices.
+/// The traversal driver clips and fan-triangulates first, staging each
+/// surviving sub-triangle with its Jacobian. The whole per-point pipeline —
+/// mapping quadrature nodes to physical points, the piecewise-polynomial
+/// SIAC kernel weighting, the element-frame transform, and the monomial
+/// mode reduction — then runs over the staged batch in one pass, the
+/// cells-then-modes loop order. On the vector ISAs that entire pipeline is
+/// lane-parallel across quadrature nodes: the unit-triangle map and the
+/// element transform are affine FMAs, the kernel's Horner step gathers
+/// per-lane cell coefficients, and the coordinates are raised to their
+/// monomial powers in registers, so the branchy per-point work of the
+/// fused path becomes straight-line vector code.
 #[derive(Debug, Clone, Default)]
 pub struct QuadStage {
-    len: usize,
-    /// `|J| · ω_q · K_h(p_q - center)` per staged point.
-    w: Vec<f64>,
-    /// Element-frame powers `u^a`, indexed by exponent `a` (0..=3).
-    u_pow: [Vec<f64>; 4],
-    /// Element-frame powers `v^b`, indexed by exponent `b` (0..=3).
-    v_pow: [Vec<f64>; 4],
+    /// Surviving sub-triangles with their absolute Jacobians.
+    subs: Vec<(Triangle, f64)>,
+    /// Vector-arm scratch: effective weights per (sub, node) lane slot.
+    bw: Vec<f64>,
+    /// Vector-arm scratch: element-frame `u` per lane slot.
+    bu: Vec<f64>,
+    /// Vector-arm scratch: element-frame `v` per lane slot.
+    bv: Vec<f64>,
 }
 
 impl QuadStage {
-    /// Number of staged quadrature points.
+    /// Number of staged sub-triangles.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len
+        self.subs.len()
     }
 
     /// True when nothing is staged.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.subs.is_empty()
     }
 
-    /// Discards the staged points (capacity is retained).
+    /// Discards the staged sub-triangles (capacity is retained).
     #[inline]
     pub(crate) fn clear(&mut self) {
-        self.len = 0;
-        self.w.clear();
-        for p in &mut self.u_pow {
-            p.clear();
-        }
-        for p in &mut self.v_pow {
-            p.clear();
-        }
+        self.subs.clear();
     }
 
-    /// Stages one quadrature point: kernel-scaled weight `w` and the
-    /// element-frame coordinates `(u, v)` of the physical point.
+    /// Stages one clipped sub-triangle with its absolute Jacobian
+    /// `jac = |∂(x,y)/∂(u,v)|`.
     #[inline]
-    pub(crate) fn push(&mut self, w: f64, u: f64, v: f64) {
-        self.w.push(w);
-        let u2 = u * u;
-        let v2 = v * v;
-        self.u_pow[0].push(1.0);
-        self.u_pow[1].push(u);
-        self.u_pow[2].push(u2);
-        self.u_pow[3].push(u2 * u);
-        self.v_pow[0].push(1.0);
-        self.v_pow[1].push(v);
-        self.v_pow[2].push(v2);
-        self.v_pow[3].push(v2 * v);
-        self.len += 1;
+    pub(crate) fn push(&mut self, tri: Triangle, jac: f64) {
+        self.subs.push((tri, jac));
     }
 
     /// Reduces the staged batch to per-monomial sums
-    /// `S[slot] = Σ_q w_q · u_q^a · v_q^b` for the first `n_modes` exponent
-    /// pairs of `exps` — the modes loop of the cells-then-modes order. Each
-    /// slot's inner loop is a straight dot product over three contiguous
-    /// slices, which the compiler auto-vectorizes.
-    pub(crate) fn mono_sums(&self, exps: &[(usize, usize)], n_modes: usize) -> [f64; MAX_MODES] {
+    /// `S[slot] = Σ_T Σ_q w · u^a · v^b` with
+    /// `w = (|J_T|·ω_q) · K(dx) · K(dy) / h²` over every staged
+    /// sub-triangle `T` and rule node `q`, for the first `n_modes`
+    /// exponent pairs — the modes loop of the cells-then-modes order,
+    /// dispatched on `ctx.isa`.
+    ///
+    /// The scalar arm performs, per node, exactly the historical
+    /// expression tree — [`Triangle::map_from_unit`], the element
+    /// reference transform, `w = (|J|·ω) · ((K(dx)·K(dy))·h⁻¹)·h⁻¹` via
+    /// [`Kernel1d::eval`], powers built as `u·u` and `(u·u)·u`, products
+    /// associated `(w·uᵃ)·vᵇ`, per-slot accumulation in node order — so
+    /// [`SimdIsa::Scalar`] reproduces pre-SIMD results bitwise. The
+    /// vector arms batch the rule's nodes into blocks of 4 (AVX2+FMA) or
+    /// 8 (AVX-512) lanes and run the pipeline in two register-friendly
+    /// passes. Pass 1 (geometry + kernel, per staged sub-triangle):
+    /// affine FMAs for both coordinate maps, then a clamped floor +
+    /// coefficient gather + lane-parallel Horner for each kernel factor,
+    /// packing the effective weight and element-frame coordinates of
+    /// every lane slot into SoA scratch streams. Pass 2 (modes): one
+    /// dense sweep over the packed streams raising the coordinates to
+    /// their monomial powers and feeding every mode's FMA accumulator.
+    /// Each accumulator is collapsed by a fixed-order horizontal
+    /// reduction at the end — deterministic run-to-run, within 1e-12 of
+    /// scalar (the lane split reassociates the sum).
+    pub(crate) fn mono_sums(&mut self, ctx: &ReduceCtx<'_>) -> [f64; MAX_MODES] {
+        match ctx.isa {
+            SimdIsa::Scalar => self.mono_sums_scalar(ctx),
+            // SAFETY: `resolve` only yields these ISAs when the CPU
+            // reports the matching feature flags.
+            #[cfg(target_arch = "x86_64")]
+            SimdIsa::Avx2 => unsafe { self.mono_sums_avx2(ctx) },
+            #[cfg(target_arch = "x86_64")]
+            SimdIsa::Avx512 => unsafe { self.mono_sums_avx512(ctx) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => self.mono_sums_scalar(ctx),
+        }
+    }
+
+    fn mono_sums_scalar(&self, ctx: &ReduceCtx<'_>) -> [f64; MAX_MODES] {
         let mut sums = [0.0f64; MAX_MODES];
-        let w = &self.w[..self.len];
-        for (slot, &(a, b)) in exps.iter().enumerate().take(n_modes) {
-            let ua = &self.u_pow[a][..self.len];
-            let vb = &self.v_pow[b][..self.len];
-            let mut acc = 0.0;
-            for q in 0..self.len {
-                acc += w[q] * ua[q] * vb[q];
+        let (du, dv) = max_degrees(ctx.exps, ctx.n_modes);
+        let q_points = ctx.rule.points();
+        let q_weights = ctx.rule.weights();
+        for &(tri, jac) in &self.subs {
+            for (&(uq, vq), &wq) in q_points.iter().zip(q_weights) {
+                let p = tri.map_from_unit(uq, vq);
+                let d = (p - ctx.shift) - ctx.origin;
+                let u = ctx.inv[0] * d.x + ctx.inv[1] * d.y;
+                let v = ctx.inv[2] * d.x + ctx.inv[3] * d.y;
+                // Exactly `Stencil2d::eval`'s multiplication tree, applied
+                // to the geometric pre-weight in the historical order.
+                let kx = ctx.kernel.eval((p.x - ctx.center.x) * ctx.inv_h);
+                let ky = ctx.kernel.eval((p.y - ctx.center.y) * ctx.inv_h);
+                let w = (jac * wq) * (((kx * ky) * ctx.inv_h) * ctx.inv_h);
+                // `w·uᵃ` is shared by every mode with the same `a`, so it
+                // is hoisted out of the mode loop — the same product
+                // computed once instead of per slot, with identical bits.
+                // Powers past the basis's maximal exponent never feed an
+                // output and are skipped (the per-node branches are
+                // loop-invariant and predicted perfectly).
+                let mut wu = [w, w * u, 0.0, 0.0];
+                let mut vp = [1.0, v, 0.0, 0.0];
+                if du >= 2 {
+                    let u2 = u * u;
+                    wu[2] = w * u2;
+                    if du >= 3 {
+                        wu[3] = w * (u2 * u);
+                    }
+                }
+                if dv >= 2 {
+                    let v2 = v * v;
+                    vp[2] = v2;
+                    if dv >= 3 {
+                        vp[3] = v2 * v;
+                    }
+                }
+                for (slot, &(a, b)) in ctx.exps.iter().enumerate().take(ctx.n_modes) {
+                    sums[slot] += wu[a] * vp[b];
+                }
             }
-            sums[slot] = acc;
         }
         sums
     }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn mono_sums_avx2(&mut self, ctx: &ReduceCtx<'_>) -> [f64; MAX_MODES] {
+        use core::arch::x86_64::*;
+        let soa = ctx.soa;
+        let nblk = soa.nq.div_ceil(4);
+        let total = self.subs.len() * nblk * 4;
+        if self.bw.len() < total {
+            self.bw.resize(total, 0.0);
+            self.bu.resize(total, 0.0);
+            self.bv.resize(total, 0.0);
+        }
+        let bw = self.bw.as_mut_ptr();
+        let bu = self.bu.as_mut_ptr();
+        let bv = self.bv.as_mut_ptr();
+
+        // Pass 1 — geometry + kernel: per sub-triangle, map every rule
+        // node to its physical point, evaluate both kernel factors, and
+        // pack the effective weight and element-frame coordinates of each
+        // lane slot. No mode accumulators are live here, so the broadcast
+        // frame constants stay in registers. The affine frames are folded
+        // into single-FMA constants: the kernel-frame support shift
+        // `rel = (p − center)/h − lo` becomes `p·h⁻¹ + m`, and the element
+        // transform `inv · (p − shift − origin)` becomes
+        // `i₀·p.x + i₁·p.y + c`.
+        let klo = ctx.kernel.support().0;
+        let invh = _mm256_set1_pd(ctx.inv_h);
+        let mx = _mm256_set1_pd(-(ctx.center.x * ctx.inv_h + klo));
+        let my = _mm256_set1_pd(-(ctx.center.y * ctx.inv_h + klo));
+        let offx = ctx.shift.x + ctx.origin.x;
+        let offy = ctx.shift.y + ctx.origin.y;
+        let i0 = _mm256_set1_pd(ctx.inv[0]);
+        let i1 = _mm256_set1_pd(ctx.inv[1]);
+        let i2 = _mm256_set1_pd(ctx.inv[2]);
+        let i3 = _mm256_set1_pd(ctx.inv[3]);
+        let cu = _mm256_set1_pd(-(ctx.inv[0] * offx + ctx.inv[1] * offy));
+        let cv = _mm256_set1_pd(-(ctx.inv[2] * offx + ctx.inv[3] * offy));
+        let kcells = ctx.kernel.n_cells() as f64;
+        let kdeg = ctx.kernel.smoothness() + 1;
+        let kpp = ctx.kernel.piecewise_table().as_ptr();
+        let inv_h2 = ctx.inv_h * ctx.inv_h;
+        let sou = soa.u.as_ptr();
+        let sov = soa.v.as_ptr();
+        let sow = soa.w.as_ptr();
+        let mut out = 0usize;
+        for &(tri, jac) in &self.subs {
+            let e1 = tri.b - tri.a;
+            let e2 = tri.c - tri.a;
+            let ax = _mm256_set1_pd(tri.a.x);
+            let ay = _mm256_set1_pd(tri.a.y);
+            let e1x = _mm256_set1_pd(e1.x);
+            let e1y = _mm256_set1_pd(e1.y);
+            let e2x = _mm256_set1_pd(e2.x);
+            let e2y = _mm256_set1_pd(e2.y);
+            // `|J|·h⁻²` folded scalar-side: one broadcast weight factor.
+            let jw = _mm256_set1_pd(jac * inv_h2);
+            for blk in 0..nblk {
+                let base = blk * 4;
+                let uq = _mm256_loadu_pd(sou.add(base));
+                let vq = _mm256_loadu_pd(sov.add(base));
+                let wq = _mm256_loadu_pd(sow.add(base));
+                // Affine unit-triangle map: p = a + u·(b−a) + v·(c−a).
+                let px = _mm256_fmadd_pd(vq, e2x, _mm256_fmadd_pd(uq, e1x, ax));
+                let py = _mm256_fmadd_pd(vq, e2y, _mm256_fmadd_pd(uq, e1y, ay));
+                let relx = _mm256_fmadd_pd(px, invh, mx);
+                let rely = _mm256_fmadd_pd(py, invh, my);
+                let kx = kernel1d_eval_avx2(relx, kcells, kpp, kdeg);
+                let ky = kernel1d_eval_avx2(rely, kcells, kpp, kdeg);
+                let w = _mm256_mul_pd(_mm256_mul_pd(jw, wq), _mm256_mul_pd(kx, ky));
+                let u = _mm256_fmadd_pd(i0, px, _mm256_fmadd_pd(i1, py, cu));
+                let v = _mm256_fmadd_pd(i2, px, _mm256_fmadd_pd(i3, py, cv));
+                _mm256_storeu_pd(bw.add(out), w);
+                _mm256_storeu_pd(bu.add(out), u);
+                _mm256_storeu_pd(bv.add(out), v);
+                out += 4;
+            }
+        }
+
+        // Pass 2 — modes: one dense sweep over the packed streams. Only
+        // the power vectors and the accumulators are live.
+        let mut acc = [_mm256_setzero_pd(); MAX_MODES];
+        let ones = _mm256_set1_pd(1.0);
+        let zero = _mm256_setzero_pd();
+        let (du, dv) = max_degrees(ctx.exps, ctx.n_modes);
+        for base in (0..total).step_by(4) {
+            let w = _mm256_loadu_pd(bw.add(base));
+            let u = _mm256_loadu_pd(bu.add(base));
+            let v = _mm256_loadu_pd(bv.add(base));
+            // `w·uᵃ` hoisted out of the mode loop; powers past the
+            // basis's maximal exponent are skipped (loop-invariant
+            // branches).
+            let mut wu = [w, _mm256_mul_pd(w, u), zero, zero];
+            let mut vpow = [ones, v, zero, zero];
+            if du >= 2 {
+                let u2 = _mm256_mul_pd(u, u);
+                wu[2] = _mm256_mul_pd(w, u2);
+                if du >= 3 {
+                    wu[3] = _mm256_mul_pd(w, _mm256_mul_pd(u2, u));
+                }
+            }
+            if dv >= 2 {
+                let v2 = _mm256_mul_pd(v, v);
+                vpow[2] = v2;
+                if dv >= 3 {
+                    vpow[3] = _mm256_mul_pd(v2, v);
+                }
+            }
+            for (slot, &(a, b)) in ctx.exps.iter().enumerate().take(ctx.n_modes) {
+                acc[slot] = _mm256_fmadd_pd(wu[a], vpow[b], acc[slot]);
+            }
+        }
+        let mut sums = [0.0f64; MAX_MODES];
+        for (sum, acc) in sums.iter_mut().zip(&acc).take(ctx.n_modes) {
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), *acc);
+            *sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        }
+        sums
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn mono_sums_avx512(&mut self, ctx: &ReduceCtx<'_>) -> [f64; MAX_MODES] {
+        use core::arch::x86_64::*;
+        let soa = ctx.soa;
+        let nblk = soa.nq.div_ceil(8);
+        // Low-order rules (the degree-1 case's 4-node rule) fill only half
+        // a block, so two staged sub-triangles share each one: the low
+        // lanes carry one sub, the high lanes the next, against the same
+        // rule nodes.
+        let paired = soa.nq <= 4;
+        let total = if paired {
+            self.subs.len().div_ceil(2) * 8
+        } else {
+            self.subs.len() * nblk * 8
+        };
+        if self.bw.len() < total {
+            self.bw.resize(total, 0.0);
+            self.bu.resize(total, 0.0);
+            self.bv.resize(total, 0.0);
+        }
+        let bw = self.bw.as_mut_ptr();
+        let bu = self.bu.as_mut_ptr();
+        let bv = self.bv.as_mut_ptr();
+
+        // Pass 1 — geometry + kernel: per sub-triangle, map every rule
+        // node to its physical point, evaluate both kernel factors, and
+        // pack the effective weight and element-frame coordinates of each
+        // lane slot. No mode accumulators are live here, so the broadcast
+        // frame constants stay in registers. The affine frames are folded
+        // into single-FMA constants: the kernel-frame support shift
+        // `rel = (p − center)/h − lo` becomes `p·h⁻¹ + m`, and the element
+        // transform `inv · (p − shift − origin)` becomes
+        // `i₀·p.x + i₁·p.y + c`.
+        let klo = ctx.kernel.support().0;
+        let invh = _mm512_set1_pd(ctx.inv_h);
+        let mx = _mm512_set1_pd(-(ctx.center.x * ctx.inv_h + klo));
+        let my = _mm512_set1_pd(-(ctx.center.y * ctx.inv_h + klo));
+        let offx = ctx.shift.x + ctx.origin.x;
+        let offy = ctx.shift.y + ctx.origin.y;
+        let i0 = _mm512_set1_pd(ctx.inv[0]);
+        let i1 = _mm512_set1_pd(ctx.inv[1]);
+        let i2 = _mm512_set1_pd(ctx.inv[2]);
+        let i3 = _mm512_set1_pd(ctx.inv[3]);
+        let cu = _mm512_set1_pd(-(ctx.inv[0] * offx + ctx.inv[1] * offy));
+        let cv = _mm512_set1_pd(-(ctx.inv[2] * offx + ctx.inv[3] * offy));
+        let kcells = ctx.kernel.n_cells() as f64;
+        let kdeg = ctx.kernel.smoothness() + 1;
+        let kpp = ctx.kernel.piecewise_table().as_ptr();
+        let inv_h2 = ctx.inv_h * ctx.inv_h;
+        // The smoothness-1 kernel's whole piecewise table (4 cells × 2
+        // coefficients) fits a single register, turning every coefficient
+        // lookup into an in-register permute instead of a memory gather —
+        // the gather's ~20-cycle latency dominates exactly the small-batch
+        // shapes this kernel runs at.
+        let table_len = ctx.kernel.n_cells() * kdeg;
+        let table_reg = if table_len <= 8 {
+            _mm512_maskz_loadu_pd(((1u16 << table_len) - 1) as u8, kpp)
+        } else {
+            _mm512_setzero_pd()
+        };
+        let sou = soa.u.as_ptr();
+        let sov = soa.v.as_ptr();
+        let sow = soa.w.as_ptr();
+        let mut out = 0usize;
+        if paired {
+            // Rule nodes replicated into both halves; per-pair constants
+            // are split broadcasts (sub A low, sub B high). An odd tail
+            // re-runs sub A with zero weight in the high half.
+            let uq = _mm512_broadcast_f64x4(_mm256_loadu_pd(sou));
+            let vq = _mm512_broadcast_f64x4(_mm256_loadu_pd(sov));
+            let wq = _mm512_broadcast_f64x4(_mm256_loadu_pd(sow));
+            let mut i = 0usize;
+            while i < self.subs.len() {
+                let (t0, j0) = self.subs[i];
+                let (t1, j1) = if i + 1 < self.subs.len() {
+                    self.subs[i + 1]
+                } else {
+                    (t0, 0.0)
+                };
+                let e1a = t0.b - t0.a;
+                let e2a = t0.c - t0.a;
+                let e1b = t1.b - t1.a;
+                let e2b = t1.c - t1.a;
+                let ax = pair_pd(t0.a.x, t1.a.x);
+                let ay = pair_pd(t0.a.y, t1.a.y);
+                let e1x = pair_pd(e1a.x, e1b.x);
+                let e1y = pair_pd(e1a.y, e1b.y);
+                let e2x = pair_pd(e2a.x, e2b.x);
+                let e2y = pair_pd(e2a.y, e2b.y);
+                let jw = pair_pd(j0 * inv_h2, j1 * inv_h2);
+                // Affine unit-triangle map: p = a + u·(b−a) + v·(c−a).
+                let px = _mm512_fmadd_pd(vq, e2x, _mm512_fmadd_pd(uq, e1x, ax));
+                let py = _mm512_fmadd_pd(vq, e2y, _mm512_fmadd_pd(uq, e1y, ay));
+                let relx = _mm512_fmadd_pd(px, invh, mx);
+                let rely = _mm512_fmadd_pd(py, invh, my);
+                let (kx, ky) = if table_len <= 8 {
+                    (
+                        kernel1d_eval_avx512_table(relx, kcells, table_reg, kdeg),
+                        kernel1d_eval_avx512_table(rely, kcells, table_reg, kdeg),
+                    )
+                } else {
+                    (
+                        kernel1d_eval_avx512(relx, kcells, kpp, kdeg),
+                        kernel1d_eval_avx512(rely, kcells, kpp, kdeg),
+                    )
+                };
+                let w = _mm512_mul_pd(_mm512_mul_pd(jw, wq), _mm512_mul_pd(kx, ky));
+                let u = _mm512_fmadd_pd(i0, px, _mm512_fmadd_pd(i1, py, cu));
+                let v = _mm512_fmadd_pd(i2, px, _mm512_fmadd_pd(i3, py, cv));
+                _mm512_storeu_pd(bw.add(out), w);
+                _mm512_storeu_pd(bu.add(out), u);
+                _mm512_storeu_pd(bv.add(out), v);
+                out += 8;
+                i += 2;
+            }
+        } else {
+            for &(tri, jac) in &self.subs {
+                let e1 = tri.b - tri.a;
+                let e2 = tri.c - tri.a;
+                let ax = _mm512_set1_pd(tri.a.x);
+                let ay = _mm512_set1_pd(tri.a.y);
+                let e1x = _mm512_set1_pd(e1.x);
+                let e1y = _mm512_set1_pd(e1.y);
+                let e2x = _mm512_set1_pd(e2.x);
+                let e2y = _mm512_set1_pd(e2.y);
+                // `|J|·h⁻²` folded scalar-side: one broadcast weight factor.
+                let jw = _mm512_set1_pd(jac * inv_h2);
+                for blk in 0..nblk {
+                    let base = blk * 8;
+                    let uq = _mm512_loadu_pd(sou.add(base));
+                    let vq = _mm512_loadu_pd(sov.add(base));
+                    let wq = _mm512_loadu_pd(sow.add(base));
+                    // Affine unit-triangle map: p = a + u·(b−a) + v·(c−a).
+                    let px = _mm512_fmadd_pd(vq, e2x, _mm512_fmadd_pd(uq, e1x, ax));
+                    let py = _mm512_fmadd_pd(vq, e2y, _mm512_fmadd_pd(uq, e1y, ay));
+                    let relx = _mm512_fmadd_pd(px, invh, mx);
+                    let rely = _mm512_fmadd_pd(py, invh, my);
+                    let (kx, ky) = if table_len <= 8 {
+                        (
+                            kernel1d_eval_avx512_table(relx, kcells, table_reg, kdeg),
+                            kernel1d_eval_avx512_table(rely, kcells, table_reg, kdeg),
+                        )
+                    } else {
+                        (
+                            kernel1d_eval_avx512(relx, kcells, kpp, kdeg),
+                            kernel1d_eval_avx512(rely, kcells, kpp, kdeg),
+                        )
+                    };
+                    let w = _mm512_mul_pd(_mm512_mul_pd(jw, wq), _mm512_mul_pd(kx, ky));
+                    let u = _mm512_fmadd_pd(i0, px, _mm512_fmadd_pd(i1, py, cu));
+                    let v = _mm512_fmadd_pd(i2, px, _mm512_fmadd_pd(i3, py, cv));
+                    _mm512_storeu_pd(bw.add(out), w);
+                    _mm512_storeu_pd(bu.add(out), u);
+                    _mm512_storeu_pd(bv.add(out), v);
+                    out += 8;
+                }
+            }
+        }
+
+        // Pass 2 — modes: one dense sweep over the packed streams. Only
+        // the power vectors and the accumulators are live.
+        let mut acc = [_mm512_setzero_pd(); MAX_MODES];
+        let ones = _mm512_set1_pd(1.0);
+        let zero = _mm512_setzero_pd();
+        let (du, dv) = max_degrees(ctx.exps, ctx.n_modes);
+        for base in (0..total).step_by(8) {
+            let w = _mm512_loadu_pd(bw.add(base));
+            let u = _mm512_loadu_pd(bu.add(base));
+            let v = _mm512_loadu_pd(bv.add(base));
+            // `w·uᵃ` hoisted out of the mode loop; powers past the
+            // basis's maximal exponent are skipped (loop-invariant
+            // branches).
+            let mut wu = [w, _mm512_mul_pd(w, u), zero, zero];
+            let mut vpow = [ones, v, zero, zero];
+            if du >= 2 {
+                let u2 = _mm512_mul_pd(u, u);
+                wu[2] = _mm512_mul_pd(w, u2);
+                if du >= 3 {
+                    wu[3] = _mm512_mul_pd(w, _mm512_mul_pd(u2, u));
+                }
+            }
+            if dv >= 2 {
+                let v2 = _mm512_mul_pd(v, v);
+                vpow[2] = v2;
+                if dv >= 3 {
+                    vpow[3] = _mm512_mul_pd(v2, v);
+                }
+            }
+            for (slot, &(a, b)) in ctx.exps.iter().enumerate().take(ctx.n_modes) {
+                acc[slot] = _mm512_fmadd_pd(wu[a], vpow[b], acc[slot]);
+            }
+        }
+        let mut sums = [0.0f64; MAX_MODES];
+        for (sum, acc) in sums.iter_mut().zip(&acc).take(ctx.n_modes) {
+            let mut lanes = [0.0f64; 8];
+            _mm512_storeu_pd(lanes.as_mut_ptr(), *acc);
+            *sum = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+                + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+        }
+        sums
+    }
+}
+
+/// Lane-parallel [`Kernel1d::eval`] on support-relative coordinates
+/// `rel = x − lo` (the caller folds the shift into its frame constants):
+/// per-lane unit-cell lookup by clamped floor, coefficient gathers from
+/// the compiled piecewise table, and a Horner step in the local
+/// coordinate. Out-of-support lanes are zeroed at the end, matching the
+/// scalar early returns.
+///
+/// # Safety
+/// Requires AVX2+FMA; `pp` must point at a table of at least
+/// `n_cells · deg` coefficients with `n_cells ≥ 1` and `deg ≥ 1`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kernel1d_eval_avx2(
+    rel: core::arch::x86_64::__m256d,
+    n_cells: f64,
+    pp: *const f64,
+    deg: usize,
+) -> core::arch::x86_64::__m256d {
+    use core::arch::x86_64::*;
+    let zero = _mm256_setzero_pd();
+    let ncf = _mm256_set1_pd(n_cells);
+    let valid = _mm256_and_pd(
+        _mm256_cmp_pd::<_CMP_GE_OQ>(rel, zero),
+        _mm256_cmp_pd::<_CMP_LT_OQ>(rel, ncf),
+    );
+    // Truncation equals floor on the in-range (non-negative) lanes; the
+    // rest are zeroed by `valid` regardless.
+    let cellf = _mm256_round_pd::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(rel);
+    let t = _mm256_sub_pd(rel, cellf);
+    // Clamp so out-of-support lanes gather a harmless in-bounds cell.
+    let cellc = _mm256_min_pd(_mm256_max_pd(cellf, zero), _mm256_set1_pd(n_cells - 1.0));
+    let idx = _mm256_cvttpd_epi32(_mm256_mul_pd(cellc, _mm256_set1_pd(deg as f64)));
+    let mut acc = _mm256_i32gather_pd::<8>(pp.add(deg - 1), idx);
+    for j in (0..deg - 1).rev() {
+        let c = _mm256_i32gather_pd::<8>(pp.add(j), idx);
+        acc = _mm256_fmadd_pd(acc, t, c);
+    }
+    _mm256_and_pd(acc, valid)
+}
+
+/// Lane-parallel [`Kernel1d::eval`] for piecewise tables that fit one
+/// 512-bit register (`n_cells · deg ≤ 8`, i.e. the smoothness-1 kernel):
+/// the coefficient lookup is an in-register permute instead of a memory
+/// gather, which matters at the small batch sizes those kernels run at.
+///
+/// # Safety
+/// Requires AVX-512F; `tab` must hold the first `n_cells · deg` table
+/// coefficients in its low lanes.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn kernel1d_eval_avx512_table(
+    rel: core::arch::x86_64::__m512d,
+    n_cells: f64,
+    tab: core::arch::x86_64::__m512d,
+    deg: usize,
+) -> core::arch::x86_64::__m512d {
+    use core::arch::x86_64::*;
+    let zero = _mm512_setzero_pd();
+    let ncf = _mm512_set1_pd(n_cells);
+    let valid =
+        _mm512_cmp_pd_mask::<_CMP_GE_OQ>(rel, zero) & _mm512_cmp_pd_mask::<_CMP_LT_OQ>(rel, ncf);
+    let cellf = _mm512_roundscale_pd::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(rel);
+    let t = _mm512_sub_pd(rel, cellf);
+    let cellc = _mm512_min_pd(_mm512_max_pd(cellf, zero), _mm512_set1_pd(n_cells - 1.0));
+    let idx = _mm512_cvtepi32_epi64(_mm512_cvttpd_epi32(_mm512_mul_pd(
+        cellc,
+        _mm512_set1_pd(deg as f64),
+    )));
+    let mut acc = _mm512_permutexvar_pd(
+        _mm512_add_epi64(idx, _mm512_set1_epi64((deg - 1) as i64)),
+        tab,
+    );
+    for j in (0..deg - 1).rev() {
+        let c = _mm512_permutexvar_pd(_mm512_add_epi64(idx, _mm512_set1_epi64(j as i64)), tab);
+        acc = _mm512_fmadd_pd(acc, t, c);
+    }
+    _mm512_maskz_mov_pd(valid, acc)
+}
+
+/// A split broadcast: `a` in the low four lanes, `b` in the high four —
+/// the per-pair constant shape of the paired low-order-rule path.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[inline]
+unsafe fn pair_pd(a: f64, b: f64) -> core::arch::x86_64::__m512d {
+    use core::arch::x86_64::*;
+    _mm512_insertf64x4::<1>(_mm512_castpd256_pd512(_mm256_set1_pd(a)), _mm256_set1_pd(b))
+}
+
+/// Lane-parallel [`Kernel1d::eval`] on support-relative coordinates over
+/// 8 lanes — the AVX-512 analog of [`kernel1d_eval_avx2`], with
+/// mask-register validity instead of a blend mask.
+///
+/// # Safety
+/// Requires AVX-512F; `pp` must point at a table of at least
+/// `n_cells · deg` coefficients with `n_cells ≥ 1` and `deg ≥ 1`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn kernel1d_eval_avx512(
+    rel: core::arch::x86_64::__m512d,
+    n_cells: f64,
+    pp: *const f64,
+    deg: usize,
+) -> core::arch::x86_64::__m512d {
+    use core::arch::x86_64::*;
+    let zero = _mm512_setzero_pd();
+    let ncf = _mm512_set1_pd(n_cells);
+    let valid =
+        _mm512_cmp_pd_mask::<_CMP_GE_OQ>(rel, zero) & _mm512_cmp_pd_mask::<_CMP_LT_OQ>(rel, ncf);
+    // Truncation equals floor on the in-range (non-negative) lanes.
+    let cellf = _mm512_roundscale_pd::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(rel);
+    let t = _mm512_sub_pd(rel, cellf);
+    let cellc = _mm512_min_pd(_mm512_max_pd(cellf, zero), _mm512_set1_pd(n_cells - 1.0));
+    let idx = _mm512_cvttpd_epi32(_mm512_mul_pd(cellc, _mm512_set1_pd(deg as f64)));
+    let mut acc = _mm512_i32gather_pd::<8>(idx, pp.add(deg - 1));
+    for j in (0..deg - 1).rev() {
+        let c = _mm512_i32gather_pd::<8>(idx, pp.add(j));
+        acc = _mm512_fmadd_pd(acc, t, c);
+    }
+    _mm512_maskz_mov_pd(valid, acc)
+}
+
+/// Largest `u` and `v` exponents among the first `n_modes` entries of the
+/// exponent table — the reduction kernels skip building powers past these.
+#[inline]
+fn max_degrees(exps: &[(usize, usize)], n_modes: usize) -> (usize, usize) {
+    let mut du = 0usize;
+    let mut dv = 0usize;
+    for &(a, b) in exps.iter().take(n_modes) {
+        du = du.max(a);
+        dv = dv.max(b);
+    }
+    (du, dv)
 }
 
 /// Capacity snapshot of a [`Scratch`] arena, for allocation-freedom checks:
@@ -152,7 +732,7 @@ impl QuadStage {
 pub struct ScratchCapacity {
     /// Capacity of the candidate id buffer.
     pub candidates: usize,
-    /// Capacity of the staged-weight buffer (the power buffers track it).
+    /// Capacity of the staged sub-triangle buffer.
     pub staged: usize,
 }
 
@@ -163,7 +743,7 @@ pub struct Scratch {
     pub(crate) candidates: Vec<u32>,
     /// Memoized element gathers.
     pub(crate) cache: ElemCache,
-    /// SoA quadrature staging of the current element image.
+    /// Sub-triangle staging of the current element image.
     pub(crate) stage: QuadStage,
 }
 
@@ -187,7 +767,7 @@ impl Scratch {
     pub fn capacity(&self) -> ScratchCapacity {
         ScratchCapacity {
             candidates: self.candidates.capacity(),
-            staged: self.stage.w.capacity(),
+            staged: self.stage.subs.capacity(),
         }
     }
 }
@@ -201,45 +781,226 @@ impl Default for Scratch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simd::SimdPolicy;
 
+    #[allow(clippy::too_many_arguments)]
+    fn ctx<'a>(
+        kernel: &'a Kernel1d,
+        rule: &'a TriangleRule,
+        soa: &'a RuleSoa,
+        exps: &'a [(usize, usize)],
+        n_modes: usize,
+        isa: SimdIsa,
+        inv_h: f64,
+        center: Point2,
+    ) -> ReduceCtx<'a> {
+        ReduceCtx {
+            exps,
+            n_modes,
+            isa,
+            kernel,
+            rule,
+            soa,
+            inv_h,
+            center,
+            shift: Vec2::new(0.25, -0.5),
+            origin: Point2::new(0.05, -0.1),
+            inv: [1.3, 0.2, -0.4, 0.9],
+        }
+    }
+
+    fn sample_subs() -> Vec<(Triangle, f64)> {
+        let tris = [
+            Triangle::new(
+                Point2::new(0.40, 0.45),
+                Point2::new(0.62, 0.50),
+                Point2::new(0.48, 0.71),
+            ),
+            Triangle::new(
+                Point2::new(0.52, 0.38),
+                Point2::new(0.70, 0.61),
+                Point2::new(0.41, 0.66),
+            ),
+            // Far from the test centers: exercises the out-of-support
+            // lanes of the vector kernel evaluation.
+            Triangle::new(
+                Point2::new(3.00, 3.00),
+                Point2::new(3.30, 3.05),
+                Point2::new(3.10, 3.40),
+            ),
+        ];
+        tris.iter().map(|t| (*t, t.jacobian().abs())).collect()
+    }
+
+    /// The scalar reduction must replay the historical per-node expression
+    /// tree exactly — verified here against a hand-rolled replay of the
+    /// same loop, with exact (bitwise) equality.
     #[test]
-    fn stage_push_and_sums() {
+    fn sub_staging_matches_pointwise_reference() {
+        let kern = Kernel1d::symmetric(2);
+        let rule = TriangleRule::with_strength(4);
+        let exps = [(0usize, 0usize), (1, 0), (0, 1), (2, 0), (1, 1), (0, 2)];
+        let center = Point2::new(0.5, 0.5);
+        let inv_h = 1.0 / 0.11;
         let mut s = QuadStage::default();
-        s.push(2.0, 3.0, 5.0);
-        s.push(1.0, 1.0, 1.0);
-        assert_eq!(s.len(), 2);
-        // exps for degree 1: (0,0), (1,0), (0,1)
-        let exps = [(0usize, 0usize), (1, 0), (0, 1)];
-        let sums = s.mono_sums(&exps, 3);
-        assert_eq!(sums[0], 3.0); // 2 + 1
-        assert_eq!(sums[1], 7.0); // 2*3 + 1*1
-        assert_eq!(sums[2], 11.0); // 2*5 + 1*1
-        assert_eq!(sums[3], 0.0);
+        for &(tri, jac) in &sample_subs() {
+            s.push(tri, jac);
+        }
+        assert_eq!(s.len(), 3);
+        let soa = RuleSoa::new(&rule);
+        let c = ctx(&kern, &rule, &soa, &exps, 6, SimdIsa::Scalar, inv_h, center);
+        let sums = s.mono_sums(&c);
+
+        let mut want = [0.0f64; MAX_MODES];
+        for &(tri, jac) in &sample_subs() {
+            for (&(uq, vq), &wq) in rule.points().iter().zip(rule.weights()) {
+                let p = tri.map_from_unit(uq, vq);
+                let d = (p - c.shift) - c.origin;
+                let u = c.inv[0] * d.x + c.inv[1] * d.y;
+                let v = c.inv[2] * d.x + c.inv[3] * d.y;
+                let kx = kern.eval((p.x - center.x) * inv_h);
+                let ky = kern.eval((p.y - center.y) * inv_h);
+                let w = (jac * wq) * (((kx * ky) * inv_h) * inv_h);
+                for (slot, &(a, b)) in exps.iter().enumerate() {
+                    want[slot] += (w * u.powi(a as i32)) * v.powi(b as i32);
+                }
+            }
+        }
+        // The powers differ (`powi` vs repeated products), so compare to
+        // rounding; the zeroth mode uses no powers and must match bitwise.
+        assert!(want[0] != 0.0);
+        assert_eq!(sums[0], want[0]);
+        for m in 1..6 {
+            let tol = 1e-13 * want[m].abs().max(1.0);
+            assert!((sums[m] - want[m]).abs() <= tol, "mode {m}");
+        }
         s.clear();
         assert!(s.is_empty());
     }
 
+    /// Sub-triangles wholly past the kernel support must vanish on every
+    /// ISA — the scalar early return and the vector lane masks agree.
     #[test]
-    fn stage_cubic_powers() {
+    fn out_of_support_subs_contribute_nothing() {
+        let kern = Kernel1d::symmetric(1);
+        let rule = TriangleRule::with_strength(2);
+        let exps = [(0usize, 0usize)];
         let mut s = QuadStage::default();
-        s.push(1.0, 2.0, 3.0);
-        let exps = [(3usize, 0usize), (0, 3), (2, 1)];
-        let sums = s.mono_sums(&exps, 3);
-        assert_eq!(sums[0], 8.0);
-        assert_eq!(sums[1], 27.0);
-        assert_eq!(sums[2], 12.0);
+        for &(tri, jac) in &sample_subs() {
+            s.push(tri, jac);
+        }
+        // Center far away: every staged node falls outside the support.
+        let center = Point2::new(100.0, -40.0);
+        let soa = RuleSoa::new(&rule);
+        let widest = SimdPolicy::Auto.resolve();
+        for isa in [SimdIsa::Scalar, SimdIsa::Avx2, SimdIsa::Avx512] {
+            if isa.lanes() > widest.lanes() {
+                continue;
+            }
+            let c = ctx(&kern, &rule, &soa, &exps, 1, isa, 1.0 / 0.11, center);
+            assert_eq!(s.mono_sums(&c)[0], 0.0, "{isa:?}");
+        }
+    }
+
+    /// The vector reductions must agree with scalar to rounding, including
+    /// partially-filled tail blocks and out-of-support lanes.
+    #[test]
+    fn mono_sums_vector_isas_match_scalar_to_rounding() {
+        let kern = Kernel1d::symmetric(2);
+        // Strength 5 → an odd node count, exercising the padded tail.
+        let rule = TriangleRule::with_strength(5);
+        let exps = [
+            (0usize, 0usize),
+            (1, 0),
+            (0, 1),
+            (2, 0),
+            (1, 1),
+            (0, 2),
+            (3, 0),
+            (0, 3),
+        ];
+        let mut s = QuadStage::default();
+        for &(tri, jac) in &sample_subs() {
+            s.push(tri, jac);
+        }
+        let center = Point2::new(0.5, 0.5);
+        let inv_h = 1.0 / 0.07;
+        let soa = RuleSoa::new(&rule);
+        let c0 = ctx(&kern, &rule, &soa, &exps, 8, SimdIsa::Scalar, inv_h, center);
+        let reference = s.mono_sums(&c0);
+        assert!(reference[0] != 0.0);
+        let widest = SimdPolicy::Auto.resolve();
+        for isa in [SimdIsa::Avx2, SimdIsa::Avx512] {
+            if isa.lanes() > widest.lanes() {
+                continue;
+            }
+            let c = ctx(&kern, &rule, &soa, &exps, 8, isa, inv_h, center);
+            let got = s.mono_sums(&c);
+            for m in 0..8 {
+                let tol = 1e-12 * reference[m].abs().max(1.0);
+                assert!(
+                    (got[m] - reference[m]).abs() <= tol,
+                    "{isa:?} mode {m}: {} vs {}",
+                    got[m],
+                    reference[m]
+                );
+            }
+        }
+    }
+
+    /// Low-order rules (≤ 4 nodes) take the paired AVX-512 path — two
+    /// subs per block, odd tail zero-weighted — which must agree with
+    /// scalar like every other arm. Three staged subs force the odd tail.
+    #[test]
+    fn paired_low_order_rule_matches_scalar() {
+        let kern = Kernel1d::symmetric(1);
+        let rule = TriangleRule::with_strength(2);
+        assert!(rule.len() <= 4, "test premise: a low-order rule");
+        let exps = [(0usize, 0usize), (1, 0), (0, 1)];
+        let mut s = QuadStage::default();
+        for &(tri, jac) in &sample_subs() {
+            s.push(tri, jac);
+        }
+        let center = Point2::new(0.5, 0.5);
+        let inv_h = 1.0 / 0.13;
+        let soa = RuleSoa::new(&rule);
+        let c0 = ctx(&kern, &rule, &soa, &exps, 3, SimdIsa::Scalar, inv_h, center);
+        let reference = s.mono_sums(&c0);
+        assert!(reference[0] != 0.0);
+        let widest = SimdPolicy::Auto.resolve();
+        for isa in [SimdIsa::Avx2, SimdIsa::Avx512] {
+            if isa.lanes() > widest.lanes() {
+                continue;
+            }
+            let c = ctx(&kern, &rule, &soa, &exps, 3, isa, inv_h, center);
+            let got = s.mono_sums(&c);
+            for m in 0..3 {
+                let tol = 1e-12 * reference[m].abs().max(1.0);
+                assert!(
+                    (got[m] - reference[m]).abs() <= tol,
+                    "{isa:?} mode {m}: {} vs {}",
+                    got[m],
+                    reference[m]
+                );
+            }
+        }
     }
 
     #[test]
     fn capacity_snapshot_is_stable_after_warmup() {
+        let tri = Triangle::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.0, 1.0),
+        );
         let mut s = Scratch::new();
         for _ in 0..100 {
-            s.stage.push(1.0, 0.5, 0.5);
+            s.stage.push(tri, 1.0);
         }
         s.stage.clear();
         let snap = s.capacity();
         for _ in 0..100 {
-            s.stage.push(1.0, 0.5, 0.5);
+            s.stage.push(tri, 1.0);
         }
         s.stage.clear();
         assert_eq!(s.capacity(), snap);

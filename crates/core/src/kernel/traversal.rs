@@ -12,16 +12,19 @@
 //! [`integrate_image`](StencilTraversal::integrate_image) (scatter scheme:
 //! per-element, and through it pipelined and tiled execution).
 //!
-//! The innermost evaluation is cells-then-modes: all quadrature points of
-//! one element image are staged into the SoA [`QuadStage`](super::QuadStage)
-//! first (weights pre-scaled by `|J| · ω_q · K_h`), then every monomial
-//! slot reduces over the staged batch as a contiguous dot product.
+//! The innermost evaluation is cells-then-modes: all surviving
+//! sub-triangles of one element image are staged into the
+//! [`QuadStage`](super::QuadStage) first (with their Jacobians), then one
+//! pass over the staged batch runs the whole per-node pipeline — unit-map,
+//! SIAC kernel weight, element transform, monomial mode reduction —
+//! lane-parallel across quadrature nodes on the vector ISAs.
 
-use super::scratch::{QuadStage, Scratch};
+use super::scratch::{QuadStage, ReduceCtx, RuleSoa, Scratch};
 use super::sink::ContributionSink;
 use crate::integrate::{flops_per_clip, flops_per_quad_eval, needed_shifts, ElementData};
 use crate::metrics::Metrics;
 use crate::probe::Probe;
+use crate::simd::{SimdIsa, SimdPolicy};
 use ustencil_geometry::{clip_triangle_rect, fan_triangulate, Aabb, Point2, Vec2, GEOM_EPS};
 use ustencil_quadrature::TriangleRule;
 use ustencil_siac::Stencil2d;
@@ -37,11 +40,18 @@ pub struct StencilTraversal<'a> {
     n_modes: usize,
     /// Modeled flops of one quadrature-point evaluation, precomputed.
     eval_flops: u64,
+    /// Resolved ISA the staged mode reduction dispatches on.
+    simd: SimdIsa,
+    /// Zero-padded SoA copy of `rule`, precomputed for the vector arms.
+    soa: RuleSoa,
 }
 
 impl<'a> StencilTraversal<'a> {
     /// Builds a driver for `n_modes` monomial slots with exponent table
-    /// `exps` (the element basis's monomial exponents).
+    /// `exps` (the element basis's monomial exponents). The staged mode
+    /// reduction dispatches on the host's widest SIMD ISA
+    /// ([`SimdPolicy::Auto`]); use [`with_simd`](Self::with_simd) to pin a
+    /// resolved ISA instead.
     pub fn new(
         stencil: &'a Stencil2d,
         rule: &'a TriangleRule,
@@ -54,7 +64,16 @@ impl<'a> StencilTraversal<'a> {
             exps,
             n_modes,
             eval_flops: flops_per_quad_eval(stencil.kernel().smoothness(), n_modes),
+            simd: SimdPolicy::Auto.resolve(),
+            soa: RuleSoa::new(rule),
         }
+    }
+
+    /// Pins the SIMD ISA of the staged mode reduction (callers resolve
+    /// their [`SimdPolicy`] once per run and thread the result here).
+    pub fn with_simd(mut self, isa: SimdIsa) -> Self {
+        self.simd = isa;
+        self
     }
 
     /// One gather-style query: center the stencil at `center`, walk the
@@ -141,11 +160,12 @@ impl<'a> StencilTraversal<'a> {
     /// The single copy of the clip / fan-triangulate / quadrature loop.
     ///
     /// Stage 1 (cells): clip each overlapped lattice square against the
-    /// shifted triangle, fan-triangulate, and stream every quadrature point
-    /// of every sub-triangle into the SoA staging buffer with its
-    /// kernel-scaled weight `|J| · ω_q · K_h(p_q - center)` and
-    /// element-frame coordinates. Stage 2 (modes): reduce the staged batch
-    /// to monomial-power sums and hand them to the sink.
+    /// shifted triangle, fan-triangulate, and stage every surviving
+    /// sub-triangle with its Jacobian. Stage 2 (modes): run the whole
+    /// per-node pipeline — map each quadrature node to its physical point,
+    /// apply the SIAC kernel weight `K_h`, transform to the element frame,
+    /// and reduce to monomial-power sums — in one lane-parallel pass over
+    /// the staged batch, handing the sums to the sink.
     fn image_into_sink<S: ContributionSink>(
         &self,
         center: Point2,
@@ -177,9 +197,10 @@ impl<'a> StencilTraversal<'a> {
         let j1 = ((((bbox.max.y - y_base) / h).floor()) as usize).min(n_cells - 1);
 
         let nq = self.rule.len() as u64;
-        let q_points = self.rule.points();
-        let q_weights = self.rule.weights();
         let (origin, inv) = elem.ref_coords();
+        // Same reciprocal `Stencil2d::eval` forms internally, so the
+        // deferred scalar kernel weighting reproduces its bits exactly.
+        let inv_h = 1.0 / h;
 
         stage.clear();
         let mut any = false;
@@ -204,19 +225,24 @@ impl<'a> StencilTraversal<'a> {
                     if jac == 0.0 {
                         continue;
                     }
-                    for (&(uq, vq), &wq) in q_points.iter().zip(q_weights) {
-                        let p = sub.map_from_unit(uq, vq);
-                        let w = jac * wq * stencil.eval(center, p);
-                        let d = (p - shift) - origin;
-                        let u = inv[0] * d.x + inv[1] * d.y;
-                        let v = inv[2] * d.x + inv[3] * d.y;
-                        stage.push(w, u, v);
-                    }
+                    stage.push(sub, jac);
                 }
             }
         }
         if !stage.is_empty() {
-            let sums = stage.mono_sums(self.exps, self.n_modes);
+            let sums = stage.mono_sums(&ReduceCtx {
+                exps: self.exps,
+                n_modes: self.n_modes,
+                isa: self.simd,
+                kernel: stencil.kernel(),
+                rule: self.rule,
+                soa: &self.soa,
+                inv_h,
+                center,
+                shift,
+                origin,
+                inv: *inv,
+            });
             sink.absorb(elem, &sums);
         }
         any

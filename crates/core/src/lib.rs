@@ -43,6 +43,7 @@ pub mod per_point;
 pub mod pipelined;
 pub mod probe;
 pub mod report;
+pub mod simd;
 pub mod tiling;
 
 pub use device::{simulate_ranks, CostModel, DeviceConfig, RankTraffic, SimReport};
@@ -57,8 +58,9 @@ pub use metrics::Metrics;
 pub use probe::{BlockStats, Probe};
 pub use report::{
     CriticalPathRecord, CriticalPhaseRecord, DeltaStats, LocalityStats, PlanStats, RankCommRecord,
-    RunRecord, RunReport, ServeStats, TenantLedger, REPORT_SCHEMA_VERSION,
+    RunRecord, RunReport, ServeStats, SimdRecord, TenantLedger, REPORT_SCHEMA_VERSION,
 };
+pub use simd::{SimdIsa, SimdPolicy, SimdWidth};
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -70,6 +72,8 @@ pub mod prelude {
     pub use crate::probe::{BlockStats, Probe};
     pub use crate::report::{
         CriticalPathRecord, CriticalPhaseRecord, DeltaStats, LocalityStats, PlanStats,
-        RankCommRecord, RunRecord, RunReport, ServeStats, TenantLedger, REPORT_SCHEMA_VERSION,
+        RankCommRecord, RunRecord, RunReport, ServeStats, SimdRecord, TenantLedger,
+        REPORT_SCHEMA_VERSION,
     };
+    pub use crate::simd::{SimdIsa, SimdPolicy, SimdWidth};
 }

@@ -12,6 +12,7 @@ use crate::integrate::{needed_shifts, ElementData};
 use crate::kernel::{AccumulateSolution, Scratch, StencilTraversal};
 use crate::metrics::Metrics;
 use crate::probe::{timed, BlockStats, Probe};
+use crate::simd::SimdIsa;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use ustencil_dg::DgField;
@@ -46,6 +47,8 @@ pub struct PerElementRun<'a> {
     pub point_grid: &'a PointGrid,
     /// Exact triangle rule for the clipped sub-regions.
     pub rule: &'a TriangleRule,
+    /// Resolved SIMD ISA of the quadrature reduction.
+    pub simd: SimdIsa,
 }
 
 impl PerElementRun<'_> {
@@ -82,7 +85,8 @@ impl PerElementRun<'_> {
             self.rule,
             basis.monomial_exponents(),
             basis.n_modes(),
-        );
+        )
+        .with_simd(self.simd);
         let elem_values = Metrics::element_data_values(self.field.degree());
         let points = self.grid.points();
 
@@ -266,6 +270,7 @@ mod tests {
             stencil: &f.stencil,
             point_grid: &f.pgrid,
             rule: &f.rule,
+            simd: SimdIsa::Scalar,
         }
     }
 
@@ -306,6 +311,7 @@ mod tests {
             stencil: &f.stencil,
             point_grid: &f.pgrid,
             rule: &f.rule,
+            simd: SimdIsa::Scalar,
         };
         let part = partition_recursive_bisection(&f.mesh, 4);
         let (values, _) = run.run(&part, false);

@@ -11,6 +11,7 @@ use crate::integrate::ElementData;
 use crate::kernel::{AccumulateSolution, Scratch, StencilTraversal};
 use crate::metrics::Metrics;
 use crate::probe::{timed, BlockStats, Probe};
+use crate::simd::SimdIsa;
 use rayon::prelude::*;
 use ustencil_dg::DgField;
 use ustencil_mesh::TriMesh;
@@ -32,6 +33,8 @@ pub struct PerPointRun<'a> {
     pub tri_grid: &'a TriangleGrid,
     /// Exact triangle rule for the clipped sub-regions.
     pub rule: &'a TriangleRule,
+    /// Resolved SIMD ISA of the quadrature reduction.
+    pub simd: SimdIsa,
 }
 
 impl PerPointRun<'_> {
@@ -51,7 +54,8 @@ impl PerPointRun<'_> {
             self.rule,
             basis.monomial_exponents(),
             basis.n_modes(),
-        );
+        )
+        .with_simd(self.simd);
         // The per-point scheme reads the element data anew for every
         // (point, element) pair — no reuse across points is *modeled*, so
         // the full load is charged per candidate even though the scratch
@@ -185,6 +189,7 @@ mod tests {
             stencil: &stencil,
             tri_grid: &tgrid,
             rule: &rule,
+            simd: SimdIsa::Scalar,
         };
         let (seq, m_seq) = run.run(1, false);
         let (par, m_par) = run.run(7, true);
@@ -210,6 +215,7 @@ mod tests {
             stencil: &stencil,
             tri_grid: &tgrid,
             rule: &rule,
+            simd: SimdIsa::Scalar,
         };
         let (values, _) = run.run(4, false);
         for (i, v) in values.iter().enumerate() {
@@ -231,6 +237,7 @@ mod tests {
             stencil: &stencil,
             tri_grid: &tgrid,
             rule: &rule,
+            simd: SimdIsa::Scalar,
         };
         let (_, blocks) = run.run(2, false);
         let m = Metrics::sum(&blocks);
@@ -257,6 +264,7 @@ mod tests {
             stencil: &stencil,
             tri_grid: &tgrid,
             rule: &rule,
+            simd: SimdIsa::Scalar,
         };
         let (plain, metrics) = run.run(3, false);
         let (instr, stats) = run.run_instrumented(3, false, true);

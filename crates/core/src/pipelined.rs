@@ -243,6 +243,7 @@ mod tests {
             stencil: &f.stencil,
             point_grid: &f.pgrid,
             rule: &f.rule,
+            simd: crate::simd::SimdIsa::Scalar,
         }
     }
 

@@ -32,8 +32,10 @@ use ustencil_trace::{CriticalPath, Hist64, ImbalanceSummary, Json, SpanRecord};
 /// adds the optional plan `delta` object (incremental-recompilation stats:
 /// dirty elements, respliced rows/nnz, patch vs full-compile wall) and the
 /// serve `patches` counter (cache entries revalidated by delta instead of
-/// evicted).
-pub const REPORT_SCHEMA_VERSION: u64 = 5;
+/// evicted); v6 adds the run-level `simd` object (requested policy,
+/// dispatched ISA and lane width, and the achieved fraction of nominal
+/// peak from the flop counters).
+pub const REPORT_SCHEMA_VERSION: u64 = 6;
 
 /// Canonical histogram names, in emission order. These are the keys of the
 /// report's `"histograms"` object.
@@ -266,6 +268,56 @@ pub struct ServeStats {
     pub tenants: Vec<TenantLedger>,
 }
 
+/// What the SIMD dispatch layer actually did in a run: the policy the
+/// caller asked for, the ISA
+/// [`SimdPolicy::resolve`](crate::simd::SimdPolicy::resolve) picked on
+/// this host, and the achieved
+/// efficiency derived from the run's modeled flop counter over its wall
+/// time. `fraction_of_peak` divides by
+/// [`SimdIsa::nominal_peak_gflops`](crate::simd::SimdIsa::nominal_peak_gflops)
+/// — a fixed device-model constant per ISA — so it is a stable cross-run
+/// yardstick rather than a hardware measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimdRecord {
+    /// [`SimdPolicy::label`](crate::simd::SimdPolicy::label) the run was
+    /// configured with (`"auto"`, `"scalar"`, `"f64x4"`, `"f64x8"`).
+    pub policy: String,
+    /// [`SimdIsa::label`](crate::simd::SimdIsa::label) the policy resolved
+    /// to on this host (`"scalar"`, `"avx2"`, `"avx512"`).
+    pub isa: String,
+    /// f64 lanes of the dispatched ISA (1 for scalar).
+    pub lanes: u64,
+    /// Achieved throughput: modeled flops over wall time, GFLOP/s.
+    pub gflops: f64,
+    /// `gflops` over the dispatched ISA's nominal single-core peak.
+    pub fraction_of_peak: f64,
+}
+
+impl SimdRecord {
+    /// Builds the record from a run's resolved dispatch and measured
+    /// totals (`flops` from the metrics counter, `wall_secs` of the
+    /// evaluation).
+    pub fn measured(
+        policy: crate::simd::SimdPolicy,
+        isa: crate::simd::SimdIsa,
+        flops: u64,
+        wall_secs: f64,
+    ) -> Self {
+        let gflops = if wall_secs > 0.0 {
+            flops as f64 / wall_secs / 1e9
+        } else {
+            0.0
+        };
+        Self {
+            policy: policy.label().to_string(),
+            isa: isa.label().to_string(),
+            lanes: isa.lanes() as u64,
+            gflops,
+            fraction_of_peak: gflops / isa.nominal_peak_gflops(),
+        }
+    }
+}
+
 /// One phase of the serialized critical path (see
 /// [`ustencil_trace::critical_path`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -346,6 +398,10 @@ pub struct RunRecord {
     /// Plan-cache service ledger (present only for `scheme = "serve"`
     /// runs).
     pub serve: Option<ServeStats>,
+    /// SIMD dispatch summary (policy, resolved ISA, fraction of peak);
+    /// `None` for runs that never touch the evaluation kernels (e.g.
+    /// serve traffic replays).
+    pub simd: Option<SimdRecord>,
 }
 
 impl RunRecord {
@@ -398,6 +454,7 @@ impl RunRecord {
             comms: Vec::new(),
             critical_path: None,
             serve: None,
+            simd: Some(solution.simd.clone()),
         }
     }
 
@@ -657,6 +714,15 @@ fn record_to_json(r: &RunRecord) -> Json {
                     .collect::<Vec<_>>(),
             ),
     };
+    let simd = match &r.simd {
+        None => Json::Null,
+        Some(s) => Json::object()
+            .set("policy", s.policy.as_str())
+            .set("isa", s.isa.as_str())
+            .set("lanes", s.lanes)
+            .set("gflops", s.gflops)
+            .set("fraction_of_peak", s.fraction_of_peak),
+    };
     Json::object()
         .set("label", r.label.as_str())
         .set("scheme", r.scheme.as_str())
@@ -674,6 +740,7 @@ fn record_to_json(r: &RunRecord) -> Json {
         .set("comms", comms)
         .set("critical_path", critical_path)
         .set("serve", serve)
+        .set("simd", simd)
 }
 
 fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
@@ -850,6 +917,16 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
                 .collect::<Result<Vec<_>, String>>()?,
         }),
     };
+    let simd = match get(doc, "simd")? {
+        Json::Null => None,
+        s => Some(SimdRecord {
+            policy: get_str(s, "policy")?.to_string(),
+            isa: get_str(s, "isa")?.to_string(),
+            lanes: get_u64(s, "lanes")?,
+            gflops: get_f64(s, "gflops")?,
+            fraction_of_peak: get_f64(s, "fraction_of_peak")?,
+        }),
+    };
     Ok(RunRecord {
         label: get_str(doc, "label")?.to_string(),
         scheme: get_str(doc, "scheme")?.to_string(),
@@ -866,6 +943,7 @@ fn record_from_json(doc: &Json) -> Result<RunRecord, String> {
         comms,
         critical_path,
         serve,
+        simd,
     })
 }
 
@@ -1067,6 +1145,7 @@ mod tests {
             comms: vec![],
             critical_path: None,
             serve: None,
+            simd: None,
         });
         // A valid minimal report still round-trips.
         let text = report.to_pretty_string();
@@ -1159,6 +1238,7 @@ mod tests {
                 service_us: service,
                 tenants,
             }),
+            simd: None,
         });
         let text = report.to_pretty_string();
         let parsed = RunReport::from_json(&text).expect("serve report parses");
@@ -1226,6 +1306,13 @@ mod tests {
             comms: vec![],
             critical_path: None,
             serve: None,
+            simd: Some(SimdRecord {
+                policy: "auto".into(),
+                isa: "avx2".into(),
+                lanes: 4,
+                gflops: 9.5,
+                fraction_of_peak: 9.5 / 48.0,
+            }),
         });
         let text = report.to_pretty_string();
         let parsed = RunReport::from_json(&text).expect("plan report parses");
@@ -1237,6 +1324,11 @@ mod tests {
         // The locality object is likewise required (null when absent).
         let broken = text.replace("\"locality\"", "\"localty\"");
         assert!(RunReport::from_json(&broken).is_err());
+        // The v6 simd object and its inner fields are required keys.
+        for key in ["\"simd\"", "\"fraction_of_peak\"", "\"lanes\""] {
+            let broken = text.replace(key, "\"zzz\"");
+            assert!(RunReport::from_json(&broken).is_err(), "corrupting {key}");
+        }
     }
 
     #[test]
@@ -1300,6 +1392,7 @@ mod tests {
                 utilization: vec![0.8, 0.75],
             }),
             serve: None,
+            simd: None,
         });
         let text = report.to_pretty_string();
         let parsed = RunReport::from_json(&text).expect("dist report parses");

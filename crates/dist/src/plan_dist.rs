@@ -47,7 +47,7 @@ use crate::wire::{
 use std::time::Instant;
 use ustencil_core::{
     simulate_ranks, ComputationGrid, DeviceConfig, Metrics, PlanStats, RankCommRecord, RankTraffic,
-    RunRecord, Scheme, SimReport,
+    RunRecord, Scheme, SimReport, SimdPolicy, SimdRecord,
 };
 use ustencil_dg::DgField;
 use ustencil_geometry::Point2;
@@ -78,6 +78,9 @@ pub struct DistPlanSolution {
     pub wall: std::time::Duration,
     /// The stencil width `(3k+1) h` used.
     pub stencil_width: f64,
+    /// SIMD dispatch record of the run (the ISA every rank resolved, with
+    /// aggregate SpMV throughput over the run's wall time).
+    pub simd: SimdRecord,
 }
 
 impl DistPlanSolution {
@@ -229,6 +232,7 @@ impl DistPlanSolution {
                 .collect(),
             critical_path: critical_path_record,
             serve: None,
+            simd: Some(self.simd.clone()),
         }
     }
 }
@@ -249,6 +253,10 @@ struct PlanRankCtx {
     link: LinkConfig,
     phase_timeout: std::time::Duration,
     chunk_elems: usize,
+    /// SIMD policy of the local compile and SpMV. Resolution is
+    /// deterministic per process (CPU features + env), so every rank lands
+    /// on the same ISA.
+    simd: SimdPolicy,
     instrument: bool,
     /// The run's shared time origin (see `runtime::RankCtx::epoch`).
     epoch: Instant,
@@ -256,6 +264,7 @@ struct PlanRankCtx {
 
 /// Compiles a rank's local plan: rows for its owned points, over the full
 /// mesh replica (compilation is pure geometry — no cross-rank data).
+#[allow(clippy::too_many_arguments)]
 fn compile_local(
     ctx_mesh: &TriMesh,
     points: Vec<Point2>,
@@ -264,6 +273,7 @@ fn compile_local(
     smoothness: usize,
     h_factor: f64,
     sm_patches: usize,
+    simd: SimdPolicy,
 ) -> (EvalPlan, ComputationGrid) {
     let grid = ComputationGrid::from_points(points, owners);
     let plan = EvalPlan::compile(
@@ -280,6 +290,7 @@ fn compile_local(
             // scanned as *global element ids* for halo discovery, which a
             // permuted column space would break.
             layout: ustencil_core::Layout::Natural,
+            simd,
         },
     );
     (plan, grid)
@@ -336,6 +347,7 @@ fn plan_rank_body<T: Transport>(
             ctx.smoothness,
             ctx.h_factor,
             ctx.sm_patches,
+            ctx.simd,
         )
     };
     let compile_ns = compile_start.elapsed().as_nanos() as u64;
@@ -387,6 +399,7 @@ fn plan_rank_body<T: Transport>(
                 &field,
                 &mut out,
                 ctx.sm_patches,
+                ctx.simd,
             ));
             eval_ns += eval_start.elapsed().as_nanos() as u64;
         }
@@ -450,6 +463,7 @@ fn plan_rank_body<T: Transport>(
                 &field,
                 &mut out,
                 ctx.sm_patches,
+                ctx.simd,
             ));
             eval_ns += eval_start.elapsed().as_nanos() as u64;
         }
@@ -572,6 +586,7 @@ pub fn run_plan_dist_on<T: Transport>(
                 link: options.link,
                 phase_timeout: options.gather_timeout,
                 chunk_elems: options.chunk_elems,
+                simd: options.simd,
                 instrument: options.instrument,
                 epoch,
             }
@@ -710,6 +725,7 @@ pub fn run_plan_dist_on<T: Transport>(
                     k,
                     options.h_factor,
                     options.sm_patches,
+                    options.simd,
                 );
                 let compile_ns = compile_start.elapsed().as_nanos() as u64;
                 // The same interior/frontier row partition the rank would
@@ -731,6 +747,7 @@ pub fn run_plan_dist_on<T: Transport>(
                         n_blocks: options.sm_patches,
                         parallel: false,
                         instrument: false,
+                        simd: options.simd,
                     },
                 );
                 (
@@ -800,14 +817,22 @@ pub fn run_plan_dist_on<T: Transport>(
         delta: None,
     };
 
+    let wall = start.elapsed();
+    let simd = SimdRecord::measured(
+        options.simd,
+        options.simd.resolve(),
+        metrics.flops,
+        wall.as_secs_f64(),
+    );
     Ok(DistPlanSolution {
         values,
         metrics,
         plan_stats,
         ranks,
         spans,
-        wall: start.elapsed(),
+        wall,
         stencil_width,
+        simd,
     })
 }
 

@@ -67,7 +67,7 @@ use ustencil_core::per_element::PerElementRun;
 use ustencil_core::tiling::add_partials;
 use ustencil_core::{
     simulate_ranks, BlockStats, ComputationGrid, DeviceConfig, Layout, Metrics, RankCommRecord,
-    RankTraffic, RunRecord, Scheme, SimReport,
+    RankTraffic, RunRecord, Scheme, SimReport, SimdIsa, SimdPolicy, SimdRecord,
 };
 use ustencil_dg::DgField;
 use ustencil_geometry::Point2;
@@ -118,6 +118,12 @@ pub struct DistOptions {
     /// chunk count from the shared plan replica, so the drain knows
     /// exactly how many messages to expect without negotiation.
     pub chunk_elems: usize,
+    /// SIMD policy of every rank's quadrature reduction (default
+    /// [`SimdPolicy::Auto`]). Resolved once by the coordinator so all
+    /// ranks — and the re-resolve recovery path — run the same ISA, which
+    /// keeps recovered shards bitwise identical to what the failed rank
+    /// would have produced.
+    pub simd: SimdPolicy,
 }
 
 impl DistOptions {
@@ -134,6 +140,7 @@ impl DistOptions {
             instrument: false,
             layout: Layout::Natural,
             chunk_elems: 48,
+            simd: SimdPolicy::Auto,
         }
     }
 
@@ -185,6 +192,12 @@ impl DistOptions {
     pub fn chunk_elems(mut self, n: usize) -> Self {
         assert!(n > 0, "need at least one element per chunk");
         self.chunk_elems = n;
+        self
+    }
+
+    /// Sets the SIMD policy of every rank's quadrature reduction.
+    pub fn simd(mut self, policy: SimdPolicy) -> Self {
+        self.simd = policy;
         self
     }
 }
@@ -246,6 +259,9 @@ pub struct DistSolution {
     pub wall: Duration,
     /// The stencil width `(3k+1) h` used.
     pub stencil_width: f64,
+    /// SIMD dispatch record of the run (the ISA every rank resolved, with
+    /// aggregate throughput over the run's wall time).
+    pub simd: SimdRecord,
 }
 
 impl DistSolution {
@@ -411,6 +427,7 @@ impl DistSolution {
                 .collect(),
             critical_path: critical_path_record,
             serve: None,
+            simd: Some(self.simd.clone()),
         }
     }
 }
@@ -444,6 +461,8 @@ struct RankCtx {
     phase_timeout: Duration,
     layout: Layout,
     chunk_elems: usize,
+    /// The coordinator-resolved SIMD ISA of the quadrature reduction.
+    simd: SimdIsa,
     /// Whether this rank records spans and flow points.
     instrument: bool,
     /// The run's shared time origin: every rank's tracer and flow log
@@ -528,6 +547,7 @@ fn eval_shard(
     rule: &TriangleRule,
     sm_patches: usize,
     layout: Layout,
+    simd: SimdIsa,
 ) -> EvalOut {
     let eval_start = Instant::now();
     // Hilbert layouts sweep the local elements in curve order so each
@@ -551,6 +571,7 @@ fn eval_shard(
         stencil,
         point_grid: &point_grid,
         rule,
+        simd,
     };
     let mut results = Vec::with_capacity(partition.n_patches());
     let mut patches = Vec::with_capacity(partition.n_patches());
@@ -593,6 +614,7 @@ fn eval_split(
     rule: &TriangleRule,
     sm_patches: usize,
     layout: Layout,
+    simd: SimdIsa,
 ) -> (Vec<f64>, u64, u64, Vec<BlockStats>) {
     let mut acc: Option<Vec<f64>> = None;
     let (mut eval_ns, mut reduce_ns) = (0u64, 0u64);
@@ -601,7 +623,9 @@ fn eval_split(
         if subset.is_empty() {
             continue;
         }
-        let out = eval_shard(mesh, field, subset, grid, stencil, rule, sm_patches, layout);
+        let out = eval_shard(
+            mesh, field, subset, grid, stencil, rule, sm_patches, layout, simd,
+        );
         eval_ns += out.eval_ns;
         reduce_ns += out.reduce_ns;
         patches.extend(out.patches);
@@ -689,6 +713,7 @@ fn rank_body<T: Transport>(
                 &rule,
                 ctx.sm_patches,
                 ctx.layout,
+                ctx.simd,
             );
             eval_ns += out.eval_ns;
             reduce_ns += out.reduce_ns;
@@ -744,6 +769,7 @@ fn rank_body<T: Transport>(
                 &rule,
                 ctx.sm_patches,
                 ctx.layout,
+                ctx.simd,
             );
             eval_ns += out.eval_ns;
             reduce_ns += out.reduce_ns;
@@ -835,6 +861,9 @@ pub fn run_dist_on<T: Transport>(
     );
     let rule = TriangleRule::with_strength(IntegrationCtx::required_strength(k, degree));
     let nm = field.basis().n_modes();
+    // One resolution for the whole run: every rank (and the coordinator's
+    // re-resolve recovery) evaluates under the same ISA.
+    let simd_isa = options.simd.resolve();
 
     // Ghost-ring distance: half the stencil width, plus one point-grid
     // cell because candidate lookups round query boxes out to cell
@@ -885,6 +914,7 @@ pub fn run_dist_on<T: Transport>(
                 phase_timeout: options.gather_timeout,
                 layout: options.layout,
                 chunk_elems: options.chunk_elems,
+                simd: simd_isa,
                 instrument: options.instrument,
                 epoch,
             }
@@ -1052,6 +1082,7 @@ pub fn run_dist_on<T: Transport>(
                     &rule,
                     options.sm_patches,
                     options.layout,
+                    simd_isa,
                 );
                 (
                     RankResult {
@@ -1103,13 +1134,17 @@ pub fn run_dist_on<T: Transport>(
         });
     }
 
+    let wall = start.elapsed();
+    let metrics = Metrics::sum(&all_metrics);
+    let simd = SimdRecord::measured(options.simd, simd_isa, metrics.flops, wall.as_secs_f64());
     Ok(DistSolution {
         values,
-        metrics: Metrics::sum(&all_metrics),
+        metrics,
         ranks,
         spans,
-        wall: start.elapsed(),
+        wall,
         stencil_width: stencil.width(),
+        simd,
     })
 }
 

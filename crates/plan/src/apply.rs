@@ -3,7 +3,7 @@
 use crate::plan::EvalPlan;
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
-use ustencil_core::{BlockStats, Metrics, Probe};
+use ustencil_core::{BlockStats, Metrics, Probe, SimdIsa, SimdPolicy, SimdRecord};
 use ustencil_dg::DgField;
 use ustencil_trace::{SpanRecord, Tracer};
 
@@ -21,6 +21,9 @@ pub struct ApplyOptions {
     /// Whether to record spans and per-row entry-count probes (default
     /// false; off, the hot loop pays only its counter increments).
     pub instrument: bool,
+    /// SIMD dispatch policy of the row kernel (default
+    /// [`SimdPolicy::Auto`]: widest ISA the host supports).
+    pub simd: SimdPolicy,
 }
 
 impl Default for ApplyOptions {
@@ -29,6 +32,7 @@ impl Default for ApplyOptions {
             n_blocks: 16,
             parallel: true,
             instrument: false,
+            simd: SimdPolicy::Auto,
         }
     }
 }
@@ -46,6 +50,9 @@ pub struct PlanSolution {
     pub spans: Vec<SpanRecord>,
     /// Wall-clock time of the apply.
     pub wall: Duration,
+    /// SIMD dispatch summary: requested policy, resolved ISA, achieved
+    /// fraction of nominal peak over this apply's wall time.
+    pub simd: SimdRecord,
 }
 
 impl PlanSolution {
@@ -73,11 +80,49 @@ impl EvalPlan {
 
     /// Applies the plan to `field` with explicit options.
     ///
+    /// The row kernel dispatches on [`ApplyOptions::simd`]:
+    /// [`SimdPolicy::Scalar`] runs the pre-SIMD per-mode lane loop
+    /// byte-for-byte (bitwise-stable against historical golden vectors),
+    /// vector ISAs agree with it to ≤1e-12.
+    ///
+    /// ```
+    /// use ustencil_core::{ComputationGrid, SimdPolicy};
+    /// use ustencil_dg::project_l2;
+    /// use ustencil_mesh::{generate_mesh, MeshClass};
+    /// use ustencil_plan::{ApplyOptions, CompileOptions, EvalPlan};
+    ///
+    /// let mesh = generate_mesh(MeshClass::LowVariance, 60, 9);
+    /// let field = project_l2(&mesh, 1, |x, y| x - 0.5 * y, 0);
+    /// let grid = ComputationGrid::quadrature_points(&mesh, 1);
+    /// let opts = CompileOptions {
+    ///     h_factor: 0.25,
+    ///     parallel: false,
+    ///     ..CompileOptions::default()
+    /// };
+    /// let plan = EvalPlan::compile(&mesh, &grid, 1, &opts);
+    ///
+    /// // The scalar policy is the bit-compatibility anchor: whatever ISA
+    /// // `Auto` picks on this host, forcing Scalar reproduces the exact
+    /// // pre-SIMD arithmetic, and the vector result stays within 1e-12.
+    /// let scalar = plan.apply_with(&field, &ApplyOptions {
+    ///     simd: SimdPolicy::Scalar,
+    ///     parallel: false,
+    ///     ..ApplyOptions::default()
+    /// });
+    /// let auto = plan.apply_with(&field, &ApplyOptions {
+    ///     parallel: false,
+    ///     ..ApplyOptions::default()
+    /// });
+    /// assert_eq!(scalar.simd.isa, "scalar");
+    /// assert!(auto.max_abs_diff(&scalar.values) <= 1e-12);
+    /// ```
+    ///
     /// # Panics
     /// Panics when the field's degree or element count does not match the
     /// plan.
     pub fn apply_with(&self, field: &DgField, options: &ApplyOptions) -> PlanSolution {
         self.check_field(field);
+        let isa = options.simd.resolve();
         let start = Instant::now();
         let tracer = Tracer::new(options.instrument);
 
@@ -112,7 +157,7 @@ impl EvalPlan {
         let block = |s: usize, e: usize, slice: &mut [f64]| -> BlockStats {
             let block_start = Instant::now();
             let mut probe = Probe::new(options.instrument);
-            let metrics = self.apply_block(s, e, coeffs, slice, &mut probe);
+            let metrics = self.apply_block(s, e, coeffs, slice, isa, &mut probe);
             BlockStats {
                 metrics,
                 wall_ns: block_start.elapsed().as_nanos() as u64,
@@ -162,12 +207,16 @@ impl EvalPlan {
             values
         };
 
+        let wall = start.elapsed();
+        let metrics = Metrics::sum(block_stats.iter().map(|s| &s.metrics));
+        let simd = SimdRecord::measured(options.simd, isa, metrics.flops, wall.as_secs_f64());
         PlanSolution {
             values,
-            metrics: Metrics::sum(block_stats.iter().map(|s| &s.metrics)),
+            metrics,
             block_stats,
             spans: tracer.into_records(),
-            wall: start.elapsed(),
+            wall,
+            simd,
         }
     }
 
@@ -193,14 +242,15 @@ impl EvalPlan {
     pub fn apply_into(&self, field: &DgField, out: &mut [f64]) {
         self.check_field(field);
         assert_eq!(out.len(), self.rows(), "output buffer/plan row mismatch");
+        let isa = SimdPolicy::Auto.resolve();
         if !self.layout.reorders() {
             let mut probe = Probe::disabled();
-            self.apply_block(0, self.rows(), field.coefficients(), out, &mut probe);
+            self.apply_block(0, self.rows(), field.coefficients(), out, isa, &mut probe);
             return;
         }
         let coeffs = self.gather_coeffs(field.coefficients());
         for (r, &p) in self.row_perm.iter().enumerate() {
-            out[p as usize] = self.row_dot(r, &coeffs);
+            out[p as usize] = self.row_dot(r, &coeffs, isa);
         }
     }
 
@@ -223,6 +273,7 @@ impl EvalPlan {
         field: &DgField,
         out: &mut [f64],
         n_blocks: usize,
+        simd: SimdPolicy,
     ) -> Vec<BlockStats> {
         self.check_field(field);
         assert!(
@@ -230,6 +281,7 @@ impl EvalPlan {
             "row-subset apply requires a layout that keeps natural row order"
         );
         assert_eq!(out.len(), self.rows(), "output buffer/plan row mismatch");
+        let isa = simd.resolve();
         let coeffs = field.coefficients();
         let n = rows.len();
         if n == 0 {
@@ -244,7 +296,7 @@ impl EvalPlan {
                 let mut metrics = Metrics::default();
                 for &r in &rows[s..e] {
                     let r = r as usize;
-                    out[r] = self.row_dot(r, coeffs);
+                    out[r] = self.row_dot(r, coeffs, isa);
                     let (lo, hi) = self.row_range(r);
                     metrics.solution_writes += 1;
                     let entries = (hi - lo) as u64;
@@ -301,15 +353,35 @@ impl EvalPlan {
         );
     }
 
-    /// One row's dot product against `coeffs`, accumulated in per-mode
-    /// lanes. The lanes break the single-accumulator FMA dependency chain
-    /// (the former hot-loop bottleneck: one serial add per mode-entry) into
-    /// `n_modes` independent chains the CPU can overlap and vectorize. The
-    /// lane order and the final lane reduction are fixed, so the result is
-    /// deterministic — and bitwise identical across layouts, because every
-    /// layout stores each row's entries in the same sequence.
+    /// One row's dot product against `coeffs`, dispatched on the resolved
+    /// SIMD ISA. The scalar arm is byte-for-byte the historical per-mode
+    /// lane kernel, so `SimdPolicy::Scalar` reproduces pre-SIMD results
+    /// bitwise. The vector arms keep the same shape — independent per-mode
+    /// accumulator chains, reduced in a fixed order at the end — so every
+    /// ISA stays deterministic and bitwise identical across layouts
+    /// (each layout stores a row's entries in the same sequence), while
+    /// agreeing with the scalar arm to rounding (`≤ 1e-12`).
     #[inline]
-    fn row_dot(&self, r: usize, coeffs: &[f64]) -> f64 {
+    fn row_dot(&self, r: usize, coeffs: &[f64], isa: SimdIsa) -> f64 {
+        match isa {
+            SimdIsa::Scalar => self.row_dot_scalar(r, coeffs),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `resolve` only yields these ISAs when the CPU
+            // reports the matching feature flags.
+            SimdIsa::Avx2 => unsafe { self.row_dot_avx2(r, coeffs) },
+            #[cfg(target_arch = "x86_64")]
+            SimdIsa::Avx512 => unsafe { self.row_dot_avx512(r, coeffs) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => self.row_dot_scalar(r, coeffs),
+        }
+    }
+
+    /// The portable row kernel, accumulated in per-mode lanes. The lanes
+    /// break the single-accumulator FMA dependency chain (the former
+    /// hot-loop bottleneck: one serial add per mode-entry) into `n_modes`
+    /// independent chains the CPU can overlap and auto-vectorize.
+    #[inline]
+    fn row_dot_scalar(&self, r: usize, coeffs: &[f64]) -> f64 {
         // Pick the narrowest lane array that holds n_modes, so the per-row
         // lane reset and reduction don't pay for unused slots. The branch
         // is perfectly predicted (n_modes is fixed per plan).
@@ -338,6 +410,104 @@ impl EvalPlan {
         lane[..nm].iter().sum()
     }
 
+    /// AVX2+FMA row kernel: the mode dimension is batched into 4-wide
+    /// vector lanes, one accumulator vector per 4-mode block (so the
+    /// per-mode chains stay independent, exactly like the scalar lanes),
+    /// with a fault-suppressing `maskload` for the `n_modes % 4` tail.
+    /// The whole entries loop lives inside one `#[target_feature]` body —
+    /// per-entry calls into a feature-gated function would block inlining
+    /// and cost a dynamic-dispatch-sized penalty per CSR entry.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn row_dot_avx2(&self, r: usize, coeffs: &[f64]) -> f64 {
+        use core::arch::x86_64::*;
+        let nm = self.n_modes;
+        let (lo, hi) = self.row_range(r);
+        let full = nm / 4;
+        let rem = nm % 4;
+        let mut acc = [_mm256_setzero_pd(); MAX_MODES / 4];
+        let mut tail_acc = _mm256_setzero_pd();
+        // -1 in a lane's high bit enables the load; maskload suppresses
+        // faults on the disabled lanes, so reading past a row's final
+        // entry-slice is safe even at the end of the weights buffer.
+        let mask = match rem {
+            1 => _mm256_setr_epi64x(-1, 0, 0, 0),
+            2 => _mm256_setr_epi64x(-1, -1, 0, 0),
+            3 => _mm256_setr_epi64x(-1, -1, -1, 0),
+            _ => _mm256_setzero_si256(),
+        };
+        for e in lo..hi {
+            let w = self.weights.as_ptr().add(e * nm);
+            let c = coeffs.as_ptr().add(self.cols[e] as usize * nm);
+            for (b, a) in acc.iter_mut().enumerate().take(full) {
+                let wv = _mm256_loadu_pd(w.add(b * 4));
+                let cv = _mm256_loadu_pd(c.add(b * 4));
+                *a = _mm256_fmadd_pd(wv, cv, *a);
+            }
+            if rem != 0 {
+                let wv = _mm256_maskload_pd(w.add(full * 4), mask);
+                let cv = _mm256_maskload_pd(c.add(full * 4), mask);
+                tail_acc = _mm256_fmadd_pd(wv, cv, tail_acc);
+            }
+        }
+        // Fixed-order reduction: block order, then `(l0+l1)+(l2+l3)`
+        // within each block — deterministic for a given ISA.
+        let mut total = 0.0;
+        let mut lanes = [0.0f64; 4];
+        for a in acc.iter().take(full) {
+            _mm256_storeu_pd(lanes.as_mut_ptr(), *a);
+            total += (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        }
+        if rem != 0 {
+            _mm256_storeu_pd(lanes.as_mut_ptr(), tail_acc);
+            total += (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        }
+        total
+    }
+
+    /// AVX-512 row kernel: 8-wide mode blocks with a `maskz` tail load
+    /// (`__mmask8` of the low `n_modes % 8` lanes). Same accumulator and
+    /// reduction discipline as [`Self::row_dot_avx2`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn row_dot_avx512(&self, r: usize, coeffs: &[f64]) -> f64 {
+        use core::arch::x86_64::*;
+        let nm = self.n_modes;
+        let (lo, hi) = self.row_range(r);
+        let full = nm / 8;
+        let rem = nm % 8;
+        let mut acc = [_mm512_setzero_pd(); MAX_MODES / 8];
+        let mut tail_acc = _mm512_setzero_pd();
+        let mask: __mmask8 = (1u8 << rem).wrapping_sub(1);
+        for e in lo..hi {
+            let w = self.weights.as_ptr().add(e * nm);
+            let c = coeffs.as_ptr().add(self.cols[e] as usize * nm);
+            for (b, a) in acc.iter_mut().enumerate().take(full) {
+                let wv = _mm512_loadu_pd(w.add(b * 8));
+                let cv = _mm512_loadu_pd(c.add(b * 8));
+                *a = _mm512_fmadd_pd(wv, cv, *a);
+            }
+            if rem != 0 {
+                let wv = _mm512_maskz_loadu_pd(mask, w.add(full * 8));
+                let cv = _mm512_maskz_loadu_pd(mask, c.add(full * 8));
+                tail_acc = _mm512_fmadd_pd(wv, cv, tail_acc);
+            }
+        }
+        let mut total = 0.0;
+        let mut lanes = [0.0f64; 8];
+        for a in acc.iter().take(full) {
+            _mm512_storeu_pd(lanes.as_mut_ptr(), *a);
+            total += ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+                + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+        }
+        if rem != 0 {
+            _mm512_storeu_pd(lanes.as_mut_ptr(), tail_acc);
+            total += ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+                + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+        }
+        total
+    }
+
     /// Evaluates rows `[start, end)` into `out` (length `end - start`).
     fn apply_block(
         &self,
@@ -345,12 +515,13 @@ impl EvalPlan {
         end: usize,
         coeffs: &[f64],
         out: &mut [f64],
+        isa: SimdIsa,
         probe: &mut Probe,
     ) -> Metrics {
         let mut metrics = Metrics::default();
         let nm = self.n_modes;
         for (slot, r) in (start..end).enumerate() {
-            out[slot] = self.row_dot(r, coeffs);
+            out[slot] = self.row_dot(r, coeffs, isa);
             let (lo, hi) = self.row_range(r);
             // Row entries are this scheme's "candidates": the histogram
             // shows how many stored elements each output point reads.

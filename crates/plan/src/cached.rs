@@ -88,6 +88,7 @@ impl CachedPlan {
                 n_blocks: settings.n_blocks,
                 parallel: settings.parallel,
                 instrument: settings.instrument,
+                simd: settings.simd,
             },
             plan: None,
             key: None,
@@ -129,6 +130,7 @@ impl CachedPlan {
                 && cached.smoothness == key.smoothness
                 && cached.h_factor_bits == key.h_factor_bits
                 && cached.layout == key.layout
+                && cached.simd == key.simd
         })
     }
 

@@ -20,7 +20,7 @@ use rayon::prelude::*;
 use std::time::Instant;
 use ustencil_core::integrate::{ElementData, IntegrationCtx, MAX_MODES};
 use ustencil_core::kernel::{AccumulateWeights, Scratch, StencilTraversal};
-use ustencil_core::{BlockStats, ComputationGrid, Layout, Metrics, Probe};
+use ustencil_core::{BlockStats, ComputationGrid, Layout, Metrics, Probe, SimdIsa, SimdPolicy};
 use ustencil_dg::DubinerBasis;
 use ustencil_mesh::TriMesh;
 use ustencil_quadrature::TriangleRule;
@@ -53,6 +53,12 @@ pub struct CompileOptions {
     /// reordered apply is bitwise equal to a natural apply after the
     /// inverse permutation.
     pub layout: Layout,
+    /// SIMD policy of the quadrature reduction during compilation (default
+    /// [`SimdPolicy::Auto`]). The resolved ISA perturbs the compiled
+    /// weights at the FMA-contraction level (`≤ 1e-12` relative), so it is
+    /// part of the plan's content identity ([`PlanKey`](crate::PlanKey));
+    /// [`SimdPolicy::Scalar`] reproduces pre-SIMD weights bitwise.
+    pub simd: SimdPolicy,
 }
 
 impl Default for CompileOptions {
@@ -64,6 +70,7 @@ impl Default for CompileOptions {
             parallel: true,
             instrument: false,
             layout: Layout::Natural,
+            simd: SimdPolicy::Auto,
         }
     }
 }
@@ -79,6 +86,7 @@ impl CompileOptions {
             parallel: s.parallel,
             instrument: s.instrument,
             layout: s.layout,
+            simd: s.simd,
         }
     }
 }
@@ -117,6 +125,9 @@ impl EvalPlan {
         let basis = DubinerBasis::new(degree);
         let n_modes = basis.n_modes();
         assert!(n_modes <= MAX_MODES, "degree {degree} exceeds mode budget");
+        // Resolve the SIMD policy once so every block — and every patch
+        // recompile under the same options — runs the same reduction ISA.
+        let simd_isa = options.simd.resolve();
 
         let (stencil, rule) = {
             let _span = tracer.span("setup.kernel");
@@ -173,6 +184,7 @@ impl EvalPlan {
                 &rule,
                 &tri_grid,
                 &order[s..e],
+                simd_isa,
                 &mut probe,
             );
             if let Some((_, ep)) = &perms {
@@ -261,11 +273,13 @@ pub(crate) fn compile_block(
     rule: &TriangleRule,
     tri_grid: &TriangleGrid,
     points: &[u32],
+    simd: SimdIsa,
     probe: &mut Probe,
 ) -> BlockOut {
     let mut metrics = Metrics::default();
     let n_modes = basis.n_modes();
-    let trav = StencilTraversal::new(stencil, rule, basis.monomial_exponents(), n_modes);
+    let trav =
+        StencilTraversal::new(stencil, rule, basis.monomial_exponents(), n_modes).with_simd(simd);
     let mut row_counts = Vec::with_capacity(points.len());
     let mut scratch = Scratch::new();
     let mut sink = AccumulateWeights::new(basis);

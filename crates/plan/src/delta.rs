@@ -655,6 +655,9 @@ impl EvalPlan {
                 self.degree,
             ));
             let tri_grid = TriangleGrid::build(mesh, Boundary::Periodic);
+            // Patched rows must be bit-identical to a fresh compile under
+            // the same options, so the patch resolves the same SIMD policy.
+            let simd_isa = options.simd.resolve();
             let n_blocks = options.n_blocks.clamp(1, frag_rows.len());
             let bounds: Vec<(usize, usize)> = (0..n_blocks)
                 .map(|b| {
@@ -674,6 +677,7 @@ impl EvalPlan {
                     &rule,
                     &tri_grid,
                     &frag_rows[s..e],
+                    simd_isa,
                     &mut probe,
                 )
             };

@@ -17,7 +17,7 @@
 //! shards and single-flights on.
 
 use crate::compile::CompileOptions;
-use ustencil_core::{ComputationGrid, Layout};
+use ustencil_core::{ComputationGrid, Layout, SimdIsa};
 use ustencil_mesh::TriMesh;
 
 /// FNV-1a offset basis (64-bit).
@@ -109,6 +109,12 @@ pub struct PlanKey {
     pub h_factor_bits: u64,
     /// Storage order of the compiled CSR.
     pub layout: Layout,
+    /// The *resolved* SIMD ISA of the compile-time quadrature reduction
+    /// (not the requested policy: `Auto` and a `Forced` width that resolve
+    /// to the same ISA compile bit-identical weights, so they must share a
+    /// key — while `Scalar` vs a vector ISA differ at the FMA level and
+    /// must not).
+    pub simd: SimdIsa,
 }
 
 impl PlanKey {
@@ -128,6 +134,7 @@ impl PlanKey {
             smoothness: options.smoothness.unwrap_or(degree),
             h_factor_bits: options.h_factor.to_bits(),
             layout: options.layout,
+            simd: options.simd.resolve(),
         }
     }
 
@@ -141,6 +148,7 @@ impl PlanKey {
         h.write_u64(self.smoothness as u64);
         h.write_u64(self.h_factor_bits);
         h.write_u64(self.layout as u64);
+        h.write_u64(self.simd as u64);
         h.finish()
     }
 }
@@ -227,5 +235,48 @@ mod tests {
             },
         );
         assert_eq!(base, parallel);
+    }
+
+    #[test]
+    fn simd_key_tracks_resolved_isa_not_policy() {
+        use ustencil_core::SimdPolicy;
+        let mesh = generate_mesh(MeshClass::LowVariance, 120, 3);
+        let grid = ComputationGrid::quadrature_points(&mesh, 1);
+        let auto = PlanKey::new(&mesh, &grid, 1, &CompileOptions::default());
+        let scalar = PlanKey::new(
+            &mesh,
+            &grid,
+            1,
+            &CompileOptions {
+                simd: SimdPolicy::Scalar,
+                ..CompileOptions::default()
+            },
+        );
+        // A forced width that resolves to the same ISA as Auto compiles
+        // bit-identical weights, so the keys must collapse.
+        let auto_isa = SimdPolicy::Auto.resolve();
+        for policy in SimdPolicy::ALL {
+            let key = PlanKey::new(
+                &mesh,
+                &grid,
+                1,
+                &CompileOptions {
+                    simd: policy,
+                    ..CompileOptions::default()
+                },
+            );
+            assert_eq!(key.simd, policy.resolve());
+            if policy.resolve() == auto_isa {
+                assert_eq!(key, auto, "{policy:?}");
+            }
+        }
+        // On hosts where Auto picks a vector ISA, Scalar must get its own
+        // key (different compiled weights at the FMA level).
+        if auto_isa != ustencil_core::SimdIsa::Scalar {
+            assert_ne!(auto, scalar);
+            assert_ne!(auto.digest(), scalar.digest());
+        } else {
+            assert_eq!(auto, scalar);
+        }
     }
 }

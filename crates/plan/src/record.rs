@@ -63,6 +63,7 @@ impl EvalPlan {
             comms: Vec::new(),
             critical_path: None,
             serve: None,
+            simd: Some(apply.simd.clone()),
         }
     }
 

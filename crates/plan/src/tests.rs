@@ -5,7 +5,7 @@
 use crate::{
     ApplyOptions, CachedPlan, CompileOptions, DirtySet, EvalPlan, PatchError, PlanExt, SCHEME_LABEL,
 };
-use ustencil_core::{ComputationGrid, Layout, PostProcessor, Scheme};
+use ustencil_core::{ComputationGrid, Layout, PostProcessor, Scheme, SimdPolicy};
 use ustencil_dg::project_l2;
 use ustencil_mesh::{generate_mesh, MeshClass, TriMesh};
 
@@ -112,6 +112,7 @@ fn apply_variants_agree() {
             n_blocks: 3,
             parallel: false,
             instrument: true,
+            ..ApplyOptions::default()
         },
     );
     let mut c = vec![0.0; plan.rows()];
@@ -138,6 +139,7 @@ fn row_partition_apply_is_bitwise_the_full_apply() {
             n_blocks: 4,
             parallel: false,
             instrument: false,
+            ..ApplyOptions::default()
         },
     );
     // An arbitrary partition of the rows (the dist runtime's interior /
@@ -146,8 +148,8 @@ fn row_partition_apply_is_bitwise_the_full_apply() {
     // is an independent dot product written exactly once.
     let (evens, odds): (Vec<u32>, Vec<u32>) = (0..plan.rows() as u32).partition(|r| r % 2 == 0);
     let mut out = vec![0.0; plan.rows()];
-    let stats_a = plan.apply_rows_into(&evens, &field, &mut out, 3);
-    let stats_b = plan.apply_rows_into(&odds, &field, &mut out, 3);
+    let stats_a = plan.apply_rows_into(&evens, &field, &mut out, 3, SimdPolicy::Auto);
+    let stats_b = plan.apply_rows_into(&odds, &field, &mut out, 3, SimdPolicy::Auto);
     for (a, b) in full.values.iter().zip(&out) {
         assert_eq!(a.to_bits(), b.to_bits());
     }
@@ -165,7 +167,68 @@ fn row_partition_apply_is_bitwise_the_full_apply() {
     assert_eq!(loads, full.metrics.elem_data_loads);
     assert_eq!(flops, full.metrics.flops);
     // Empty subset: no blocks, no work.
-    assert!(plan.apply_rows_into(&[], &field, &mut out, 3).is_empty());
+    assert!(plan
+        .apply_rows_into(&[], &field, &mut out, 3, SimdPolicy::Auto)
+        .is_empty());
+}
+
+#[test]
+fn simd_policies_agree_on_plan_compile_and_apply() {
+    // Scalar-compiled + scalar-applied is the pre-SIMD reference; every
+    // policy (compile and apply both dispatched through it) must agree to
+    // 1e-12 while reporting identical modeled work counters.
+    for (n_tri, p, seed) in [(150, 1, 47), (180, 2, 53)] {
+        let (mesh, field, grid) = setup(n_tri, p, seed);
+        let scalar_plan = EvalPlan::compile(
+            &mesh,
+            &grid,
+            p,
+            &CompileOptions {
+                simd: SimdPolicy::Scalar,
+                ..small_options()
+            },
+        );
+        let scalar = scalar_plan.apply_with(
+            &field,
+            &ApplyOptions {
+                simd: SimdPolicy::Scalar,
+                ..ApplyOptions::default()
+            },
+        );
+        assert_eq!(scalar.simd.isa, "scalar");
+        assert_eq!(scalar.simd.lanes, 1);
+        for policy in SimdPolicy::ALL {
+            let plan = EvalPlan::compile(
+                &mesh,
+                &grid,
+                p,
+                &CompileOptions {
+                    simd: policy,
+                    ..small_options()
+                },
+            );
+            // The ISA perturbs weights at rounding level only — never the
+            // CSR structure (clipping is pure geometry).
+            assert_eq!(plan.row_ptr, scalar_plan.row_ptr);
+            assert_eq!(plan.cols, scalar_plan.cols);
+            let sol = plan.apply_with(
+                &field,
+                &ApplyOptions {
+                    simd: policy,
+                    ..ApplyOptions::default()
+                },
+            );
+            let diff = sol.max_abs_diff(&scalar.values);
+            assert!(diff <= 1e-12, "{policy:?} differs from scalar by {diff}");
+            assert_eq!(
+                sol.metrics, scalar.metrics,
+                "{policy:?} counters must be ISA-independent"
+            );
+            assert_eq!(sol.simd.policy, policy.label());
+            assert_eq!(sol.simd.lanes, policy.resolve().lanes() as u64);
+            assert!(sol.simd.gflops >= 0.0);
+        }
+    }
 }
 
 #[test]
@@ -190,6 +253,7 @@ fn instrumented_apply_populates_stats() {
             n_blocks: 4,
             parallel: false,
             instrument: true,
+            ..ApplyOptions::default()
         },
     );
     assert!(sol.spans.iter().any(|s| s.name == "apply.spmv"));

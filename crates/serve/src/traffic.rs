@@ -419,6 +419,9 @@ fn build_record(
         comms: Vec::new(),
         critical_path: None,
         serve: Some(stats.clone()),
+        // Serve aggregates many per-plan applies with heterogeneous wall
+        // shares; a single ISA record would misattribute, so none is kept.
+        simd: None,
     }
 }
 

@@ -153,6 +153,15 @@ impl Kernel1d {
         (self.lo, self.lo + self.n_cells() as f64)
     }
 
+    /// The compiled piecewise-polynomial table, row-major `[cell][degree]`
+    /// with `k + 1` coefficients per unit cell — the raw form lane-batched
+    /// evaluators gather from ([`eval`](Self::eval) is the scalar reference
+    /// reading of the same table).
+    #[inline]
+    pub fn piecewise_table(&self) -> &[f64] {
+        &self.pp
+    }
+
     /// Kernel value at `x` (kernel coordinates, i.e. physical offset / `h`).
     #[inline]
     pub fn eval(&self, x: f64) -> f64 {

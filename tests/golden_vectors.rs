@@ -45,25 +45,32 @@ fn fixture() -> (TriMesh, DgField, ComputationGrid, f64) {
 }
 
 /// Computes the three output vectors, fully sequentially (blocking and
-/// parallelism are transparency-tested elsewhere).
+/// parallelism are transparency-tested elsewhere) and under
+/// [`SimdPolicy::Scalar`]: the fixture pins the portable reduction
+/// order, and the scalar policy is contractually bit-identical to the
+/// pre-SIMD kernels. Vector policies are held to the 1e-12 refactor
+/// tolerance against these same bits below.
 fn outputs() -> [(&'static str, Vec<f64>); 3] {
     let (mesh, field, grid, h_factor) = fixture();
     let per_point = PostProcessor::new(Scheme::PerPoint)
         .h_factor(h_factor)
         .blocks(1)
         .parallel(false)
+        .simd(SimdPolicy::Scalar)
         .run(&mesh, &field, &grid)
         .values;
     let per_element = PostProcessor::new(Scheme::PerElement)
         .h_factor(h_factor)
         .blocks(1)
         .parallel(false)
+        .simd(SimdPolicy::Scalar)
         .run(&mesh, &field, &grid)
         .values;
     let options = CompileOptions {
         h_factor,
         n_blocks: 1,
         parallel: false,
+        simd: SimdPolicy::Scalar,
         ..CompileOptions::default()
     };
     let plan = EvalPlan::compile(&mesh, &grid, DEGREE, &options)
@@ -73,6 +80,7 @@ fn outputs() -> [(&'static str, Vec<f64>); 3] {
                 n_blocks: 1,
                 parallel: false,
                 instrument: false,
+                simd: SimdPolicy::Scalar,
             },
         )
         .values;
@@ -142,6 +150,7 @@ fn reordered_layouts_match_the_plan_golden() {
             n_blocks: 1,
             parallel: false,
             layout,
+            simd: SimdPolicy::Scalar,
             ..CompileOptions::default()
         };
         let values = EvalPlan::compile(&mesh, &grid, DEGREE, &options)
@@ -151,6 +160,7 @@ fn reordered_layouts_match_the_plan_golden() {
                     n_blocks: 1,
                     parallel: false,
                     instrument: false,
+                    simd: SimdPolicy::Scalar,
                 },
             )
             .values;
@@ -161,6 +171,59 @@ fn reordered_layouts_match_the_plan_golden() {
                 bits,
                 "{layout:?}[{i}]: {v:e} != {:e} (bit-wise)",
                 f64::from_bits(bits)
+            );
+        }
+    }
+}
+
+/// Vector policies against the committed fixture: each forced width is
+/// run-to-run *deterministic* (two independent compile+apply passes give
+/// the same bits — the lane kernels use fixed-order reductions, never a
+/// data race or dispatch wobble), and every value stays within the 1e-12
+/// refactor tolerance of the scalar golden bits. Widths the host lacks
+/// fall back to scalar, where determinism and the tolerance hold
+/// trivially — so this runs unconditionally on every CI host.
+#[test]
+fn vector_policies_are_deterministic_and_near_the_golden() {
+    use ustencil::engine::{SimdPolicy, SimdWidth};
+    let golden = parse_golden();
+    let (_, plan_bits) = &golden[2];
+    assert_eq!(golden[2].0, "plan", "fixture row order changed");
+    let (mesh, field, grid, h_factor) = fixture();
+    for width in [SimdWidth::F64x4, SimdWidth::F64x8] {
+        let policy = SimdPolicy::Forced(width);
+        let run = || {
+            let options = CompileOptions {
+                h_factor,
+                n_blocks: 1,
+                parallel: false,
+                simd: policy,
+                ..CompileOptions::default()
+            };
+            EvalPlan::compile(&mesh, &grid, DEGREE, &options)
+                .apply_with(
+                    &field,
+                    &ApplyOptions {
+                        n_blocks: 1,
+                        parallel: false,
+                        instrument: false,
+                        simd: policy,
+                    },
+                )
+                .values
+        };
+        let (first, second) = (run(), run());
+        assert_eq!(first.len(), plan_bits.len(), "{policy:?}: length changed");
+        for (i, ((a, b), &bits)) in first.iter().zip(&second).zip(plan_bits).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{policy:?}[{i}]: two identical runs disagree bit-wise"
+            );
+            let g = f64::from_bits(bits);
+            assert!(
+                (a - g).abs() <= 1e-12,
+                "{policy:?}[{i}]: {a:e} drifts from the golden {g:e}"
             );
         }
     }

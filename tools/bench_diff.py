@@ -14,7 +14,12 @@ inside the threshold, so an overlap win or an erosion of one is visible
 in every diff.
 Deterministic shape metrics (nnz, wire bytes, request counts) that differ
 are reported as warnings: a metric drift means the workload itself
-changed, so the wall comparison may not be apples to apples.
+changed, so the wall comparison may not be apples to apples. The
+`kernel.simd` fixtures pin the dispatched SIMD lane width (`lanes`) as
+such a shape metric, so two records taken on hosts that resolve `auto`
+to different vector ISAs — or a feature-detection regression that
+silently drops to scalar — surface as a workload change instead of
+being read as a timing swing.
 
 CI runs this with a generous threshold (wall clocks on shared runners are
 noisy); locally the 10% default is the intended gate.
@@ -96,8 +101,15 @@ def main():
                     print(f"{name + '/' + k:>28} {kb:>10.3f} {kc:>10.3f} "
                           f"{kratio:>7.2f}  {note}")
             elif bm.get(k) != cm.get(k):
-                print(f"warning: '{name}' metric '{k}' drifted: "
-                      f"{bm.get(k)} -> {cm.get(k)} (workload changed?)")
+                if k == "lanes":
+                    print(f"warning: '{name}' dispatched {cm.get(k)} SIMD "
+                          f"lane(s) vs {bm.get(k)} in the baseline — a "
+                          f"different vector ISA ran; treat this fixture's "
+                          f"wall diff as a workload change, not a "
+                          f"regression")
+                else:
+                    print(f"warning: '{name}' metric '{k}' drifted: "
+                          f"{bm.get(k)} -> {cm.get(k)} (workload changed?)")
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} fixture(s) regressed past "
